@@ -1,0 +1,101 @@
+// Command datagen generates synthetic PIT-Search datasets — a social graph
+// (TSV edge list) and a topic space (TSV records) — either from one of the
+// paper-mirroring presets (data_2k, data_350k, data_1.2m, data_3m; see
+// §6.1 and DESIGN.md §3) or from explicit size parameters.
+//
+// Usage:
+//
+//	datagen -preset data_2k -graph graph.tsv -topics topics.tsv
+//	datagen -nodes 5000 -min-deg 2 -max-deg 12 -tags 20 -graph g.tsv -topics t.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+func main() {
+	var (
+		preset    = flag.String("preset", "", "dataset preset: data_2k, data_350k, data_1.2m, data_3m (overrides size flags)")
+		scale     = flag.Float64("scale", 1, "scale factor applied to the preset's node counts")
+		nodes     = flag.Int("nodes", 2000, "number of social users")
+		minDeg    = flag.Int("min-deg", 2, "minimum out-degree")
+		maxDeg    = flag.Int("max-deg", 16, "maximum out-degree")
+		bias      = flag.Float64("bias", 0.7, "preferential-attachment bias in [0,1]")
+		tags      = flag.Int("tags", 12, "tag vocabulary size")
+		perTag    = flag.Int("topics-per-tag", 10, "topics per tag")
+		topicSize = flag.Int("topic-size", 30, "mean topic node count")
+		locality  = flag.Float64("locality", 0.7, "fraction of topic nodes drawn from one community")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		graphOut  = flag.String("graph", "graph.tsv", "output path for the graph")
+		topicsOut = flag.String("topics", "topics.tsv", "output path for the topic space")
+		stats     = flag.Bool("stats", false, "print structural statistics of the generated graph")
+	)
+	flag.Parse()
+
+	if err := run(*preset, *scale, dataset.GraphConfig{
+		Nodes: *nodes, MinOutDegree: *minDeg, MaxOutDegree: *maxDeg,
+		PreferentialBias: *bias, Seed: *seed,
+	}, dataset.TopicConfig{
+		Tags: *tags, TopicsPerTag: *perTag, MeanTopicNodes: *topicSize,
+		Locality: *locality, Seed: *seed + 1,
+	}, *graphOut, *topicsOut, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(preset string, scale float64, gcfg dataset.GraphConfig, tcfg dataset.TopicConfig, graphOut, topicsOut string, printStats bool) error {
+	var (
+		g   *graph.Graph
+		sp  *topics.Space
+		err error
+	)
+	if preset != "" {
+		p, perr := dataset.PresetByName(preset)
+		if perr != nil {
+			return perr
+		}
+		built, berr := p.Scale(scale).Build()
+		if berr != nil {
+			return berr
+		}
+		g, sp = built.Graph, built.Space
+	} else {
+		if g, err = dataset.GenerateGraph(gcfg); err != nil {
+			return err
+		}
+		if sp, err = dataset.GenerateTopics(g, tcfg); err != nil {
+			return err
+		}
+	}
+
+	gf, err := os.Create(graphOut)
+	if err != nil {
+		return err
+	}
+	defer gf.Close()
+	if err := graph.Write(gf, g); err != nil {
+		return err
+	}
+	tf, err := os.Create(topicsOut)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if err := topics.Write(tf, sp); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d nodes, %d edges) and %s (%d topics)\n",
+		graphOut, g.NumNodes(), g.NumEdges(), topicsOut, sp.NumTopics())
+	if printStats {
+		fmt.Println(graph.ComputeStats(g))
+		fmt.Println("out-degree histogram (power-of-two buckets):", graph.DegreeHistogram(g))
+	}
+	return nil
+}

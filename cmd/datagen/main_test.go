@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+func TestRunWithExplicitConfig(t *testing.T) {
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "g.tsv")
+	tp := filepath.Join(dir, "t.tsv")
+	gcfg := dataset.GraphConfig{Nodes: 200, MinOutDegree: 2, MaxOutDegree: 5, Seed: 1}
+	tcfg := dataset.TopicConfig{Tags: 3, TopicsPerTag: 2, MeanTopicNodes: 8, Seed: 2}
+	if err := run("", 1, gcfg, tcfg, gp, tp, true); err != nil {
+		t.Fatal(err)
+	}
+	gf, err := os.Open(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	g, err := graph.Read(gf)
+	if err != nil {
+		t.Fatalf("generated graph unparsable: %v", err)
+	}
+	if g.NumNodes() != 200 {
+		t.Errorf("nodes = %d, want 200", g.NumNodes())
+	}
+	tf, err := os.Open(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	sp, err := topics.Read(tf)
+	if err != nil {
+		t.Fatalf("generated topics unparsable: %v", err)
+	}
+	if sp.NumTopics() != 6 {
+		t.Errorf("topics = %d, want 6", sp.NumTopics())
+	}
+}
+
+func TestRunWithPreset(t *testing.T) {
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "g.tsv")
+	tp := filepath.Join(dir, "t.tsv")
+	if err := run("data_2k", 0.1, dataset.GraphConfig{}, dataset.TopicConfig{}, gp, tp, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(gp); err != nil {
+		t.Errorf("graph file missing: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "g.tsv")
+	tp := filepath.Join(dir, "t.tsv")
+	if err := run("no-such-preset", 1, dataset.GraphConfig{}, dataset.TopicConfig{}, gp, tp, false); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	bad := dataset.GraphConfig{Nodes: 0}
+	if err := run("", 1, bad, dataset.TopicConfig{Tags: 1, TopicsPerTag: 1}, gp, tp, false); err == nil {
+		t.Error("invalid graph config accepted")
+	}
+	good := dataset.GraphConfig{Nodes: 50, MinOutDegree: 1, MaxOutDegree: 3, Seed: 1}
+	if err := run("", 1, good, dataset.TopicConfig{Tags: 1, TopicsPerTag: 1, MeanTopicNodes: 4}, filepath.Join(dir, "nope", "g.tsv"), tp, false); err == nil {
+		t.Error("unwritable graph path accepted")
+	}
+}

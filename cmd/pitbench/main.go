@@ -1,0 +1,82 @@
+// Command pitbench regenerates the paper's evaluation figures (Figures
+// 5–16, §6) as text tables at laptop scale. Every experiment's ID, inputs
+// and expected shape are catalogued in DESIGN.md §5; measured-vs-paper
+// values are recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	pitbench                 # run every experiment
+//	pitbench -exp fig10      # one experiment
+//	pitbench -scale 2 -queries 5 -users 5   # bigger workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", `experiment to run ("fig4".."fig16", "figS1".."figS3", or "all")`)
+		scale   = flag.Float64("scale", 1, "dataset scale factor (1 = laptop-scale defaults)")
+		queries = flag.Int("queries", 3, "tag queries per experiment")
+		users   = flag.Int("users", 3, "query users per query")
+		walkL   = flag.Int("L", 6, "random-walk length L")
+		walkR   = flag.Int("R", 16, "random walks per node R")
+		theta   = flag.Float64("theta", 0.02, "propagation threshold θ")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		mdOut   = flag.String("markdown", "", "also write the results as a Markdown report to this file")
+	)
+	flag.Parse()
+
+	cfg := eval.Config{
+		Scale:   *scale,
+		Queries: *queries,
+		Users:   *users,
+		WalkL:   *walkL,
+		WalkR:   *walkR,
+		Theta:   *theta,
+		Seed:    *seed,
+	}
+	if err := run(*exp, cfg, *mdOut); err != nil {
+		fmt.Fprintln(os.Stderr, "pitbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg eval.Config, mdOut string) error {
+	runner := eval.NewRunner(cfg)
+	var ids []string
+	if exp == "all" {
+		for _, e := range eval.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = []string{exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := runner.Run(id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(table.Format())
+		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if mdOut != "" {
+		// Re-renders from cached environments, so this is cheap.
+		report, err := runner.Report(ids)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(mdOut, []byte(report), 0o644); err != nil {
+			return fmt.Errorf("write markdown report: %w", err)
+		}
+		fmt.Printf("markdown report written to %s\n", mdOut)
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+func tinyConfig() eval.Config {
+	cfg := eval.TestConfig()
+	cfg.Scale = 0.05
+	cfg.Queries = 1
+	cfg.Users = 1
+	return cfg
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run("fig5", tinyConfig(), ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("fig99", tinyConfig(), ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunMarkdownReport(t *testing.T) {
+	path := t.TempDir() + "/report.md"
+	if err := run("fig5", tinyConfig(), path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "### fig5") {
+		t.Errorf("report missing table header:\n%s", data)
+	}
+}

@@ -1,0 +1,126 @@
+// Command pitsearch runs one personalized influential topic search: it
+// loads (or generates) a dataset, builds the offline indexes, materializes
+// the q-related topic summaries, and prints the top-k topics for the query
+// user under the chosen summarization method.
+//
+// Usage:
+//
+//	pitsearch -preset data_2k -query tag003 -user 42 -k 5
+//	pitsearch -graph g.tsv -topics t.tsv -method rcl -query tag001 -user 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		preset    = flag.String("preset", "data_2k", "dataset preset (ignored when -graph/-topics are given)")
+		scale     = flag.Float64("scale", 1, "preset scale factor")
+		graphIn   = flag.String("graph", "", "graph TSV file (with -topics, replaces the preset)")
+		topicsIn  = flag.String("topics", "", "topic-space TSV file")
+		method    = flag.String("method", "lrw", "summarization method: lrw or rcl")
+		query     = flag.String("query", "tag000", "keyword query")
+		user      = flag.Int("user", 0, "query user node ID")
+		k         = flag.Int("k", 10, "number of topics to return")
+		theta     = flag.Float64("theta", 0.01, "propagation-index threshold θ")
+		walkL     = flag.Int("L", 6, "random-walk length L")
+		walkR     = flag.Int("R", 16, "random walks per node R")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		quietFlag = flag.Bool("quiet", false, "print only the result rows")
+		diversity = flag.Float64("diversity", 0, "diversification strength λ ∈ [0,1] (0 = plain ranking)")
+		trace     = flag.Bool("trace", false, "print search diagnostics (pruning, expansion, rep consumption)")
+	)
+	flag.Parse()
+
+	if err := run(*preset, *scale, *graphIn, *topicsIn, *method, *query, *user, *k,
+		*theta, *walkL, *walkR, *seed, *quietFlag, *diversity, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "pitsearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(preset string, scale float64, graphIn, topicsIn, method, query string,
+	user, k int, theta float64, walkL, walkR int, seed int64, quiet bool,
+	diversity float64, trace bool) error {
+
+	g, sp, err := dataset.LoadPresetOrFiles(preset, scale, graphIn, topicsIn)
+	if err != nil {
+		return err
+	}
+	var m core.Method
+	switch method {
+	case "lrw":
+		m = core.MethodLRW
+	case "rcl":
+		m = core.MethodRCL
+	default:
+		return fmt.Errorf("unknown method %q (want lrw or rcl)", method)
+	}
+	if user < 0 || user >= g.NumNodes() {
+		return fmt.Errorf("user %d outside graph (0..%d)", user, g.NumNodes()-1)
+	}
+
+	eng, err := core.New(g, sp, core.Options{
+		WalkL: walkL, WalkR: walkR, Theta: theta, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := eng.BuildIndexes(); err != nil {
+		return err
+	}
+	buildTime := time.Since(start)
+
+	start = time.Now()
+	var res []core.TopicResult
+	if diversity > 0 {
+		res, err = eng.SearchDiverse(m, query, graph.NodeID(user), k, diversity)
+	} else {
+		res, err = eng.Search(m, query, graph.NodeID(user), k)
+	}
+	if err != nil {
+		return err
+	}
+	searchTime := time.Since(start)
+
+	if !quiet {
+		fmt.Printf("dataset: %d users, %d links, %d topics\n", g.NumNodes(), g.NumEdges(), sp.NumTopics())
+		fmt.Printf("indexes built in %v; %s search for %q (user %d) in %v\n",
+			buildTime.Round(time.Millisecond), m, query, user, searchTime.Round(time.Microsecond))
+	}
+	if len(res) == 0 {
+		fmt.Println("no topics match the query")
+		return nil
+	}
+	for i, r := range res {
+		fmt.Printf("%2d. %-40s influence %.6f\n", i+1, r.Topic.Label, r.Score)
+	}
+	if trace {
+		tr, err := eng.SearchTrace(m, eng.Space().Related(query), graph.NodeID(user), k)
+		if err != nil {
+			return err
+		}
+		pruned, consumed, total := 0, 0, 0
+		for _, tt := range tr.Topics {
+			if tt.Pruned {
+				pruned++
+			}
+			consumed += tt.ConsumedReps
+			total += tt.TotalReps
+		}
+		fmt.Printf("trace: |Γ(user)| = %d, expansion depth %d (frontiers %v)\n",
+			tr.GammaSize, tr.Depth, tr.FrontierSizes)
+		fmt.Printf("trace: pruned %d/%d topics; consumed %d/%d representatives\n",
+			pruned, len(tr.Topics), consumed, total)
+	}
+	return nil
+}

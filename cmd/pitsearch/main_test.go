@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+func writeDataset(t *testing.T) (string, string) {
+	t.Helper()
+	g, err := dataset.GenerateGraph(dataset.GraphConfig{Nodes: 150, MinOutDegree: 2, MaxOutDegree: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := dataset.GenerateTopics(g, dataset.TopicConfig{Tags: 2, TopicsPerTag: 3, MeanTopicNodes: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "g.tsv")
+	tp := filepath.Join(dir, "t.tsv")
+	gf, _ := os.Create(gp)
+	defer gf.Close()
+	if err := graph.Write(gf, g); err != nil {
+		t.Fatal(err)
+	}
+	tf, _ := os.Create(tp)
+	defer tf.Close()
+	if err := topics.Write(tf, sp); err != nil {
+		t.Fatal(err)
+	}
+	return gp, tp
+}
+
+func TestRunWithPreset(t *testing.T) {
+	if err := run("data_2k", 0.1, "", "", "lrw", "tag000", 5, 3, 0.01, 4, 8, 1, true, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithFiles(t *testing.T) {
+	gp, tp := writeDataset(t)
+	for _, method := range []string{"lrw", "rcl"} {
+		if err := run("", 1, gp, tp, method, "tag001", 3, 2, 0.01, 4, 8, 1, true, 0.5, true); err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	gp, tp := writeDataset(t)
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"bad method", func() error { return run("", 1, gp, tp, "xxx", "tag000", 1, 1, 0.01, 4, 8, 1, true, 0, false) }},
+		{"user out of range", func() error { return run("", 1, gp, tp, "lrw", "tag000", -1, 1, 0.01, 4, 8, 1, true, 0, false) }},
+		{"graph without topics", func() error { return run("", 1, gp, "", "lrw", "tag000", 1, 1, 0.01, 4, 8, 1, true, 0, false) }},
+		{"missing graph file", func() error { return run("", 1, gp+".nope", tp, "lrw", "tag000", 1, 1, 0.01, 4, 8, 1, true, 0, false) }},
+		{"unknown preset", func() error { return run("zzz", 1, "", "", "lrw", "tag000", 1, 1, 0.01, 4, 8, 1, true, 0, false) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.call(); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestRunUnknownQueryIsGraceful(t *testing.T) {
+	gp, tp := writeDataset(t)
+	if err := run("", 1, gp, tp, "lrw", "not-a-tag", 1, 3, 0.01, 4, 8, 1, true, 0, true); err != nil {
+		t.Fatalf("unknown query should not error: %v", err)
+	}
+}

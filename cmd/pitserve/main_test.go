@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestBuildHandlerAndServe(t *testing.T) {
+	h, err := buildHandler("data_2k", 0.1, "", "", 0.01, 4, 8, 1, 20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats = %d", resp.StatusCode)
+	}
+	var stats struct {
+		Nodes  int `json:"nodes"`
+		Topics int `json:"topics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes != 200 || stats.Topics == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	resp2, err := http.Get(ts.URL + "/search?q=tag000&user=3&k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/search = %d", resp2.StatusCode)
+	}
+}
+
+func TestBuildHandlerMaterialize(t *testing.T) {
+	h, err := buildHandler("data_2k", 0.05, "", "", 0.01, 3, 4, 1, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Topics    int `json:"topics"`
+		CachedLRW int `json:"cached_summaries_lrw"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.CachedLRW != stats.Topics {
+		t.Errorf("materialized %d of %d topics", stats.CachedLRW, stats.Topics)
+	}
+}
+
+func TestBuildHandlerErrors(t *testing.T) {
+	if _, err := buildHandler("nope", 1, "", "", 0.01, 3, 4, 1, 20, false); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := buildHandler("", 1, "only-graph.tsv", "", 0.01, 3, 4, 1, 20, false); err == nil {
+		t.Error("graph without topics accepted")
+	}
+	if _, err := buildHandler("", 1, "missing.tsv", "missing2.tsv", 0.01, 3, 4, 1, 20, false); err == nil {
+		t.Error("missing files accepted")
+	}
+}

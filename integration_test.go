@@ -1,0 +1,182 @@
+package repro
+
+// End-to-end integration tests across module boundaries: dataset → engine
+// → search, persistence round trips through internal/storage, and
+// agreement between the full pipeline and the exact baseline.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/storage"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+func buildWorld(t testing.TB) (*graph.Graph, *topics.Space) {
+	t.Helper()
+	g, err := dataset.GenerateGraph(dataset.GraphConfig{
+		Nodes: 1200, MinOutDegree: 2, MaxOutDegree: 10,
+		PreferentialBias: 0.7, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := dataset.GenerateTopics(g, dataset.TopicConfig{
+		Tags: 6, TopicsPerTag: 8, MeanTopicNodes: 30, Locality: 0.8, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, space
+}
+
+// TestPipelineEndToEnd drives the full flow: generate → build indexes →
+// materialize → search with both methods, and sanity-checks the results
+// against the exact BaseMatrix ranking (top half overlap).
+func TestPipelineEndToEnd(t *testing.T) {
+	g, space := buildWorld(t)
+	eng, err := core.New(g, space, core.Options{WalkL: 5, WalkR: 16, Theta: 0.01, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BuildIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	matrix, err := baselines.NewMatrix(g, space, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const query = "tag001"
+	related := space.Related(query)
+	if len(related) != 8 {
+		t.Fatalf("related topics = %d, want 8", len(related))
+	}
+	var user graph.NodeID = -1
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.InDegree(graph.NodeID(v)) >= 4 {
+			user = graph.NodeID(v)
+			break
+		}
+	}
+	if user < 0 {
+		t.Fatal("no well-connected user")
+	}
+
+	truth, err := matrix.TopK(int32(user), related, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []core.Method{core.MethodLRW, core.MethodRCL} {
+		got, err := eng.SearchTopics(m, related, user, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(got) != 4 {
+			t.Fatalf("%v returned %d results", m, len(got))
+		}
+		if p := eval.Precision(got, truth, 4); p < 0.5 {
+			t.Errorf("%v precision@4 vs exact = %v, want ≥ 0.5 (got %v, truth %v)", m, p, got, truth)
+		}
+	}
+}
+
+// TestPersistenceRoundTrip saves every offline artifact, reloads it into a
+// fresh engine, and verifies searches agree with the original.
+func TestPersistenceRoundTrip(t *testing.T) {
+	g, space := buildWorld(t)
+	eng, err := core.New(g, space, core.Options{WalkL: 4, WalkR: 8, Theta: 0.02, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BuildIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	related := space.Related("tag000")
+
+	// Materialize and collect LRW summaries for the query's topics.
+	var collected []summary.Summary
+	for _, tt := range related {
+		s, err := eng.Summarize(core.MethodLRW, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collected = append(collected, s)
+	}
+
+	dir := t.TempDir()
+	walkPath := filepath.Join(dir, "walks.gob")
+	propPath := filepath.Join(dir, "prop.gob")
+	sumPath := filepath.Join(dir, "sums.gob")
+	if err := storage.SaveWalkIndex(walkPath, eng.Walks()); err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.SavePropIndex(propPath, eng.Prop()); err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.SaveSummaries(sumPath, collected); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine preloads the stored summaries; its searches must
+	// agree with the original engine (indexes are rebuilt from the same
+	// seed, so the propagation index is identical).
+	eng2, err := core.New(g, space, core.Options{WalkL: 4, WalkR: 8, Theta: 0.02, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.BuildIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := storage.LoadSummaries(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.PreloadSummaries(core.MethodLRW, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng2.CachedSummaries(core.MethodLRW); got != len(related) {
+		t.Fatalf("preloaded %d summaries, want %d", got, len(related))
+	}
+
+	for user := graph.NodeID(0); user < 50; user++ {
+		a, err := eng.SearchTopics(core.MethodLRW, related, user, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := eng2.SearchTopics(core.MethodLRW, related, user, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("user %d: result sizes differ", user)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("user %d rank %d: %+v vs %+v", user, i, a[i], b[i])
+			}
+		}
+	}
+
+	// And the stored indexes decode to structurally identical artifacts.
+	walks, err := storage.LoadWalkIndex(walkPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if walks.NumNodes() != g.NumNodes() {
+		t.Errorf("reloaded walk index covers %d nodes, want %d", walks.NumNodes(), g.NumNodes())
+	}
+	prop, err := storage.LoadPropIndex(propPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.Size() != eng.Prop().Size() {
+		t.Errorf("reloaded prop index size %d, want %d", prop.Size(), eng.Prop().Size())
+	}
+}

@@ -1,0 +1,198 @@
+// Package actions learns edge transition probabilities Λ(u,v) from user
+// action traces, following the data-based approach of Goyal et al. (the
+// paper's ref [5]): if v performs an action soon after its in-neighbor u
+// performed the same action, the edge u→v receives credit, and the
+// influence probability is the smoothed fraction of u's actions that
+// propagated to v — optionally with exponential time decay.
+//
+// PIT-Search itself consumes an already-weighted graph; this package
+// closes the loop on where those weights come from in a deployment: crawl
+// the follow graph (structure), log actions (retweets, shares, purchases),
+// Learn(structure, trace) → weighted graph → core.Engine.
+package actions
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Action is one logged event: a user acting on an item at a time.
+type Action struct {
+	User graph.NodeID
+	Item string
+	Time int64 // arbitrary monotone clock (e.g. unix seconds)
+}
+
+// Options configures Learn.
+type Options struct {
+	// Window is the maximum delay (in Action.Time units) for which v's
+	// action is credited to u's earlier action. Required > 0.
+	Window int64
+	// DecayTau, when positive, weights a credit by exp(−Δt/τ) (Goyal et
+	// al.'s continuous-time model); zero gives the static model (full
+	// credit inside the window).
+	DecayTau float64
+	// Smoothing is the Laplace α added to the credit ratio so edges with
+	// thin evidence don't saturate. Default 1.
+	Smoothing float64
+	// PriorWeight is assigned to edges whose source has no logged
+	// actions (no evidence at all). Default 0.01.
+	PriorWeight float64
+	// MaxWeight caps learned probabilities (edge weights must stay ≤ 1;
+	// practical caps below 1 keep propagation products meaningful).
+	// Default 0.9.
+	MaxWeight float64
+}
+
+func (o *Options) fill() error {
+	if o.Window <= 0 {
+		return fmt.Errorf("actions: Window must be > 0")
+	}
+	if o.Smoothing <= 0 {
+		o.Smoothing = 1
+	}
+	if o.PriorWeight <= 0 || o.PriorWeight > 1 {
+		o.PriorWeight = 0.01
+	}
+	if o.MaxWeight <= 0 || o.MaxWeight > 1 {
+		o.MaxWeight = 0.9
+	}
+	return nil
+}
+
+// Learn re-weights the edges of the structural graph g from the action
+// trace and returns a new graph with identical topology. The learned
+// weight of u→v is
+//
+//	Λ(u,v) = min(MaxWeight, credit(u→v) / (actions(u) + α))
+//
+// where credit sums (possibly decayed) successful propagations and
+// actions(u) counts u's logged actions. Sources with no logged actions
+// keep PriorWeight on all of their out-edges.
+func Learn(g *graph.Graph, trace []Action, opt Options) (*graph.Graph, error) {
+	if g == nil {
+		return nil, fmt.Errorf("actions: nil graph")
+	}
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
+
+	// Group the trace by item, chronologically.
+	byItem := map[string][]Action{}
+	actionsBy := make([]float64, g.NumNodes())
+	for _, a := range trace {
+		if !g.Valid(a.User) {
+			return nil, fmt.Errorf("actions: trace references unknown user %d", a.User)
+		}
+		byItem[a.Item] = append(byItem[a.Item], a)
+		actionsBy[a.User]++
+	}
+
+	// credit[(u,v) packed] accumulates propagation evidence.
+	credit := map[int64]float64{}
+	pack := func(u, v graph.NodeID) int64 { return int64(u)<<32 | int64(v) }
+	for _, acts := range byItem {
+		sort.Slice(acts, func(i, j int) bool { return acts[i].Time < acts[j].Time })
+		// First action per user only: re-acting on the same item is not
+		// a new adoption.
+		seen := map[graph.NodeID]int64{}
+		var order []Action
+		for _, a := range acts {
+			if _, dup := seen[a.User]; !dup {
+				seen[a.User] = a.Time
+				order = append(order, a)
+			}
+		}
+		for i, later := range order {
+			for j := i - 1; j >= 0; j-- {
+				earlier := order[j]
+				dt := later.Time - earlier.Time
+				if dt > opt.Window {
+					break // sorted: everything before is older still
+				}
+				if !g.HasEdge(earlier.User, later.User) {
+					continue
+				}
+				c := 1.0
+				if opt.DecayTau > 0 {
+					c = math.Exp(-float64(dt) / opt.DecayTau)
+				}
+				credit[pack(earlier.User, later.User)] += c
+			}
+		}
+	}
+
+	// Rebuild the graph with learned weights.
+	b := graph.NewBuilder(g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		nbrs, _ := g.OutNeighbors(graph.NodeID(u))
+		for _, v := range nbrs {
+			w := opt.PriorWeight
+			if actionsBy[u] > 0 {
+				w = credit[pack(graph.NodeID(u), v)] / (actionsBy[u] + opt.Smoothing)
+				if w <= 0 {
+					w = opt.PriorWeight
+				}
+			}
+			if w > opt.MaxWeight {
+				w = opt.MaxWeight
+			}
+			if err := b.AddEdge(graph.NodeID(u), v, w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// SimulateTrace generates a synthetic action trace by running independent-
+// cascade-style adoptions over the graph's existing weights: for each
+// item, a few random users act spontaneously, and each action propagates
+// along out-edges with the edge's probability after a random delay ≤
+// maxDelay. Used to test that Learn recovers the generating weights and
+// to build demo datasets.
+func SimulateTrace(g *graph.Graph, items, seedsPerItem int, maxDelay int64, seed int64) []Action {
+	rng := rand.New(rand.NewSource(seed))
+	var trace []Action
+	n := g.NumNodes()
+	if n == 0 || items <= 0 || seedsPerItem <= 0 || maxDelay <= 0 {
+		return nil
+	}
+	activated := make([]int64, n) // epoch marks
+	for item := 0; item < items; item++ {
+		epoch := int64(item) + 1
+		name := fmt.Sprintf("item%04d", item)
+		type pending struct {
+			user graph.NodeID
+			time int64
+		}
+		var queue []pending
+		for s := 0; s < seedsPerItem; s++ {
+			u := graph.NodeID(rng.Intn(n))
+			if activated[u] == epoch {
+				continue
+			}
+			activated[u] = epoch
+			queue = append(queue, pending{u, int64(rng.Intn(100))})
+		}
+		for head := 0; head < len(queue); head++ {
+			p := queue[head]
+			trace = append(trace, Action{User: p.user, Item: name, Time: p.time})
+			nbrs, ws := g.OutNeighbors(p.user)
+			for k, v := range nbrs {
+				if activated[v] == epoch {
+					continue
+				}
+				if rng.Float64() < ws[k] {
+					activated[v] = epoch
+					queue = append(queue, pending{v, p.time + 1 + rng.Int63n(maxDelay)})
+				}
+			}
+		}
+	}
+	return trace
+}

@@ -1,0 +1,240 @@
+package actions
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+func lineStructure(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(1, 2, 0.5)
+	return b.Build()
+}
+
+func TestLearnValidation(t *testing.T) {
+	g := lineStructure(t)
+	if _, err := Learn(nil, nil, Options{Window: 10}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Learn(g, nil, Options{}); err == nil {
+		t.Error("zero window accepted")
+	}
+	badTrace := []Action{{User: 99, Item: "x", Time: 1}}
+	if _, err := Learn(g, badTrace, Options{Window: 10}); err == nil {
+		t.Error("unknown user in trace accepted")
+	}
+}
+
+func TestLearnBasicCredit(t *testing.T) {
+	g := lineStructure(t)
+	// User 0 acts on 4 items; user 1 follows within the window on 2 of
+	// them. Λ(0→1) = 2 / (4 + 1) = 0.4 with α=1.
+	trace := []Action{
+		{0, "a", 10}, {1, "a", 15},
+		{0, "b", 20}, {1, "b", 22},
+		{0, "c", 30},
+		{0, "d", 40},
+	}
+	learned, err := Learn(g, trace, Options{Window: 10, Smoothing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := learned.EdgeWeight(0, 1)
+	if !ok || math.Abs(w-0.4) > 1e-12 {
+		t.Errorf("Λ(0→1) = %v, want 0.4", w)
+	}
+	// User 1 acted twice but user 2 never followed: prior weight.
+	w12, _ := learned.EdgeWeight(1, 2)
+	if math.Abs(w12-0.01) > 1e-12 {
+		t.Errorf("Λ(1→2) = %v, want prior 0.01", w12)
+	}
+}
+
+func TestLearnWindowCutsOldActions(t *testing.T) {
+	g := lineStructure(t)
+	trace := []Action{
+		{0, "a", 10}, {1, "a", 100}, // Δt = 90 > window
+	}
+	learned, err := Learn(g, trace, Options{Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := learned.EdgeWeight(0, 1)
+	if math.Abs(w-0.01) > 1e-12 {
+		t.Errorf("Λ(0→1) = %v, want prior (outside window)", w)
+	}
+}
+
+func TestLearnTimeDecay(t *testing.T) {
+	g := lineStructure(t)
+	trace := []Action{
+		{0, "a", 0}, {1, "a", 10},
+	}
+	static, _ := Learn(g, trace, Options{Window: 100})
+	decayed, _ := Learn(g, trace, Options{Window: 100, DecayTau: 10})
+	ws, _ := static.EdgeWeight(0, 1)
+	wd, _ := decayed.EdgeWeight(0, 1)
+	// static credit 1 → 1/(1+1) = 0.5; decayed credit e^{-1} → ≈ 0.184
+	if math.Abs(ws-0.5) > 1e-12 {
+		t.Errorf("static = %v, want 0.5", ws)
+	}
+	want := math.Exp(-1) / 2
+	if math.Abs(wd-want) > 1e-9 {
+		t.Errorf("decayed = %v, want %v", wd, want)
+	}
+	if wd >= ws {
+		t.Errorf("decay did not reduce credit: %v >= %v", wd, ws)
+	}
+}
+
+func TestLearnRepeatActionsCountOnce(t *testing.T) {
+	g := lineStructure(t)
+	// User 1 re-acts on the same item; only the first adoption counts.
+	trace := []Action{
+		{0, "a", 0}, {1, "a", 5}, {1, "a", 6}, {1, "a", 7},
+	}
+	learned, err := Learn(g, trace, Options{Window: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := learned.EdgeWeight(0, 1)
+	if math.Abs(w-0.5) > 1e-12 { // credit 1 / (1 action + 1)
+		t.Errorf("Λ(0→1) = %v, want 0.5 (single adoption)", w)
+	}
+}
+
+func TestLearnCapsWeight(t *testing.T) {
+	g := lineStructure(t)
+	var trace []Action
+	// Every action of 0 is followed by 1 → raw ratio near 1.
+	for i := 0; i < 50; i++ {
+		trace = append(trace, Action{0, itemName(i), int64(i * 100)})
+		trace = append(trace, Action{1, itemName(i), int64(i*100 + 1)})
+	}
+	learned, err := Learn(g, trace, Options{Window: 10, MaxWeight: 0.7, Smoothing: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := learned.EdgeWeight(0, 1)
+	if w != 0.7 {
+		t.Errorf("Λ(0→1) = %v, want capped 0.7", w)
+	}
+}
+
+func itemName(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+func TestLearnPreservesTopology(t *testing.T) {
+	g, err := dataset.GenerateGraph(dataset.GraphConfig{Nodes: 200, MinOutDegree: 2, MaxOutDegree: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := SimulateTrace(g, 50, 3, 10, 9)
+	learned, err := Learn(g, trace, Options{Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learned.NumNodes() != g.NumNodes() || learned.NumEdges() != g.NumEdges() {
+		t.Fatalf("topology changed: %v vs %v", learned, g)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		a, _ := g.OutNeighbors(graph.NodeID(u))
+		b, _ := learned.OutNeighbors(graph.NodeID(u))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("adjacency changed at node %d", u)
+			}
+		}
+	}
+}
+
+// TestLearnRecoversStrongVsWeak: edges that genuinely propagate more in
+// the generating process should learn higher weights.
+func TestLearnRecoversStrongVsWeak(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.8) // strong true influence
+	b.MustAddEdge(0, 2, 0.1) // weak true influence
+	g := b.Build()
+	trace := SimulateTrace(g, 3000, 1, 5, 11)
+	learned, err := Learn(g, trace, Options{Window: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, _ := learned.EdgeWeight(0, 1)
+	weak, _ := learned.EdgeWeight(0, 2)
+	if strong <= weak {
+		t.Errorf("learned strong %v ≤ weak %v", strong, weak)
+	}
+	if math.Abs(strong-0.8) > 0.15 {
+		t.Errorf("strong edge learned %v, want ≈ 0.8", strong)
+	}
+	if math.Abs(weak-0.1) > 0.1 {
+		t.Errorf("weak edge learned %v, want ≈ 0.1", weak)
+	}
+}
+
+func TestSimulateTraceShape(t *testing.T) {
+	g := lineStructure(t)
+	trace := SimulateTrace(g, 10, 1, 5, 3)
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, a := range trace {
+		if !g.Valid(a.User) || a.Item == "" || a.Time < 0 {
+			t.Fatalf("malformed action %+v", a)
+		}
+	}
+	if got := SimulateTrace(g, 0, 1, 5, 3); got != nil {
+		t.Errorf("items=0 returned %v", got)
+	}
+	if got := SimulateTrace(graph.NewBuilder(0).Build(), 5, 1, 5, 3); got != nil {
+		t.Errorf("empty graph returned %v", got)
+	}
+}
+
+// Property: learned weights are always in (0, MaxWeight].
+func TestLearnedWeightsInRange(t *testing.T) {
+	check := func(seed int64) bool {
+		g, err := dataset.GenerateGraph(dataset.GraphConfig{Nodes: 60, MinOutDegree: 1, MaxOutDegree: 4, Seed: seed})
+		if err != nil {
+			return false
+		}
+		trace := SimulateTrace(g, 20, 2, 8, seed)
+		learned, err := Learn(g, trace, Options{Window: 8, MaxWeight: 0.85})
+		if err != nil {
+			return false
+		}
+		for u := 0; u < learned.NumNodes(); u++ {
+			_, ws := learned.OutNeighbors(graph.NodeID(u))
+			for _, w := range ws {
+				if w <= 0 || w > 0.85 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLearn(b *testing.B) {
+	g, err := dataset.GenerateGraph(dataset.GraphConfig{Nodes: 3000, MinOutDegree: 3, MaxOutDegree: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := SimulateTrace(g, 500, 3, 8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Learn(g, trace, Options{Window: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Package baselines implements the three comparison methods of §6.1:
+//
+//   - BaseMatrix: exact influence propagation by sparse matrix–vector
+//     iteration (6 iterations, as in the paper), the ground truth for the
+//     effectiveness experiments (Figure 10).
+//   - BaseDijkstra: per-topic-node best influence path by a max-probability
+//     Dijkstra plus bounded sub-path replacement to diversify paths.
+//   - BasePropagation: exact-computation over the personalized influence
+//     propagation index, evaluating every topic node rather than a
+//     summarized representative set.
+//
+// All three share the PIT-Search query contract: given a query user and a
+// set of q-related topics, return the top-k topics ranked by influence.
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/search"
+	"repro/internal/topics"
+)
+
+// Ranker is the query contract shared by the baselines and (through a thin
+// adapter in internal/core) the summarization-based methods.
+type Ranker interface {
+	// TopK ranks the given q-related topics by influence on the user and
+	// returns the best k (all, if k ≤ 0 or k ≥ len(related)).
+	TopK(user int32, related []topics.TopicID, k int) ([]search.Result, error)
+}
+
+// rank sorts scores descending (ties by topic ID) and truncates to k.
+func rank(related []topics.TopicID, scores []float64, k int) []search.Result {
+	out := make([]search.Result, len(related))
+	for i, t := range related {
+		out[i] = search.Result{Topic: t, Score: scores[i]}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Topic < out[b].Topic
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/influence"
+	"repro/internal/topics"
+)
+
+// Property: BaseMatrix's length-L walk influence dominates the length-L
+// simple-path influence of Definition 1 (every simple path is a walk), and
+// both agree exactly on acyclic graphs.
+func TestMatrixDominatesSimplePaths(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(6)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n*2; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			_ = b.AddEdge(u, v, 0.2+0.6*rng.Float64())
+		}
+		g := b.Build()
+		sb := topics.NewSpaceBuilder()
+		tid, _ := sb.AddTopic("t", "a topic")
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.5 {
+				_ = sb.AddNode(tid, graph.NodeID(v))
+			}
+		}
+		space := sb.Build()
+		const L = 4
+		m, err := NewMatrix(g, space, L)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			walks := m.Influence(tid, graph.NodeID(v))
+			paths, err := influence.Exact(g, space, tid, graph.NodeID(v), influence.Options{MaxHops: L})
+			if err != nil {
+				return false
+			}
+			if walks < paths-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// On a DAG walks and simple paths coincide, so the two oracles must agree
+// exactly.
+func TestMatrixEqualsSimplePathsOnDAG(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(6)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u >= v { // edges only go forward: acyclic
+				continue
+			}
+			_ = b.AddEdge(graph.NodeID(u), graph.NodeID(v), 0.2+0.6*rng.Float64())
+		}
+		g := b.Build()
+		sb := topics.NewSpaceBuilder()
+		tid, _ := sb.AddTopic("t", "a topic")
+		for v := 0; v < n/2; v++ {
+			_ = sb.AddNode(tid, graph.NodeID(v))
+		}
+		space := sb.Build()
+		if len(space.Nodes(tid)) == 0 {
+			return true
+		}
+		m, err := NewMatrix(g, space, n) // L ≥ longest possible path
+		if err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			walks := m.Influence(tid, graph.NodeID(v))
+			paths, err := influence.Exact(g, space, tid, graph.NodeID(v), influence.Options{})
+			if err != nil {
+				return false
+			}
+			diff := walks - paths
+			if diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package baselines
+
+// BasePropagation: the heuristic exact-computation method of §6.1 — the
+// influence of every individual topic node on the user is read from the
+// personalized influence propagation index (Section 5.1), with
+// potential-marked nodes expanded, but with no social summarization: each
+// topic is evaluated over its full topic node set with uniform local
+// weights 1/|V_t|. This reuses the top-k machinery of internal/search with
+// pruning disabled, which is exactly what makes BasePropagation slower
+// than RCL-A/LRW-A (|V_t| ≫ |V*|) yet close to BaseMatrix in precision.
+
+import (
+	"fmt"
+
+	"repro/internal/propidx"
+	"repro/internal/search"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// Propagation is the BasePropagation ranker. It is stateless and safe for
+// concurrent use.
+type Propagation struct {
+	space    *topics.Space
+	searcher *search.Searcher
+}
+
+// NewPropagation returns a BasePropagation ranker over the pre-built
+// propagation index.
+func NewPropagation(prop *propidx.Index, space *topics.Space) (*Propagation, error) {
+	if prop == nil || space == nil {
+		return nil, fmt.Errorf("baselines: nil propagation index or space")
+	}
+	// BasePropagation reads the materialized index "with no further
+	// on-the-fly path computations" (§6.2): all its work is Γ lookups,
+	// including the probing of expanded (potential-marked) nodes that
+	// §6.4 blames for its mis-appropriated topic-node influence. It
+	// probes to the same depth as the summarized search but over the full
+	// topic node sets and without any top-k pruning — which is exactly
+	// why it is slower than RCL-A/LRW-A (|V_t| ≫ |V*|).
+	s, err := search.New(prop, search.Options{DisablePruning: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Propagation{space: space, searcher: s}, nil
+}
+
+// TopK implements Ranker.
+func (p *Propagation) TopK(user int32, related []topics.TopicID, k int) ([]search.Result, error) {
+	sums := make([]summary.Summary, 0, len(related))
+	for _, t := range related {
+		if !p.space.Valid(t) {
+			return nil, fmt.Errorf("baselines: unknown topic %d", t)
+		}
+		vt := p.space.Nodes(t)
+		reps := make([]summary.WeightedNode, len(vt))
+		w := 0.0
+		if len(vt) > 0 {
+			w = 1.0 / float64(len(vt))
+		}
+		for i, v := range vt {
+			reps[i] = summary.WeightedNode{Node: v, Weight: w}
+		}
+		sums = append(sums, summary.Summary{Topic: t, Reps: reps})
+	}
+	return p.searcher.TopK(user, sums, k)
+}

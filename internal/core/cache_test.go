@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/summary"
+)
+
+func TestInvalidateTopicForcesRecompute(t *testing.T) {
+	eng := builtEngine(t)
+	if _, err := eng.Summarize(MethodLRW, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Summarize(MethodRCL, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.CachedSummaries(MethodLRW); got != 1 {
+		t.Fatalf("CachedSummaries(LRW) = %d, want 1", got)
+	}
+	eng.InvalidateTopic(0)
+	if got := eng.CachedSummaries(MethodLRW); got != 0 {
+		t.Errorf("after invalidate CachedSummaries(LRW) = %d, want 0", got)
+	}
+	if got := eng.CachedSummaries(MethodRCL); got != 0 {
+		t.Errorf("after invalidate CachedSummaries(RCL) = %d, want 0", got)
+	}
+	// Recompute succeeds and re-populates.
+	if _, err := eng.Summarize(MethodLRW, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.CachedSummaries(MethodLRW); got != 1 {
+		t.Errorf("after recompute CachedSummaries(LRW) = %d, want 1", got)
+	}
+}
+
+func TestPreloadSummaries(t *testing.T) {
+	eng := builtEngine(t)
+	sums := []summary.Summary{
+		summary.New(0, []summary.WeightedNode{{Node: 1, Weight: 0.5}, {Node: 2, Weight: 0.5}}),
+		summary.New(1, []summary.WeightedNode{{Node: 3, Weight: 1}}),
+	}
+	if err := eng.PreloadSummaries(MethodLRW, sums); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.CachedSummaries(MethodLRW); got != 2 {
+		t.Fatalf("CachedSummaries = %d, want 2", got)
+	}
+	// Summarize must now return the preloaded summary, not recompute.
+	s, err := eng.Summarize(MethodLRW, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || s.Reps[0].Node != 3 {
+		t.Errorf("Summarize returned %+v, want preloaded summary", s)
+	}
+}
+
+func TestPreloadSummariesRejectsBadInput(t *testing.T) {
+	eng := builtEngine(t)
+	unknownTopic := []summary.Summary{summary.New(9999, nil)}
+	if err := eng.PreloadSummaries(MethodLRW, unknownTopic); err == nil {
+		t.Error("unknown topic accepted")
+	}
+	invalid := []summary.Summary{{Topic: 0, Reps: []summary.WeightedNode{{Node: 1, Weight: -3}}}}
+	if err := eng.PreloadSummaries(MethodLRW, invalid); err == nil {
+		t.Error("invalid summary accepted")
+	}
+	if err := eng.PreloadSummaries(Method(77), nil); err == nil {
+		t.Error("unknown method accepted")
+	}
+	// Failed preload must not leave partial state.
+	if got := eng.CachedSummaries(MethodLRW); got != 0 {
+		t.Errorf("failed preload cached %d summaries", got)
+	}
+}

@@ -1,0 +1,450 @@
+// Package core is the public face of the PIT-Search library: it wires the
+// substrates together into the paper's full pipeline — offline index
+// construction (Algorithm 6 walk index + Section 5.1 propagation index),
+// offline per-topic social summarization (RCL-A or LRW-A, cached), and the
+// online top-k personalized influential topic search (Algorithms 10–11).
+//
+// Typical usage:
+//
+//	eng, _ := core.New(g, space, core.Options{})
+//	_ = eng.BuildIndexes()
+//	res, _ := eng.Search(core.MethodLRW, "phone", user, 10)
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/lrw"
+	"repro/internal/propidx"
+	"repro/internal/randwalk"
+	"repro/internal/rcl"
+	"repro/internal/search"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// Method selects which social summarization backs a search.
+type Method int
+
+const (
+	// MethodLRW is LRW-A (Section 4), the paper's preferred method.
+	MethodLRW Method = iota
+	// MethodRCL is RCL-A (Section 3).
+	MethodRCL
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodLRW:
+		return "LRW-A"
+	case MethodRCL:
+		return "RCL-A"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options configures an Engine. The zero value gives the paper's default
+// parameters at laptop scale.
+type Options struct {
+	// WalkL and WalkR are Algorithm 6's L (walk length, default 6 — the
+	// paper's iteration length) and R (walks per node, default 16).
+	WalkL, WalkR int
+	// Theta is the propagation-index threshold θ (default 0.01).
+	Theta float64
+	// RCL and LRW tune the two summarizers.
+	RCL rcl.Options
+	LRW lrw.Options
+	// Search tunes the online top-k search.
+	Search search.Options
+	// Seed drives walk sampling and RCL-A randomness.
+	Seed int64
+}
+
+func (o *Options) fill() {
+	if o.WalkL <= 0 {
+		o.WalkL = 6
+	}
+	if o.WalkR <= 0 {
+		o.WalkR = 16
+	}
+	if o.Theta <= 0 || o.Theta >= 1 {
+		o.Theta = 0.01
+	}
+	if o.RCL.Seed == 0 {
+		o.RCL.Seed = o.Seed
+	}
+}
+
+// TopicResult is one ranked entry of a PIT-Search answer, carrying the
+// full topic for presentation.
+type TopicResult struct {
+	Topic topics.Topic
+	Score float64
+}
+
+// Engine owns the graph, topic space, both offline indexes, the two
+// summarizers and a per-method summary cache. All methods are safe for
+// concurrent use after BuildIndexes has returned.
+type Engine struct {
+	g     *graph.Graph
+	space *topics.Space
+	opts  Options
+
+	walks *randwalk.Index
+	prop  *propidx.Index
+
+	searcher *search.Searcher
+	lrwSum   *lrw.Summarizer
+
+	mu       sync.Mutex
+	rclSum   *rcl.Summarizer // guarded by mu (owns a BFS traverser)
+	cache    map[Method]map[topics.TopicID]summary.Summary
+	indexesB bool
+}
+
+// New returns an Engine over the graph and topic space. Indexes are not
+// built yet; call BuildIndexes before searching.
+func New(g *graph.Graph, space *topics.Space, opts Options) (*Engine, error) {
+	if g == nil || space == nil {
+		return nil, fmt.Errorf("core: nil graph or topic space")
+	}
+	opts.fill()
+	return &Engine{
+		g:     g,
+		space: space,
+		opts:  opts,
+		cache: map[Method]map[topics.TopicID]summary.Summary{
+			MethodLRW: {},
+			MethodRCL: {},
+		},
+	}, nil
+}
+
+// Graph returns the engine's social graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Options returns the engine's effective (defaults-filled) options, so a
+// refreshed engine over an updated graph can be configured identically.
+func (e *Engine) Options() Options { return e.opts }
+
+// CachedSummary returns the cached summary of t under m, if materialized.
+func (e *Engine) CachedSummary(m Method, t topics.TopicID) (summary.Summary, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.cache[m][t]
+	return s, ok
+}
+
+// Space returns the engine's topic space.
+func (e *Engine) Space() *topics.Space { return e.space }
+
+// Walks returns the walk index (nil before BuildIndexes).
+func (e *Engine) Walks() *randwalk.Index { return e.walks }
+
+// Prop returns the propagation index (nil before BuildIndexes).
+func (e *Engine) Prop() *propidx.Index { return e.prop }
+
+// BuildIndexes constructs the offline indexes: the L-length random-walk
+// index of Algorithm 6 and the personalized propagation index of Section
+// 5.1. It is idempotent.
+func (e *Engine) BuildIndexes() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.indexesB {
+		return nil
+	}
+	walks, err := randwalk.Build(e.g, randwalk.Options{L: e.opts.WalkL, R: e.opts.WalkR, Seed: e.opts.Seed})
+	if err != nil {
+		return fmt.Errorf("core: walk index: %w", err)
+	}
+	prop, err := propidx.Build(e.g, propidx.Options{Theta: e.opts.Theta})
+	if err != nil {
+		return fmt.Errorf("core: propagation index: %w", err)
+	}
+	searcher, err := search.New(prop, e.opts.Search)
+	if err != nil {
+		return fmt.Errorf("core: searcher: %w", err)
+	}
+	lrwSum, err := lrw.New(e.g, e.space, walks, e.opts.LRW)
+	if err != nil {
+		return fmt.Errorf("core: lrw summarizer: %w", err)
+	}
+	rclSum, err := rcl.New(e.g, e.space, walks, e.opts.RCL)
+	if err != nil {
+		return fmt.Errorf("core: rcl summarizer: %w", err)
+	}
+	e.walks, e.prop = walks, prop
+	e.searcher, e.lrwSum, e.rclSum = searcher, lrwSum, rclSum
+	e.indexesB = true
+	return nil
+}
+
+func (e *Engine) requireIndexes() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.indexesB {
+		return fmt.Errorf("core: BuildIndexes has not been called")
+	}
+	return nil
+}
+
+// Summarize returns (building and caching on first use) the topic-aware
+// social summarization of t under the given method — the offline stage of
+// Algorithm 5 / Algorithm 9.
+func (e *Engine) Summarize(m Method, t topics.TopicID) (summary.Summary, error) {
+	if err := e.requireIndexes(); err != nil {
+		return summary.Summary{}, err
+	}
+	if !e.space.Valid(t) {
+		return summary.Summary{}, fmt.Errorf("core: unknown topic %d", t)
+	}
+	e.mu.Lock()
+	if s, ok := e.cache[m][t]; ok {
+		e.mu.Unlock()
+		return s, nil
+	}
+	e.mu.Unlock()
+
+	var (
+		s   summary.Summary
+		err error
+	)
+	switch m {
+	case MethodLRW:
+		s, err = e.lrwSum.Summarize(t)
+	case MethodRCL:
+		// The RCL summarizer owns mutable BFS state; serialize it.
+		e.mu.Lock()
+		s, err = e.rclSum.Summarize(t)
+		e.mu.Unlock()
+	default:
+		return summary.Summary{}, fmt.Errorf("core: unknown method %v", m)
+	}
+	if err != nil {
+		return summary.Summary{}, err
+	}
+	e.mu.Lock()
+	e.cache[m][t] = s
+	e.mu.Unlock()
+	return s, nil
+}
+
+// MaterializeAll pre-computes and caches summaries for every topic in the
+// space under the given method — the paper's full offline topic-to-
+// representative index build (reported in Figures 15–16).
+func (e *Engine) MaterializeAll(m Method) error {
+	for t := 0; t < e.space.NumTopics(); t++ {
+		if _, err := e.Summarize(m, topics.TopicID(t)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InvalidateTopic drops the cached summaries of t for every method, so the
+// next Summarize recomputes them. The paper refreshes the offline
+// summarization "after a period of time when the social network and topics
+// have changed" (§4.4); callers tracking topic churn can refresh just the
+// affected topics instead of rebuilding the whole topic-to-representative
+// index.
+func (e *Engine) InvalidateTopic(t topics.TopicID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for m := range e.cache {
+		delete(e.cache[m], t)
+	}
+}
+
+// CachedSummaries returns how many topic summaries are currently
+// materialized for the method.
+func (e *Engine) CachedSummaries(m Method) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache[m])
+}
+
+// PreloadSummaries seeds the cache with externally materialized summaries
+// (e.g. loaded from internal/storage). Summaries for unknown topics or
+// failing validation are rejected.
+func (e *Engine) PreloadSummaries(m Method, sums []summary.Summary) error {
+	if _, ok := e.cache[m]; !ok {
+		return fmt.Errorf("core: unknown method %v", m)
+	}
+	for _, s := range sums {
+		if !e.space.Valid(s.Topic) {
+			return fmt.Errorf("core: summary references unknown topic %d", s.Topic)
+		}
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("core: topic %d: %w", s.Topic, err)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range sums {
+		e.cache[m][s.Topic] = s
+	}
+	return nil
+}
+
+// SearchTopics runs the online top-k PIT-Search (Algorithm 10) over an
+// explicit q-related topic set.
+func (e *Engine) SearchTopics(m Method, related []topics.TopicID, user graph.NodeID, k int) ([]search.Result, error) {
+	if err := e.requireIndexes(); err != nil {
+		return nil, err
+	}
+	sums := make([]summary.Summary, 0, len(related))
+	for _, t := range related {
+		s, err := e.Summarize(m, t)
+		if err != nil {
+			return nil, err
+		}
+		sums = append(sums, s)
+	}
+	return e.searcher.TopK(user, sums, k)
+}
+
+// SearchTrace is SearchTopics with full diagnostics: it additionally
+// reports per-topic pruning decisions, representative consumption and the
+// expansion frontier evolution (see search.Trace). Intended for operators
+// tuning θ, the expansion budget or the representative counts.
+func (e *Engine) SearchTrace(m Method, related []topics.TopicID, user graph.NodeID, k int) (*search.Trace, error) {
+	if err := e.requireIndexes(); err != nil {
+		return nil, err
+	}
+	sums := make([]summary.Summary, 0, len(related))
+	for _, t := range related {
+		s, err := e.Summarize(m, t)
+		if err != nil {
+			return nil, err
+		}
+		sums = append(sums, s)
+	}
+	return e.searcher.TopKTrace(user, sums, k)
+}
+
+// SearchDiverse is Search followed by representative-overlap
+// diversification (search.Diversify): it retrieves an over-fetched
+// candidate ranking (3k, clamped to the q-related topic count) and
+// greedily re-ranks so each returned topic adds representatives the feed
+// has not already covered. lambda ∈ [0,1] is the diversity strength;
+// lambda = 0 degenerates to Search.
+func (e *Engine) SearchDiverse(m Method, query string, user graph.NodeID, k int, lambda float64) ([]TopicResult, error) {
+	related := e.space.Related(query)
+	if len(related) == 0 {
+		return nil, nil
+	}
+	if k <= 0 {
+		k = len(related)
+	}
+	// Over-fetch candidates for the re-rank, but keep at least one topic
+	// outside the requested set: with k = |T_q| the dynamic search is
+	// decided immediately (Algorithm 10 stops when T′ \ T^k is empty) and
+	// would skip the expansion that gives candidates comparable scores.
+	fetch := k * 3
+	if fetch >= len(related) {
+		fetch = len(related) - 1
+	}
+	if fetch < k {
+		fetch = k
+	}
+	res, err := e.SearchTopics(m, related, user, fetch)
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]summary.Summary, 0, len(res))
+	for _, r := range res {
+		s, err := e.Summarize(m, r.Topic)
+		if err != nil {
+			return nil, err
+		}
+		sums = append(sums, s)
+	}
+	diversified := search.Diversify(res, sums, lambda, k)
+	out := make([]TopicResult, len(diversified))
+	for i, r := range diversified {
+		out[i] = TopicResult{Topic: e.space.Topic(r.Topic), Score: r.Score}
+	}
+	return out, nil
+}
+
+// SearchMany answers the same keyword query for a batch of users
+// concurrently — the shape of the paper's personalized-service use cases
+// (ad targeting segments thousands of candidate customers with one
+// campaign query). Summaries are materialized once up front; searches
+// then fan out across workers (≤ 0: GOMAXPROCS). Results are indexed like
+// the input users; a query with no related topics yields nil entries.
+func (e *Engine) SearchMany(m Method, query string, users []graph.NodeID, k, workers int) ([][]TopicResult, error) {
+	if err := e.requireIndexes(); err != nil {
+		return nil, err
+	}
+	related := e.space.Related(query)
+	out := make([][]TopicResult, len(users))
+	if len(related) == 0 || len(users) == 0 {
+		return out, nil
+	}
+	// Materialize once so workers only read the cache.
+	for _, t := range related {
+		if _, err := e.Summarize(m, t); err != nil {
+			return nil, err
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(users) {
+		workers = len(users)
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		firstErr atomic.Value
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(users) {
+					return
+				}
+				res, err := e.Search(m, query, users[i], k)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				out[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Search answers a keyword query q issued by user: it resolves the
+// q-related topics (Algorithm 10 line 1) and returns the top-k most
+// influential ones with their full topic records.
+func (e *Engine) Search(m Method, query string, user graph.NodeID, k int) ([]TopicResult, error) {
+	related := e.space.Related(query)
+	if len(related) == 0 {
+		return nil, nil
+	}
+	res, err := e.SearchTopics(m, related, user, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TopicResult, len(res))
+	for i, r := range res {
+		out[i] = TopicResult{Topic: e.space.Topic(r.Topic), Score: r.Score}
+	}
+	return out, nil
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// smallWorld builds a modest synthetic dataset once per test binary.
+var smallWorld = sync.OnceValues(func() (*graph.Graph, *topics.Space) {
+	g, err := dataset.GenerateGraph(dataset.GraphConfig{
+		Nodes: 400, MinOutDegree: 2, MaxOutDegree: 6, Seed: 11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	space, err := dataset.GenerateTopics(g, dataset.TopicConfig{
+		Tags: 4, TopicsPerTag: 3, MeanTopicNodes: 15, Locality: 0.7, Seed: 11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return g, space
+})
+
+func builtEngine(t testing.TB) *Engine {
+	t.Helper()
+	g, space := smallWorld()
+	eng, err := New(g, space, Options{WalkL: 4, WalkR: 8, Theta: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BuildIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestNewValidation(t *testing.T) {
+	g, space := smallWorld()
+	if _, err := New(nil, space, Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := New(g, nil, Options{}); err == nil {
+		t.Error("nil space accepted")
+	}
+}
+
+func TestSearchBeforeBuildFails(t *testing.T) {
+	g, space := smallWorld()
+	eng, err := New(g, space, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Search(MethodLRW, "tag000", 1, 5); err == nil {
+		t.Error("search before BuildIndexes accepted")
+	}
+	if _, err := eng.Summarize(MethodLRW, 0); err == nil {
+		t.Error("summarize before BuildIndexes accepted")
+	}
+}
+
+func TestBuildIndexesIdempotent(t *testing.T) {
+	eng := builtEngine(t)
+	walks := eng.Walks()
+	if err := eng.BuildIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Walks() != walks {
+		t.Error("second BuildIndexes rebuilt the walk index")
+	}
+	if eng.Prop() == nil {
+		t.Error("propagation index missing")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodLRW.String() != "LRW-A" || MethodRCL.String() != "RCL-A" {
+		t.Errorf("method names: %v %v", MethodLRW, MethodRCL)
+	}
+	if !strings.HasPrefix(Method(9).String(), "Method(") {
+		t.Errorf("unknown method string: %v", Method(9))
+	}
+}
+
+func TestSummarizeBothMethodsAndCache(t *testing.T) {
+	eng := builtEngine(t)
+	for _, m := range []Method{MethodLRW, MethodRCL} {
+		s1, err := eng.Summarize(m, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := s1.Validate(); err != nil {
+			t.Fatalf("%v summary invalid: %v", m, err)
+		}
+		if s1.Len() == 0 {
+			t.Fatalf("%v produced empty summary", m)
+		}
+		s2, err := eng.Summarize(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s1.Reps) != len(s2.Reps) {
+			t.Fatalf("%v cache returned different summary", m)
+		}
+		for i := range s1.Reps {
+			if s1.Reps[i] != s2.Reps[i] {
+				t.Fatalf("%v cache mismatch at rep %d", m, i)
+			}
+		}
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	eng := builtEngine(t)
+	if _, err := eng.Summarize(MethodLRW, 999); err == nil {
+		t.Error("unknown topic accepted")
+	}
+	if _, err := eng.Summarize(Method(42), 0); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestSearchEndToEnd(t *testing.T) {
+	eng := builtEngine(t)
+	g := eng.Graph()
+	var user graph.NodeID = -1
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.InDegree(graph.NodeID(v)) > 2 {
+			user = graph.NodeID(v)
+			break
+		}
+	}
+	if user < 0 {
+		t.Fatal("no suitable query user")
+	}
+	for _, m := range []Method{MethodLRW, MethodRCL} {
+		res, err := eng.Search(m, "tag000", user, 2)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(res) == 0 || len(res) > 2 {
+			t.Fatalf("%v returned %d results", m, len(res))
+		}
+		for i, r := range res {
+			if r.Topic.Tag != "tag000" {
+				t.Errorf("%v result %d has tag %q", m, i, r.Topic.Tag)
+			}
+			if i > 0 && res[i-1].Score < r.Score {
+				t.Errorf("%v results not sorted", m)
+			}
+		}
+	}
+}
+
+func TestSearchUnknownQuery(t *testing.T) {
+	eng := builtEngine(t)
+	res, err := eng.Search(MethodLRW, "definitely-not-a-tag", 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Errorf("unknown query returned %v", res)
+	}
+}
+
+func TestSearchTopicsExplicit(t *testing.T) {
+	eng := builtEngine(t)
+	related := eng.Space().Related("tag001")
+	if len(related) == 0 {
+		t.Fatal("no related topics")
+	}
+	res, err := eng.SearchTopics(MethodLRW, related, 5, len(related))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(related) {
+		t.Fatalf("got %d results, want %d", len(res), len(related))
+	}
+}
+
+func TestMaterializeAll(t *testing.T) {
+	eng := builtEngine(t)
+	if err := eng.MaterializeAll(MethodLRW); err != nil {
+		t.Fatal(err)
+	}
+	// After materialization, every topic summary comes from cache.
+	for ti := 0; ti < eng.Space().NumTopics(); ti++ {
+		s, err := eng.Summarize(MethodLRW, topics.TopicID(ti))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("topic %d: %v", ti, err)
+		}
+	}
+}
+
+func TestConcurrentSearches(t *testing.T) {
+	eng := builtEngine(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := MethodLRW
+			if i%2 == 0 {
+				m = MethodRCL
+			}
+			if _, err := eng.Search(m, dataset.TagName(i%4), graph.NodeID(i*7%eng.Graph().NumNodes()), 3); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSearchLRW(b *testing.B) {
+	eng := builtEngine(b)
+	if err := eng.MaterializeAll(MethodLRW); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Search(MethodLRW, "tag000", graph.NodeID(i%eng.Graph().NumNodes()), 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSearchManyMatchesSearch(t *testing.T) {
+	eng := builtEngine(t)
+	users := []graph.NodeID{1, 5, 9, 13, 44, 101}
+	batch, err := eng.SearchMany(MethodLRW, "tag001", users, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(users) {
+		t.Fatalf("batch size %d, want %d", len(batch), len(users))
+	}
+	for i, u := range users {
+		single, err := eng.Search(MethodLRW, "tag001", u, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(single) != len(batch[i]) {
+			t.Fatalf("user %d: batch %d results vs single %d", u, len(batch[i]), len(single))
+		}
+		for j := range single {
+			if single[j] != batch[i][j] {
+				t.Errorf("user %d result %d differs: %+v vs %+v", u, j, batch[i][j], single[j])
+			}
+		}
+	}
+}
+
+func TestSearchManyEdgeCases(t *testing.T) {
+	eng := builtEngine(t)
+	// unknown query: nil rows, no error
+	batch, err := eng.SearchMany(MethodLRW, "zzz", []graph.NodeID{1, 2}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range batch {
+		if row != nil {
+			t.Errorf("row %d = %v, want nil", i, row)
+		}
+	}
+	// empty users
+	if batch, err := eng.SearchMany(MethodLRW, "tag000", nil, 3, 2); err != nil || len(batch) != 0 {
+		t.Errorf("empty users: %v, %v", batch, err)
+	}
+	// invalid user inside the batch surfaces the error
+	if _, err := eng.SearchMany(MethodLRW, "tag000", []graph.NodeID{1, -5}, 3, 2); err == nil {
+		t.Error("invalid user accepted in batch")
+	}
+	// before build
+	g, space := smallWorld()
+	fresh, _ := New(g, space, Options{})
+	if _, err := fresh.SearchMany(MethodLRW, "tag000", []graph.NodeID{1}, 1, 1); err == nil {
+		t.Error("SearchMany before BuildIndexes accepted")
+	}
+}
+
+// TestEngineDeterministicAcrossInstances: two engines built from the same
+// inputs and seed must answer every query identically — the property that
+// makes experiments and stored indexes reproducible.
+func TestEngineDeterministicAcrossInstances(t *testing.T) {
+	g, space := smallWorld()
+	build := func() *Engine {
+		eng, err := New(g, space, Options{WalkL: 4, WalkR: 8, Theta: 0.02, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.BuildIndexes(); err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	a, b := build(), build()
+	for _, m := range []Method{MethodLRW, MethodRCL} {
+		for user := graph.NodeID(0); user < 40; user++ {
+			ra, err := a.Search(m, "tag002", user, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := b.Search(m, "tag002", user, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ra) != len(rb) {
+				t.Fatalf("%v user %d: %d vs %d results", m, user, len(ra), len(rb))
+			}
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("%v user %d result %d: %+v vs %+v", m, user, i, ra[i], rb[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSearchTraceMatchesSearchTopics(t *testing.T) {
+	eng := builtEngine(t)
+	related := eng.Space().Related("tag002")
+	if len(related) == 0 {
+		t.Fatal("no related topics")
+	}
+	res, err := eng.SearchTopics(MethodLRW, related, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := eng.SearchTrace(MethodLRW, related, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Results) != len(res) {
+		t.Fatalf("trace results %d != %d", len(tr.Results), len(res))
+	}
+	for i := range res {
+		if res[i] != tr.Results[i] {
+			t.Errorf("result %d: %+v vs %+v", i, res[i], tr.Results[i])
+		}
+	}
+	if len(tr.Topics) != len(related) {
+		t.Errorf("trace covers %d topics, want %d", len(tr.Topics), len(related))
+	}
+	for _, tt := range tr.Topics {
+		if tt.ConsumedReps > tt.TotalReps {
+			t.Errorf("topic %d consumed %d of %d reps", tt.Topic, tt.ConsumedReps, tt.TotalReps)
+		}
+		if tt.RemainingWeight < -1e-12 || tt.RemainingWeight > 1+1e-9 {
+			t.Errorf("topic %d remaining weight %v", tt.Topic, tt.RemainingWeight)
+		}
+	}
+}
+
+func TestSearchTraceBeforeBuildFails(t *testing.T) {
+	g, space := smallWorld()
+	eng, err := New(g, space, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SearchTrace(MethodLRW, nil, 1, 1); err == nil {
+		t.Error("trace before BuildIndexes accepted")
+	}
+}
+
+func TestSearchDiverse(t *testing.T) {
+	eng := builtEngine(t)
+	plain, err := eng.Search(MethodLRW, "tag001", 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := eng.SearchDiverse(MethodLRW, "tag001", 7, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zero) != len(plain) {
+		t.Fatalf("lambda=0 size %d vs plain %d", len(zero), len(plain))
+	}
+	for i := range plain {
+		if plain[i] != zero[i] {
+			t.Errorf("lambda=0 result %d differs: %+v vs %+v", i, zero[i], plain[i])
+		}
+	}
+	div, err := eng.SearchDiverse(MethodLRW, "tag001", 7, 2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(div) == 0 || len(div) > 2 {
+		t.Fatalf("diverse results = %d", len(div))
+	}
+	if div[0] != plain[0] {
+		t.Errorf("diversification changed the top result: %+v vs %+v", div[0], plain[0])
+	}
+	if res, err := eng.SearchDiverse(MethodLRW, "no-such-tag", 7, 2, 0.5); err != nil || res != nil {
+		t.Errorf("unknown query: %v, %v", res, err)
+	}
+}

@@ -1,0 +1,315 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestGenerateGraphValidation(t *testing.T) {
+	if _, err := GenerateGraph(GraphConfig{Nodes: 1}); err == nil {
+		t.Error("1-node graph accepted")
+	}
+	if _, err := GenerateGraph(GraphConfig{Nodes: 0}); err == nil {
+		t.Error("0-node graph accepted")
+	}
+}
+
+func TestGenerateGraphShape(t *testing.T) {
+	cfg := GraphConfig{Nodes: 500, MinOutDegree: 2, MaxOutDegree: 8, Seed: 1}
+	g, err := GenerateGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 500 {
+		t.Fatalf("nodes = %d, want 500", g.NumNodes())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		// Connectivity patching may add up to 2 extra edges per node.
+		if d := g.OutDegree(graph.NodeID(u)); d < 1 || d > 8+4 {
+			t.Fatalf("node %d out-degree %d outside [1, 12]", u, d)
+		}
+	}
+}
+
+func TestGenerateGraphWeightsNormalized(t *testing.T) {
+	g, err := GenerateGraph(GraphConfig{Nodes: 300, MinOutDegree: 2, MaxOutDegree: 10, TotalStrength: 0.8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		_, ws := g.OutNeighbors(graph.NodeID(u))
+		sum := 0.0
+		for _, w := range ws {
+			if w <= 0 || w > 1 {
+				t.Fatalf("node %d has weight %v outside (0,1]", u, w)
+			}
+			sum += w
+		}
+		// 0.8 strength + up to two 0.08 patch edges
+		if sum > 1.0+1e-9 {
+			t.Fatalf("node %d outgoing strength %v exceeds 1", u, sum)
+		}
+	}
+}
+
+func TestGenerateGraphConnected(t *testing.T) {
+	check := func(seed int64) bool {
+		g, err := GenerateGraph(GraphConfig{Nodes: 200, MinOutDegree: 1, MaxOutDegree: 3, Seed: seed})
+		if err != nil {
+			return false
+		}
+		_, count := graph.WeaklyConnectedComponents(g)
+		return count == 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateGraphDeterministic(t *testing.T) {
+	cfg := GraphConfig{Nodes: 200, MinOutDegree: 2, MaxOutDegree: 6, Seed: 77}
+	a, err := GenerateGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestGenerateGraphHeavyTail(t *testing.T) {
+	// With strong preferential bias, max in-degree should far exceed the
+	// mean (a heavy-tailed, Twitter-like distribution).
+	g, err := GenerateGraph(GraphConfig{Nodes: 2000, MinOutDegree: 2, MaxOutDegree: 6, PreferentialBias: 0.9, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxIn, totalIn := 0, 0
+	for v := 0; v < g.NumNodes(); v++ {
+		d := g.InDegree(graph.NodeID(v))
+		totalIn += d
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	mean := float64(totalIn) / float64(g.NumNodes())
+	if float64(maxIn) < 8*mean {
+		t.Errorf("max in-degree %d not heavy-tailed vs mean %.1f", maxIn, mean)
+	}
+}
+
+func TestGenerateTopicsValidation(t *testing.T) {
+	g, _ := GenerateGraph(GraphConfig{Nodes: 100, MinOutDegree: 2, MaxOutDegree: 4, Seed: 1})
+	if _, err := GenerateTopics(nil, TopicConfig{Tags: 1, TopicsPerTag: 1}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := GenerateTopics(g, TopicConfig{Tags: 0, TopicsPerTag: 1}); err == nil {
+		t.Error("0 tags accepted")
+	}
+	if _, err := GenerateTopics(g, TopicConfig{Tags: 1, TopicsPerTag: 0}); err == nil {
+		t.Error("0 topics per tag accepted")
+	}
+}
+
+func TestGenerateTopicsShape(t *testing.T) {
+	g, _ := GenerateGraph(GraphConfig{Nodes: 400, MinOutDegree: 2, MaxOutDegree: 6, Seed: 3})
+	cfg := TopicConfig{Tags: 5, TopicsPerTag: 4, MeanTopicNodes: 12, Locality: 0.7, Seed: 3}
+	space, err := GenerateTopics(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := space.NumTopics(); got != 20 {
+		t.Fatalf("topics = %d, want 20", got)
+	}
+	for ti := 0; ti < space.NumTopics(); ti++ {
+		vt := space.Nodes(int32(ti))
+		if len(vt) == 0 {
+			t.Errorf("topic %d has no nodes", ti)
+		}
+		for _, v := range vt {
+			if !g.Valid(v) {
+				t.Errorf("topic %d node %d invalid", ti, v)
+			}
+		}
+	}
+	// Each tag query must match exactly TopicsPerTag topics.
+	for tag := 0; tag < cfg.Tags; tag++ {
+		if got := len(space.Related(TagName(tag))); got != cfg.TopicsPerTag {
+			t.Errorf("Related(%s) = %d topics, want %d", TagName(tag), got, cfg.TopicsPerTag)
+		}
+	}
+}
+
+func TestGenerateTopicsLocality(t *testing.T) {
+	// With locality 1.0, a topic's nodes should be mutually much closer
+	// than random nodes: measure mean pairwise reachability within 4 hops.
+	g, _ := GenerateGraph(GraphConfig{Nodes: 1500, MinOutDegree: 2, MaxOutDegree: 4, PreferentialBias: 0.2, Seed: 9})
+	local, err := GenerateTopics(g, TopicConfig{Tags: 3, TopicsPerTag: 3, MeanTopicNodes: 12, Locality: 1.0, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := GenerateTopics(g, TopicConfig{Tags: 3, TopicsPerTag: 3, MeanTopicNodes: 12, Locality: 0.0001, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := graph.NewTraverser(g)
+	closeness := func(s interface{ Nodes(int32) []graph.NodeID }, nt int) float64 {
+		pairs, reachable := 0, 0
+		for ti := 0; ti < nt; ti++ {
+			vt := s.Nodes(int32(ti))
+			for i := 0; i < len(vt) && i < 6; i++ {
+				for j := 0; j < len(vt) && j < 6; j++ {
+					if i == j {
+						continue
+					}
+					pairs++
+					if tr.HopDistance(vt[i], vt[j], 4) >= 0 {
+						reachable++
+					}
+				}
+			}
+		}
+		if pairs == 0 {
+			return 0
+		}
+		return float64(reachable) / float64(pairs)
+	}
+	cl, cg := closeness(local, 9), closeness(global, 9)
+	if cl <= cg {
+		t.Errorf("local topics not more clustered: local=%.3f global=%.3f", cl, cg)
+	}
+}
+
+func TestGenerateWorkload(t *testing.T) {
+	g, _ := GenerateGraph(GraphConfig{Nodes: 300, MinOutDegree: 2, MaxOutDegree: 5, Seed: 4})
+	cfg := TopicConfig{Tags: 8, TopicsPerTag: 3, MeanTopicNodes: 10, Seed: 4}
+	w, err := GenerateWorkload(g, cfg, 5, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 5 || len(w.Users) != 10 {
+		t.Fatalf("workload = %d queries %d users, want 5/10", len(w.Queries), len(w.Users))
+	}
+	seen := map[string]bool{}
+	for _, q := range w.Queries {
+		if seen[q] {
+			t.Errorf("duplicate query %q", q)
+		}
+		seen[q] = true
+	}
+	for _, u := range w.Users {
+		if !g.Valid(u) || g.InDegree(u) == 0 {
+			t.Errorf("user %d invalid or uninfluenceable", u)
+		}
+	}
+	// more queries than tags clamps
+	w2, err := GenerateWorkload(g, cfg, 100, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w2.Queries) != cfg.Tags {
+		t.Errorf("queries = %d, want clamped to %d", len(w2.Queries), cfg.Tags)
+	}
+	if _, err := GenerateWorkload(g, cfg, 0, 1, 4); err == nil {
+		t.Error("0 queries accepted")
+	}
+	if _, err := GenerateWorkload(nil, cfg, 1, 1, 4); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 4 {
+		t.Fatalf("presets = %d, want 4", len(ps))
+	}
+	wantNames := []string{"data_2k", "data_350k", "data_1.2m", "data_3m"}
+	for i, p := range ps {
+		if p.Name != wantNames[i] {
+			t.Errorf("preset %d = %q, want %q", i, p.Name, wantNames[i])
+		}
+		if p.Graph.Nodes <= 0 || p.PaperNodes < p.Graph.Nodes {
+			t.Errorf("preset %q sizes look wrong: %+v", p.Name, p)
+		}
+	}
+	// sizes strictly increasing as in Figure 4 (except data_2k smallest)
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Graph.Nodes <= ps[i-1].Graph.Nodes {
+			t.Errorf("preset sizes not increasing: %d then %d", ps[i-1].Graph.Nodes, ps[i].Graph.Nodes)
+		}
+	}
+	if _, err := PresetByName("data_350k"); err != nil {
+		t.Error(err)
+	}
+	if _, err := PresetByName("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestPresetScaleAndBuild(t *testing.T) {
+	p, err := PresetByName("data_2k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := p.Scale(0.1)
+	if small.Graph.Nodes != 200 {
+		t.Errorf("scaled nodes = %d, want 200", small.Graph.Nodes)
+	}
+	if unchanged := p.Scale(0); unchanged.Graph.Nodes != p.Graph.Nodes {
+		t.Errorf("Scale(0) changed the preset")
+	}
+	built, err := small.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Graph.NumNodes() != 200 {
+		t.Errorf("built nodes = %d", built.Graph.NumNodes())
+	}
+	if built.Space.NumTopics() == 0 {
+		t.Error("built space empty")
+	}
+}
+
+func BenchmarkGenerateGraph10k(b *testing.B) {
+	cfg := GraphConfig{Nodes: 10_000, MinOutDegree: 3, MaxOutDegree: 8, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := GenerateGraph(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestWorkloadUsersVaryBySeed(t *testing.T) {
+	g, _ := GenerateGraph(GraphConfig{Nodes: 300, MinOutDegree: 2, MaxOutDegree: 5, Seed: 4})
+	cfg := TopicConfig{Tags: 8, TopicsPerTag: 3, MeanTopicNodes: 10, Seed: 4}
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+	w1, _ := GenerateWorkload(g, cfg, 4, 8, 1)
+	w2, _ := GenerateWorkload(g, cfg, 4, 8, 2)
+	same := true
+	for i := range w1.Users {
+		if i < len(w2.Users) && w1.Users[i] != w2.Users[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical user samples")
+	}
+}

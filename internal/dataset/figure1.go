@@ -1,0 +1,62 @@
+package dataset
+
+// The paper's running example (Figure 1 / Example 1): fifteen social
+// users, three phone topics, and edge weights chosen so that the exact
+// all-paths influence reproduces the worked values of Example 1 —
+// I(apple, user 3) ≈ 0.137 — and the three top-1 outcomes hold (samsung
+// for User 3, htc for User 7, samsung for User 14). Used by the
+// examples/phonebrands program and by golden tests.
+
+import (
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// Figure1Scenario returns the Figure 1 network and topic space. Node IDs
+// match the paper's user numbers (node 0 is unused). The topic labels are
+// "apple phone", "samsung phone" and "htc phone" under the tag "phone".
+func Figure1Scenario() (*graph.Graph, *topics.Space, error) {
+	b := graph.NewBuilder(16)
+	edges := []graph.Edge{
+		{From: 2, To: 1, Weight: 0.2},
+		{From: 1, To: 3, Weight: 0.3},
+		{From: 1, To: 14, Weight: 0.2},
+		{From: 5, To: 3, Weight: 0.6},
+		{From: 5, To: 7, Weight: 0.1},
+		{From: 7, To: 13, Weight: 0.1},
+		{From: 13, To: 12, Weight: 0.5},
+		{From: 12, To: 10, Weight: 0.4},
+		{From: 10, To: 6, Weight: 0.6},
+		{From: 6, To: 3, Weight: 0.2},
+		{From: 6, To: 7, Weight: 0.5},
+		{From: 9, To: 8, Weight: 0.25},
+		{From: 8, To: 13, Weight: 0.1667},
+		{From: 15, To: 9, Weight: 0.96},
+		{From: 14, To: 6, Weight: 0.5},
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e.From, e.To, e.Weight); err != nil {
+			return nil, nil, err
+		}
+	}
+	g := b.Build()
+
+	sb := topics.NewSpaceBuilder()
+	apple, err := sb.AddTopic("phone", "apple phone")
+	if err != nil {
+		return nil, nil, err
+	}
+	samsung, _ := sb.AddTopic("phone", "samsung phone")
+	htc, _ := sb.AddTopic("phone", "htc phone")
+	for _, v := range []graph.NodeID{2, 5, 9, 13, 15} {
+		_ = sb.AddNode(apple, v)
+	}
+	// User 13 "may mention several different phones" (Example 1).
+	for _, v := range []graph.NodeID{1, 13, 14} {
+		_ = sb.AddNode(samsung, v)
+	}
+	for _, v := range []graph.NodeID{6, 7, 8} {
+		_ = sb.AddNode(htc, v)
+	}
+	return g, sb.Build(), nil
+}

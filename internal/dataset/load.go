@@ -1,0 +1,65 @@
+package dataset
+
+// File loading shared by the CLI tools: a dataset on disk is a graph TSV
+// (graph.Write format) plus a topic-space TSV (topics.Write format).
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// LoadFiles reads a graph and topic space from their TSV files and
+// validates that every topic node exists in the graph.
+func LoadFiles(graphPath, topicsPath string) (*graph.Graph, *topics.Space, error) {
+	gf, err := os.Open(graphPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer gf.Close()
+	g, err := graph.Read(gf)
+	if err != nil {
+		return nil, nil, err
+	}
+	tf, err := os.Open(topicsPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer tf.Close()
+	sp, err := topics.Read(tf)
+	if err != nil {
+		return nil, nil, err
+	}
+	for ti := 0; ti < sp.NumTopics(); ti++ {
+		for _, v := range sp.Nodes(topics.TopicID(ti)) {
+			if !g.Valid(v) {
+				return nil, nil, fmt.Errorf("dataset: topic %q references node %d outside the graph (%d nodes)",
+					sp.Topic(topics.TopicID(ti)).Label, v, g.NumNodes())
+			}
+		}
+	}
+	return g, sp, nil
+}
+
+// LoadPresetOrFiles resolves the standard CLI contract shared by
+// cmd/pitsearch and cmd/pitserve: explicit -graph/-topics files when both
+// are given, otherwise a named preset at the given scale.
+func LoadPresetOrFiles(preset string, scale float64, graphPath, topicsPath string) (*graph.Graph, *topics.Space, error) {
+	if graphPath != "" || topicsPath != "" {
+		if graphPath == "" || topicsPath == "" {
+			return nil, nil, fmt.Errorf("dataset: -graph and -topics must be given together")
+		}
+		return LoadFiles(graphPath, topicsPath)
+	}
+	p, err := PresetByName(preset)
+	if err != nil {
+		return nil, nil, err
+	}
+	built, err := p.Scale(scale).Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return built.Graph, built.Space, nil
+}

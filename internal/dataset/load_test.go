@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+func writeTestFiles(t *testing.T, g *graph.Graph, sp *topics.Space) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "g.tsv")
+	tp := filepath.Join(dir, "t.tsv")
+	gf, err := os.Create(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	if err := graph.Write(gf, g); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := os.Create(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	if err := topics.Write(tf, sp); err != nil {
+		t.Fatal(err)
+	}
+	return gp, tp
+}
+
+func TestLoadFilesRoundTrip(t *testing.T) {
+	g, err := GenerateGraph(GraphConfig{Nodes: 100, MinOutDegree: 2, MaxOutDegree: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := GenerateTopics(g, TopicConfig{Tags: 2, TopicsPerTag: 3, MeanTopicNodes: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, tp := writeTestFiles(t, g, sp)
+	g2, sp2, err := LoadFiles(gp, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || sp2.NumTopics() != sp.NumTopics() {
+		t.Errorf("loaded %d nodes %d topics, want %d/%d",
+			g2.NumNodes(), sp2.NumTopics(), g.NumNodes(), sp.NumTopics())
+	}
+}
+
+func TestLoadFilesRejectsOutOfRangeTopicNodes(t *testing.T) {
+	// A topic space referring to node 50 over a 10-node graph.
+	b := graph.NewBuilder(10)
+	b.MustAddEdge(0, 1, 0.5)
+	g := b.Build()
+	sb := topics.NewSpaceBuilder()
+	id, _ := sb.AddTopic("a", "a topic")
+	_ = sb.AddNode(id, 50)
+	gp, tp := writeTestFiles(t, g, sb.Build())
+	if _, _, err := LoadFiles(gp, tp); err == nil {
+		t.Error("out-of-range topic node accepted")
+	}
+}
+
+func TestLoadFilesMissing(t *testing.T) {
+	if _, _, err := LoadFiles("nope.tsv", "nope2.tsv"); err == nil {
+		t.Error("missing graph accepted")
+	}
+	g, _ := GenerateGraph(GraphConfig{Nodes: 20, MinOutDegree: 1, MaxOutDegree: 2, Seed: 1})
+	sp, _ := GenerateTopics(g, TopicConfig{Tags: 1, TopicsPerTag: 1, MeanTopicNodes: 3, Seed: 1})
+	gp, _ := writeTestFiles(t, g, sp)
+	if _, _, err := LoadFiles(gp, "nope.tsv"); err == nil {
+		t.Error("missing topics accepted")
+	}
+}
+
+func TestLoadPresetOrFiles(t *testing.T) {
+	// preset path
+	g, sp, err := LoadPresetOrFiles("data_2k", 0.05, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 || sp.NumTopics() == 0 {
+		t.Errorf("preset load: %d nodes %d topics", g.NumNodes(), sp.NumTopics())
+	}
+	// files path
+	gp, tp := writeTestFiles(t, g, sp)
+	g2, _, err := LoadPresetOrFiles("ignored", 1, gp, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() {
+		t.Errorf("file load node count %d", g2.NumNodes())
+	}
+	// error paths
+	if _, _, err := LoadPresetOrFiles("", 1, gp, ""); err == nil {
+		t.Error("graph-only accepted")
+	}
+	if _, _, err := LoadPresetOrFiles("zzz", 1, "", ""); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// Preset bundles a graph and topic configuration mirroring one of the
+// paper's four datasets (Figure 4), scaled to laptop size. The Name keeps
+// the paper's identifier so experiment tables read like the originals;
+// PaperNodes records the original size for the report columns.
+type Preset struct {
+	Name       string
+	PaperNodes int
+	Graph      GraphConfig
+	Topics     TopicConfig
+}
+
+// Presets returns the four datasets in the paper's size order. The scale
+// factor compresses node counts (and proportionally topic sizes); degree
+// bands are compressed with the same ratios the paper's bands have to one
+// another (data_2k: 1–500, data_350k: 51–100, data_1.2m: 101–500,
+// data_3m: 0–695k heavy-tailed).
+func Presets() []Preset {
+	return []Preset{
+		{
+			Name:       "data_2k",
+			PaperNodes: 2_000,
+			Graph: GraphConfig{
+				Nodes:        2_000,
+				MinOutDegree: 4, MaxOutDegree: 40,
+				PreferentialBias: 0.8, // heavy tail like the 1–500 band
+				Seed:             101,
+			},
+			Topics: TopicConfig{
+				// Topic communities span ~12% of the graph so a topic's
+				// influence on a user is a smooth neighborhood signal
+				// (as at the paper's scale: 20k topic users, degree ≈76)
+				// rather than the accident of a single follow link.
+				Tags: 10, TopicsPerTag: 120, MeanTopicNodes: 250,
+				Locality: 0.7, Seed: 102,
+			},
+		},
+		{
+			Name:       "data_350k",
+			PaperNodes: 350_000,
+			Graph: GraphConfig{
+				Nodes:        12_000,
+				MinOutDegree: 3, MaxOutDegree: 6, // narrow band ≈ 51–100 scaled
+				PreferentialBias: 0.4,
+				Seed:             201,
+			},
+			Topics: TopicConfig{
+				Tags: 10, TopicsPerTag: 120, MeanTopicNodes: 120,
+				Locality: 0.7, Seed: 202,
+			},
+		},
+		{
+			Name:       "data_1.2m",
+			PaperNodes: 1_200_000,
+			Graph: GraphConfig{
+				Nodes:        30_000,
+				MinOutDegree: 6, MaxOutDegree: 24, // wide band ≈ 101–500 scaled
+				PreferentialBias: 0.5,
+				Seed:             301,
+			},
+			Topics: TopicConfig{
+				Tags: 10, TopicsPerTag: 120, MeanTopicNodes: 200,
+				Locality: 0.7, Seed: 302,
+			},
+		},
+		{
+			Name:       "data_3m",
+			PaperNodes: 3_000_000,
+			Graph: GraphConfig{
+				Nodes:        60_000,
+				MinOutDegree: 1, MaxOutDegree: 40, // heavy tail like the full crawl
+				PreferentialBias: 0.85,
+				Seed:             401,
+			},
+			Topics: TopicConfig{
+				Tags: 10, TopicsPerTag: 120, MeanTopicNodes: 300,
+				Locality: 0.7, Seed: 402,
+			},
+		},
+	}
+}
+
+// PresetByName returns the preset with the given name.
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("dataset: unknown preset %q", name)
+}
+
+// Scale returns a copy of p with node counts and topic sizes multiplied by
+// f (minimum sizes enforced). Used by tests (f ≪ 1) and by users who want
+// closer-to-paper scales (f > 1).
+func (p Preset) Scale(f float64) Preset {
+	if f <= 0 {
+		return p
+	}
+	scaled := p
+	scaled.Graph.Nodes = maxInt(64, int(float64(p.Graph.Nodes)*f))
+	scaled.Topics.MeanTopicNodes = maxInt(4, int(float64(p.Topics.MeanTopicNodes)*f))
+	if f < 1 {
+		// Smaller runs also carry proportionally fewer topics per tag so
+		// test-scale workloads stay fast; larger runs keep the paper's
+		// 120-per-tag fan-out (the queries, not the scale, set it).
+		scaled.Topics.TopicsPerTag = maxInt(10, int(float64(p.Topics.TopicsPerTag)*f))
+	}
+	return scaled
+}
+
+// Build materializes the preset's graph and topic space.
+func (p Preset) Build() (*BuiltDataset, error) {
+	g, err := GenerateGraph(p.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %s: %w", p.Name, err)
+	}
+	space, err := GenerateTopics(g, p.Topics)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %s: %w", p.Name, err)
+	}
+	return &BuiltDataset{Preset: p, Graph: g, Space: space}, nil
+}
+
+// BuiltDataset is a materialized preset.
+type BuiltDataset struct {
+	Preset Preset
+	Graph  *graph.Graph
+	Space  *topics.Space
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,155 @@
+package dataset
+
+// Topic-space generation mirroring §6.1 "Topic Generation": the paper
+// seeds each user's topics with LDA terms refined by HetRec-2011 tags so
+// that one tag fans out into many concrete topics, each discussed by a
+// socially clustered set of users. We reproduce the two properties the
+// algorithms depend on — tag→many-topics fan-out and community locality of
+// a topic's users — with a synthetic tag vocabulary and BFS-ball placement.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// TopicConfig parameterizes GenerateTopics.
+type TopicConfig struct {
+	// Tags is the size of the query-facing tag vocabulary.
+	Tags int
+	// TopicsPerTag is how many concrete topics each tag fans out to (the
+	// paper reports 500+ per tag at full scale).
+	TopicsPerTag int
+	// MeanTopicNodes sets the scale of |V_t|; actual sizes follow a
+	// log-normal distribution around it (clamped to [Mean/5, Mean×5]),
+	// reproducing the Zipf-like popularity spread of real topics: a few
+	// widely discussed topics, a long tail of niche ones.
+	MeanTopicNodes int
+	// Locality ∈ [0,1] is the fraction of a topic's nodes drawn from a
+	// BFS ball around a random seed user (the rest are uniform). High
+	// locality makes topics socially clustered, which is the premise of
+	// topic-aware summarization.
+	Locality float64
+	Seed     int64
+}
+
+func (c *TopicConfig) fill() error {
+	if c.Tags < 1 || c.TopicsPerTag < 1 {
+		return fmt.Errorf("dataset: Tags and TopicsPerTag must be ≥ 1 (got %d, %d)", c.Tags, c.TopicsPerTag)
+	}
+	if c.MeanTopicNodes < 1 {
+		c.MeanTopicNodes = 8
+	}
+	if c.Locality < 0 || c.Locality > 1 {
+		c.Locality = 0.7
+	}
+	return nil
+}
+
+// TagName returns the canonical name of tag i ("tag000", "tag001", …),
+// the strings queries are drawn from.
+func TagName(i int) string { return fmt.Sprintf("tag%03d", i) }
+
+// GenerateTopics builds a topic space over g.
+func GenerateTopics(g *graph.Graph, cfg TopicConfig) (*topics.Space, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return nil, fmt.Errorf("dataset: nil or empty graph")
+	}
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := graph.NewTraverser(g)
+	sb := topics.NewSpaceBuilder()
+	n := g.NumNodes()
+
+	for tag := 0; tag < cfg.Tags; tag++ {
+		for variant := 0; variant < cfg.TopicsPerTag; variant++ {
+			label := fmt.Sprintf("%s variant%03d", TagName(tag), variant)
+			id, err := sb.AddTopic(TagName(tag), label)
+			if err != nil {
+				return nil, err
+			}
+			size := int(float64(cfg.MeanTopicNodes) * math.Exp(rng.NormFloat64()*0.8))
+			if size < cfg.MeanTopicNodes/5 {
+				size = cfg.MeanTopicNodes / 5
+			}
+			if size > cfg.MeanTopicNodes*5 {
+				size = cfg.MeanTopicNodes * 5
+			}
+			if size < 1 {
+				size = 1
+			}
+			if size > n {
+				size = n
+			}
+			localTarget := int(cfg.Locality * float64(size))
+
+			// Community ball: undirected-ish BFS from a seed (forward
+			// hops; reverse hops come for free in strongly mixed
+			// synthetic graphs).
+			seed := graph.NodeID(rng.Intn(n))
+			_ = sb.AddNode(id, seed)
+			added := 1
+			tr.Forward(seed, 4, func(v graph.NodeID, _ int) bool {
+				// thin the ball so topics of one community overlap
+				// without being identical
+				if rng.Float64() < 0.6 {
+					_ = sb.AddNode(id, v)
+					added++
+				}
+				return added < localTarget
+			})
+			for added < size {
+				_ = sb.AddNode(id, graph.NodeID(rng.Intn(n)))
+				added++
+			}
+		}
+	}
+	return sb.Build(), nil
+}
+
+// Workload is a set of keyword queries and query users for the timing and
+// effectiveness experiments (§6.2: "100 tags to represent a user's keyword
+// queries … randomly select an additional 49 users").
+type Workload struct {
+	Queries []string
+	Users   []graph.NodeID
+}
+
+// GenerateWorkload draws numQueries distinct tag queries and numUsers
+// distinct query users (users with at least one in-edge, so that some
+// influence can reach them).
+func GenerateWorkload(g *graph.Graph, cfg TopicConfig, numQueries, numUsers int, seed int64) (Workload, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return Workload{}, fmt.Errorf("dataset: nil or empty graph")
+	}
+	if numQueries < 1 || numUsers < 1 {
+		return Workload{}, fmt.Errorf("dataset: need ≥ 1 query and user (got %d, %d)", numQueries, numUsers)
+	}
+	if numQueries > cfg.Tags {
+		numQueries = cfg.Tags
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := Workload{}
+	perm := rng.Perm(cfg.Tags)
+	for _, tag := range perm[:numQueries] {
+		w.Queries = append(w.Queries, TagName(tag))
+	}
+	tried := 0
+	for len(w.Users) < numUsers && tried < 50*numUsers {
+		tried++
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		if g.InDegree(u) == 0 {
+			continue
+		}
+		w.Users = append(w.Users, u)
+	}
+	if len(w.Users) == 0 {
+		return Workload{}, fmt.Errorf("dataset: no user with incoming influence found")
+	}
+	return w, nil
+}

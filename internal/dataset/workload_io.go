@@ -1,0 +1,74 @@
+package dataset
+
+// Workload persistence: experiments are only comparable when run against
+// the same queries and users, so workloads serialize to a line-oriented
+// text format alongside the graph and topic files:
+//
+//	query\t<tag>
+//	user\t<nodeID>
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// WriteWorkload serializes w.
+func WriteWorkload(wr io.Writer, w Workload) error {
+	bw := bufio.NewWriter(wr)
+	for _, q := range w.Queries {
+		if strings.ContainsAny(q, "\t\n") {
+			return fmt.Errorf("dataset: query %q contains separators", q)
+		}
+		if _, err := fmt.Fprintf(bw, "query\t%s\n", q); err != nil {
+			return err
+		}
+	}
+	for _, u := range w.Users {
+		if _, err := fmt.Fprintf(bw, "user\t%d\n", u); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWorkload parses a workload written by WriteWorkload.
+func ReadWorkload(r io.Reader) (Workload, error) {
+	sc := bufio.NewScanner(r)
+	var w Workload
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.SplitN(line, "\t", 2)
+		if len(fields) != 2 {
+			return Workload{}, fmt.Errorf("dataset: workload line %d malformed: %q", lineNo, line)
+		}
+		switch fields[0] {
+		case "query":
+			w.Queries = append(w.Queries, fields[1])
+		case "user":
+			id, err := strconv.ParseInt(fields[1], 10, 32)
+			if err != nil {
+				return Workload{}, fmt.Errorf("dataset: workload line %d: bad user %q", lineNo, fields[1])
+			}
+			w.Users = append(w.Users, graph.NodeID(id))
+		default:
+			return Workload{}, fmt.Errorf("dataset: workload line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Workload{}, fmt.Errorf("dataset: read workload: %w", err)
+	}
+	if len(w.Queries) == 0 || len(w.Users) == 0 {
+		return Workload{}, fmt.Errorf("dataset: workload needs at least one query and one user")
+	}
+	return w, nil
+}

@@ -1,0 +1,69 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	w := Workload{
+		Queries: []string{"tag001", "tag007"},
+		Users:   []graph.NodeID{3, 99, 512},
+	}
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Queries) != 2 || got.Queries[0] != "tag001" || got.Queries[1] != "tag007" {
+		t.Errorf("queries = %v", got.Queries)
+	}
+	if len(got.Users) != 3 || got.Users[2] != 512 {
+		t.Errorf("users = %v", got.Users)
+	}
+}
+
+func TestWorkloadWriteRejectsSeparators(t *testing.T) {
+	w := Workload{Queries: []string{"bad\tquery"}, Users: []graph.NodeID{1}}
+	if err := WriteWorkload(&bytes.Buffer{}, w); err == nil {
+		t.Error("tab in query accepted")
+	}
+}
+
+func TestWorkloadReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"queries only", "query\ta\n"},
+		{"users only", "user\t1\n"},
+		{"malformed line", "query-without-tab\n"},
+		{"bad user id", "query\ta\nuser\txyz\n"},
+		{"unknown record", "widget\t3\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadWorkload(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("ReadWorkload(%q) succeeded", tc.in)
+			}
+		})
+	}
+}
+
+func TestWorkloadReadSkipsComments(t *testing.T) {
+	in := "# workload v1\n\nquery\ttag000\nuser\t5\n"
+	w, err := ReadWorkload(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 1 || len(w.Users) != 1 {
+		t.Errorf("parsed %+v", w)
+	}
+}

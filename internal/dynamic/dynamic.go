@@ -1,0 +1,240 @@
+// Package dynamic handles evolving social networks. The paper refreshes
+// its offline summarization "after a period of time when the social
+// network and topics have changed" (§4.4) — a full rebuild. This package
+// makes the refresh incremental, in the spirit of the dynamic influence
+// maximization line of work the paper cites (ref [29]):
+//
+//   - Apply produces a new immutable graph from an edge-update batch;
+//   - AffectedTopics computes which topics' summaries the batch actually
+//     touches (a topic is affected when a changed endpoint lies within a
+//     hop radius of one of its nodes);
+//   - Refresh builds a new engine over the updated graph and carries over
+//     the cached summaries of every *unaffected* topic, so only the
+//     touched fraction of the topic-to-representative index is recomputed.
+//
+// Carrying a summary over is an approximation: an unaffected topic's
+// representative weights were computed on the old graph, but by
+// construction no edge within `radius` hops of its nodes changed, so its
+// local influence structure — which is all the summarization consumes —
+// is intact up to the radius horizon (use radius ≥ L for exactness of the
+// walk-based selection).
+package dynamic
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// EdgeUpdate is one change: Weight > 0 upserts the edge From→To, Weight = 0
+// deletes it.
+type EdgeUpdate struct {
+	From, To graph.NodeID
+	Weight   float64
+}
+
+// Batch is a set of edge updates plus optionally NewNodes fresh user IDs
+// appended after the current maximum.
+type Batch struct {
+	Updates  []EdgeUpdate
+	NewNodes int
+}
+
+// Apply returns a new graph with the batch applied. Updates referencing
+// nodes outside the grown node range fail.
+func Apply(g *graph.Graph, batch Batch) (*graph.Graph, error) {
+	if g == nil {
+		return nil, fmt.Errorf("dynamic: nil graph")
+	}
+	if batch.NewNodes < 0 {
+		return nil, fmt.Errorf("dynamic: negative NewNodes")
+	}
+	n := g.NumNodes() + batch.NewNodes
+
+	deleted := map[[2]graph.NodeID]bool{}
+	upserted := map[[2]graph.NodeID]float64{}
+	for _, u := range batch.Updates {
+		if int(u.From) >= n || int(u.To) >= n || u.From < 0 || u.To < 0 {
+			return nil, fmt.Errorf("dynamic: update %d→%d outside grown graph (%d nodes)", u.From, u.To, n)
+		}
+		key := [2]graph.NodeID{u.From, u.To}
+		if u.Weight == 0 {
+			deleted[key] = true
+			delete(upserted, key)
+		} else {
+			upserted[key] = u.Weight
+			delete(deleted, key)
+		}
+	}
+
+	b := graph.NewBuilder(n)
+	for u := 0; u < g.NumNodes(); u++ {
+		nbrs, ws := g.OutNeighbors(graph.NodeID(u))
+		for i, v := range nbrs {
+			key := [2]graph.NodeID{graph.NodeID(u), v}
+			if deleted[key] {
+				continue
+			}
+			w := ws[i]
+			if nw, ok := upserted[key]; ok {
+				w = nw
+				delete(upserted, key)
+			}
+			if err := b.AddEdge(graph.NodeID(u), v, w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for key, w := range upserted {
+		if err := b.AddEdge(key[0], key[1], w); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// AffectedTopics returns the sorted topic IDs whose node sets come within
+// `radius` undirected hops (on the updated graph) of any changed endpoint.
+// radius 0 means: only topics containing a changed endpoint itself.
+func AffectedTopics(g *graph.Graph, space *topics.Space, batch Batch, radius int) []topics.TopicID {
+	if g == nil || space == nil {
+		return nil
+	}
+	// Collect the changed endpoints (including new nodes: they have no
+	// topics yet, but their neighbors' regions changed).
+	endpoints := map[graph.NodeID]bool{}
+	for _, u := range batch.Updates {
+		if g.Valid(u.From) {
+			endpoints[u.From] = true
+		}
+		if g.Valid(u.To) {
+			endpoints[u.To] = true
+		}
+	}
+	// Expand the blast region by radius hops, ignoring direction
+	// (influence structure changes propagate both ways).
+	region := map[graph.NodeID]bool{}
+	frontier := make([]graph.NodeID, 0, len(endpoints))
+	for v := range endpoints {
+		region[v] = true
+		frontier = append(frontier, v)
+	}
+	for hop := 0; hop < radius; hop++ {
+		var next []graph.NodeID
+		for _, v := range frontier {
+			out, _ := g.OutNeighbors(v)
+			in, _ := g.InNeighbors(v)
+			for _, lists := range [][]graph.NodeID{out, in} {
+				for _, w := range lists {
+					if !region[w] {
+						region[w] = true
+						next = append(next, w)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+
+	affected := map[topics.TopicID]bool{}
+	for v := range region {
+		for _, t := range space.NodeTopics(v) {
+			affected[t] = true
+		}
+	}
+	out := make([]topics.TopicID, 0, len(affected))
+	for t := range affected {
+		out = append(out, t)
+	}
+	sortTopicIDs(out)
+	return out
+}
+
+func sortTopicIDs(ids []topics.TopicID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// Refresh applies the batch, builds a new engine with the old engine's
+// options over the updated graph and topic space, and carries over the
+// cached summaries of every topic NOT affected within `radius` hops.
+// It returns the new engine and how many summaries were carried per
+// method. The topic space may itself be updated (e.g. new adopters); it
+// defaults to the old engine's space when nil.
+func Refresh(old *core.Engine, space *topics.Space, batch Batch, radius int) (*core.Engine, map[core.Method]int, error) {
+	if old == nil {
+		return nil, nil, fmt.Errorf("dynamic: nil engine")
+	}
+	if space == nil {
+		space = old.Space()
+	}
+	g, err := Apply(old.Graph(), batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := core.New(g, space, old.Options())
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := eng.BuildIndexes(); err != nil {
+		return nil, nil, err
+	}
+
+	affected := map[topics.TopicID]bool{}
+	for _, t := range AffectedTopics(g, space, batch, radius) {
+		affected[t] = true
+	}
+	// Topic-space churn also invalidates: a topic whose node set changed
+	// (new adopters, departures) must be re-summarized even if no edge
+	// near it moved.
+	oldSpace := old.Space()
+	for ti := 0; ti < space.NumTopics(); ti++ {
+		t := topics.TopicID(ti)
+		if int(t) >= oldSpace.NumTopics() {
+			affected[t] = true // brand-new topic
+			continue
+		}
+		if !sameNodeSet(oldSpace.Nodes(t), space.Nodes(t)) {
+			affected[t] = true
+		}
+	}
+	carried := map[core.Method]int{}
+	for _, m := range []core.Method{core.MethodLRW, core.MethodRCL} {
+		var keep []summary.Summary
+		for ti := 0; ti < space.NumTopics(); ti++ {
+			t := topics.TopicID(ti)
+			if affected[t] {
+				continue
+			}
+			if s, ok := old.CachedSummary(m, t); ok {
+				keep = append(keep, s)
+			}
+		}
+		if len(keep) > 0 {
+			if err := eng.PreloadSummaries(m, keep); err != nil {
+				return nil, nil, err
+			}
+		}
+		carried[m] = len(keep)
+	}
+	return eng, carried, nil
+}
+
+// sameNodeSet compares two sorted node slices.
+func sameNodeSet(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,305 @@
+package dynamic
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+func baseGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(6)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(1, 2, 0.4)
+	b.MustAddEdge(2, 3, 0.3)
+	b.MustAddEdge(4, 5, 0.2)
+	return b.Build()
+}
+
+func TestApplyUpsertAndDelete(t *testing.T) {
+	g := baseGraph(t)
+	updated, err := Apply(g, Batch{Updates: []EdgeUpdate{
+		{From: 0, To: 1, Weight: 0.9}, // re-weight
+		{From: 1, To: 2, Weight: 0},   // delete
+		{From: 3, To: 4, Weight: 0.7}, // insert
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := updated.EdgeWeight(0, 1); w != 0.9 {
+		t.Errorf("re-weighted edge = %v, want 0.9", w)
+	}
+	if updated.HasEdge(1, 2) {
+		t.Error("deleted edge survived")
+	}
+	if w, _ := updated.EdgeWeight(3, 4); w != 0.7 {
+		t.Errorf("inserted edge = %v, want 0.7", w)
+	}
+	if updated.NumEdges() != 4 {
+		t.Errorf("edges = %d, want 4", updated.NumEdges())
+	}
+	// original untouched
+	if w, _ := g.EdgeWeight(0, 1); w != 0.5 {
+		t.Errorf("original mutated: %v", w)
+	}
+}
+
+func TestApplyNewNodes(t *testing.T) {
+	g := baseGraph(t)
+	updated, err := Apply(g, Batch{
+		NewNodes: 2,
+		Updates:  []EdgeUpdate{{From: 6, To: 0, Weight: 0.5}, {From: 7, To: 6, Weight: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated.NumNodes() != 8 {
+		t.Fatalf("nodes = %d, want 8", updated.NumNodes())
+	}
+	if !updated.HasEdge(6, 0) || !updated.HasEdge(7, 6) {
+		t.Error("new-node edges missing")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	g := baseGraph(t)
+	if _, err := Apply(nil, Batch{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Apply(g, Batch{NewNodes: -1}); err == nil {
+		t.Error("negative NewNodes accepted")
+	}
+	if _, err := Apply(g, Batch{Updates: []EdgeUpdate{{From: 99, To: 0, Weight: 0.5}}}); err == nil {
+		t.Error("out-of-range update accepted")
+	}
+	if _, err := Apply(g, Batch{Updates: []EdgeUpdate{{From: 0, To: 2, Weight: 1.5}}}); err == nil {
+		t.Error("invalid weight accepted")
+	}
+}
+
+func TestApplyUpsertThenDeleteLastWins(t *testing.T) {
+	g := baseGraph(t)
+	updated, err := Apply(g, Batch{Updates: []EdgeUpdate{
+		{From: 0, To: 1, Weight: 0.9},
+		{From: 0, To: 1, Weight: 0}, // delete wins
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated.HasEdge(0, 1) {
+		t.Error("delete after upsert did not win")
+	}
+	updated2, err := Apply(g, Batch{Updates: []EdgeUpdate{
+		{From: 0, To: 1, Weight: 0},
+		{From: 0, To: 1, Weight: 0.8}, // upsert wins
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := updated2.EdgeWeight(0, 1); w != 0.8 {
+		t.Errorf("upsert after delete = %v, want 0.8", w)
+	}
+}
+
+func phoneSpace(t testing.TB) *topics.Space {
+	t.Helper()
+	sb := topics.NewSpaceBuilder()
+	a, _ := sb.AddTopic("x", "topic a") // nodes 0,1
+	bid, _ := sb.AddTopic("x", "topic b")
+	_ = sb.AddNode(a, 0)
+	_ = sb.AddNode(a, 1)
+	_ = sb.AddNode(bid, 4)
+	return sb.Build()
+}
+
+func TestAffectedTopicsRadius(t *testing.T) {
+	g := baseGraph(t)
+	space := phoneSpace(t)
+	batch := Batch{Updates: []EdgeUpdate{{From: 2, To: 3, Weight: 0.9}}}
+
+	// radius 0: endpoints 2, 3 carry no topics.
+	if got := AffectedTopics(g, space, batch, 0); len(got) != 0 {
+		t.Errorf("radius 0 affected %v, want none", got)
+	}
+	// radius 1: node 1 (in-neighbor of 2) is a topic-a node.
+	got := AffectedTopics(g, space, batch, 1)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("radius 1 affected %v, want [0]", got)
+	}
+	// radius 3 still excludes the disconnected topic b.
+	got = AffectedTopics(g, space, batch, 3)
+	for _, id := range got {
+		if id == 1 {
+			t.Error("disconnected topic b marked affected")
+		}
+	}
+	if AffectedTopics(nil, space, batch, 1) != nil {
+		t.Error("nil graph should yield nil")
+	}
+}
+
+func TestRefreshCarriesUnaffectedSummaries(t *testing.T) {
+	g, err := dataset.GenerateGraph(dataset.GraphConfig{
+		Nodes: 600, MinOutDegree: 2, MaxOutDegree: 6, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := dataset.GenerateTopics(g, dataset.TopicConfig{
+		Tags: 3, TopicsPerTag: 4, MeanTopicNodes: 15, Locality: 0.9, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(g, space, core.Options{WalkL: 3, WalkR: 4, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BuildIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.MaterializeAll(core.MethodLRW); err != nil {
+		t.Fatal(err)
+	}
+
+	// A single far-corner edge change should leave most topics intact.
+	batch := Batch{Updates: []EdgeUpdate{{From: 599, To: 0, Weight: 0.3}}}
+	fresh, carried, err := Refresh(eng, nil, batch, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := space.NumTopics()
+	if carried[core.MethodLRW] == 0 {
+		t.Fatal("no summaries carried over")
+	}
+	if carried[core.MethodLRW] >= total {
+		affected := AffectedTopics(fresh.Graph(), space, batch, 2)
+		if len(affected) > 0 {
+			t.Errorf("carried %d of %d despite %d affected topics", carried[core.MethodLRW], total, len(affected))
+		}
+	}
+	if got := fresh.CachedSummaries(core.MethodLRW); got != carried[core.MethodLRW] {
+		t.Errorf("cache holds %d, carried %d", got, carried[core.MethodLRW])
+	}
+	// The refreshed engine must search fine.
+	if _, err := fresh.Search(core.MethodLRW, "tag000", 5, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Affected topics recompute on demand.
+	affected := AffectedTopics(fresh.Graph(), space, batch, 2)
+	for _, tt := range affected {
+		if _, err := fresh.Summarize(core.MethodLRW, tt); err != nil {
+			t.Fatalf("recompute of affected topic %d: %v", tt, err)
+		}
+	}
+}
+
+func TestRefreshNilEngine(t *testing.T) {
+	if _, _, err := Refresh(nil, nil, Batch{}, 1); err == nil {
+		t.Error("nil engine accepted")
+	}
+}
+
+func TestRefreshInvalidatesChangedTopics(t *testing.T) {
+	g, err := dataset.GenerateGraph(dataset.GraphConfig{
+		Nodes: 300, MinOutDegree: 2, MaxOutDegree: 5, Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := dataset.GenerateTopics(g, dataset.TopicConfig{
+		Tags: 2, TopicsPerTag: 3, MeanTopicNodes: 10, Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(g, space, core.Options{WalkL: 3, WalkR: 4, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BuildIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.MaterializeAll(core.MethodLRW); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the space with topic 0 gaining an adopter.
+	sb := topics.NewSpaceBuilder()
+	for ti := 0; ti < space.NumTopics(); ti++ {
+		old := space.Topic(topics.TopicID(ti))
+		id, _ := sb.AddTopic(old.Tag, old.Label)
+		for _, v := range space.Nodes(topics.TopicID(ti)) {
+			_ = sb.AddNode(id, v)
+		}
+	}
+	var extra graph.NodeID = 250
+	for _, v := range space.Nodes(0) {
+		if v == extra {
+			extra = 251
+		}
+	}
+	_ = sb.AddNode(0, extra)
+	updated := sb.Build()
+
+	fresh, carried, err := Refresh(eng, updated, Batch{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := space.NumTopics() - 1 // all but the changed topic carried
+	if carried[core.MethodLRW] != want {
+		t.Errorf("carried %d, want %d (changed topic invalidated)", carried[core.MethodLRW], want)
+	}
+	// The changed topic recomputes against the NEW node set.
+	s, err := fresh.Summarize(core.MethodLRW, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Apply leaves every untouched edge byte-identical and never
+// changes the node count beyond NewNodes.
+func TestApplyPreservesUntouchedEdges(t *testing.T) {
+	g, err := dataset.GenerateGraph(dataset.GraphConfig{Nodes: 150, MinOutDegree: 2, MaxOutDegree: 5, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := Batch{Updates: []EdgeUpdate{
+		{From: 3, To: 7, Weight: 0.42},
+		{From: 10, To: 11, Weight: 0},
+	}, NewNodes: 1}
+	updated, err := Apply(g, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated.NumNodes() != g.NumNodes()+1 {
+		t.Fatalf("nodes = %d", updated.NumNodes())
+	}
+	touched := map[[2]graph.NodeID]bool{{3, 7}: true, {10, 11}: true}
+	for u := 0; u < g.NumNodes(); u++ {
+		nbrs, ws := g.OutNeighbors(graph.NodeID(u))
+		for i, v := range nbrs {
+			if touched[[2]graph.NodeID{graph.NodeID(u), v}] {
+				continue
+			}
+			w, ok := updated.EdgeWeight(graph.NodeID(u), v)
+			if !ok || w != ws[i] {
+				t.Fatalf("untouched edge %d→%d changed: %v,%v", u, v, w, ok)
+			}
+		}
+	}
+}
+
+func TestAffectedTopicsEmptyBatch(t *testing.T) {
+	g := baseGraph(t)
+	space := phoneSpace(t)
+	if got := AffectedTopics(g, space, Batch{}, 3); len(got) != 0 {
+		t.Errorf("empty batch affected %v", got)
+	}
+}

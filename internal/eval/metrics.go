@@ -1,0 +1,39 @@
+// Package eval provides the evaluation harness that regenerates every
+// figure of the paper's Section 6: precision metrics (§6.4), wall-clock
+// and allocation measurements (§6.2, §6.5), and an experiment registry
+// (E1…E12 ↔ Figures 5…16) consumed by cmd/pitbench and the root
+// bench_test.go.
+package eval
+
+import (
+	"repro/internal/search"
+	"repro/internal/topics"
+)
+
+// Precision returns |topK(got) ∩ topK(truth)| / k — the set-overlap
+// precision of §6.4, where truth is the ground-truth ranking (BaseMatrix
+// on the small dataset, BasePropagation on the large ones). k is clamped
+// to the shorter ranking; the result is in [0,1] (0 when either ranking is
+// empty).
+func Precision(got, truth []search.Result, k int) float64 {
+	if k > len(got) {
+		k = len(got)
+	}
+	if k > len(truth) {
+		k = len(truth)
+	}
+	if k <= 0 {
+		return 0
+	}
+	truthSet := make(map[topics.TopicID]struct{}, k)
+	for _, r := range truth[:k] {
+		truthSet[r.Topic] = struct{}{}
+	}
+	hits := 0
+	for _, r := range got[:k] {
+		if _, ok := truthSet[r.Topic]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}

@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Markdown renders the table as a GitHub-flavored Markdown table.
+func (t Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s\n\n", t.ID, t.Caption)
+	sb.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// Report runs a set of experiments and renders them as one Markdown
+// document with a configuration header. IDs defaults to the full registry
+// when empty. Errors abort the report (partial results are not returned).
+func (r *Runner) Report(ids []string) (string, error) {
+	if len(ids) == 0 {
+		for _, e := range Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	var sb strings.Builder
+	cfg := r.Config()
+	sb.WriteString("# PIT-Search experiment report\n\n")
+	fmt.Fprintf(&sb, "Configuration: scale %.2f, %d queries × %d users, L=%d, R=%d, θ=%g, RepScale=%.2f, seed %d.\n\n",
+		cfg.Scale, cfg.Queries, cfg.Users, cfg.WalkL, cfg.WalkR, cfg.Theta, cfg.RepScale, cfg.Seed)
+	for _, id := range ids {
+		start := time.Now()
+		table, err := r.Run(id)
+		if err != nil {
+			return "", fmt.Errorf("report: %s: %w", id, err)
+		}
+		sb.WriteString(table.Markdown())
+		fmt.Fprintf(&sb, "\n_regenerated in %v_\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,75 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one regenerated figure: a caption, a header row and data rows.
+// Cells are pre-formatted strings so callers can print or diff them
+// directly.
+type Table struct {
+	ID      string // experiment ID, e.g. "fig5"
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Caption)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Cell looks up the value at (row label, column name); the first column is
+// treated as the row label. Returns "" when not found. Tests use this to
+// assert shape properties without caring about layout.
+func (t Table) Cell(rowLabel, col string) string {
+	ci := -1
+	for i, h := range t.Header {
+		if h == col {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return ""
+	}
+	for _, row := range t.Rows {
+		if len(row) > ci && row[0] == rowLabel {
+			return row[ci]
+		}
+	}
+	return ""
+}

@@ -1,0 +1,274 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds:
+//
+//	0 → 1 → 3
+//	0 → 2 → 3 → 4
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(5)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(0, 2, 0.5)
+	b.MustAddEdge(1, 3, 0.5)
+	b.MustAddEdge(2, 3, 0.5)
+	b.MustAddEdge(3, 4, 0.5)
+	return b.Build()
+}
+
+func sortedIDs(ids []NodeID) []NodeID {
+	out := append([]NodeID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestForwardBFSDistances(t *testing.T) {
+	g := diamond(t)
+	tr := NewTraverser(g)
+	dist := map[NodeID]int{}
+	tr.Forward(0, -1, func(n NodeID, d int) bool {
+		dist[n] = d
+		return true
+	})
+	want := map[NodeID]int{1: 1, 2: 1, 3: 2, 4: 3}
+	if len(dist) != len(want) {
+		t.Fatalf("visited %v, want %v", dist, want)
+	}
+	for n, d := range want {
+		if dist[n] != d {
+			t.Errorf("dist[%d] = %d, want %d", n, dist[n], d)
+		}
+	}
+}
+
+func TestForwardBFSBounded(t *testing.T) {
+	g := diamond(t)
+	tr := NewTraverser(g)
+	got := sortedIDs(tr.ReachSet(0, 2))
+	want := []NodeID{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("ReachSet(0,2) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ReachSet(0,2) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReverseBFS(t *testing.T) {
+	g := diamond(t)
+	tr := NewTraverser(g)
+	got := sortedIDs(tr.ReverseReachSet(3, -1))
+	want := []NodeID{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("ReverseReachSet(3) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ReverseReachSet(3) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBFSEarlyStop(t *testing.T) {
+	g := lineGraph(t, 10, 0.5)
+	tr := NewTraverser(g)
+	visited := 0
+	tr.Forward(0, -1, func(n NodeID, d int) bool {
+		visited++
+		return visited < 3
+	})
+	if visited != 3 {
+		t.Errorf("early stop visited %d nodes, want 3", visited)
+	}
+}
+
+func TestBFSInvalidSource(t *testing.T) {
+	g := diamond(t)
+	tr := NewTraverser(g)
+	called := false
+	tr.Forward(-1, -1, func(NodeID, int) bool { called = true; return true })
+	tr.Forward(99, -1, func(NodeID, int) bool { called = true; return true })
+	if called {
+		t.Error("visitor called for invalid source")
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	g := diamond(t)
+	tr := NewTraverser(g)
+	cases := []struct {
+		u, v    NodeID
+		maxHops int
+		want    int
+	}{
+		{0, 0, -1, 0},
+		{0, 3, -1, 2},
+		{0, 4, -1, 3},
+		{4, 0, -1, -1}, // no reverse path
+		{0, 4, 2, -1},  // bound too tight
+		{0, 4, 3, 3},   // bound exactly met
+	}
+	for _, tc := range cases {
+		if got := tr.HopDistance(tc.u, tc.v, tc.maxHops); got != tc.want {
+			t.Errorf("HopDistance(%d,%d,%d) = %d, want %d", tc.u, tc.v, tc.maxHops, got, tc.want)
+		}
+	}
+}
+
+func TestTraverserReuseDoesNotLeakState(t *testing.T) {
+	g := diamond(t)
+	tr := NewTraverser(g)
+	first := len(tr.ReachSet(0, -1))
+	for i := 0; i < 100; i++ {
+		if got := len(tr.ReachSet(0, -1)); got != first {
+			t.Fatalf("iteration %d: ReachSet size %d, want %d", i, got, first)
+		}
+	}
+}
+
+// Property: forward reach of u contains v iff reverse reach of v contains u.
+func TestForwardReverseReachDuality(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomGraph(seed, 30, 90)
+		tr := NewTraverser(g)
+		rng := rand.New(rand.NewSource(seed ^ 0x5f5f))
+		for trial := 0; trial < 10; trial++ {
+			u := NodeID(rng.Intn(g.NumNodes()))
+			v := NodeID(rng.Intn(g.NumNodes()))
+			if u == v {
+				continue
+			}
+			fwd := false
+			for _, x := range tr.ReachSet(u, 4) {
+				if x == v {
+					fwd = true
+					break
+				}
+			}
+			rev := false
+			for _, x := range tr.ReverseReachSet(v, 4) {
+				if x == u {
+					rev = true
+					break
+				}
+			}
+			if fwd != rev {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hop distances reported by BFS satisfy the triangle property of
+// layered traversal: each visited node at distance d has an in-neighbor at
+// distance d-1 (for forward BFS from the source).
+func TestBFSLayering(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomGraph(seed, 25, 80)
+		tr := NewTraverser(g)
+		src := NodeID(0)
+		dist := map[NodeID]int{src: 0}
+		ok := true
+		tr.Forward(src, -1, func(n NodeID, d int) bool {
+			dist[n] = d
+			return true
+		})
+		for n, d := range dist {
+			if d == 0 {
+				continue
+			}
+			in, _ := g.InNeighbors(n)
+			hasParent := false
+			for _, p := range in {
+				if pd, seen := dist[p]; seen && pd == d-1 {
+					hasParent = true
+					break
+				}
+			}
+			if !hasParent {
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	b := NewBuilder(7)
+	// component A: 0→1→2 ; component B: 3→4, 5→4 ; node 6 isolated
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(1, 2, 0.5)
+	b.MustAddEdge(3, 4, 0.5)
+	b.MustAddEdge(5, 4, 0.5)
+	g := b.Build()
+	labels, count := WeaklyConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("component count = %d, want 3 (labels %v)", count, labels)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Errorf("nodes 0,1,2 not in one component: %v", labels)
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] {
+		t.Errorf("nodes 3,4,5 not in one component: %v", labels)
+	}
+	if labels[6] == labels[0] || labels[6] == labels[3] {
+		t.Errorf("node 6 should be isolated: %v", labels)
+	}
+}
+
+func BenchmarkBFSForward(b *testing.B) {
+	g := randomGraph(11, 5000, 50_000)
+	tr := NewTraverser(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		tr.Forward(NodeID(i%5000), 3, func(NodeID, int) bool {
+			count++
+			return true
+		})
+	}
+}
+
+// Property: component labels are dense 0..count-1 and nodes joined by an
+// edge always share a label.
+func TestComponentsLabelingConsistent(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomGraph(seed, 40, 60)
+		labels, count := WeaklyConnectedComponents(g)
+		seen := map[int32]bool{}
+		for _, l := range labels {
+			if l < 0 || int(l) >= count {
+				return false
+			}
+			seen[l] = true
+		}
+		if len(seen) != count {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if labels[e.From] != labels[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,42 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ExampleBuilder shows the construction of a small influence graph and a
+// few structural queries.
+func ExampleBuilder() {
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1, 0.5) // user 0 influences user 1 with probability 0.5
+	b.MustAddEdge(1, 2, 0.4)
+	b.MustAddEdge(0, 2, 0.1)
+	g := b.Build()
+
+	fmt.Println(g)
+	w, _ := g.EdgeWeight(1, 2)
+	fmt.Printf("Λ(1→2) = %.1f\n", w)
+	fmt.Println("out-degree of 0:", g.OutDegree(0))
+	// Output:
+	// graph{nodes: 4, edges: 3, avg degree: 0.75}
+	// Λ(1→2) = 0.4
+	// out-degree of 0: 2
+}
+
+// ExampleTraverser demonstrates bounded BFS reachability.
+func ExampleTraverser() {
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(1, 2, 0.5)
+	b.MustAddEdge(2, 3, 0.5)
+	g := b.Build()
+
+	tr := graph.NewTraverser(g)
+	fmt.Println("nodes within 2 hops of 0:", tr.ReachSet(0, 2))
+	fmt.Println("hop distance 0→3:", tr.HopDistance(0, 3, -1))
+	// Output:
+	// nodes within 2 hops of 0: [1 2]
+	// hop distance 0→3: 3
+}

@@ -1,0 +1,37 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the TSV parser with arbitrary input: it must never
+// panic, and every successfully parsed graph must round-trip through
+// Write/Read unchanged.
+func FuzzRead(f *testing.F) {
+	f.Add("nodes\t3\n0\t1\t0.5\n1\t2\t0.25\n")
+	f.Add("nodes\t0\n")
+	f.Add("# comment\nnodes\t2\n\n0\t1\t1\n")
+	f.Add("nodes\t2\n0\t1\t0.0001\n0\t1\t0.9\n")
+	f.Add("nodes\tx\n")
+	f.Add("0\t1\t0.5\n")
+	f.Add(strings.Repeat("nodes\t2\n", 3))
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("Write after successful Read: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-Read of Write output: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %v vs %v", g2, g)
+		}
+	})
+}

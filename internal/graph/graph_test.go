@@ -1,0 +1,289 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// lineGraph builds 0→1→2→…→(n-1) with weight w on every edge.
+func lineGraph(t *testing.T, n int, w float64) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.MustAddEdge(NodeID(i), NodeID(i+1), w)
+	}
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(0, 2, 0.25)
+	b.MustAddEdge(2, 1, 0.75)
+	b.MustAddEdge(3, 0, 1.0)
+	g := b.Build()
+
+	if got := g.NumNodes(); got != 4 {
+		t.Fatalf("NumNodes = %d, want 4", got)
+	}
+	if got := g.NumEdges(); got != 4 {
+		t.Fatalf("NumEdges = %d, want 4", got)
+	}
+	if got := g.OutDegree(0); got != 2 {
+		t.Errorf("OutDegree(0) = %d, want 2", got)
+	}
+	if got := g.InDegree(1); got != 2 {
+		t.Errorf("InDegree(1) = %d, want 2", got)
+	}
+	if got := g.Degree(0); got != 3 {
+		t.Errorf("Degree(0) = %d, want 3", got)
+	}
+	if w, ok := g.EdgeWeight(0, 2); !ok || w != 0.25 {
+		t.Errorf("EdgeWeight(0,2) = %v,%v, want 0.25,true", w, ok)
+	}
+	if _, ok := g.EdgeWeight(1, 0); ok {
+		t.Errorf("EdgeWeight(1,0) should not exist")
+	}
+	if !g.HasEdge(3, 0) || g.HasEdge(0, 3) {
+		t.Errorf("HasEdge direction wrong")
+	}
+}
+
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	b := NewBuilder(3)
+	cases := []struct {
+		name    string
+		u, v    NodeID
+		w       float64
+		wantErr bool
+	}{
+		{"valid", 0, 1, 0.5, false},
+		{"self loop", 1, 1, 0.5, true},
+		{"source out of range", -1, 1, 0.5, true},
+		{"source too large", 3, 1, 0.5, true},
+		{"target out of range", 0, 7, 0.5, true},
+		{"zero weight", 0, 2, 0, true},
+		{"negative weight", 0, 2, -0.1, true},
+		{"weight above one", 0, 2, 1.01, true},
+		{"weight exactly one", 0, 2, 1.0, false},
+	}
+	for _, tc := range cases {
+		err := b.AddEdge(tc.u, tc.v, tc.w)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: AddEdge(%d,%d,%v) error = %v, wantErr=%v", tc.name, tc.u, tc.v, tc.w, err, tc.wantErr)
+		}
+	}
+}
+
+func TestBuilderDeduplicatesKeepingMaxWeight(t *testing.T) {
+	b := NewBuilder(2)
+	b.MustAddEdge(0, 1, 0.3)
+	b.MustAddEdge(0, 1, 0.7)
+	b.MustAddEdge(0, 1, 0.5)
+	g := b.Build()
+	if got := g.NumEdges(); got != 1 {
+		t.Fatalf("NumEdges = %d, want 1 after dedupe", got)
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 0.7 {
+		t.Errorf("deduped weight = %v, want max 0.7", w)
+	}
+	if got := g.InDegree(1); got != 1 {
+		t.Errorf("InDegree(1) = %d, want 1 after dedupe", got)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph has nodes/edges: %v", g)
+	}
+	if g.AvgDegree() != 0 {
+		t.Errorf("AvgDegree of empty graph = %v, want 0", g.AvgDegree())
+	}
+	if g.MaxWeight() != 0 {
+		t.Errorf("MaxWeight of empty graph = %v, want 0", g.MaxWeight())
+	}
+	if g.Valid(0) {
+		t.Errorf("Valid(0) on empty graph = true")
+	}
+}
+
+func TestNodeWithNoEdges(t *testing.T) {
+	b := NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.5)
+	g := b.Build()
+	if got := g.OutDegree(2); got != 0 {
+		t.Errorf("OutDegree(2) = %d, want 0", got)
+	}
+	nbrs, ws := g.OutNeighbors(2)
+	if len(nbrs) != 0 || len(ws) != 0 {
+		t.Errorf("OutNeighbors(2) nonempty: %v %v", nbrs, ws)
+	}
+}
+
+func TestNeighborsSortedByID(t *testing.T) {
+	b := NewBuilder(6)
+	// insert in reverse order to exercise the insertion sort
+	for _, v := range []NodeID{5, 3, 1, 4, 2} {
+		b.MustAddEdge(0, v, float64(v)/10)
+	}
+	g := b.Build()
+	nbrs, ws := g.OutNeighbors(0)
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i-1] >= nbrs[i] {
+			t.Fatalf("out-neighbors not sorted: %v", nbrs)
+		}
+	}
+	for i, v := range nbrs {
+		if ws[i] != float64(v)/10 {
+			t.Errorf("weight mismatch after sort: node %d weight %v", v, ws[i])
+		}
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	b := NewBuilder(5)
+	want := []Edge{{0, 1, 0.5}, {0, 4, 0.1}, {2, 3, 0.9}, {4, 0, 0.2}}
+	for _, e := range want {
+		b.MustAddEdge(e.From, e.To, e.Weight)
+	}
+	g := b.Build()
+	got := g.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("Edges() returned %d edges, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e != want[i] {
+			t.Errorf("edge %d = %+v, want %+v", i, e, want[i])
+		}
+	}
+}
+
+func TestMaxWeight(t *testing.T) {
+	b := NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.3)
+	b.MustAddEdge(1, 2, 0.9)
+	g := b.Build()
+	if got := g.MaxWeight(); got != 0.9 {
+		t.Errorf("MaxWeight = %v, want 0.9", got)
+	}
+}
+
+// randomGraph builds a reproducible random graph for property tests.
+func randomGraph(seed int64, n, m int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		b.MustAddEdge(u, v, 0.01+0.99*rng.Float64())
+	}
+	return b.Build()
+}
+
+// Property: every forward edge appears exactly once in the reverse CSR with
+// the same weight, and vice versa.
+func TestForwardReverseConsistency(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomGraph(seed, 40, 200)
+		// forward -> reverse
+		for u := 0; u < g.NumNodes(); u++ {
+			nbrs, ws := g.OutNeighbors(NodeID(u))
+			for i, v := range nbrs {
+				found := false
+				in, inw := g.InNeighbors(v)
+				for j, x := range in {
+					if x == NodeID(u) && inw[j] == ws[i] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		// edge count symmetry
+		inTotal := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			inTotal += g.InDegree(NodeID(v))
+		}
+		return inTotal == g.NumEdges()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EdgeWeight agrees with a linear scan of OutNeighbors.
+func TestEdgeWeightMatchesScan(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomGraph(seed, 25, 120)
+		for u := 0; u < g.NumNodes(); u++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				w, ok := g.EdgeWeight(NodeID(u), NodeID(v))
+				scanW, scanOK := 0.0, false
+				nbrs, ws := g.OutNeighbors(NodeID(u))
+				for i, x := range nbrs {
+					if x == NodeID(v) {
+						scanW, scanOK = ws[i], true
+						break
+					}
+				}
+				if ok != scanOK || w != scanW {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := lineGraph(t, 3, 0.5)
+	want := "graph{nodes: 3, edges: 2, avg degree: 0.67}"
+	if got := g.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func BenchmarkBuild10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	type edge struct {
+		u, v NodeID
+		w    float64
+	}
+	edges := make([]edge, 0, 100_000)
+	for i := 0; i < 100_000; i++ {
+		u, v := NodeID(rng.Intn(10_000)), NodeID(rng.Intn(10_000))
+		if u == v {
+			continue
+		}
+		edges = append(edges, edge{u, v, rng.Float64()*0.9 + 0.05})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder := NewBuilder(10_000)
+		for _, e := range edges {
+			builder.MustAddEdge(e.u, e.v, e.w)
+		}
+		_ = builder.Build()
+	}
+}
+
+func BenchmarkEdgeWeightLookup(b *testing.B) {
+	g := randomGraph(7, 1000, 20_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.EdgeWeight(NodeID(i%1000), NodeID((i*7)%1000))
+	}
+}

@@ -1,0 +1,106 @@
+package graph
+
+// Structural statistics used by cmd/datagen (dataset reports), the
+// experiment harness (dataset summary tables) and tests that assert the
+// synthetic generators reproduce the paper's degree-band construction.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a graph's structure.
+type Stats struct {
+	Nodes, Edges int
+	// Degree aggregates (out-degree unless noted).
+	AvgOutDegree           float64
+	MaxOutDegree, MaxInDeg int
+	// MedianOutDegree and P90OutDegree describe the distribution's body
+	// and tail.
+	MedianOutDegree, P90OutDegree int
+	// Components is the weak-component count (1 = connected).
+	Components int
+	// AvgWeight and MaxWeight describe the transition probabilities.
+	AvgWeight, MaxWeight float64
+	// ZeroInDegree / ZeroOutDegree count sources and sinks.
+	ZeroInDegree, ZeroOutDegree int
+}
+
+// ComputeStats scans g once and returns its Stats.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	if s.Nodes == 0 {
+		return s
+	}
+	outDegs := make([]int, s.Nodes)
+	sumW := 0.0
+	for v := 0; v < s.Nodes; v++ {
+		id := NodeID(v)
+		od, idg := g.OutDegree(id), g.InDegree(id)
+		outDegs[v] = od
+		if od > s.MaxOutDegree {
+			s.MaxOutDegree = od
+		}
+		if idg > s.MaxInDeg {
+			s.MaxInDeg = idg
+		}
+		if od == 0 {
+			s.ZeroOutDegree++
+		}
+		if idg == 0 {
+			s.ZeroInDegree++
+		}
+		_, ws := g.OutNeighbors(id)
+		for _, w := range ws {
+			sumW += w
+			if w > s.MaxWeight {
+				s.MaxWeight = w
+			}
+		}
+	}
+	s.AvgOutDegree = float64(s.Edges) / float64(s.Nodes)
+	if s.Edges > 0 {
+		s.AvgWeight = sumW / float64(s.Edges)
+	}
+	sort.Ints(outDegs)
+	s.MedianOutDegree = outDegs[s.Nodes/2]
+	s.P90OutDegree = outDegs[int(math.Min(float64(s.Nodes-1), float64(s.Nodes)*0.9))]
+	_, s.Components = WeaklyConnectedComponents(g)
+	return s
+}
+
+// String renders the stats as a short multi-line report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes %d, edges %d (avg out-degree %.2f, median %d, p90 %d, max %d)\n",
+		s.Nodes, s.Edges, s.AvgOutDegree, s.MedianOutDegree, s.P90OutDegree, s.MaxOutDegree)
+	fmt.Fprintf(&b, "max in-degree %d, sources %d, sinks %d, weak components %d\n",
+		s.MaxInDeg, s.ZeroInDegree, s.ZeroOutDegree, s.Components)
+	fmt.Fprintf(&b, "edge weights: avg %.4f, max %.4f", s.AvgWeight, s.MaxWeight)
+	return b.String()
+}
+
+// DegreeHistogram buckets out-degrees into powers of two: bucket i counts
+// nodes with out-degree in [2^i, 2^(i+1)) (bucket 0 additionally holds
+// degree 0 and 1). Used to eyeball heavy tails.
+func DegreeHistogram(g *Graph) []int {
+	if g.NumNodes() == 0 {
+		return nil
+	}
+	var hist []int
+	for v := 0; v < g.NumNodes(); v++ {
+		d := g.OutDegree(NodeID(v))
+		bucket := 0
+		for d > 1 {
+			d >>= 1
+			bucket++
+		}
+		for len(hist) <= bucket {
+			hist = append(hist, 0)
+		}
+		hist[bucket]++
+	}
+	return hist
+}

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsBasics(t *testing.T) {
+	b := NewBuilder(5)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(0, 2, 0.3)
+	b.MustAddEdge(1, 2, 0.2)
+	b.MustAddEdge(3, 0, 0.9)
+	// node 4 isolated
+	g := b.Build()
+	s := ComputeStats(g)
+	if s.Nodes != 5 || s.Edges != 4 {
+		t.Fatalf("nodes/edges = %d/%d", s.Nodes, s.Edges)
+	}
+	if s.MaxOutDegree != 2 {
+		t.Errorf("MaxOutDegree = %d, want 2", s.MaxOutDegree)
+	}
+	if s.MaxInDeg != 2 {
+		t.Errorf("MaxInDeg = %d, want 2 (node 2)", s.MaxInDeg)
+	}
+	if s.ZeroOutDegree != 2 { // nodes 2 and 4
+		t.Errorf("ZeroOutDegree = %d, want 2", s.ZeroOutDegree)
+	}
+	if s.ZeroInDegree != 2 { // nodes 3 and 4
+		t.Errorf("ZeroInDegree = %d, want 2", s.ZeroInDegree)
+	}
+	if s.Components != 2 {
+		t.Errorf("Components = %d, want 2", s.Components)
+	}
+	if s.MaxWeight != 0.9 {
+		t.Errorf("MaxWeight = %v", s.MaxWeight)
+	}
+	wantAvgW := (0.5 + 0.3 + 0.2 + 0.9) / 4
+	if diff := s.AvgWeight - wantAvgW; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("AvgWeight = %v, want %v", s.AvgWeight, wantAvgW)
+	}
+	if !strings.Contains(s.String(), "nodes 5") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(NewBuilder(0).Build())
+	if s.Nodes != 0 || s.Edges != 0 || s.Components != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	b := NewBuilder(10)
+	// node 0: degree 4 → bucket 2; node 1: degree 1 → bucket 0;
+	// node 2: degree 2 → bucket 1; the rest: degree 0 → bucket 0.
+	for _, v := range []NodeID{1, 2, 3, 4} {
+		b.MustAddEdge(0, v, 0.5)
+	}
+	b.MustAddEdge(1, 0, 0.5)
+	b.MustAddEdge(2, 0, 0.5)
+	b.MustAddEdge(2, 1, 0.5)
+	g := b.Build()
+	hist := DegreeHistogram(g)
+	if len(hist) != 3 {
+		t.Fatalf("hist = %v, want 3 buckets", hist)
+	}
+	if hist[0] != 8 || hist[1] != 1 || hist[2] != 1 {
+		t.Errorf("hist = %v, want [8 1 1]", hist)
+	}
+	if got := DegreeHistogram(NewBuilder(0).Build()); got != nil {
+		t.Errorf("empty hist = %v", got)
+	}
+}
+
+func TestStatsOnRandomGraphConsistent(t *testing.T) {
+	g := randomGraph(17, 200, 2000)
+	s := ComputeStats(g)
+	if s.AvgOutDegree <= 0 || s.MedianOutDegree > s.P90OutDegree || s.P90OutDegree > s.MaxOutDegree {
+		t.Errorf("degree stats inconsistent: %+v", s)
+	}
+	total := 0
+	for _, c := range DegreeHistogram(g) {
+		total += c
+	}
+	if total != g.NumNodes() {
+		t.Errorf("histogram covers %d nodes, want %d", total, g.NumNodes())
+	}
+}

@@ -1,0 +1,166 @@
+package icmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestActivationSingleEdge(t *testing.T) {
+	// One edge with probability 0.3: activation ≈ 0.3.
+	b := graph.NewBuilder(2)
+	b.MustAddEdge(0, 1, 0.3)
+	g := b.Build()
+	e, err := New(g, Options{Rounds: 20000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.ActivationProbability([]graph.NodeID{0}, 1)
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("activation = %v, want ≈ 0.3", got)
+	}
+}
+
+func TestActivationChainMultiplies(t *testing.T) {
+	// 0→1→2 with 0.5 each: activation of 2 from {0} ≈ 0.25.
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(1, 2, 0.5)
+	g := b.Build()
+	e, _ := New(g, Options{Rounds: 20000, Seed: 2})
+	got := e.ActivationProbability([]graph.NodeID{0}, 2)
+	if math.Abs(got-0.25) > 0.02 {
+		t.Errorf("activation = %v, want ≈ 0.25", got)
+	}
+}
+
+func TestActivationNoisyOr(t *testing.T) {
+	// Two parallel 2-hop paths of prob 0.25 each: IC gives
+	// 1−(1−0.25)² = 0.4375 (the product model would give 0.5).
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(1, 3, 0.5)
+	b.MustAddEdge(0, 2, 0.5)
+	b.MustAddEdge(2, 3, 0.5)
+	g := b.Build()
+	e, _ := New(g, Options{Rounds: 40000, Seed: 3})
+	got := e.ActivationProbability([]graph.NodeID{0}, 3)
+	if math.Abs(got-0.4375) > 0.02 {
+		t.Errorf("activation = %v, want ≈ 0.4375 (noisy-or)", got)
+	}
+}
+
+func TestSeedEqualsTargetIgnored(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.MustAddEdge(0, 1, 0.5)
+	g := b.Build()
+	e, _ := New(g, Options{Rounds: 100, Seed: 4})
+	if got := e.ActivationProbability([]graph.NodeID{1}, 1); got != 0 {
+		t.Errorf("self seed activated target: %v", got)
+	}
+	if got := e.ActivationProbability(nil, 1); got != 0 {
+		t.Errorf("no seeds activated target: %v", got)
+	}
+}
+
+func TestTopKRanking(t *testing.T) {
+	// Topic A's members are adjacent to the user with strong edges; topic
+	// B's sit two weak hops away. A must rank first.
+	b := graph.NewBuilder(6)
+	b.MustAddEdge(0, 5, 0.8)
+	b.MustAddEdge(1, 5, 0.8)
+	b.MustAddEdge(2, 3, 0.2)
+	b.MustAddEdge(3, 5, 0.2)
+	b.MustAddEdge(4, 3, 0.2)
+	g := b.Build()
+	sb := topics.NewSpaceBuilder()
+	ta, _ := sb.AddTopic("x", "strong topic")
+	tb, _ := sb.AddTopic("x", "weak topic")
+	_ = sb.AddNode(ta, 0)
+	_ = sb.AddNode(ta, 1)
+	_ = sb.AddNode(tb, 2)
+	_ = sb.AddNode(tb, 4)
+	space := sb.Build()
+
+	e, _ := New(g, Options{Rounds: 2000, Seed: 5})
+	res, err := e.TopK(5, []topics.TopicID{ta, tb}, 2, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Topic != ta || res[0].Score <= res[1].Score {
+		t.Errorf("ranking = %+v, want strong topic first", res)
+	}
+	if _, err := e.TopK(99, []topics.TopicID{ta}, 1, space); err == nil {
+		t.Error("bad user accepted")
+	}
+	if _, err := e.TopK(5, []topics.TopicID{42}, 1, space); err == nil {
+		t.Error("bad topic accepted")
+	}
+	if _, err := e.TopK(5, nil, 1, nil); err == nil {
+		t.Error("nil space accepted")
+	}
+}
+
+// Property: activation probability is monotone in the seed set.
+func TestActivationMonotoneInSeeds(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(8)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n*2; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			_ = b.AddEdge(u, v, 0.2+0.5*rng.Float64())
+		}
+		g := b.Build()
+		target := graph.NodeID(rng.Intn(n))
+		small := []graph.NodeID{graph.NodeID(rng.Intn(n))}
+		big := append(append([]graph.NodeID(nil), small...), graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		// Same seed so simulations share randomness per round count.
+		eSmall, _ := New(g, Options{Rounds: 800, Seed: seed})
+		eBig, _ := New(g, Options{Rounds: 800, Seed: seed})
+		ps := eSmall.ActivationProbability(small, target)
+		pb := eBig.ActivationProbability(big, target)
+		// Allow Monte-Carlo slack.
+		return pb >= ps-0.08
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkActivation(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n := 2000
+	gb := graph.NewBuilder(n)
+	for i := 0; i < n*6; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		_ = gb.AddEdge(u, v, 0.05+0.2*rng.Float64())
+	}
+	g := gb.Build()
+	e, _ := New(g, Options{Rounds: 100, Seed: 7})
+	seeds := make([]graph.NodeID, 50)
+	for i := range seeds {
+		seeds[i] = graph.NodeID(rng.Intn(n))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ActivationProbability(seeds, graph.NodeID(i%n))
+	}
+}

@@ -1,0 +1,48 @@
+package lrw
+
+// The LRW-A summarizer (Algorithm 9, offline stage): select topic-aware
+// representative nodes with the diversified PageRank of Algorithm 7, then
+// weight them by absorbing-walk influence migration (Algorithm 8).
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/randwalk"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// Summarizer implements summary.Summarizer with the LRW-A method. It is
+// stateless apart from its inputs and safe for concurrent use.
+type Summarizer struct {
+	g     *graph.Graph
+	space *topics.Space
+	walks *randwalk.Index
+	opts  Options
+}
+
+var _ summary.Summarizer = (*Summarizer)(nil)
+
+// New returns an LRW-A summarizer over the graph, topic space and
+// pre-built walk index.
+func New(g *graph.Graph, space *topics.Space, walks *randwalk.Index, opts Options) (*Summarizer, error) {
+	if err := validateInputs(g, space, walks); err != nil {
+		return nil, err
+	}
+	opts.fill()
+	return &Summarizer{g: g, space: space, walks: walks, opts: opts}, nil
+}
+
+// Summarize runs Algorithm 9's offline stage for one topic.
+func (s *Summarizer) Summarize(t topics.TopicID) (summary.Summary, error) {
+	if !s.space.Valid(t) {
+		return summary.Summary{}, fmt.Errorf("lrw: unknown topic %d", t)
+	}
+	vt := s.space.Nodes(t)
+	if len(vt) == 0 {
+		return summary.New(t, nil), nil
+	}
+	reps := RepNodes(s.g, s.walks, vt, s.opts)
+	return MigrateInfluence(t, s.walks, vt, reps), nil
+}

@@ -1,0 +1,110 @@
+package lrw
+
+// Influence migration (Algorithm 8): the local influence weight 1/|V_t| of
+// every topic node is migrated onto nearby representative nodes through
+// forward and backward absorbing random walks over the pre-sampled paths
+// of Algorithm 6. The first representative encountered on a path from a
+// topic node (and, symmetrically, the first topic node on a path from a
+// representative) is an absorbing state; the association strength is
+// 1/(D+1) for hop distance D along the path, maximized over paths, then
+// row-normalized into a closeness distribution M′ whose column sums give
+// each representative's aggregated weight.
+
+import (
+	"repro/internal/graph"
+	"repro/internal/randwalk"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// MigrateInfluence is Algorithm 8. vt is the topic node set V_t; reps is
+// the representative set V_{r,t} selected by RepNodes. It returns the
+// weighted representative set as a Summary; representatives that absorb no
+// topic node keep weight 0 and are retained (the search layer treats their
+// remaining mass through the W_r bound).
+func MigrateInfluence(t topics.TopicID, walks *randwalk.Index, vt, reps []graph.NodeID) summary.Summary {
+	if len(vt) == 0 || len(reps) == 0 {
+		return summary.New(t, nil)
+	}
+
+	// Dense positions for matrix addressing.
+	topicPos := make(map[graph.NodeID]int, len(vt))
+	for i, v := range vt {
+		topicPos[v] = i
+	}
+	repPos := make(map[graph.NodeID]int, len(reps))
+	for j, r := range reps {
+		repPos[r] = j
+	}
+
+	// M(i,j) = max over sampled paths of 1/(D+1), D the hop distance of
+	// the first absorbing state on the path.
+	m := make([]float64, len(vt)*len(reps))
+	at := func(i, j int) *float64 { return &m[i*len(reps)+j] }
+
+	// Forward absorption: walks from each topic node, absorbed by the
+	// first representative on the path (Algorithm 8 lines 3–7).
+	for i, v := range vt {
+		for s := 0; s < walks.R; s++ {
+			for d, node := range walks.Walk(s, v) {
+				if j, isRep := repPos[node]; isRep {
+					closeness := 1.0 / float64(d+2) // D = d+1 hops, entry 1/(D+1)
+					if cell := at(i, j); *cell < closeness {
+						*cell = closeness
+					}
+					break // absorbing state: the walk cannot leave
+				}
+			}
+		}
+	}
+
+	// Backward absorption: walks from each representative, absorbed by
+	// the first topic node on the path (lines 8–12).
+	for j, r := range reps {
+		for s := 0; s < walks.R; s++ {
+			for d, node := range walks.Walk(s, r) {
+				if i, isTopic := topicPos[node]; isTopic {
+					closeness := 1.0 / float64(d+2)
+					if cell := at(i, j); *cell < closeness {
+						*cell = closeness
+					}
+					break
+				}
+			}
+		}
+	}
+
+	// A representative that IS a topic node absorbs that topic node at
+	// distance zero: the paths above never include their own start, so
+	// make the self-association explicit (D = 0 → closeness 1).
+	for j, r := range reps {
+		if i, isTopic := topicPos[r]; isTopic {
+			if cell := at(i, j); *cell < 1 {
+				*cell = 1
+			}
+		}
+	}
+
+	// Row-normalize into M′ (lines 13–18), then aggregate column sums
+	// scaled by the uniform local weight 1/|V_t| (lines 19–22).
+	weights := make([]float64, len(reps))
+	invVt := 1.0 / float64(len(vt))
+	for i := range vt {
+		rowSum := 0.0
+		for j := range reps {
+			rowSum += *at(i, j)
+		}
+		if rowSum == 0 {
+			continue // topic node absorbed by nobody: its mass stays unmigrated
+		}
+		for j := range reps {
+			weights[j] += *at(i, j) / rowSum * invVt
+		}
+	}
+
+	out := make([]summary.WeightedNode, len(reps))
+	for j, r := range reps {
+		out[j] = summary.WeightedNode{Node: r, Weight: weights[j]}
+	}
+	return summary.New(t, out)
+}

@@ -1,0 +1,33 @@
+package propidx_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/propidx"
+)
+
+// ExampleBuild shows the θ-bounded materialization of Γ(v) and the
+// potential-node marking that drives online expansion.
+func ExampleBuild() {
+	// 0 →(0.5) 1 →(0.5) 2, with θ = 0.3: the two-hop path (0.25) is cut,
+	// so node 0 is absent from Γ(2) and node 1 is marked expandable.
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(1, 2, 0.5)
+	g := b.Build()
+
+	ix, err := propidx.Build(g, propidx.Options{Theta: 0.3})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	srcs, props, potential := ix.Gamma(2)
+	for i, u := range srcs {
+		fmt.Printf("Γ(2): node %d prop %.2f potential=%v\n", u, props[i], potential[i])
+	}
+	fmt.Printf("maxEP(2) = %.2f\n", ix.MaxPotential(2))
+	// Output:
+	// Γ(2): node 1 prop 0.50 potential=true
+	// maxEP(2) = 0.50
+}

@@ -1,0 +1,54 @@
+package propidx
+
+// Gob support so the materialized Γ index can be persisted by
+// internal/storage and reloaded across runs.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// indexWire is the exported wire form of Index.
+type indexWire struct {
+	Theta     float64
+	Off       []int32
+	Src       []graph.NodeID
+	Prop      []float64
+	Potential []bool
+}
+
+// GobEncode implements gob.GobEncoder.
+func (ix *Index) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(indexWire{
+		Theta: ix.theta, Off: ix.off, Src: ix.src,
+		Prop: ix.prop, Potential: ix.potential,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("propidx: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (ix *Index) GobDecode(data []byte) error {
+	var w indexWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("propidx: decode: %w", err)
+	}
+	if w.Theta <= 0 || w.Theta >= 1 {
+		return fmt.Errorf("propidx: decode: corrupt theta %v", w.Theta)
+	}
+	if len(w.Off) < 1 {
+		return fmt.Errorf("propidx: decode: missing offsets")
+	}
+	n := len(w.Src)
+	if len(w.Prop) != n || len(w.Potential) != n || int(w.Off[len(w.Off)-1]) != n {
+		return fmt.Errorf("propidx: decode: inconsistent array sizes")
+	}
+	ix.theta, ix.off, ix.src, ix.prop, ix.potential = w.Theta, w.Off, w.Src, w.Prop, w.Potential
+	return nil
+}

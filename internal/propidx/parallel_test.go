@@ -1,0 +1,85 @@
+package propidx
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestParallelBuildMatchesSerial verifies the worker count never changes
+// the index contents.
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 600
+	b := graph.NewBuilder(n)
+	for i := 0; i < n*5; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		b.MustAddEdge(u, v, 0.05+0.5*rng.Float64())
+	}
+	g := b.Build()
+
+	serial, err := Build(g, Options{Theta: 0.05, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		parallel, err := Build(g, Options{Theta: 0.05, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel.Size() != serial.Size() {
+			t.Fatalf("workers=%d: size %d, want %d", workers, parallel.Size(), serial.Size())
+		}
+		for v := 0; v < n; v++ {
+			s1, p1, m1 := serial.Gamma(graph.NodeID(v))
+			s2, p2, m2 := parallel.Gamma(graph.NodeID(v))
+			if len(s1) != len(s2) {
+				t.Fatalf("workers=%d Gamma(%d): %d entries, want %d", workers, v, len(s2), len(s1))
+			}
+			for i := range s1 {
+				if s1[i] != s2[i] || p1[i] != p2[i] || m1[i] != m2[i] {
+					t.Fatalf("workers=%d Gamma(%d)[%d] differs", workers, v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkersExceedingNodes(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(1, 2, 0.5)
+	g := b.Build()
+	ix, err := Build(g, Options{Theta: 0.1, Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Prop(2, 1); !ok {
+		t.Error("index incomplete with workers > nodes")
+	}
+}
+
+func BenchmarkBuildParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	n := 3000
+	gb := graph.NewBuilder(n)
+	for i := 0; i < n*6; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		_ = gb.AddEdge(u, v, 0.05+0.5*rng.Float64())
+	}
+	g := gb.Build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, Options{Theta: 0.05}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

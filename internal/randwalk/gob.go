@@ -1,0 +1,57 @@
+package randwalk
+
+// Gob support so the walk index — the costly once-per-dataset artifact
+// (§6.6 reports ~7 hours at full scale) — can be persisted and reloaded by
+// internal/storage instead of resampled.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// indexWire is the exported wire form of Index.
+type indexWire struct {
+	L, R, N     int
+	Walks       []graph.NodeID
+	H           [][]float64
+	ReachOff    []int32
+	ReachStarts []graph.NodeID
+}
+
+// GobEncode implements gob.GobEncoder.
+func (ix *Index) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(indexWire{
+		L: ix.L, R: ix.R, N: ix.n,
+		Walks: ix.walks, H: ix.h,
+		ReachOff: ix.reachOff, ReachStarts: ix.reachStarts,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("randwalk: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (ix *Index) GobDecode(data []byte) error {
+	var w indexWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("randwalk: decode: %w", err)
+	}
+	if w.L < 1 || w.R < 1 || w.N < 0 {
+		return fmt.Errorf("randwalk: decode: corrupt header L=%d R=%d N=%d", w.L, w.R, w.N)
+	}
+	if len(w.Walks) != w.N*w.R*w.L {
+		return fmt.Errorf("randwalk: decode: walk array size %d, want %d", len(w.Walks), w.N*w.R*w.L)
+	}
+	if len(w.ReachOff) != w.N+1 {
+		return fmt.Errorf("randwalk: decode: reach offsets size %d, want %d", len(w.ReachOff), w.N+1)
+	}
+	ix.L, ix.R, ix.n = w.L, w.R, w.N
+	ix.walks, ix.h = w.Walks, w.H
+	ix.reachOff, ix.reachStarts = w.ReachOff, w.ReachStarts
+	return nil
+}

@@ -1,0 +1,287 @@
+// Package randwalk implements the sample-based L-length random-walk index
+// of Section 4.1 (Algorithm 6, INVERTTVHIT_INDEX). For every node w the
+// index stores R independent L-length random walks I[i][w], the
+// time-variant visiting frequency table H[j][v] used to reinforce the
+// diversified PageRank of Algorithm 7, and the L-hop reverse-reachability
+// lists I_L[v] ("all the nodes that can reach node v within L hops")
+// consumed by RCL-A's grouping probabilities (Algorithm 1) and centroid
+// voting (Algorithm 4).
+//
+// Per the paper, the index is built once per dataset and shared by both
+// summarization algorithms; its construction cost is amortized (§6.6).
+package randwalk
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Index is the materialized output of Algorithm 6. It is immutable after
+// Build and safe for concurrent readers.
+type Index struct {
+	L int // walk length (hops per walk)
+	R int // walks sampled per node
+	n int // number of graph nodes
+
+	// walks holds the R walks of every node in a flat array. Walk i of
+	// node w occupies walks[(w*R+i)*L : (w*R+i)*L+L]; unused tail slots
+	// are -1. As in Algorithm 6, a stored walk records only the *first*
+	// visit to each node (the walk itself may pass through a node twice,
+	// but I[i][w] does not repeat entries).
+	walks []graph.NodeID
+
+	// h[j-1][v] is H[j][v]: the maximum per-walk visiting frequency of
+	// node v at iteration j ∈ [1,L], where one visit contributes 1/R.
+	h [][]float64
+
+	// Reverse reachability I_L in CSR form: the nodes that reached v on
+	// some sampled walk within L hops are reachStarts[reachOff[v]:reachOff[v+1]],
+	// sorted ascending.
+	reachOff    []int32
+	reachStarts []graph.NodeID
+}
+
+// Options configures Build.
+type Options struct {
+	L    int   // walk length; must be ≥ 1
+	R    int   // walks per node; must be ≥ 1
+	Seed int64 // RNG seed; identical seeds give identical indexes
+	// Workers parallelizes the sampling. Each node's walks come from its
+	// own seeded RNG stream, so the index is identical at any worker
+	// count. Default: GOMAXPROCS.
+	Workers int
+}
+
+// SampleSize returns the number of walk samples R sufficient for the
+// sampled visiting frequencies to be within eps of their expectation with
+// probability 1−delta, by the Hoeffding inequality the paper cites for
+// bounding R: R ≥ ln(2/δ) / (2ε²).
+func SampleSize(eps, delta float64) int {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log(2/delta) / (2 * eps * eps)))
+}
+
+// splitmix64 derives a well-mixed per-node seed from (seed, node) so walk
+// sampling can be sharded across workers without changing its output.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// walkShard samples walks for nodes [lo, hi), writing into the shared
+// walks array (disjoint per node) and into shard-local H rows and reach
+// pairs that Build merges afterwards.
+type walkShard struct {
+	h     [][]float64
+	pairs []int64
+}
+
+// Build runs Algorithm 6 over g and returns the index.
+func Build(g *graph.Graph, opt Options) (*Index, error) {
+	if opt.L < 1 {
+		return nil, fmt.Errorf("randwalk: L must be ≥ 1, got %d", opt.L)
+	}
+	if opt.R < 1 {
+		return nil, fmt.Errorf("randwalk: R must be ≥ 1, got %d", opt.R)
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumNodes()
+	ix := &Index{L: opt.L, R: opt.R, n: n}
+	ix.walks = make([]graph.NodeID, n*opt.R*opt.L)
+	for i := range ix.walks {
+		ix.walks[i] = -1
+	}
+	ix.h = make([][]float64, opt.L)
+	for j := range ix.h {
+		ix.h[j] = make([]float64, n)
+	}
+	if n == 0 {
+		ix.buildReach(nil)
+		return ix, nil
+	}
+
+	workers := opt.Workers
+	if workers > n {
+		workers = n
+	}
+	shards := make([]walkShard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(shard *walkShard, lo, hi int) {
+			defer wg.Done()
+			ix.sampleRange(g, opt, shard, lo, hi)
+		}(&shards[w], lo, hi)
+	}
+	wg.Wait()
+
+	// Merge shard-local H rows (element-wise max) and reach pairs.
+	totalPairs := 0
+	for s := range shards {
+		for j := 0; j < opt.L; j++ {
+			dst, src := ix.h[j], shards[s].h[j]
+			for v := range src {
+				if src[v] > dst[v] {
+					dst[v] = src[v]
+				}
+			}
+		}
+		totalPairs += len(shards[s].pairs)
+	}
+	pairs := make([]int64, 0, totalPairs)
+	for s := range shards {
+		pairs = append(pairs, shards[s].pairs...)
+	}
+	ix.buildReach(pairs)
+	return ix, nil
+}
+
+// sampleRange runs Algorithm 6's sampling loop for start nodes [lo, hi).
+func (ix *Index) sampleRange(g *graph.Graph, opt Options, shard *walkShard, lo, hi int) {
+	n := g.NumNodes()
+	shard.h = make([][]float64, opt.L)
+	for j := range shard.h {
+		shard.h[j] = make([]float64, n)
+	}
+	inv := 1.0 / float64(opt.R)
+
+	// Per-walk visit counts with epoch marking so the visited array is
+	// "initialized" per walk (Algorithm 6 line 6) without O(n) clears.
+	visited := make([]float64, n)
+	epoch := make([]int64, n)
+	var cur int64
+
+	for w := lo; w < hi; w++ {
+		rng := rand.New(rand.NewSource(int64(splitmix64(uint64(opt.Seed) ^ uint64(w)<<1))))
+		for i := 0; i < opt.R; i++ {
+			cur++
+			u := graph.NodeID(w)
+			epoch[u] = cur
+			visited[u] = inv
+			base := (w*opt.R + i) * opt.L
+			fill := 0
+			for j := 1; j <= opt.L; j++ {
+				nbrs, _ := g.OutNeighbors(u)
+				if len(nbrs) == 0 {
+					break // dead end: the walk terminates early
+				}
+				v := nbrs[rng.Intn(len(nbrs))]
+				if epoch[v] != cur {
+					epoch[v] = cur
+					visited[v] = inv
+					ix.walks[base+fill] = v
+					fill++
+					shard.pairs = append(shard.pairs, int64(v)<<32|int64(w))
+				} else {
+					visited[v] += inv
+				}
+				if hj := shard.h[j-1]; hj[v] < visited[v] {
+					hj[v] = visited[v]
+				}
+				u = v
+			}
+		}
+	}
+}
+
+// buildReach sorts and dedups (target, start) pairs into the reach CSR.
+func (ix *Index) buildReach(pairs []int64) {
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i] < pairs[j] })
+	ix.reachOff = make([]int32, ix.n+1)
+	ix.reachStarts = make([]graph.NodeID, 0, len(pairs))
+	var prev int64 = -1
+	for _, p := range pairs {
+		if p == prev {
+			continue
+		}
+		prev = p
+		target := graph.NodeID(p >> 32)
+		start := graph.NodeID(p & 0xffffffff)
+		ix.reachOff[target+1]++
+		ix.reachStarts = append(ix.reachStarts, start)
+	}
+	for i := 0; i < ix.n; i++ {
+		ix.reachOff[i+1] += ix.reachOff[i]
+	}
+}
+
+// NumNodes returns the node count the index was built over.
+func (ix *Index) NumNodes() int { return ix.n }
+
+// Walk returns the i-th stored walk of node w: the sequence of first-visit
+// nodes, in visit order, excluding w itself. The slice aliases internal
+// storage; do not modify it.
+func (ix *Index) Walk(i int, w graph.NodeID) []graph.NodeID {
+	base := (int(w)*ix.R + i) * ix.L
+	run := ix.walks[base : base+ix.L]
+	end := 0
+	for end < len(run) && run[end] >= 0 {
+		end++
+	}
+	return run[:end]
+}
+
+// ReachL returns I_L[v]: the sorted set of nodes observed to reach v within
+// L hops on the sampled walks. The slice aliases internal storage.
+func (ix *Index) ReachL(v graph.NodeID) []graph.NodeID {
+	return ix.reachStarts[ix.reachOff[v]:ix.reachOff[v+1]]
+}
+
+// CanReach reports whether start was observed to reach target within L hops
+// (a binary search over ReachL).
+func (ix *Index) CanReach(start, target graph.NodeID) bool {
+	run := ix.ReachL(target)
+	lo, hi := 0, len(run)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case run[mid] < start:
+			lo = mid + 1
+		case run[mid] > start:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// VisitFreq returns H[step][v], the maximum visiting frequency of v at
+// iteration step ∈ [1, L]. Steps outside the range return 0.
+func (ix *Index) VisitFreq(step int, v graph.NodeID) float64 {
+	if step < 1 || step > ix.L {
+		return 0
+	}
+	return ix.h[step-1][v]
+}
+
+// VisitFreqRow returns the full H[step] row (aliases internal storage).
+func (ix *Index) VisitFreqRow(step int) []float64 {
+	if step < 1 || step > ix.L {
+		return nil
+	}
+	return ix.h[step-1]
+}
+
+// MemoryBytes estimates the resident size of the index, reported by the
+// Figure 15 index-cost experiment.
+func (ix *Index) MemoryBytes() int64 {
+	b := int64(len(ix.walks)) * 4
+	b += int64(ix.L) * int64(ix.n) * 8
+	b += int64(len(ix.reachOff))*4 + int64(len(ix.reachStarts))*4
+	return b
+}

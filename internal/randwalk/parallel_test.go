@@ -1,0 +1,63 @@
+package randwalk
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestParallelBuildMatchesSerial: per-node RNG streams make the index
+// independent of the worker count.
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	g := randomGraph(23, 300, 1800)
+	serial, err := Build(g, Options{L: 4, R: 4, Seed: 23, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5, 32} {
+		par, err := Build(g, Options{L: 4, R: 4, Seed: 23, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < g.NumNodes(); w++ {
+			for i := 0; i < 4; i++ {
+				a, b := serial.Walk(i, graph.NodeID(w)), par.Walk(i, graph.NodeID(w))
+				if len(a) != len(b) {
+					t.Fatalf("workers=%d walk(%d,%d) length differs", workers, i, w)
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						t.Fatalf("workers=%d walk(%d,%d)[%d] differs", workers, i, w, j)
+					}
+				}
+			}
+			ra, rb := serial.ReachL(graph.NodeID(w)), par.ReachL(graph.NodeID(w))
+			if len(ra) != len(rb) {
+				t.Fatalf("workers=%d ReachL(%d) differs", workers, w)
+			}
+			for j := range ra {
+				if ra[j] != rb[j] {
+					t.Fatalf("workers=%d ReachL(%d)[%d] differs", workers, w, j)
+				}
+			}
+		}
+		for j := 1; j <= 4; j++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				if serial.VisitFreq(j, graph.NodeID(v)) != par.VisitFreq(j, graph.NodeID(v)) {
+					t.Fatalf("workers=%d H[%d][%d] differs", workers, j, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	ix, err := Build(g, Options{L: 2, R: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumNodes() != 0 {
+		t.Errorf("empty graph index has %d nodes", ix.NumNodes())
+	}
+}

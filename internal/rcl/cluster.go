@@ -1,0 +1,348 @@
+// Package rcl implements RCL-A, the approximate random-clustering social
+// summarization of Section 3 (Algorithms 1–5): topic nodes are grouped by
+// their common L-hop reverse reachability against a degree-proportional
+// sample V′, groups are enumerated with a set-enumeration tree, flattened
+// into non-overlapping clusters, and each cluster is replaced by its
+// closeness-centrality centroid carrying the cluster's share of the
+// topic's local influence.
+package rcl
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/randwalk"
+	"repro/internal/topics"
+)
+
+// Options configures the RCL-A summarizer.
+type Options struct {
+	// L is the hop bound for reachability (must match the walk index's L
+	// or be smaller). Zero means: use the walk index's L.
+	L int
+	// CSize is the requested number of clusters C_Size (≥ 1). Groups are
+	// capped at ⌈|V_t|/CSize⌉ members (Algorithm 3).
+	CSize int
+	// SampleRate is |V′|/|V| ∈ (0, 1]; nodes are sampled with probability
+	// proportional to their degree (§3.1 / §6.6). Default 0.05.
+	SampleRate float64
+	// MaxTreeNodes caps the set-enumeration tree (Algorithm 2) so that
+	// pathological grouping matrices stay polynomial. Default 8·|V_t|.
+	MaxTreeNodes int
+	// RefineCentroid enables the §3.2 optimization that hill-climbs each
+	// selected centroid over its graph neighbors until closeness
+	// centrality stops improving.
+	RefineCentroid bool
+	// RepCount, when positive, caps the materialized representative set:
+	// only the RepCount heaviest centroids are kept (their weights are
+	// not renormalized — the dropped mass is simply unrepresented, like
+	// any summarization loss). The paper materializes a fixed number of
+	// representatives per topic (1000–6000) for both methods.
+	RepCount int
+	// Seed drives the sampling of V′ and Rule 3's probabilistic grouping.
+	Seed int64
+}
+
+func (o *Options) fill(walkL, vt int) {
+	if o.L <= 0 || o.L > walkL {
+		o.L = walkL
+	}
+	if o.CSize < 1 {
+		o.CSize = 1
+	}
+	if o.SampleRate <= 0 || o.SampleRate > 1 {
+		o.SampleRate = 0.05
+	}
+	if o.MaxTreeNodes <= 0 {
+		o.MaxTreeNodes = 8 * vt
+		if o.MaxTreeNodes < 64 {
+			o.MaxTreeNodes = 64
+		}
+	}
+}
+
+// pairLabel is the grouping decision for one topic-node pair.
+type pairLabel uint8
+
+const (
+	labelUnset   pairLabel = iota // no rule fired: treated as not grouped
+	labelGrouped                  // Rule 1 or a successful Rule 3 coin flip
+	labelSplit                    // Rule 2 or a failed Rule 3 coin flip
+)
+
+// grouping holds the pairwise GPLabel matrix over V_t, addressed by
+// positions in the topic-node slice (not node IDs).
+type grouping struct {
+	nodes  []graph.NodeID
+	labels []pairLabel // row-major |V_t|×|V_t|, symmetric
+}
+
+func (gr *grouping) at(i, j int) pairLabel { return gr.labels[i*len(gr.nodes)+j] }
+func (gr *grouping) set(i, j int, l pairLabel) {
+	gr.labels[i*len(gr.nodes)+j] = l
+	gr.labels[j*len(gr.nodes)+i] = l
+}
+
+// sampleNodes draws a degree-proportional sample V′ of about rate·|V| nodes
+// and returns a membership bitmap. Zero-degree nodes are never sampled (they
+// can neither reach nor be reached).
+func sampleNodes(g *graph.Graph, rate float64, rng *rand.Rand) []bool {
+	n := g.NumNodes()
+	member := make([]bool, n)
+	if n == 0 {
+		return member
+	}
+	totalDeg := 0.0
+	for v := 0; v < n; v++ {
+		totalDeg += float64(g.Degree(graph.NodeID(v)))
+	}
+	if totalDeg == 0 {
+		return member
+	}
+	target := rate * float64(n)
+	// Each node is included independently with probability proportional
+	// to its degree, scaled so the expected sample size is target.
+	scale := target / totalDeg
+	for v := 0; v < n; v++ {
+		p := scale * float64(g.Degree(graph.NodeID(v)))
+		if p > 1 {
+			p = 1
+		}
+		if rng.Float64() < p {
+			member[v] = true
+		}
+	}
+	return member
+}
+
+// reachWithinSample returns ReachL(u) filtered by the V′ bitmap, sorted.
+func reachWithinSample(ix *randwalk.Index, u graph.NodeID, inSample []bool) []graph.NodeID {
+	full := ix.ReachL(u)
+	out := make([]graph.NodeID, 0, len(full)/4+1)
+	for _, x := range full {
+		if inSample[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// intersectionSize counts common elements of two sorted slices.
+func intersectionSize(a, b []graph.NodeID) int {
+	i, j, count := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			count++
+			i++
+			j++
+		}
+	}
+	return count
+}
+
+// buildGrouping runs Algorithm 1's pair-labeling over the topic nodes.
+// sampleSize is |V′|; reach[i] is V_{u_i,L} ∩ V′ for topic node i.
+func buildGrouping(nodes []graph.NodeID, reach [][]graph.NodeID, sampleSize int, rng *rand.Rand) *grouping {
+	gr := &grouping{nodes: nodes, labels: make([]pairLabel, len(nodes)*len(nodes))}
+	if sampleSize == 0 {
+		return gr // no evidence: nothing can be grouped
+	}
+	inv := 1.0 / float64(sampleSize)
+	for i := range nodes {
+		for j := i + 1; j < len(nodes); j++ {
+			common := intersectionSize(reach[i], reach[j])
+			gPlus := float64(common) * inv
+			gMinus := float64(len(reach[i])-common+len(reach[j])-common) * inv
+			gStar := 1 - gPlus - gMinus
+			var label pairLabel
+			switch {
+			// Rule 1: clearly in.
+			case gPlus >= gMinus && gPlus >= gStar:
+				label = labelGrouped
+			// Rule 2: clearly out.
+			case gMinus >= gPlus && gMinus >= gStar:
+				label = labelSplit
+			// Rule 3: undecided; group with probability GP+/(1−GP−).
+			case gPlus >= gMinus && gPlus < gStar:
+				pr := 0.0
+				if 1-gMinus > 0 {
+					pr = gPlus / (1 - gMinus)
+				}
+				if rng.Float64() <= pr {
+					label = labelGrouped
+				} else {
+					label = labelSplit
+				}
+			default:
+				// GP* dominates and GP− > GP+: no rule fires; leave
+				// unset, which the tree treats as not groupable.
+				label = labelUnset
+			}
+			gr.set(i, j, label)
+		}
+	}
+	return gr
+}
+
+// nodeSet is one candidate group in the set-enumeration tree, stored as
+// sorted positions into grouping.nodes.
+type nodeSet []int
+
+// setEnumerationTree grows groupable node sets level by level, exactly the
+// sibling-merge expansion of Algorithm 2: a set is extended with the
+// distinguishing element of a right sibling when that element groups
+// (GPLabel = 1) with every member. The total number of materialized sets is
+// capped at maxNodes; enumeration is best-first in input order so the cap
+// degrades gracefully to smaller groups rather than failing.
+func setEnumerationTree(gr *grouping, maxNodes int) []nodeSet {
+	n := len(gr.nodes)
+	level := make([]nodeSet, n)
+	for i := 0; i < n; i++ {
+		level[i] = nodeSet{i}
+	}
+	all := make([]nodeSet, 0, n*2)
+	all = append(all, level...)
+	budget := maxNodes - n
+
+	for len(level) > 1 && budget > 0 {
+		var next []nodeSet
+	outer:
+		for xi := 0; xi < len(level) && budget > 0; xi++ {
+			sx := level[xi]
+			// Right siblings share all but the last element.
+			for yi := xi + 1; yi < len(level) && budget > 0; yi++ {
+				sy := level[yi]
+				if !sameButLast(sx, sy) {
+					continue
+				}
+				add := sy[len(sy)-1]
+				if !groupsWithAll(gr, sx, add) {
+					continue
+				}
+				merged := make(nodeSet, len(sx)+1)
+				copy(merged, sx)
+				merged[len(sx)] = add
+				next = append(next, merged)
+				all = append(all, merged)
+				budget--
+				if budget <= 0 {
+					break outer
+				}
+			}
+		}
+		level = next
+	}
+	return all
+}
+
+// sameButLast reports whether a and b share their first len−1 elements
+// (they are siblings in the SE-tree) and a's last element precedes b's.
+func sameButLast(a, b nodeSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return a[len(a)-1] < b[len(b)-1]
+}
+
+// groupsWithAll is CHECK_GROUPING: the candidate element must have
+// GPLabel = 1 with every member of the set.
+func groupsWithAll(gr *grouping, s nodeSet, cand int) bool {
+	for _, m := range s {
+		if gr.at(m, cand) != labelGrouped {
+			return false
+		}
+	}
+	return true
+}
+
+// noOverlapGrouping is Algorithm 3: repeatedly pick the largest enumerated
+// set not exceeding ⌈|V_t|/CSize⌉, commit it as a group, and delete its
+// members from all remaining sets. Leftover nodes become singleton groups
+// (Rule 4: every node appears in exactly one group).
+func noOverlapGrouping(gr *grouping, sets []nodeSet, cSize int) [][]graph.NodeID {
+	n := len(gr.nodes)
+	capSize := (n + cSize - 1) / cSize
+	if capSize < 1 {
+		capSize = 1
+	}
+
+	// Largest-first, ties broken by enumeration (leftmost) order, which
+	// mirrors the leftmost-child walk of Algorithm 3.
+	order := make([]int, len(sets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return len(sets[order[a]]) > len(sets[order[b]]) })
+
+	taken := make([]bool, n)
+	var groups [][]graph.NodeID
+	for _, si := range order {
+		s := sets[si]
+		if len(s) > capSize {
+			continue // pruned exactly like r.removeNode(s) for oversized sets
+		}
+		var fresh []int
+		for _, m := range s {
+			if !taken[m] {
+				fresh = append(fresh, m)
+			}
+		}
+		if len(fresh) == 0 {
+			continue
+		}
+		group := make([]graph.NodeID, len(fresh))
+		for i, m := range fresh {
+			taken[m] = true
+			group[i] = gr.nodes[m]
+		}
+		groups = append(groups, group)
+	}
+	for m := 0; m < n; m++ {
+		if !taken[m] {
+			groups = append(groups, []graph.NodeID{gr.nodes[m]})
+		}
+	}
+	return groups
+}
+
+// Cluster runs Algorithm 1 end to end for topic t and returns the
+// non-overlapping topic node groups.
+func (s *Summarizer) Cluster(t topics.TopicID) ([][]graph.NodeID, error) {
+	if !s.space.Valid(t) {
+		return nil, fmt.Errorf("rcl: unknown topic %d", t)
+	}
+	vt := s.space.Nodes(t)
+	if len(vt) == 0 {
+		return nil, nil
+	}
+	opts := s.opts
+	opts.fill(s.walks.L, len(vt))
+	rng := rand.New(rand.NewSource(opts.Seed ^ int64(t)*0x9e3779b9))
+
+	inSample := sampleNodes(s.g, opts.SampleRate, rng)
+	sampleSize := 0
+	for _, in := range inSample {
+		if in {
+			sampleSize++
+		}
+	}
+	reach := make([][]graph.NodeID, len(vt))
+	for i, u := range vt {
+		reach[i] = reachWithinSample(s.walks, u, inSample)
+	}
+	gr := buildGrouping(vt, reach, sampleSize, rng)
+	sets := setEnumerationTree(gr, opts.MaxTreeNodes)
+	return noOverlapGrouping(gr, sets, opts.CSize), nil
+}

@@ -1,0 +1,80 @@
+package rcl
+
+// The RCL-A summarizer (Algorithm 5, offline stage): cluster the topic
+// nodes (Algorithm 1), select each cluster's centroid (Algorithm 4), and
+// weight every centroid by its cluster's share |g|/|V_t| of the topic's
+// local influence. The resulting summary.Summary feeds the online top-k
+// PIT-Search (Algorithm 10).
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/randwalk"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// Summarizer implements summary.Summarizer with the RCL-A method.
+// It is safe for sequential reuse across topics; create one per goroutine
+// for concurrent use (it owns a BFS traverser).
+type Summarizer struct {
+	g     *graph.Graph
+	space *topics.Space
+	walks *randwalk.Index
+	tr    *graph.Traverser
+	opts  Options
+}
+
+var _ summary.Summarizer = (*Summarizer)(nil)
+
+// New returns an RCL-A summarizer over the graph, topic space and
+// pre-built walk index.
+func New(g *graph.Graph, space *topics.Space, walks *randwalk.Index, opts Options) (*Summarizer, error) {
+	if g == nil || space == nil || walks == nil {
+		return nil, fmt.Errorf("rcl: nil graph, space or walk index")
+	}
+	if walks.NumNodes() != g.NumNodes() {
+		return nil, fmt.Errorf("rcl: walk index built over %d nodes, graph has %d", walks.NumNodes(), g.NumNodes())
+	}
+	return &Summarizer{g: g, space: space, walks: walks, tr: graph.NewTraverser(g), opts: opts}, nil
+}
+
+// Summarize runs the offline stage of Algorithm 5 for one topic: it
+// returns the weighted representative (central) node set. Central nodes
+// shared by several clusters accumulate their clusters' weights.
+func (s *Summarizer) Summarize(t topics.TopicID) (summary.Summary, error) {
+	groups, err := s.Cluster(t)
+	if err != nil {
+		return summary.Summary{}, err
+	}
+	vt := s.space.Nodes(t)
+	if len(vt) == 0 {
+		return summary.New(t, nil), nil
+	}
+	reps := make([]summary.WeightedNode, 0, len(groups))
+	for _, grp := range groups {
+		central := s.selectCentral(grp)
+		if central < 0 {
+			continue
+		}
+		reps = append(reps, summary.WeightedNode{
+			Node:   central,
+			Weight: float64(len(grp)) / float64(len(vt)),
+		})
+	}
+	sum := summary.New(t, reps)
+	if s.opts.RepCount > 0 && sum.Len() > s.opts.RepCount {
+		// Keep the heaviest centroids; ties by node ID for determinism.
+		trimmed := append([]summary.WeightedNode(nil), sum.Reps...)
+		sort.Slice(trimmed, func(a, b int) bool {
+			if trimmed[a].Weight != trimmed[b].Weight {
+				return trimmed[a].Weight > trimmed[b].Weight
+			}
+			return trimmed[a].Node < trimmed[b].Node
+		})
+		sum = summary.New(t, trimmed[:s.opts.RepCount])
+	}
+	return sum, nil
+}

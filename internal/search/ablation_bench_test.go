@@ -1,0 +1,90 @@
+package search
+
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// upper-bound pruning (Algorithm 10 lines 17–20), the best-first frontier
+// budget, and the expansion depth. Run with:
+//
+//	go test -bench=Ablation -benchmem ./internal/search/
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/propidx"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// ablationScenario builds a mid-size scenario: 5k nodes, 60 topics with 40
+// reps each, one well-connected query user.
+func ablationScenario(b *testing.B) (*propidx.Index, []summary.Summary, graph.NodeID) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(17))
+	const n = 5000
+	gb := graph.NewBuilder(n)
+	for i := 0; i < n*6; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		_ = gb.AddEdge(u, v, 0.05+0.3*rng.Float64())
+	}
+	g := gb.Build()
+	ix, err := propidx.Build(g, propidx.Options{Theta: 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sums := make([]summary.Summary, 60)
+	for ti := range sums {
+		reps := make([]summary.WeightedNode, 40)
+		for i := range reps {
+			reps[i] = summary.WeightedNode{
+				Node:   graph.NodeID(rng.Intn(n)),
+				Weight: rng.Float64() / 40,
+			}
+		}
+		sums[ti] = summary.New(topics.TopicID(ti), reps)
+	}
+	var user graph.NodeID
+	best := 0
+	for v := 0; v < n; v++ {
+		if d := g.InDegree(graph.NodeID(v)); d > best {
+			best, user = d, graph.NodeID(v)
+		}
+	}
+	return ix, sums, user
+}
+
+func benchSearch(b *testing.B, opts Options) {
+	ix, sums, user := ablationScenario(b)
+	s, err := New(ix, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TopK(user, sums, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Pruning ablation: the paper's claim is that the W_r·maxEP bound lets the
+// search skip most topics.
+func BenchmarkAblationPruningOn(b *testing.B)  { benchSearch(b, Options{}) }
+func BenchmarkAblationPruningOff(b *testing.B) { benchSearch(b, Options{DisablePruning: true}) }
+
+// Frontier-budget ablation.
+func BenchmarkAblationFrontier16(b *testing.B)  { benchSearch(b, Options{MaxFrontier: 16}) }
+func BenchmarkAblationFrontier64(b *testing.B)  { benchSearch(b, Options{MaxFrontier: 64}) }
+func BenchmarkAblationFrontier256(b *testing.B) { benchSearch(b, Options{MaxFrontier: 256}) }
+func BenchmarkAblationFrontierUnbounded(b *testing.B) {
+	benchSearch(b, Options{MaxFrontier: -1})
+}
+
+// Expansion-depth ablation.
+func BenchmarkAblationDepth1(b *testing.B) { benchSearch(b, Options{MaxExpandDepth: 1}) }
+func BenchmarkAblationDepth3(b *testing.B) { benchSearch(b, Options{MaxExpandDepth: 3}) }
+func BenchmarkAblationDepth5(b *testing.B) { benchSearch(b, Options{MaxExpandDepth: 5}) }

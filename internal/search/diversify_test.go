@@ -1,0 +1,130 @@
+package search
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+func diversifyFixture() ([]Result, []summary.Summary) {
+	results := []Result{
+		{Topic: 0, Score: 1.0},
+		{Topic: 1, Score: 0.9}, // same reps as topic 0
+		{Topic: 2, Score: 0.5}, // disjoint reps
+	}
+	sums := []summary.Summary{
+		summary.New(0, []summary.WeightedNode{{Node: 10, Weight: 0.5}, {Node: 11, Weight: 0.5}}),
+		summary.New(1, []summary.WeightedNode{{Node: 10, Weight: 0.5}, {Node: 11, Weight: 0.5}}),
+		summary.New(2, []summary.WeightedNode{{Node: 20, Weight: 1.0}}),
+	}
+	return results, sums
+}
+
+func TestDiversifyPrefersNovelReps(t *testing.T) {
+	results, sums := diversifyFixture()
+	// lambda 0: pure score order (0, 1, 2)
+	plain := Diversify(results, sums, 0, 3)
+	if plain[1].Topic != 1 {
+		t.Errorf("lambda=0 changed order: %+v", plain)
+	}
+	// lambda 1: topic 1's reps are fully covered after topic 0, so topic
+	// 2 (0.5, novel) beats topic 1 (0.9 × 0 = 0).
+	div := Diversify(results, sums, 1, 3)
+	if div[0].Topic != 0 || div[1].Topic != 2 || div[2].Topic != 1 {
+		t.Errorf("lambda=1 order = %v, want [0 2 1]", div)
+	}
+}
+
+func TestDiversifyPartialOverlap(t *testing.T) {
+	results := []Result{
+		{Topic: 0, Score: 1.0},
+		{Topic: 1, Score: 0.8},
+	}
+	sums := []summary.Summary{
+		summary.New(0, []summary.WeightedNode{{Node: 1, Weight: 1.0}}),
+		// half of topic 1's mass is on the covered node 1
+		summary.New(1, []summary.WeightedNode{{Node: 1, Weight: 0.5}, {Node: 2, Weight: 0.5}}),
+	}
+	div := Diversify(results, sums, 1, 2)
+	// topic 1 adjusted: 0.8 × (1 − 0.5) = 0.4 — still selected second.
+	if len(div) != 2 || div[1].Topic != 1 {
+		t.Errorf("order = %v", div)
+	}
+}
+
+func TestDiversifyKClamp(t *testing.T) {
+	results, sums := diversifyFixture()
+	if got := Diversify(results, sums, 0.5, 2); len(got) != 2 {
+		t.Errorf("k=2 returned %d", len(got))
+	}
+	if got := Diversify(results, sums, 0.5, 0); len(got) != 3 {
+		t.Errorf("k=0 returned %d, want all", len(got))
+	}
+	if got := Diversify(nil, sums, 0.5, 3); len(got) != 0 {
+		t.Errorf("nil results returned %v", got)
+	}
+	single := Diversify(results[:1], sums, 0.9, 1)
+	if len(single) != 1 || single[0].Topic != 0 {
+		t.Errorf("single = %v", single)
+	}
+}
+
+func TestDiversifyMissingSummaryIsNeutral(t *testing.T) {
+	results := []Result{{Topic: 7, Score: 1}, {Topic: 8, Score: 0.9}}
+	div := Diversify(results, nil, 1, 2)
+	if div[0].Topic != 7 || div[1].Topic != 8 {
+		t.Errorf("missing summaries changed order: %v", div)
+	}
+}
+
+func TestCoverageNodes(t *testing.T) {
+	results, sums := diversifyFixture()
+	if got := CoverageNodes(results[:2], sums); got != 2 {
+		t.Errorf("coverage of topics {0,1} = %d, want 2 (shared reps)", got)
+	}
+	if got := CoverageNodes(results, sums); got != 3 {
+		t.Errorf("coverage of all = %d, want 3", got)
+	}
+	if got := CoverageNodes(nil, sums); got != 0 {
+		t.Errorf("coverage of none = %d", got)
+	}
+}
+
+// Property: with k = len(results), diversification is a permutation of the
+// input set, and its first element is always the top-scored result (no
+// coverage exists yet, so nothing is discounted).
+func TestDiversifyPermutationAndHead(t *testing.T) {
+	check := func(seed int64) bool {
+		ix, sums, user := randomScenario(seed)
+		s, err := New(ix, Options{})
+		if err != nil {
+			return false
+		}
+		results, err := s.TopK(user, sums, len(sums))
+		if err != nil {
+			return false
+		}
+		if len(results) == 0 {
+			return true
+		}
+		div := Diversify(results, sums, 0.7, len(results))
+		if len(div) != len(results) {
+			return false
+		}
+		seen := map[topics.TopicID]bool{}
+		for _, r := range div {
+			seen[r.Topic] = true
+		}
+		for _, r := range results {
+			if !seen[r.Topic] {
+				return false
+			}
+		}
+		return div[0] == results[0]
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

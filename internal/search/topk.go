@@ -1,0 +1,398 @@
+// Package search implements the online dynamic top-k PIT-Search of
+// Section 5.2 (Algorithm 10 PERSONALIZED_SEARCH and Algorithm 11 EXPAND).
+// Given the q-related topics, their pre-materialized summarizations
+// (representative node sets with local weights) and the personalized
+// propagation index Γ, it returns the k most influential topics for the
+// query user, pruning topics whose influence upper bound cannot reach the
+// current top-k and expanding potential-marked index nodes only when the
+// result set is still undecided.
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/propidx"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// Result is one entry of the top-k PIT list.
+type Result struct {
+	Topic topics.TopicID
+	Score float64 // aggregated influence I*(t, v) of the topic on the user
+}
+
+// Options tunes the search.
+type Options struct {
+	// MaxExpandDepth bounds the EXPAND recursion (Algorithm 11). Each
+	// level follows potential-marked nodes one Γ-hop further from the
+	// user. Default 3.
+	MaxExpandDepth int
+	// MaxFrontier bounds how many potential-marked nodes are expanded per
+	// level, best-first by accumulated propagation — the paper's goal of
+	// "probing as few nodes as possible". The pruning bound maxEP is
+	// still computed over the full frontier, so pruning stays sound with
+	// respect to the truncated exploration. Default 64. Negative
+	// disables the bound.
+	MaxFrontier int
+	// DisablePruning turns off the upper-bound pruning and expands the
+	// frontier exhaustively; used by tests to verify that pruning never
+	// changes the result set.
+	DisablePruning bool
+}
+
+func (o *Options) fill() {
+	if o.MaxExpandDepth <= 0 {
+		o.MaxExpandDepth = 3
+	}
+	if o.MaxFrontier == 0 {
+		o.MaxFrontier = 256
+	}
+}
+
+// Searcher runs top-k PIT-Search queries against a fixed propagation
+// index. It is stateless and safe for concurrent use.
+type Searcher struct {
+	prop *propidx.Index
+	opts Options
+}
+
+// New returns a Searcher over the propagation index.
+func New(prop *propidx.Index, opts Options) (*Searcher, error) {
+	if prop == nil {
+		return nil, fmt.Errorf("search: nil propagation index")
+	}
+	opts.fill()
+	return &Searcher{prop: prop, opts: opts}, nil
+}
+
+// topicState tracks one q-related topic through the search.
+type topicState struct {
+	id       topics.TopicID
+	reps     []summary.WeightedNode // sorted by node ID
+	consumed []bool                 // parallel to reps
+	score    float64                // heap[t]: influence accumulated so far
+	wr       float64                // W_r[t]: total weight of unconsumed reps
+	pruned   bool
+}
+
+// expandNode is one frontier entry: a potential-marked index node u with
+// the accumulated propagation from u to the query user along the chain of
+// Γ lookups that discovered it.
+type expandNode struct {
+	node graph.NodeID
+	acc  float64
+}
+
+// TopK runs Algorithm 10 for the query user over the given summaries (one
+// per q-related topic) and returns the k most influential topics, highest
+// score first (ties by topic ID). k ≤ 0 or k ≥ len(summaries) returns all
+// topics ranked.
+func (s *Searcher) TopK(user graph.NodeID, summaries []summary.Summary, k int) ([]Result, error) {
+	return s.run(user, summaries, k, nil)
+}
+
+// run is the shared core of TopK and TopKTrace; tr, when non-nil, receives
+// diagnostics.
+func (s *Searcher) run(user graph.NodeID, summaries []summary.Summary, k int, tr *Trace) ([]Result, error) {
+	if int(user) < 0 || int(user) >= s.prop.NumNodes() {
+		return nil, fmt.Errorf("search: user %d outside the indexed graph", user)
+	}
+	if len(summaries) == 0 {
+		return nil, nil
+	}
+	if k <= 0 || k > len(summaries) {
+		k = len(summaries)
+	}
+
+	states := make([]*topicState, len(summaries))
+	for i, sum := range summaries {
+		states[i] = &topicState{
+			id:       sum.Topic,
+			reps:     sum.Reps,
+			consumed: make([]bool, len(sum.Reps)),
+			wr:       sum.TotalWeight(),
+		}
+	}
+
+	// Round 1 (Algorithm 10 lines 4–13): consume every representative
+	// already present in Γ(user).
+	srcs, props, potential := s.prop.Gamma(user)
+	if tr != nil {
+		tr.GammaSize = len(srcs)
+	}
+	for _, st := range states {
+		s.consume(st, srcs, props, 1.0)
+	}
+
+	// Frontier Γ*(v) and maxEP (lines 14–16).
+	frontier := collectFrontier(srcs, props, potential, 1.0, nil)
+
+	// Prune (lines 17–20) and, while undecided topics remain outside the
+	// current top-k, expand (line 21–22, Algorithm 11).
+	visited := map[graph.NodeID]bool{user: true}
+	for _, f := range frontier {
+		visited[f.node] = true
+	}
+	var prunedAt []int
+	if tr != nil {
+		prunedAt = make([]int, len(states))
+	}
+	depth := 0
+	for {
+		maxEP := maxAcc(frontier)
+		kth := kthScore(states, k)
+		var before []bool
+		if tr != nil {
+			before = make([]bool, len(states))
+			for i, st := range states {
+				before[i] = st.pruned
+			}
+		}
+		undecided := s.pruneAndCount(states, k, kth, maxEP)
+		if tr != nil {
+			for i, st := range states {
+				if st.pruned && !before[i] {
+					prunedAt[i] = depth
+				}
+			}
+		}
+		if undecided == 0 || len(frontier) == 0 || depth >= s.opts.MaxExpandDepth {
+			break
+		}
+		frontier = s.truncateFrontier(frontier)
+		if tr != nil {
+			tr.FrontierSizes = append(tr.FrontierSizes, len(frontier))
+		}
+		frontier = s.expandOnce(states, frontier, visited)
+		depth++
+	}
+
+	results := rank(states, k)
+	if tr != nil {
+		tr.Depth = depth
+		tr.Results = results
+		tr.Topics = make([]TopicTrace, len(states))
+		for i, st := range states {
+			consumed := 0
+			for _, c := range st.consumed {
+				if c {
+					consumed++
+				}
+			}
+			tr.Topics[i] = TopicTrace{
+				Topic:           st.id,
+				Score:           st.score,
+				ConsumedReps:    consumed,
+				TotalReps:       len(st.reps),
+				RemainingWeight: st.wr,
+				Pruned:          st.pruned,
+				PrunedAtDepth:   prunedAt[i],
+			}
+		}
+	}
+	return results, nil
+}
+
+// consume intersects the topic's remaining representative set with a Γ
+// row (vInner ← S_i ∩ Γ), adding acc·prop(u)·weight(u) for every
+// unconsumed representative found and removing it from the remaining set
+// (S_i ← S_i \ vInner). Both sides are sorted; when the rep set is much
+// smaller than the Γ row — the whole point of social summarization — a
+// per-rep binary search beats the linear merge.
+func (s *Searcher) consume(st *topicState, srcs []graph.NodeID, props []float64, acc float64) {
+	if st.pruned {
+		return
+	}
+	if len(st.reps)*8 < len(srcs) {
+		for i := range st.reps {
+			if st.consumed[i] {
+				continue
+			}
+			if j := findNode(srcs, st.reps[i].Node); j >= 0 {
+				st.consumed[i] = true
+				st.score += acc * props[j] * st.reps[i].Weight
+				st.wr -= st.reps[i].Weight
+			}
+		}
+	} else {
+		i, j := 0, 0
+		for i < len(st.reps) && j < len(srcs) {
+			switch {
+			case st.reps[i].Node < srcs[j]:
+				i++
+			case st.reps[i].Node > srcs[j]:
+				j++
+			default:
+				if !st.consumed[i] {
+					st.consumed[i] = true
+					st.score += acc * props[j] * st.reps[i].Weight
+					st.wr -= st.reps[i].Weight
+				}
+				i++
+				j++
+			}
+		}
+	}
+	if st.wr < 0 {
+		st.wr = 0
+	}
+}
+
+// findNode binary-searches a sorted node slice, returning the index of u
+// or -1.
+func findNode(srcs []graph.NodeID, u graph.NodeID) int {
+	lo, hi := 0, len(srcs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case srcs[mid] < u:
+			lo = mid + 1
+		case srcs[mid] > u:
+			hi = mid
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// collectFrontier appends the potential-marked entries of a Γ row, scaled
+// by the accumulated propagation acc, to dst.
+func collectFrontier(srcs []graph.NodeID, props []float64, potential []bool, acc float64, dst []expandNode) []expandNode {
+	for i, p := range potential {
+		if p {
+			dst = append(dst, expandNode{node: srcs[i], acc: acc * props[i]})
+		}
+	}
+	return dst
+}
+
+// truncateFrontier keeps the MaxFrontier highest-accumulated-propagation
+// entries (deterministically: ties by node ID).
+func (s *Searcher) truncateFrontier(frontier []expandNode) []expandNode {
+	if s.opts.MaxFrontier < 0 || len(frontier) <= s.opts.MaxFrontier {
+		return frontier
+	}
+	sort.Slice(frontier, func(a, b int) bool {
+		if frontier[a].acc != frontier[b].acc {
+			return frontier[a].acc > frontier[b].acc
+		}
+		return frontier[a].node < frontier[b].node
+	})
+	return frontier[:s.opts.MaxFrontier]
+}
+
+func maxAcc(frontier []expandNode) float64 {
+	maxEP := 0.0
+	for _, f := range frontier {
+		if f.acc > maxEP {
+			maxEP = f.acc
+		}
+	}
+	return maxEP
+}
+
+// kthScore returns the current k-th best accumulated score min(T^k)
+// across all topics (pruned topics keep their final scores and still
+// occupy ranks — pruning only asserts they cannot *rise*).
+func kthScore(states []*topicState, k int) float64 {
+	scores := make([]float64, len(states))
+	for i, st := range states {
+		scores[i] = st.score
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	if k-1 < len(scores) {
+		return scores[k-1]
+	}
+	return 0
+}
+
+// pruneAndCount applies the two pruning conditions of Algorithm 10 lines
+// 17–20 and returns |T′ \ T^k|: the number of unpruned topics outside the
+// current top-k positions, the test driving EXPAND (line 21). With pruning
+// disabled (exhaustive mode) every topic with remaining representative
+// mass counts as undecided, so expansion proceeds until the frontier or
+// the rep sets are exhausted.
+func (s *Searcher) pruneAndCount(states []*topicState, k int, kth, maxEP float64) int {
+	if s.opts.DisablePruning {
+		undecided := 0
+		for _, st := range states {
+			if st.wr > 1e-15 {
+				undecided++
+			}
+		}
+		return undecided
+	}
+	for _, st := range states {
+		if st.pruned {
+			continue
+		}
+		// (1) no remaining representatives, or (2) upper bound
+		// W_r·maxEP + heap[t] cannot reach the k-th score.
+		if st.wr <= 1e-15 || kth >= st.wr*maxEP+st.score {
+			st.pruned = true
+		}
+	}
+	// T^k is the current top-k by (score, topic ID) — the same order the
+	// final ranking uses; survivors at positions ≥ k are undecided.
+	order := make([]int, len(states))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := states[order[a]], states[order[b]]
+		if sa.score != sb.score {
+			return sa.score > sb.score
+		}
+		return sa.id < sb.id
+	})
+	undecided := 0
+	for pos := k; pos < len(order); pos++ {
+		if !states[order[pos]].pruned {
+			undecided++
+		}
+	}
+	return undecided
+}
+
+// expandOnce is one level of Algorithm 11: every frontier node u
+// contributes its Γ(u) row to all surviving topics, scaled by the
+// accumulated propagation from u to the query user, and the next frontier
+// is assembled from u's own potential marks.
+func (s *Searcher) expandOnce(states []*topicState, frontier []expandNode, visited map[graph.NodeID]bool) []expandNode {
+	var next []expandNode
+	for _, f := range frontier {
+		srcs, props, potential := s.prop.Gamma(f.node)
+		for _, st := range states {
+			s.consume(st, srcs, props, f.acc)
+		}
+		for i, p := range potential {
+			if p && !visited[srcs[i]] {
+				visited[srcs[i]] = true
+				next = append(next, expandNode{node: srcs[i], acc: f.acc * props[i]})
+			}
+		}
+	}
+	return next
+}
+
+// rank returns the k best topics by score, ties broken by topic ID.
+func rank(states []*topicState, k int) []Result {
+	out := make([]Result, len(states))
+	for i, st := range states {
+		out[i] = Result{Topic: st.id, Score: st.score}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Topic < out[b].Topic
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package search
+
+// Search tracing: TopKTrace runs the same Algorithm 10/11 search as TopK
+// but records per-topic and per-level diagnostics — which topics were
+// pruned and when, how much representative mass was consumed, how the
+// expansion frontier evolved. Operators use it to tune θ, the expansion
+// depth and the representative budget; tests use it to assert the
+// algorithm's internal behaviour, not just its output.
+
+import (
+	"repro/internal/graph"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// TopicTrace is the post-search state of one q-related topic.
+type TopicTrace struct {
+	Topic topics.TopicID
+	Score float64
+	// ConsumedReps of TotalReps representatives were found in Γ rows.
+	ConsumedReps, TotalReps int
+	// RemainingWeight is the final W_r[t]: representative mass never
+	// located near the user.
+	RemainingWeight float64
+	// Pruned reports whether the upper-bound rule eliminated the topic,
+	// and PrunedAtDepth at which expansion level (0 = before any
+	// expansion).
+	Pruned        bool
+	PrunedAtDepth int
+}
+
+// Trace is the full diagnostic record of one search.
+type Trace struct {
+	Results []Result
+	Topics  []TopicTrace
+	// GammaSize is |Γ(user)|; FrontierSizes[i] is the frontier entering
+	// expansion level i (after best-first truncation).
+	GammaSize     int
+	FrontierSizes []int
+	// Depth is how many expansion levels actually ran.
+	Depth int
+}
+
+// TopKTrace is TopK with diagnostics. It returns the same results as TopK
+// for the same inputs.
+func (s *Searcher) TopKTrace(user graph.NodeID, summaries []summary.Summary, k int) (*Trace, error) {
+	tr := &Trace{}
+	if _, err := s.run(user, summaries, k, tr); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,126 @@
+package search
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/summary"
+)
+
+func TestTraceMatchesTopK(t *testing.T) {
+	check := func(seed int64) bool {
+		ix, sums, user := randomScenario(seed)
+		s, err := New(ix, Options{})
+		if err != nil {
+			return false
+		}
+		k := 1 + int(seed%4)
+		plain, err := s.TopK(user, sums, k)
+		if err != nil {
+			return false
+		}
+		tr, err := s.TopKTrace(user, sums, k)
+		if err != nil {
+			return false
+		}
+		if len(plain) != len(tr.Results) {
+			return false
+		}
+		for i := range plain {
+			if plain[i] != tr.Results[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceDiagnostics(t *testing.T) {
+	// Chain 0→1→2 with θ=0.3 (one potential node, expansion needed).
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(1, 2, 0.5)
+	g := b.Build()
+	ix := buildIndex(t, g, 0.3)
+	s := newSearcher(t, ix, Options{DisablePruning: true})
+	sums := []summary.Summary{summary.New(0, []summary.WeightedNode{{Node: 0, Weight: 1}})}
+	tr, err := s.TopKTrace(2, sums, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.GammaSize != 1 {
+		t.Errorf("GammaSize = %d, want 1", tr.GammaSize)
+	}
+	if tr.Depth < 1 {
+		t.Errorf("Depth = %d, want ≥ 1 (expansion ran)", tr.Depth)
+	}
+	if len(tr.Topics) != 1 {
+		t.Fatalf("Topics = %d", len(tr.Topics))
+	}
+	tt := tr.Topics[0]
+	if tt.ConsumedReps != 1 || tt.TotalReps != 1 {
+		t.Errorf("consumed %d/%d, want 1/1", tt.ConsumedReps, tt.TotalReps)
+	}
+	if tt.RemainingWeight > 1e-12 {
+		t.Errorf("RemainingWeight = %v, want 0", tt.RemainingWeight)
+	}
+	if tt.Pruned {
+		t.Error("topic pruned in exhaustive mode")
+	}
+}
+
+func TestTracePruningRecorded(t *testing.T) {
+	// Two topics: one with a strong direct rep, one with an unreachable
+	// rep; k=1 should prune the weak topic immediately (its wr hits 0).
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 2, 0.8)
+	g := b.Build()
+	ix := buildIndex(t, g, 0.3)
+	s := newSearcher(t, ix, Options{})
+	sums := []summary.Summary{
+		summary.New(0, []summary.WeightedNode{{Node: 0, Weight: 1}}), // reaches user 2
+		summary.New(1, []summary.WeightedNode{{Node: 3, Weight: 1}}), // isolated
+	}
+	tr, err := s.TopKTrace(2, sums, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Results[0].Topic != 0 {
+		t.Fatalf("top-1 = %+v", tr.Results)
+	}
+	var weak *TopicTrace
+	for i := range tr.Topics {
+		if tr.Topics[i].Topic == 1 {
+			weak = &tr.Topics[i]
+		}
+	}
+	if weak == nil {
+		t.Fatal("weak topic missing from trace")
+	}
+	if !weak.Pruned {
+		t.Error("unreachable topic not pruned")
+	}
+	if weak.PrunedAtDepth != 0 {
+		t.Errorf("PrunedAtDepth = %d, want 0", weak.PrunedAtDepth)
+	}
+}
+
+func TestTraceEmptyAndInvalid(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.MustAddEdge(0, 1, 0.5)
+	s := newSearcher(t, buildIndex(t, b.Build(), 0.1), Options{})
+	tr, err := s.TopKTrace(1, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Results) != 0 || len(tr.Topics) != 0 {
+		t.Errorf("empty search produced trace content: %+v", tr)
+	}
+	if _, err := s.TopKTrace(-1, nil, 1); err == nil {
+		t.Error("invalid user accepted")
+	}
+}

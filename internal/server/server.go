@@ -1,0 +1,210 @@
+// Package server exposes a built PIT-Search engine over HTTP with a small
+// JSON API — the deployment surface for the personalized services the
+// paper's introduction motivates (personalized recommendation and search,
+// target advertising, product promotion):
+//
+//	GET /search?q=<keywords>&user=<id>&k=<n>&method=<lrw|rcl>&lambda=<0..1>
+//	GET /topics?q=<keywords>            — q-related topics (no ranking)
+//	GET /stats                          — graph/index/topic-space counters
+//	GET /healthz
+//
+// All handlers are read-only against the engine and safe for concurrent
+// use once the engine's indexes are built.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// SearchResult is one JSON row of a /search response.
+type SearchResult struct {
+	Rank  int     `json:"rank"`
+	Topic string  `json:"topic"`
+	Tag   string  `json:"tag"`
+	Score float64 `json:"score"`
+}
+
+// SearchResponse is the /search payload.
+type SearchResponse struct {
+	Query   string         `json:"query"`
+	User    int32          `json:"user"`
+	Method  string         `json:"method"`
+	K       int            `json:"k"`
+	Results []SearchResult `json:"results"`
+}
+
+// TopicsResponse is the /topics payload.
+type TopicsResponse struct {
+	Query  string   `json:"query"`
+	Topics []string `json:"topics"`
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	Nodes            int     `json:"nodes"`
+	Edges            int     `json:"edges"`
+	Topics           int     `json:"topics"`
+	PropIndexEntries int     `json:"prop_index_entries"`
+	PropIndexTheta   float64 `json:"prop_index_theta"`
+	WalkL            int     `json:"walk_l"`
+	WalkR            int     `json:"walk_r"`
+	CachedLRW        int     `json:"cached_summaries_lrw"`
+	CachedRCL        int     `json:"cached_summaries_rcl"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server wraps an engine with HTTP handlers. Create with New, mount with
+// Handler.
+type Server struct {
+	eng *core.Engine
+	// MaxK caps the k any request may ask for (default 100).
+	maxK int
+}
+
+// New returns a Server over a fully built engine.
+func New(eng *core.Engine, maxK int) (*Server, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("server: nil engine")
+	}
+	if eng.Prop() == nil {
+		return nil, fmt.Errorf("server: engine indexes not built")
+	}
+	if maxK <= 0 {
+		maxK = 100
+	}
+	return &Server{eng: eng, maxK: maxK}, nil
+}
+
+// Handler returns the route multiplexer.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("GET /topics", s.handleTopics)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, payload interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(payload)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	userStr := r.URL.Query().Get("user")
+	user, err := strconv.ParseInt(userStr, 10, 32)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad user %q", userStr)
+		return
+	}
+	if !s.eng.Graph().Valid(graph.NodeID(user)) {
+		writeErr(w, http.StatusNotFound, "user %d not in the network", user)
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		k, err = strconv.Atoi(ks)
+		if err != nil || k < 1 {
+			writeErr(w, http.StatusBadRequest, "bad k %q", ks)
+			return
+		}
+	}
+	if k > s.maxK {
+		k = s.maxK
+	}
+	method := core.MethodLRW
+	switch r.URL.Query().Get("method") {
+	case "", "lrw":
+	case "rcl":
+		method = core.MethodRCL
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown method %q (want lrw or rcl)", r.URL.Query().Get("method"))
+		return
+	}
+	lambda := 0.0
+	if ls := r.URL.Query().Get("lambda"); ls != "" {
+		lambda, err = strconv.ParseFloat(ls, 64)
+		if err != nil || lambda < 0 || lambda > 1 {
+			writeErr(w, http.StatusBadRequest, "bad lambda %q (want 0..1)", ls)
+			return
+		}
+	}
+
+	var res []core.TopicResult
+	if lambda > 0 {
+		res, err = s.eng.SearchDiverse(method, q, graph.NodeID(user), k, lambda)
+	} else {
+		res, err = s.eng.Search(method, q, graph.NodeID(user), k)
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "search failed: %v", err)
+		return
+	}
+	resp := SearchResponse{
+		Query:   q,
+		User:    int32(user),
+		Method:  method.String(),
+		K:       k,
+		Results: make([]SearchResult, 0, len(res)),
+	}
+	for i, tr := range res {
+		resp.Results = append(resp.Results, SearchResult{
+			Rank:  i + 1,
+			Topic: tr.Topic.Label,
+			Tag:   tr.Topic.Tag,
+			Score: tr.Score,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	related := s.eng.Space().Related(q)
+	resp := TopicsResponse{Query: q, Topics: make([]string, 0, len(related))}
+	for _, t := range related {
+		resp.Topics = append(resp.Topics, s.eng.Space().Topic(t).Label)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	g := s.eng.Graph()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Nodes:            g.NumNodes(),
+		Edges:            g.NumEdges(),
+		Topics:           s.eng.Space().NumTopics(),
+		PropIndexEntries: s.eng.Prop().Size(),
+		PropIndexTheta:   s.eng.Prop().Theta(),
+		WalkL:            s.eng.Walks().L,
+		WalkR:            s.eng.Walks().R,
+		CachedLRW:        s.eng.CachedSummaries(core.MethodLRW),
+		CachedRCL:        s.eng.CachedSummaries(core.MethodRCL),
+	})
+}

@@ -1,0 +1,122 @@
+// Package storage persists the costly offline artifacts — the random-walk
+// index (Algorithm 6; §6.6 reports ~7 hours at full scale), the
+// personalized propagation index (Section 5.1) and materialized topic
+// summaries — so a deployment builds them once per dataset snapshot and
+// reloads them at startup, exactly the amortization argument of §6.6.
+package storage
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/propidx"
+	"repro/internal/randwalk"
+	"repro/internal/summary"
+)
+
+// magic versions the on-disk envelope so stale files fail loudly.
+const magic = "pitsearch-index-v1"
+
+type envelope struct {
+	Magic string
+	Kind  string
+}
+
+func writeFile(path, kind string, payload interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(envelope{Magic: magic, Kind: kind}); err != nil {
+		return fmt.Errorf("storage: encode envelope: %w", err)
+	}
+	if err := enc.Encode(payload); err != nil {
+		return fmt.Errorf("storage: encode %s: %w", kind, err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("storage: flush: %w", err)
+	}
+	return f.Sync()
+}
+
+func readFile(path, kind string, payload interface{}) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	return read(bufio.NewReader(f), kind, payload)
+}
+
+func read(r io.Reader, kind string, payload interface{}) error {
+	dec := gob.NewDecoder(r)
+	var env envelope
+	if err := dec.Decode(&env); err != nil {
+		return fmt.Errorf("storage: decode envelope: %w", err)
+	}
+	if env.Magic != magic {
+		return fmt.Errorf("storage: not a pitsearch index file (magic %q)", env.Magic)
+	}
+	if env.Kind != kind {
+		return fmt.Errorf("storage: file holds %q, expected %q", env.Kind, kind)
+	}
+	if err := dec.Decode(payload); err != nil {
+		return fmt.Errorf("storage: decode %s: %w", kind, err)
+	}
+	return nil
+}
+
+// SaveWalkIndex persists a walk index to path.
+func SaveWalkIndex(path string, ix *randwalk.Index) error {
+	if ix == nil {
+		return fmt.Errorf("storage: nil walk index")
+	}
+	return writeFile(path, "walks", ix)
+}
+
+// LoadWalkIndex reads a walk index from path.
+func LoadWalkIndex(path string) (*randwalk.Index, error) {
+	ix := new(randwalk.Index)
+	if err := readFile(path, "walks", ix); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// SavePropIndex persists a propagation index to path.
+func SavePropIndex(path string, ix *propidx.Index) error {
+	if ix == nil {
+		return fmt.Errorf("storage: nil propagation index")
+	}
+	return writeFile(path, "prop", ix)
+}
+
+// LoadPropIndex reads a propagation index from path.
+func LoadPropIndex(path string) (*propidx.Index, error) {
+	ix := new(propidx.Index)
+	if err := readFile(path, "prop", ix); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// SaveSummaries persists a batch of materialized topic summaries (the
+// topic-to-representative index of Figures 15–16).
+func SaveSummaries(path string, sums []summary.Summary) error {
+	return writeFile(path, "summaries", sums)
+}
+
+// LoadSummaries reads a summary batch from path.
+func LoadSummaries(path string) ([]summary.Summary, error) {
+	var sums []summary.Summary
+	if err := readFile(path, "summaries", &sums); err != nil {
+		return nil, err
+	}
+	return sums, nil
+}

@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/propidx"
+	"repro/internal/randwalk"
+	"repro/internal/summary"
+)
+
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(6))
+	b := graph.NewBuilder(60)
+	for i := 0; i < 240; i++ {
+		u, v := graph.NodeID(rng.Intn(60)), graph.NodeID(rng.Intn(60))
+		if u == v {
+			continue
+		}
+		b.MustAddEdge(u, v, 0.1+0.8*rng.Float64())
+	}
+	return b.Build()
+}
+
+func TestWalkIndexRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	ix, err := randwalk.Build(g, randwalk.Options{L: 4, R: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "walks.gob")
+	if err := SaveWalkIndex(path, ix); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadWalkIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.L != ix.L || got.R != ix.R || got.NumNodes() != ix.NumNodes() {
+		t.Fatalf("header mismatch: %d/%d/%d vs %d/%d/%d", got.L, got.R, got.NumNodes(), ix.L, ix.R, ix.NumNodes())
+	}
+	for w := 0; w < g.NumNodes(); w++ {
+		for i := 0; i < ix.R; i++ {
+			a, b := ix.Walk(i, graph.NodeID(w)), got.Walk(i, graph.NodeID(w))
+			if len(a) != len(b) {
+				t.Fatalf("walk(%d,%d) length differs", i, w)
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("walk(%d,%d)[%d] differs", i, w, j)
+				}
+			}
+		}
+		ra, rb := ix.ReachL(graph.NodeID(w)), got.ReachL(graph.NodeID(w))
+		if len(ra) != len(rb) {
+			t.Fatalf("ReachL(%d) length differs", w)
+		}
+	}
+	for j := 1; j <= ix.L; j++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			if ix.VisitFreq(j, graph.NodeID(v)) != got.VisitFreq(j, graph.NodeID(v)) {
+				t.Fatalf("H[%d][%d] differs", j, v)
+			}
+		}
+	}
+}
+
+func TestPropIndexRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	ix, err := propidx.Build(g, propidx.Options{Theta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "prop.gob")
+	if err := SavePropIndex(path, ix); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPropIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Theta() != ix.Theta() || got.Size() != ix.Size() {
+		t.Fatalf("header mismatch: θ=%v size=%d vs θ=%v size=%d", got.Theta(), got.Size(), ix.Theta(), ix.Size())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		s1, p1, m1 := ix.Gamma(graph.NodeID(v))
+		s2, p2, m2 := got.Gamma(graph.NodeID(v))
+		if len(s1) != len(s2) {
+			t.Fatalf("Gamma(%d) length differs", v)
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] || p1[i] != p2[i] || m1[i] != m2[i] {
+				t.Fatalf("Gamma(%d)[%d] differs", v, i)
+			}
+		}
+	}
+}
+
+func TestSummariesRoundTrip(t *testing.T) {
+	sums := []summary.Summary{
+		summary.New(0, []summary.WeightedNode{{Node: 3, Weight: 0.5}, {Node: 7, Weight: 0.5}}),
+		summary.New(2, nil),
+	}
+	path := filepath.Join(t.TempDir(), "sums.gob")
+	if err := SaveSummaries(path, sums); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSummaries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Topic != 0 || got[1].Topic != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got[0].Weight(3) != 0.5 {
+		t.Errorf("weight lost: %+v", got[0])
+	}
+}
+
+func TestKindMismatchRejected(t *testing.T) {
+	g := testGraph(t)
+	walks, _ := randwalk.Build(g, randwalk.Options{L: 2, R: 2, Seed: 1})
+	path := filepath.Join(t.TempDir(), "walks.gob")
+	if err := SaveWalkIndex(path, walks); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPropIndex(path); err == nil {
+		t.Error("loading walk file as prop index succeeded")
+	}
+}
+
+func TestCorruptFileRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.gob")
+	if err := os.WriteFile(path, []byte("not gob at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadWalkIndex(path); err == nil {
+		t.Error("corrupt file accepted")
+	}
+	if _, err := LoadWalkIndex(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSaveNilRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.gob")
+	if err := SaveWalkIndex(path, nil); err == nil {
+		t.Error("nil walk index accepted")
+	}
+	if err := SavePropIndex(path, nil); err == nil {
+		t.Error("nil prop index accepted")
+	}
+}

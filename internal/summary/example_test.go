@@ -1,0 +1,24 @@
+package summary_test
+
+import (
+	"fmt"
+
+	"repro/internal/summary"
+)
+
+// ExampleNew shows how duplicate representatives merge and how weights
+// behave as a sub-distribution over the topic's influence mass.
+func ExampleNew() {
+	s := summary.New(7, []summary.WeightedNode{
+		{Node: 4, Weight: 0.25},
+		{Node: 2, Weight: 0.50},
+		{Node: 4, Weight: 0.10}, // merged with the first entry
+	})
+	fmt.Println("reps:", s.Len())
+	fmt.Printf("weight(4) = %.2f\n", s.Weight(4))
+	fmt.Printf("total = %.2f (≤ 1: the rest of the topic's mass is unrepresented)\n", s.TotalWeight())
+	// Output:
+	// reps: 2
+	// weight(4) = 0.35
+	// total = 0.85 (≤ 1: the rest of the topic's mass is unrepresented)
+}

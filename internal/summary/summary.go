@@ -1,0 +1,99 @@
+// Package summary defines the shared output type of the paper's two social
+// summarization algorithms (Definition 1): a small set of representative
+// nodes with aggregated local-influence weights that stand in for the full
+// topic node set V_t. RCL-A (internal/rcl) and LRW-A (internal/lrw) both
+// produce a Summary; the top-k search (internal/search) and baselines
+// consume them through the Summarizer interface.
+package summary
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// WeightedNode is one representative node u with its migrated local
+// influence weight(u, t) — the initial propagation power it carries for the
+// topic when evaluating influence on a query user.
+type WeightedNode struct {
+	Node   graph.NodeID
+	Weight float64
+}
+
+// Summary is a t-aware social summarization: the selected representative
+// node set V* with weights. Reps are sorted by node ID and unique.
+type Summary struct {
+	Topic topics.TopicID
+	Reps  []WeightedNode
+}
+
+// New builds a Summary from (possibly unsorted, possibly duplicated)
+// weighted nodes; duplicate nodes have their weights summed.
+func New(t topics.TopicID, reps []WeightedNode) Summary {
+	merged := map[graph.NodeID]float64{}
+	for _, r := range reps {
+		merged[r.Node] += r.Weight
+	}
+	out := make([]WeightedNode, 0, len(merged))
+	for n, w := range merged {
+		out = append(out, WeightedNode{Node: n, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return Summary{Topic: t, Reps: out}
+}
+
+// Len returns the number of representative nodes.
+func (s Summary) Len() int { return len(s.Reps) }
+
+// TotalWeight returns Σ weight(u, t) over the representatives. For a
+// summarization that migrated every topic node's mass it equals 1; it is
+// ≤ 1 when some topic nodes were not absorbed by any representative (their
+// mass is the "remaining local weight" the top-k search bounds with W_r).
+func (s Summary) TotalWeight() float64 {
+	total := 0.0
+	for _, r := range s.Reps {
+		total += r.Weight
+	}
+	return total
+}
+
+// Weight returns weight(u, t) for node u (0 if u is not a representative).
+func (s Summary) Weight(u graph.NodeID) float64 {
+	i := sort.Search(len(s.Reps), func(i int) bool { return s.Reps[i].Node >= u })
+	if i < len(s.Reps) && s.Reps[i].Node == u {
+		return s.Reps[i].Weight
+	}
+	return 0
+}
+
+// Contains reports whether u is a representative node of s.
+func (s Summary) Contains(u graph.NodeID) bool {
+	i := sort.Search(len(s.Reps), func(i int) bool { return s.Reps[i].Node >= u })
+	return i < len(s.Reps) && s.Reps[i].Node == u
+}
+
+// Validate checks structural invariants: sorted unique reps, finite
+// non-negative weights, total weight ≤ 1 + eps.
+func (s Summary) Validate() error {
+	for i, r := range s.Reps {
+		if i > 0 && s.Reps[i-1].Node >= r.Node {
+			return fmt.Errorf("summary: reps not sorted/unique at %d", i)
+		}
+		if r.Weight < 0 {
+			return fmt.Errorf("summary: negative weight %v on node %d", r.Weight, r.Node)
+		}
+	}
+	if tw := s.TotalWeight(); tw > 1+1e-9 {
+		return fmt.Errorf("summary: total weight %v exceeds 1", tw)
+	}
+	return nil
+}
+
+// Summarizer produces the t-aware social summarization for a topic. RCL-A
+// and LRW-A implement it.
+type Summarizer interface {
+	// Summarize selects and weights the representative node set for t.
+	Summarize(t topics.TopicID) (Summary, error)
+}

@@ -1,0 +1,108 @@
+package summary
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestNewSortsAndMerges(t *testing.T) {
+	s := New(3, []WeightedNode{
+		{Node: 9, Weight: 0.2},
+		{Node: 1, Weight: 0.1},
+		{Node: 9, Weight: 0.3},
+		{Node: 4, Weight: 0.4},
+	})
+	if s.Topic != 3 {
+		t.Errorf("Topic = %d, want 3", s.Topic)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 after merge", s.Len())
+	}
+	wantNodes := []graph.NodeID{1, 4, 9}
+	wantWeights := []float64{0.1, 0.4, 0.5}
+	for i, r := range s.Reps {
+		if r.Node != wantNodes[i] {
+			t.Errorf("rep %d node = %d, want %d", i, r.Node, wantNodes[i])
+		}
+		if diff := r.Weight - wantWeights[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("rep %d weight = %v, want %v", i, r.Weight, wantWeights[i])
+		}
+	}
+}
+
+func TestWeightAndContains(t *testing.T) {
+	s := New(0, []WeightedNode{{2, 0.5}, {7, 0.25}})
+	if got := s.Weight(2); got != 0.5 {
+		t.Errorf("Weight(2) = %v, want 0.5", got)
+	}
+	if got := s.Weight(3); got != 0 {
+		t.Errorf("Weight(3) = %v, want 0", got)
+	}
+	if !s.Contains(7) || s.Contains(8) {
+		t.Error("Contains wrong")
+	}
+	if got := s.TotalWeight(); got != 0.75 {
+		t.Errorf("TotalWeight = %v, want 0.75", got)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := New(1, nil)
+	if s.Len() != 0 || s.TotalWeight() != 0 {
+		t.Errorf("empty summary has content: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate(empty) = %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := New(0, []WeightedNode{{1, 0.5}, {2, 0.5}})
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid summary rejected: %v", err)
+	}
+	unsorted := Summary{Reps: []WeightedNode{{3, 0.1}, {1, 0.1}}}
+	if err := unsorted.Validate(); err == nil {
+		t.Error("unsorted reps accepted")
+	}
+	dup := Summary{Reps: []WeightedNode{{1, 0.1}, {1, 0.1}}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate reps accepted")
+	}
+	negative := Summary{Reps: []WeightedNode{{1, -0.1}}}
+	if err := negative.Validate(); err == nil {
+		t.Error("negative weight accepted")
+	}
+	heavy := Summary{Reps: []WeightedNode{{1, 0.7}, {2, 0.7}}}
+	if err := heavy.Validate(); err == nil {
+		t.Error("total weight > 1 accepted")
+	}
+}
+
+// Property: New always yields a summary that passes Validate when input
+// weights are non-negative and sum ≤ 1, and preserves total weight.
+func TestNewPreservesMass(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		reps := make([]WeightedNode, n)
+		total := 0.0
+		for i := range reps {
+			w := rng.Float64() / float64(n)
+			reps[i] = WeightedNode{Node: graph.NodeID(rng.Intn(10)), Weight: w}
+			total += w
+		}
+		s := New(0, reps)
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		diff := s.TotalWeight() - total
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package topicmodel
+
+// Synthetic corpus generation: stands in for the paper's 50M-tweet crawl.
+// Users in the same graph community post about the same refined terms
+// (plus background noise), so Extract recovers socially clustered topics —
+// the property the summarization algorithms exploit.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// CorpusConfig parameterizes GenerateCorpus.
+type CorpusConfig struct {
+	// PostsPerUser is the mean number of posts per user (paper: ~450
+	// tweets per user at full scale; scale to taste).
+	PostsPerUser int
+	// Vocab is the refined vocabulary; generated posts draw their
+	// meaningful terms from it with community locality.
+	Vocab Vocabulary
+	// CommunityTerms is how many vocabulary terms one community
+	// concentrates on.
+	CommunityTerms int
+	// NoiseTerms is how many non-vocabulary filler words each post
+	// carries (they must not survive refinement).
+	NoiseTerms int
+	Seed       int64
+}
+
+func (c *CorpusConfig) fill() error {
+	if len(c.Vocab) == 0 {
+		return fmt.Errorf("topicmodel: corpus needs a vocabulary")
+	}
+	if c.PostsPerUser <= 0 {
+		c.PostsPerUser = 10
+	}
+	if c.CommunityTerms <= 0 {
+		c.CommunityTerms = 4
+	}
+	if c.NoiseTerms < 0 {
+		c.NoiseTerms = 3
+	}
+	return nil
+}
+
+// GenerateCorpus synthesizes posts over the graph's communities: each node
+// is assigned to a community ball whose members favour the same few
+// vocabulary terms.
+func GenerateCorpus(g *graph.Graph, cfg CorpusConfig) ([]Post, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return nil, fmt.Errorf("topicmodel: nil or empty graph")
+	}
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	terms := make([]string, 0, len(cfg.Vocab))
+	for term := range cfg.Vocab {
+		terms = append(terms, term)
+	}
+	sort.Strings(terms)
+
+	// Assign every node a "home" term set by flooding from random seeds.
+	n := g.NumNodes()
+	home := make([]int, n) // index into term blocks
+	for i := range home {
+		home[i] = -1
+	}
+	tr := graph.NewTraverser(g)
+	blocks := (len(terms) + cfg.CommunityTerms - 1) / cfg.CommunityTerms
+	for b := 0; b < blocks*2; b++ {
+		seed := graph.NodeID(rng.Intn(n))
+		block := b % blocks
+		if home[seed] == -1 {
+			home[seed] = block
+		}
+		count := 0
+		tr.Forward(seed, 3, func(v graph.NodeID, _ int) bool {
+			if home[v] == -1 {
+				home[v] = block
+			}
+			count++
+			return count < n/blocks
+		})
+	}
+	for v := range home {
+		if home[v] == -1 {
+			home[v] = rng.Intn(blocks)
+		}
+	}
+
+	noise := []string{"the", "lol", "today", "so", "really", "just", "omg", "nice", "wow", "yeah"}
+	var posts []Post
+	for v := 0; v < n; v++ {
+		numPosts := 1 + rng.Intn(cfg.PostsPerUser*2)
+		lo := home[v] * cfg.CommunityTerms
+		for p := 0; p < numPosts; p++ {
+			var words []string
+			// 1–3 meaningful terms from the community block
+			for t := 0; t < 1+rng.Intn(3); t++ {
+				idx := lo + rng.Intn(cfg.CommunityTerms)
+				if idx >= len(terms) {
+					idx = len(terms) - 1
+				}
+				words = append(words, terms[idx])
+			}
+			// occasional out-of-community term (cross-talk)
+			if rng.Float64() < 0.15 {
+				words = append(words, terms[rng.Intn(len(terms))])
+			}
+			for t := 0; t < cfg.NoiseTerms; t++ {
+				words = append(words, noise[rng.Intn(len(noise))])
+			}
+			posts = append(posts, Post{User: graph.NodeID(v), Text: strings.Join(words, " ")})
+		}
+	}
+	return posts, nil
+}

@@ -1,0 +1,202 @@
+// Package topicmodel reproduces the paper's topic-generation pipeline
+// (§6.1 "Topic Generation"): each user's posted messages are treated as a
+// document, a simple topic model extracts a bag of topic-seed terms per
+// user ("normally 16 terms"), and the seeds are refined against a tag
+// vocabulary (the paper uses the 53,388 HetRec-2011 tags) so that one
+// query-facing tag fans out into many concrete topics shared by socially
+// related users.
+//
+// The extractor here is a TF-IDF seed selector rather than full LDA: the
+// paper's pipeline only needs "a reasonable set of topic seeds for each
+// Twitter user", and the downstream PIT-Search algorithms consume nothing
+// but the resulting topic→users inverted index. Corpus synthesis (for the
+// offline experiments) lives in corpus.go.
+package topicmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// Post is one message by one user.
+type Post struct {
+	User graph.NodeID
+	Text string
+}
+
+// Options configures Extract.
+type Options struct {
+	// SeedsPerUser is the number of topic-seed terms kept per user
+	// (paper: "normally 16 terms").
+	SeedsPerUser int
+	// MinUsersPerTopic drops topics discussed by fewer users: a "topic"
+	// with one speaker has no influence structure to summarize.
+	MinUsersPerTopic int
+}
+
+func (o *Options) fill() {
+	if o.SeedsPerUser <= 0 {
+		o.SeedsPerUser = 16
+	}
+	if o.MinUsersPerTopic <= 0 {
+		o.MinUsersPerTopic = 2
+	}
+}
+
+// Vocabulary maps refined terms to their query-facing tag, mirroring the
+// HetRec tag refinement: a term is kept as a topic seed only if the
+// vocabulary knows it, and the tag is what keyword queries match.
+type Vocabulary map[string]string
+
+// NewVocabulary builds a Vocabulary from tag → terms fan-outs. Terms are
+// lower-cased; duplicate terms keep their first tag.
+func NewVocabulary(tagTerms map[string][]string) Vocabulary {
+	v := Vocabulary{}
+	// Deterministic iteration: sort tags first.
+	tags := make([]string, 0, len(tagTerms))
+	for tag := range tagTerms {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	for _, tag := range tags {
+		for _, term := range tagTerms[tag] {
+			term = strings.ToLower(strings.TrimSpace(term))
+			if term == "" {
+				continue
+			}
+			if _, dup := v[term]; !dup {
+				v[term] = strings.ToLower(tag)
+			}
+		}
+	}
+	return v
+}
+
+// Extract runs the §6.1 pipeline over a corpus: per-user TF-IDF seed
+// selection, vocabulary refinement, and inverted-index construction. The
+// resulting Space has one topic per refined term, tagged with the term's
+// vocabulary tag, and V_t = the users whose seeds include the term.
+func Extract(posts []Post, vocab Vocabulary, opt Options) (*topics.Space, error) {
+	if len(posts) == 0 {
+		return nil, fmt.Errorf("topicmodel: empty corpus")
+	}
+	if len(vocab) == 0 {
+		return nil, fmt.Errorf("topicmodel: empty vocabulary")
+	}
+	opt.fill()
+
+	// Document per user: term frequencies.
+	userTF := map[graph.NodeID]map[string]int{}
+	docFreq := map[string]int{}
+	for _, p := range posts {
+		tf := userTF[p.User]
+		if tf == nil {
+			tf = map[string]int{}
+			userTF[p.User] = tf
+		}
+		for _, term := range Tokenize(p.Text) {
+			if tf[term] == 0 {
+				docFreq[term]++
+			}
+			tf[term]++
+		}
+	}
+	numDocs := float64(len(userTF))
+
+	// Per-user seeds: top TF-IDF terms, restricted to the vocabulary.
+	type seedUser struct {
+		term string
+		user graph.NodeID
+	}
+	var pairs []seedUser
+	users := make([]graph.NodeID, 0, len(userTF))
+	for u := range userTF {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	for _, u := range users {
+		tf := userTF[u]
+		type scored struct {
+			term  string
+			score float64
+		}
+		var cand []scored
+		for term, f := range tf {
+			if _, known := vocab[term]; !known {
+				continue // refinement: only vocabulary terms survive
+			}
+			idf := math.Log(1 + numDocs/float64(docFreq[term]))
+			cand = append(cand, scored{term, float64(f) * idf})
+		}
+		sort.Slice(cand, func(a, b int) bool {
+			if cand[a].score != cand[b].score {
+				return cand[a].score > cand[b].score
+			}
+			return cand[a].term < cand[b].term
+		})
+		if len(cand) > opt.SeedsPerUser {
+			cand = cand[:opt.SeedsPerUser]
+		}
+		for _, c := range cand {
+			pairs = append(pairs, seedUser{c.term, u})
+		}
+	}
+
+	// Inverted index: term → users, dropping sparse topics.
+	termUsers := map[string][]graph.NodeID{}
+	for _, p := range pairs {
+		termUsers[p.term] = append(termUsers[p.term], p.user)
+	}
+	terms := make([]string, 0, len(termUsers))
+	for term, us := range termUsers {
+		if len(us) >= opt.MinUsersPerTopic {
+			terms = append(terms, term)
+		}
+	}
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("topicmodel: no topic survived refinement (corpus too sparse?)")
+	}
+	sort.Strings(terms)
+
+	sb := topics.NewSpaceBuilder()
+	for _, term := range terms {
+		id, err := sb.AddTopic(vocab[term], term)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range termUsers[term] {
+			if err := sb.AddNode(id, u); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sb.Build(), nil
+}
+
+// Tokenize lower-cases and splits text into terms, stripping punctuation.
+// Exported for tests and for callers that pre-filter posts.
+func Tokenize(text string) []string {
+	var out []string
+	var sb strings.Builder
+	flush := func() {
+		if sb.Len() > 0 {
+			out = append(out, sb.String())
+			sb.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '#', r == '_':
+			sb.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}

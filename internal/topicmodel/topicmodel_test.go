@@ -1,0 +1,256 @@
+package topicmodel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+func testVocab() Vocabulary {
+	return NewVocabulary(map[string][]string{
+		"phone":  {"iphone", "galaxy", "pixel"},
+		"coffee": {"espresso", "latte", "roast"},
+	})
+}
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"new iPhone 15 is #great", []string{"new", "iphone", "15", "is", "#great"}},
+		{"", nil},
+		{"...!!!", nil},
+		{"snake_case stays", []string{"snake_case", "stays"}},
+	}
+	for _, tc := range cases {
+		got := Tokenize(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Tokenize(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestNewVocabulary(t *testing.T) {
+	v := NewVocabulary(map[string][]string{
+		"Phone": {"iPhone", " galaxy ", ""},
+		"other": {"iphone"}, // duplicate term keeps first tag
+	})
+	if v["iphone"] != "other" && v["iphone"] != "phone" {
+		t.Errorf("iphone tag = %q", v["iphone"])
+	}
+	if v["galaxy"] != "phone" {
+		t.Errorf("galaxy tag = %q, want phone", v["galaxy"])
+	}
+	if _, ok := v[""]; ok {
+		t.Error("empty term admitted")
+	}
+}
+
+func TestExtractBasics(t *testing.T) {
+	posts := []Post{
+		{User: 0, Text: "my new iphone is great"},
+		{User: 1, Text: "iphone beats galaxy lol"},
+		{User: 2, Text: "galaxy photos wow"},
+		{User: 3, Text: "the espresso here omg"},
+		{User: 4, Text: "espresso and latte today"},
+		{User: 5, Text: "just random chatter"},
+	}
+	space, err := Extract(posts, testVocab(), Options{SeedsPerUser: 4, MinUsersPerTopic: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iphone, ok := space.ByLabel("iphone")
+	if !ok {
+		t.Fatal("iphone topic missing")
+	}
+	if iphone.Tag != "phone" {
+		t.Errorf("iphone tag = %q", iphone.Tag)
+	}
+	if got := len(space.Nodes(iphone.ID)); got != 2 {
+		t.Errorf("iphone users = %d, want 2", got)
+	}
+	// "latte" has one user only → dropped by MinUsersPerTopic.
+	if _, ok := space.ByLabel("latte"); ok {
+		t.Error("singleton topic survived")
+	}
+	// noise terms are not topics
+	if _, ok := space.ByLabel("lol"); ok {
+		t.Error("non-vocabulary term became a topic")
+	}
+	// query-facing tags work
+	if got := space.Related("phone"); len(got) < 2 {
+		t.Errorf("Related(phone) = %v, want ≥ 2 topics", got)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if _, err := Extract(nil, testVocab(), Options{}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := Extract([]Post{{User: 0, Text: "x"}}, Vocabulary{}, Options{}); err == nil {
+		t.Error("empty vocabulary accepted")
+	}
+	// A corpus with no vocabulary hits yields no topics.
+	posts := []Post{{User: 0, Text: "nothing relevant"}, {User: 1, Text: "still nothing"}}
+	if _, err := Extract(posts, testVocab(), Options{}); err == nil {
+		t.Error("unrefinable corpus accepted")
+	}
+}
+
+func TestExtractSeedCap(t *testing.T) {
+	// One user mentioning every vocabulary term keeps only SeedsPerUser.
+	posts := []Post{
+		{User: 0, Text: "iphone galaxy pixel espresso latte roast"},
+		{User: 1, Text: "iphone galaxy pixel espresso latte roast"},
+	}
+	space, err := Extract(posts, testVocab(), Options{SeedsPerUser: 2, MinUsersPerTopic: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := space.NumTopics(); got != 2 {
+		t.Errorf("topics = %d, want 2 (seed cap)", got)
+	}
+	if got := len(space.NodeTopics(0)); got != 2 {
+		t.Errorf("user 0 topics = %d, want 2", got)
+	}
+}
+
+func TestGenerateCorpusAndExtractEndToEnd(t *testing.T) {
+	g, err := dataset.GenerateGraph(dataset.GraphConfig{
+		Nodes: 400, MinOutDegree: 2, MaxOutDegree: 8, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocab := NewVocabulary(map[string][]string{
+		"tech":  {"golang", "rustlang", "python", "kubernetes"},
+		"food":  {"ramen", "tacos", "sushi", "pizza"},
+		"sport": {"football", "cycling", "tennis", "climbing"},
+	})
+	posts, err := GenerateCorpus(g, CorpusConfig{PostsPerUser: 6, Vocab: vocab, CommunityTerms: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posts) < g.NumNodes() {
+		t.Fatalf("corpus too small: %d posts", len(posts))
+	}
+	space, err := Extract(posts, vocab, Options{SeedsPerUser: 8, MinUsersPerTopic: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.NumTopics() < 3 {
+		t.Fatalf("extracted %d topics, want several", space.NumTopics())
+	}
+	// Every extracted topic's label must be a vocabulary term with the
+	// right tag, and its users valid graph nodes.
+	for ti := 0; ti < space.NumTopics(); ti++ {
+		topic := space.Topic(int32(ti))
+		wantTag, known := vocab[topic.Label]
+		if !known {
+			t.Errorf("topic %q not in vocabulary", topic.Label)
+			continue
+		}
+		if topic.Tag != wantTag {
+			t.Errorf("topic %q tag = %q, want %q", topic.Label, topic.Tag, wantTag)
+		}
+		for _, u := range space.Nodes(topic.ID) {
+			if !g.Valid(u) {
+				t.Errorf("topic %q has invalid user %d", topic.Label, u)
+			}
+		}
+	}
+	// Noise words never become topics.
+	for _, w := range []string{"the", "lol", "today"} {
+		if _, ok := space.ByLabel(w); ok {
+			t.Errorf("noise term %q extracted as topic", w)
+		}
+	}
+}
+
+func TestGenerateCorpusErrors(t *testing.T) {
+	g, _ := dataset.GenerateGraph(dataset.GraphConfig{Nodes: 50, MinOutDegree: 1, MaxOutDegree: 3, Seed: 1})
+	if _, err := GenerateCorpus(nil, CorpusConfig{Vocab: testVocab()}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := GenerateCorpus(g, CorpusConfig{}); err == nil {
+		t.Error("missing vocabulary accepted")
+	}
+}
+
+// Property: Extract is deterministic and every topic meets the
+// MinUsersPerTopic floor.
+func TestExtractDeterministicAndFloored(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vocab := testVocab()
+		terms := make([]string, 0, len(vocab))
+		for term := range vocab {
+			terms = append(terms, term)
+		}
+		var posts []Post
+		for u := 0; u < 20; u++ {
+			var words []string
+			for w := 0; w < 1+rng.Intn(4); w++ {
+				words = append(words, terms[rng.Intn(len(terms))])
+			}
+			posts = append(posts, Post{User: graph.NodeID(u), Text: strings.Join(words, " ")})
+		}
+		a, errA := Extract(posts, vocab, Options{MinUsersPerTopic: 3})
+		b, errB := Extract(posts, vocab, Options{MinUsersPerTopic: 3})
+		if (errA == nil) != (errB == nil) {
+			return false
+		}
+		if errA != nil {
+			return true // sparse corpus rejected consistently
+		}
+		if a.NumTopics() != b.NumTopics() {
+			return false
+		}
+		for ti := 0; ti < a.NumTopics(); ti++ {
+			if len(a.Nodes(int32(ti))) < 3 {
+				return false
+			}
+			if a.Topic(int32(ti)).Label != b.Topic(int32(ti)).Label {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	g, err := dataset.GenerateGraph(dataset.GraphConfig{Nodes: 2000, MinOutDegree: 2, MaxOutDegree: 8, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vocab := NewVocabulary(map[string][]string{
+		"tech": {"golang", "rustlang", "python", "kubernetes"},
+		"food": {"ramen", "tacos", "sushi", "pizza"},
+	})
+	posts, err := GenerateCorpus(g, CorpusConfig{PostsPerUser: 8, Vocab: vocab, CommunityTerms: 4, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Extract(posts, vocab, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package topics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the topic-space parser with arbitrary input: no
+// panics, and successful parses round-trip through Write/Read.
+func FuzzRead(f *testing.F) {
+	f.Add("topic\t0\tphone\tapple phone\nnode\t0\t3\n")
+	f.Add("topic\t0\ta\tb c d\ntopic\t1\ta\te\nnode\t1\t0\n")
+	f.Add("node\t0\t1\n")
+	f.Add("topic\t9\tx\ty\nnode\t9\t-5\n")
+	f.Add("# comment\n\ntopic\t0\tt\tlabel\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			t.Fatalf("Write after successful Read: %v", err)
+		}
+		s2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-Read of Write output: %v", err)
+		}
+		if s2.NumTopics() != s.NumTopics() {
+			t.Fatalf("round trip changed topic count: %d vs %d", s2.NumTopics(), s.NumTopics())
+		}
+	})
+}

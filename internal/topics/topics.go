@@ -1,0 +1,271 @@
+// Package topics implements the topic space T of the PIT-Search problem
+// (Section 2) together with the inverted topic→node index that every
+// summarization algorithm starts from (Algorithms 1, 7 and 8 all begin with
+// "Topic node set V_t … retrieved from an inverted node index") and the
+// keyword→topic matching that turns a user query q into its q-related
+// topic set T_q (Algorithm 10, line 1).
+//
+// A Topic is a (tag, label) pair: the tag is the query-facing keyword (the
+// paper's HetRec-2011 tags, e.g. "phone"), the label distinguishes concrete
+// topics under that tag (the paper's LDA-derived topic seeds, e.g. "apple
+// phone" vs "samsung phone"). Every topic carries the set of social users
+// whose posts mention it — its topic nodes V_t.
+package topics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// TopicID is a dense identifier into a Space. Dense IDs let the search
+// layer keep per-topic state in flat slices.
+type TopicID = int32
+
+// Topic is one entry of the topic space.
+type Topic struct {
+	ID    TopicID
+	Tag   string // query keyword this topic answers to (lowercase)
+	Label string // human-readable topic label, unique within the space
+}
+
+// Space is the immutable topic space T plus its inverted node index.
+// Construct with a SpaceBuilder.
+type Space struct {
+	topics  []Topic
+	byLabel map[string]TopicID
+	byTag   map[string][]TopicID
+
+	// nodes[t] is V_t: sorted, deduplicated topic-node IDs for topic t.
+	nodes [][]graph.NodeID
+	// nodeTopics[v] lists the topics of node v (the paper's T(v)).
+	nodeTopics map[graph.NodeID][]TopicID
+}
+
+// NumTopics returns |T|.
+func (s *Space) NumTopics() int { return len(s.topics) }
+
+// Topic returns the topic with the given ID.
+func (s *Space) Topic(id TopicID) Topic { return s.topics[id] }
+
+// Valid reports whether id names a topic of s.
+func (s *Space) Valid(id TopicID) bool { return id >= 0 && int(id) < len(s.topics) }
+
+// ByLabel returns the topic with the given label, if any.
+func (s *Space) ByLabel(label string) (Topic, bool) {
+	id, ok := s.byLabel[normalize(label)]
+	if !ok {
+		return Topic{}, false
+	}
+	return s.topics[id], true
+}
+
+// Nodes returns V_t, the sorted node set of topic t. The returned slice
+// aliases internal storage and must not be modified.
+func (s *Space) Nodes(t TopicID) []graph.NodeID { return s.nodes[t] }
+
+// NodeTopics returns T(v), the topics of node v (nil if v has none). The
+// returned slice aliases internal storage and must not be modified.
+func (s *Space) NodeTopics(v graph.NodeID) []TopicID { return s.nodeTopics[v] }
+
+// Related returns the IDs of all q-related topics for a keyword query.
+// A topic is q-related when any query term equals its tag or appears as a
+// word of its label; multi-term queries take the union, matching the
+// paper's tag-based query workload where one tag yields 500+ topics.
+// Results are sorted by ID and deduplicated.
+func (s *Space) Related(query string) []TopicID {
+	terms := strings.Fields(normalize(query))
+	if len(terms) == 0 {
+		return nil
+	}
+	seen := map[TopicID]struct{}{}
+	var out []TopicID
+	for _, term := range terms {
+		for _, id := range s.byTag[term] {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	// Also match label words for topics whose tag differs from the term.
+	for _, t := range s.topics {
+		if _, dup := seen[t.ID]; dup {
+			continue
+		}
+		for _, w := range strings.Fields(t.Label) {
+			if containsTerm(terms, w) {
+				seen[t.ID] = struct{}{}
+				out = append(out, t.ID)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func containsTerm(terms []string, w string) bool {
+	for _, t := range terms {
+		if t == w {
+			return true
+		}
+	}
+	return false
+}
+
+func normalize(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// SpaceBuilder accumulates topics and node memberships.
+type SpaceBuilder struct {
+	topics  []Topic
+	byLabel map[string]TopicID
+	members []map[graph.NodeID]struct{}
+}
+
+// NewSpaceBuilder returns an empty builder.
+func NewSpaceBuilder() *SpaceBuilder {
+	return &SpaceBuilder{byLabel: map[string]TopicID{}}
+}
+
+// AddTopic registers a topic under tag with the given label and returns its
+// ID. Adding a label twice returns the existing ID (and ignores a differing
+// tag). Empty tags or labels are rejected.
+func (b *SpaceBuilder) AddTopic(tag, label string) (TopicID, error) {
+	tag, label = normalize(tag), normalize(label)
+	if tag == "" || label == "" {
+		return 0, fmt.Errorf("topics: empty tag or label (tag=%q label=%q)", tag, label)
+	}
+	if id, ok := b.byLabel[label]; ok {
+		return id, nil
+	}
+	id := TopicID(len(b.topics))
+	b.topics = append(b.topics, Topic{ID: id, Tag: tag, Label: label})
+	b.byLabel[label] = id
+	b.members = append(b.members, map[graph.NodeID]struct{}{})
+	return id, nil
+}
+
+// AddNode records that node v discusses topic t. Duplicates are ignored.
+func (b *SpaceBuilder) AddNode(t TopicID, v graph.NodeID) error {
+	if t < 0 || int(t) >= len(b.topics) {
+		return fmt.Errorf("topics: unknown topic id %d", t)
+	}
+	b.members[t][v] = struct{}{}
+	return nil
+}
+
+// Build finalizes the space.
+func (b *SpaceBuilder) Build() *Space {
+	s := &Space{
+		topics:     b.topics,
+		byLabel:    b.byLabel,
+		byTag:      map[string][]TopicID{},
+		nodes:      make([][]graph.NodeID, len(b.topics)),
+		nodeTopics: map[graph.NodeID][]TopicID{},
+	}
+	for _, t := range b.topics {
+		s.byTag[t.Tag] = append(s.byTag[t.Tag], t.ID)
+	}
+	for t, members := range b.members {
+		ns := make([]graph.NodeID, 0, len(members))
+		for v := range members {
+			ns = append(ns, v)
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		s.nodes[t] = ns
+		for _, v := range ns {
+			s.nodeTopics[v] = append(s.nodeTopics[v], TopicID(t))
+		}
+	}
+	for _, ts := range s.nodeTopics {
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	}
+	return s
+}
+
+// Write serializes the space as a line-oriented TSV:
+//
+//	topic\t<id>\t<tag>\t<label with spaces>
+//	node\t<topicID>\t<nodeID>
+//
+// IDs are written so files are stable and diffable, but Read reassigns
+// dense IDs in file order.
+func Write(w io.Writer, s *Space) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range s.topics {
+		if _, err := fmt.Fprintf(bw, "topic\t%d\t%s\t%s\n", t.ID, t.Tag, t.Label); err != nil {
+			return err
+		}
+	}
+	for t := range s.nodes {
+		for _, v := range s.nodes[t] {
+			if _, err := fmt.Fprintf(bw, "node\t%d\t%d\n", t, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a space written by Write.
+func Read(r io.Reader) (*Space, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	b := NewSpaceBuilder()
+	idMap := map[int64]TopicID{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.SplitN(line, "\t", 4)
+		switch fields[0] {
+		case "topic":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("topics: line %d: malformed topic line %q", lineNo, line)
+			}
+			fileID, err := strconv.ParseInt(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("topics: line %d: bad topic id %q", lineNo, fields[1])
+			}
+			id, err := b.AddTopic(fields[2], fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("topics: line %d: %w", lineNo, err)
+			}
+			idMap[fileID] = id
+		case "node":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("topics: line %d: malformed node line %q", lineNo, line)
+			}
+			fileID, err := strconv.ParseInt(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("topics: line %d: bad topic id %q", lineNo, fields[1])
+			}
+			id, ok := idMap[fileID]
+			if !ok {
+				return nil, fmt.Errorf("topics: line %d: node references unknown topic %d", lineNo, fileID)
+			}
+			v, err := strconv.ParseInt(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("topics: line %d: bad node id %q", lineNo, fields[2])
+			}
+			if err := b.AddNode(id, graph.NodeID(v)); err != nil {
+				return nil, fmt.Errorf("topics: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("topics: line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topics: read: %w", err)
+	}
+	return b.Build(), nil
+}

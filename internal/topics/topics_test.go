@@ -1,0 +1,313 @@
+package topics
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func buildPhoneSpace(t *testing.T) *Space {
+	t.Helper()
+	b := NewSpaceBuilder()
+	apple, err := b.AddTopic("phone", "apple phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	samsung, _ := b.AddTopic("phone", "samsung phone")
+	htc, _ := b.AddTopic("phone", "htc phone")
+	laptop, _ := b.AddTopic("laptop", "gaming laptop")
+	for _, v := range []graph.NodeID{2, 5, 9, 13, 15} {
+		if err := b.AddNode(apple, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []graph.NodeID{1, 13} {
+		_ = b.AddNode(samsung, v)
+	}
+	_ = b.AddNode(htc, 6)
+	_ = b.AddNode(laptop, 2)
+	return b.Build()
+}
+
+func TestSpaceBasics(t *testing.T) {
+	s := buildPhoneSpace(t)
+	if got := s.NumTopics(); got != 4 {
+		t.Fatalf("NumTopics = %d, want 4", got)
+	}
+	apple, ok := s.ByLabel("apple phone")
+	if !ok {
+		t.Fatal("apple phone topic missing")
+	}
+	if apple.Tag != "phone" {
+		t.Errorf("apple tag = %q, want phone", apple.Tag)
+	}
+	want := []graph.NodeID{2, 5, 9, 13, 15}
+	got := s.Nodes(apple.ID)
+	if len(got) != len(want) {
+		t.Fatalf("Nodes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes = %v, want %v (sorted)", got, want)
+		}
+	}
+}
+
+func TestNodeTopics(t *testing.T) {
+	s := buildPhoneSpace(t)
+	// node 13 mentions both apple and samsung (like User 13 in Figure 1)
+	ts := s.NodeTopics(13)
+	if len(ts) != 2 {
+		t.Fatalf("NodeTopics(13) = %v, want 2 topics", ts)
+	}
+	labels := []string{s.Topic(ts[0]).Label, s.Topic(ts[1]).Label}
+	sort.Strings(labels)
+	if labels[0] != "apple phone" || labels[1] != "samsung phone" {
+		t.Errorf("NodeTopics(13) labels = %v", labels)
+	}
+	if got := s.NodeTopics(999); got != nil {
+		t.Errorf("NodeTopics(999) = %v, want nil", got)
+	}
+}
+
+func TestRelatedByTag(t *testing.T) {
+	s := buildPhoneSpace(t)
+	rel := s.Related("Phone")
+	if len(rel) != 3 {
+		t.Fatalf("Related(phone) = %v, want 3 topics", rel)
+	}
+	for _, id := range rel {
+		if s.Topic(id).Tag != "phone" {
+			t.Errorf("Related(phone) includes tag %q", s.Topic(id).Tag)
+		}
+	}
+}
+
+func TestRelatedByLabelWord(t *testing.T) {
+	s := buildPhoneSpace(t)
+	rel := s.Related("samsung")
+	if len(rel) != 1 || s.Topic(rel[0]).Label != "samsung phone" {
+		t.Fatalf("Related(samsung) = %v", rel)
+	}
+}
+
+func TestRelatedMultiTermUnion(t *testing.T) {
+	s := buildPhoneSpace(t)
+	rel := s.Related("laptop samsung")
+	if len(rel) != 2 {
+		t.Fatalf("Related(laptop samsung) = %v, want 2", rel)
+	}
+}
+
+func TestRelatedEmptyAndUnknown(t *testing.T) {
+	s := buildPhoneSpace(t)
+	if got := s.Related(""); got != nil {
+		t.Errorf("Related(\"\") = %v, want nil", got)
+	}
+	if got := s.Related("   "); got != nil {
+		t.Errorf("Related(blank) = %v, want nil", got)
+	}
+	if got := s.Related("zzz"); len(got) != 0 {
+		t.Errorf("Related(zzz) = %v, want empty", got)
+	}
+}
+
+func TestAddTopicDeduplicatesByLabel(t *testing.T) {
+	b := NewSpaceBuilder()
+	id1, _ := b.AddTopic("phone", "apple phone")
+	id2, _ := b.AddTopic("mobile", "Apple Phone") // case-insensitive dup
+	if id1 != id2 {
+		t.Errorf("duplicate label produced distinct IDs %d, %d", id1, id2)
+	}
+	s := b.Build()
+	if s.NumTopics() != 1 {
+		t.Errorf("NumTopics = %d, want 1", s.NumTopics())
+	}
+}
+
+func TestAddTopicRejectsEmpty(t *testing.T) {
+	b := NewSpaceBuilder()
+	if _, err := b.AddTopic("", "label"); err == nil {
+		t.Error("empty tag accepted")
+	}
+	if _, err := b.AddTopic("tag", "  "); err == nil {
+		t.Error("blank label accepted")
+	}
+}
+
+func TestAddNodeUnknownTopic(t *testing.T) {
+	b := NewSpaceBuilder()
+	if err := b.AddNode(0, 1); err == nil {
+		t.Error("AddNode on empty builder accepted")
+	}
+	_, _ = b.AddTopic("a", "a b")
+	if err := b.AddNode(5, 1); err == nil {
+		t.Error("AddNode with bad topic id accepted")
+	}
+}
+
+func TestAddNodeDeduplicates(t *testing.T) {
+	b := NewSpaceBuilder()
+	id, _ := b.AddTopic("a", "a topic")
+	_ = b.AddNode(id, 7)
+	_ = b.AddNode(id, 7)
+	s := b.Build()
+	if got := len(s.Nodes(id)); got != 1 {
+		t.Errorf("duplicate node recorded: %v", s.Nodes(id))
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := buildPhoneSpace(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.NumTopics() != s.NumTopics() {
+		t.Fatalf("round trip topic count %d != %d", got.NumTopics(), s.NumTopics())
+	}
+	for i := 0; i < s.NumTopics(); i++ {
+		id := TopicID(i)
+		if got.Topic(id).Label != s.Topic(id).Label || got.Topic(id).Tag != s.Topic(id).Tag {
+			t.Errorf("topic %d mismatch: %+v vs %+v", i, got.Topic(id), s.Topic(id))
+		}
+		a, b := got.Nodes(id), s.Nodes(id)
+		if len(a) != len(b) {
+			t.Fatalf("topic %d node count %d != %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Errorf("topic %d node %d: %d != %d", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"unknown record", "widget\t1\t2\n"},
+		{"short topic", "topic\t1\tphone\n"},
+		{"bad topic id", "topic\tx\tphone\tapple phone\n"},
+		{"short node", "node\t0\n"},
+		{"node before topic", "node\t0\t3\n"},
+		{"bad node id", "topic\t0\tphone\tapple phone\nnode\t0\tx\n"},
+		{"bad node topic ref", "topic\t0\tphone\tapple phone\nnode\t9\t3\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("Read(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+// Property: for every topic t and node v in Nodes(t), NodeTopics(v)
+// contains t, and vice versa (inverted-index consistency).
+func TestInvertedIndexConsistency(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewSpaceBuilder()
+		nTopics := 1 + rng.Intn(8)
+		ids := make([]TopicID, nTopics)
+		for i := 0; i < nTopics; i++ {
+			id, err := b.AddTopic("tag"+string(rune('a'+i%5)), "label "+strings.Repeat("x", i+1))
+			if err != nil {
+				return false
+			}
+			ids[i] = id
+		}
+		for i := 0; i < 60; i++ {
+			_ = b.AddNode(ids[rng.Intn(nTopics)], graph.NodeID(rng.Intn(20)))
+		}
+		s := b.Build()
+		for ti := 0; ti < s.NumTopics(); ti++ {
+			for _, v := range s.Nodes(TopicID(ti)) {
+				found := false
+				for _, tt := range s.NodeTopics(v) {
+					if tt == TopicID(ti) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		for v, ts := range map[graph.NodeID][]TopicID{} {
+			_ = v
+			_ = ts
+		}
+		// reverse direction: every NodeTopics entry appears in Nodes
+		for v := graph.NodeID(0); v < 20; v++ {
+			for _, tt := range s.NodeTopics(v) {
+				found := false
+				for _, x := range s.Nodes(tt) {
+					if x == v {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Related results are sorted and unique.
+func TestRelatedSortedUnique(t *testing.T) {
+	s := buildPhoneSpace(t)
+	rel := s.Related("phone laptop samsung apple")
+	for i := 1; i < len(rel); i++ {
+		if rel[i-1] >= rel[i] {
+			t.Fatalf("Related not sorted/unique: %v", rel)
+		}
+	}
+}
+
+func BenchmarkRelated(b *testing.B) {
+	sb := NewSpaceBuilder()
+	for i := 0; i < 5000; i++ {
+		tag := "tag" + itoa(i%50)
+		_, _ = sb.AddTopic(tag, tag+" variant "+itoa(i))
+	}
+	s := sb.Build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Related("tag7")
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
