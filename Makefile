@@ -1,0 +1,35 @@
+# Developer entry points. `make check` is the full pre-merge gate:
+# formatting, vet, the whole test suite under the race detector, and a
+# one-shot pass over the tier-1 figure benchmarks so a broken experiment
+# harness fails here instead of in a long benchmark run.
+
+GO ?= go
+
+.PHONY: all build test check fmt vet race bench-smoke
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1 benchmark smoke: run the data_2k figure benchmarks exactly once
+# (-benchtime 1x) to prove the experiment pipeline still executes.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig05TimeCostData2k|BenchmarkFig10PrecisionData2k' -benchtime 1x .
+
+check: build fmt vet race bench-smoke

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -83,9 +84,9 @@ func run(preset string, scale float64, graphIn, topicsIn, method, query string,
 	start = time.Now()
 	var res []core.TopicResult
 	if diversity > 0 {
-		res, err = eng.SearchDiverse(m, query, graph.NodeID(user), k, diversity)
+		res, err = eng.SearchDiverse(context.Background(), m, query, graph.NodeID(user), k, diversity)
 	} else {
-		res, err = eng.Search(m, query, graph.NodeID(user), k)
+		res, err = eng.Search(context.Background(), m, query, graph.NodeID(user), k)
 	}
 	if err != nil {
 		return err
@@ -105,7 +106,7 @@ func run(preset string, scale float64, graphIn, topicsIn, method, query string,
 		fmt.Printf("%2d. %-40s influence %.6f\n", i+1, r.Topic.Label, r.Score)
 	}
 	if trace {
-		tr, err := eng.SearchTrace(m, eng.Space().Related(query), graph.NodeID(user), k)
+		tr, err := eng.SearchTrace(context.Background(), m, eng.Space().Related(query), graph.NodeID(user), k)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 // Command pitserve serves PIT-Search over HTTP: it loads (or generates) a
-// dataset, builds the offline indexes, optionally pre-materializes every
-// topic summary, and exposes the JSON API of internal/server.
+// dataset, builds the offline indexes off the startup critical path,
+// optionally pre-materializes every topic summary, and exposes the JSON
+// API of internal/server behind a production-hardened http.Server.
 //
 // Usage:
 //
@@ -9,16 +10,28 @@
 //
 // Then:
 //
+//	curl 'localhost:8080/readyz'        # 503 until indexes are built
 //	curl 'localhost:8080/search?q=tag003&user=42&k=5'
 //	curl 'localhost:8080/stats'
+//
+// The process listens immediately; /healthz answers at once while /readyz
+// flips to 200 only after index construction (and materialization, when
+// requested) completes. SIGINT/SIGTERM triggers a graceful shutdown that
+// stops accepting connections, drains in-flight requests for up to
+// -shutdown-grace, then exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -26,58 +39,168 @@ import (
 	"repro/internal/server"
 )
 
+// options carries every flag so the whole app is buildable from tests.
+type options struct {
+	preset         string
+	scale          float64
+	graphIn        string
+	topicsIn       string
+	addr           string
+	theta          float64
+	walkL, walkR   int
+	seed           int64
+	maxK           int
+	materialize    bool
+	requestTimeout time.Duration
+	maxInflight    int
+	shutdownGrace  time.Duration
+}
+
+// app is the wired-but-not-yet-ready server: the dataset is loaded and
+// the HTTP surface exists, but the indexes build in prepare.
+type app struct {
+	opts options
+	eng  *core.Engine
+	srv  *server.Server
+}
+
 func main() {
-	var (
-		preset      = flag.String("preset", "data_2k", "dataset preset (ignored when -graph/-topics are given)")
-		scale       = flag.Float64("scale", 1, "preset scale factor")
-		graphIn     = flag.String("graph", "", "graph TSV file (with -topics, replaces the preset)")
-		topicsIn    = flag.String("topics", "", "topic-space TSV file")
-		addr        = flag.String("addr", ":8080", "listen address")
-		theta       = flag.Float64("theta", 0.01, "propagation-index threshold θ")
-		walkL       = flag.Int("L", 6, "random-walk length L")
-		walkR       = flag.Int("R", 16, "random walks per node R")
-		seed        = flag.Int64("seed", 1, "RNG seed")
-		maxK        = flag.Int("max-k", 100, "maximum k a request may ask for")
-		materialize = flag.Bool("materialize", false, "pre-summarize every topic (LRW-A) before serving")
-	)
+	var o options
+	flag.StringVar(&o.preset, "preset", "data_2k", "dataset preset (ignored when -graph/-topics are given)")
+	flag.Float64Var(&o.scale, "scale", 1, "preset scale factor")
+	flag.StringVar(&o.graphIn, "graph", "", "graph TSV file (with -topics, replaces the preset)")
+	flag.StringVar(&o.topicsIn, "topics", "", "topic-space TSV file")
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.Float64Var(&o.theta, "theta", 0.01, "propagation-index threshold θ")
+	flag.IntVar(&o.walkL, "L", 6, "random-walk length L")
+	flag.IntVar(&o.walkR, "R", 16, "random walks per node R")
+	flag.Int64Var(&o.seed, "seed", 1, "RNG seed")
+	flag.IntVar(&o.maxK, "max-k", 100, "maximum k a request may ask for")
+	flag.BoolVar(&o.materialize, "materialize", false, "pre-summarize every topic (LRW-A) before readiness")
+	flag.DurationVar(&o.requestTimeout, "request-timeout", 10*time.Second, "per-request deadline for API calls (0 disables)")
+	flag.IntVar(&o.maxInflight, "max-inflight", 256, "max concurrently served API requests before shedding with 429 (0 disables)")
+	flag.DurationVar(&o.shutdownGrace, "shutdown-grace", 15*time.Second, "how long a SIGTERM drains in-flight requests before forcing exit")
 	flag.Parse()
 
-	h, err := buildHandler(*preset, *scale, *graphIn, *topicsIn, *theta, *walkL, *walkR, *seed, *maxK, *materialize)
+	a, err := buildApp(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pitserve:", err)
 		os.Exit(1)
 	}
-	log.Printf("pitserve listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, h))
+	if err := a.run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pitserve:", err)
+		os.Exit(1)
+	}
 }
 
-func buildHandler(preset string, scale float64, graphIn, topicsIn string,
-	theta float64, walkL, walkR int, seed int64, maxK int, materialize bool) (http.Handler, error) {
+// buildApp loads the dataset and wires the engine + HTTP server. Indexes
+// are NOT built yet — call prepare (synchronously in tests, in the
+// background in run) and then the server reports ready.
+func buildApp(o options) (*app, error) {
+	g, sp, err := dataset.LoadPresetOrFiles(o.preset, o.scale, o.graphIn, o.topicsIn)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.New(g, sp, core.Options{WalkL: o.walkL, WalkR: o.walkR, Theta: o.theta, Seed: o.seed})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(eng, server.Config{
+		MaxK:           o.maxK,
+		RequestTimeout: o.requestTimeout,
+		MaxInflight:    o.maxInflight,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &app{opts: o, eng: eng, srv: srv}, nil
+}
 
-	g, sp, err := dataset.LoadPresetOrFiles(preset, scale, graphIn, topicsIn)
-	if err != nil {
-		return nil, err
-	}
-	eng, err := core.New(g, sp, core.Options{WalkL: walkL, WalkR: walkR, Theta: theta, Seed: seed})
-	if err != nil {
-		return nil, err
-	}
+// prepare builds the offline indexes (and optional materialization) and
+// flips the server to ready. ctx cancellation (e.g. SIGTERM during a long
+// materialization) aborts it.
+func (a *app) prepare(ctx context.Context) error {
 	start := time.Now()
-	if err := eng.BuildIndexes(); err != nil {
-		return nil, err
+	if err := a.eng.BuildIndexes(); err != nil {
+		return err
 	}
+	g, sp := a.eng.Graph(), a.eng.Space()
 	log.Printf("indexes built in %v (%d users, %d links, %d topics)",
 		time.Since(start).Round(time.Millisecond), g.NumNodes(), g.NumEdges(), sp.NumTopics())
-	if materialize {
+	if a.opts.materialize {
 		start = time.Now()
-		if err := eng.MaterializeAll(core.MethodLRW); err != nil {
-			return nil, err
+		if err := a.eng.MaterializeAll(ctx, core.MethodLRW); err != nil {
+			return err
 		}
 		log.Printf("materialized %d topic summaries in %v", sp.NumTopics(), time.Since(start).Round(time.Millisecond))
 	}
-	srv, err := server.New(eng, maxK)
-	if err != nil {
-		return nil, err
+	a.srv.MarkReady()
+	return nil
+}
+
+// run listens immediately, builds indexes in the background, and shuts
+// down gracefully on SIGINT/SIGTERM.
+func (a *app) run() error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// baseCtx backs every request's context. It must NOT be the signal
+	// context: a SIGTERM would instantly cancel all in-flight searches
+	// (they'd answer 499) instead of letting Shutdown drain them. It is
+	// canceled only after the drain, to hard-stop any request that
+	// outlived the grace period.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+
+	httpSrv := &http.Server{
+		Addr:              a.opts.addr,
+		Handler:           a.srv.Handler(),
+		ReadTimeout:       10 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      a.opts.requestTimeout + 30*time.Second,
+		IdleTimeout:       2 * time.Minute,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
-	return srv.Handler(), nil
+
+	prepErr := make(chan error, 1)
+	go func() { prepErr <- a.prepare(ctx) }()
+
+	serveErr := make(chan error, 1)
+	go func() {
+		log.Printf("pitserve listening on %s (not ready until indexes are built)", a.opts.addr)
+		serveErr <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case err := <-prepErr:
+		if err != nil {
+			shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = httpSrv.Shutdown(shutCtx)
+			return fmt.Errorf("index build: %w", err)
+		}
+		// Ready; keep serving until a signal or a listener error.
+		select {
+		case err := <-serveErr:
+			return err
+		case <-ctx.Done():
+		}
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received; draining in-flight requests (grace %v)", a.opts.shutdownGrace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), a.opts.shutdownGrace)
+	defer cancel()
+	err := httpSrv.Shutdown(shutCtx)
+	cancelBase() // grace is over: stop engine work for any straggler
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("pitserve exited cleanly")
+	return nil
 }

@@ -1,18 +1,32 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 )
 
-func TestBuildHandlerAndServe(t *testing.T) {
-	h, err := buildHandler("data_2k", 0.1, "", "", 0.01, 4, 8, 1, 20, false)
+func testOptions() options {
+	return options{
+		preset: "data_2k", scale: 0.1,
+		theta: 0.01, walkL: 4, walkR: 8, seed: 1, maxK: 20,
+		requestTimeout: 5 * time.Second, maxInflight: 16,
+		shutdownGrace: time.Second,
+	}
+}
+
+func TestBuildAppAndServe(t *testing.T) {
+	a, err := buildApp(testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(h)
+	if err := a.prepare(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a.srv.Handler())
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/stats")
@@ -44,12 +58,60 @@ func TestBuildHandlerAndServe(t *testing.T) {
 	}
 }
 
-func TestBuildHandlerMaterialize(t *testing.T) {
-	h, err := buildHandler("data_2k", 0.05, "", "", 0.01, 3, 4, 1, 20, true)
+// TestReadinessGatesAPI: before prepare the process must be alive
+// (healthz 200) but not ready (readyz/search 503); after prepare both
+// flip to success — the contract that lets index building run off the
+// startup critical path.
+func TestReadinessGatesAPI(t *testing.T) {
+	o := testOptions()
+	o.scale = 0.05
+	a, err := buildApp(o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(h)
+	ts := httptest.NewServer(a.srv.Handler())
+	defer ts.Close()
+
+	codes := map[string]int{"/healthz": 200, "/readyz": 503, "/search?q=tag000&user=1": 503, "/stats": 503}
+	for path, want := range codes {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("before prepare %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	if err := a.prepare(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/readyz", "/search?q=tag000&user=1", "/stats"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("after prepare %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestPrepareMaterialize(t *testing.T) {
+	o := testOptions()
+	o.scale = 0.05
+	o.walkL, o.walkR = 3, 4
+	o.materialize = true
+	a, err := buildApp(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.prepare(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a.srv.Handler())
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/stats")
 	if err != nil {
@@ -68,14 +130,40 @@ func TestBuildHandlerMaterialize(t *testing.T) {
 	}
 }
 
-func TestBuildHandlerErrors(t *testing.T) {
-	if _, err := buildHandler("nope", 1, "", "", 0.01, 3, 4, 1, 20, false); err == nil {
+// TestPrepareCanceledMidMaterialize: a shutdown signal during the
+// materialization phase aborts prepare with the context error instead of
+// finishing the whole topic space.
+func TestPrepareCanceledMidMaterialize(t *testing.T) {
+	o := testOptions()
+	o.scale = 0.05
+	o.materialize = true
+	a, err := buildApp(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := a.prepare(ctx); err == nil {
+		t.Fatal("prepare with canceled context succeeded")
+	}
+	if a.srv.Ready() {
+		t.Error("server marked ready despite aborted prepare")
+	}
+}
+
+func TestBuildAppErrors(t *testing.T) {
+	bad := func(mut func(*options)) options {
+		o := testOptions()
+		mut(&o)
+		return o
+	}
+	if _, err := buildApp(bad(func(o *options) { o.preset = "nope" })); err == nil {
 		t.Error("unknown preset accepted")
 	}
-	if _, err := buildHandler("", 1, "only-graph.tsv", "", 0.01, 3, 4, 1, 20, false); err == nil {
+	if _, err := buildApp(bad(func(o *options) { o.preset = ""; o.graphIn = "only-graph.tsv" })); err == nil {
 		t.Error("graph without topics accepted")
 	}
-	if _, err := buildHandler("", 1, "missing.tsv", "missing2.tsv", 0.01, 3, 4, 1, 20, false); err == nil {
+	if _, err := buildApp(bad(func(o *options) { o.preset = ""; o.graphIn = "missing.tsv"; o.topicsIn = "missing2.tsv" })); err == nil {
 		t.Error("missing files accepted")
 	}
 }

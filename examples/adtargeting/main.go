@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -58,7 +59,7 @@ func main() {
 	related := space.Related(campaignTag)
 	start = time.Now()
 	for _, t := range related {
-		if _, err := eng.Summarize(core.MethodLRW, t); err != nil {
+		if _, err := eng.Summarize(context.Background(), core.MethodLRW, t); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -70,7 +71,7 @@ func main() {
 	reached := 0
 	start = time.Now()
 	for user := graph.NodeID(0); user < 400; user++ {
-		res, err := eng.SearchTopics(core.MethodLRW, related, user, 1)
+		res, err := eng.SearchTopics(context.Background(), core.MethodLRW, related, user, 1)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -51,7 +52,7 @@ func main() {
 		}
 	}
 	related := space.Related(query)
-	tr, err := eng.SearchTrace(core.MethodLRW, related, user, 3)
+	tr, err := eng.SearchTrace(context.Background(), core.MethodLRW, related, user, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,7 +48,7 @@ func main() {
 	userA, userB := pickDistantUsers(g)
 	fmt.Printf("feed query %q for two users in different communities:\n\n", query)
 	for _, user := range []graph.NodeID{userA, userB} {
-		res, err := eng.Search(core.MethodLRW, query, user, 3)
+		res, err := eng.Search(context.Background(), core.MethodLRW, query, user, 3)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,7 +65,7 @@ func main() {
 	// network and topics have changed" — dynamic.Refresh performs that
 	// refresh incrementally, carrying over the summaries of topics the
 	// change did not touch.
-	if err := eng.MaterializeAll(core.MethodLRW); err != nil {
+	if err := eng.MaterializeAll(context.Background(), core.MethodLRW); err != nil {
 		log.Fatal(err)
 	}
 	burst := space.Related(query)[0]
@@ -75,7 +76,7 @@ func main() {
 	}
 	fmt.Printf("incremental refresh carried %d of %d summaries; only changed topics recompute\n\n",
 		carried[core.MethodLRW], space.NumTopics())
-	res, err := eng2.Search(core.MethodLRW, query, userA, 3)
+	res, err := eng2.Search(context.Background(), core.MethodLRW, query, userA, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -71,7 +72,7 @@ func main() {
 	}
 	fmt.Println("\ntop-1 result per user (LRW-A summarization + top-k index):")
 	for _, user := range []graph.NodeID{3, 7, 14} {
-		res, err := eng.Search(core.MethodLRW, "phone", user, 1)
+		res, err := eng.Search(context.Background(), core.MethodLRW, "phone", user, 1)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -84,7 +85,7 @@ func main() {
 			users = append(users, graph.NodeID(v))
 		}
 	}
-	results, err := eng.SearchMany(core.MethodLRW, query, users, 2, 0)
+	results, err := eng.SearchMany(context.Background(), core.MethodLRW, query, users, 2, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ func main() {
 	const user = 17
 	const query = "tag003"
 	for _, m := range []core.Method{core.MethodLRW, core.MethodRCL} {
-		res, err := eng.Search(m, query, user, 3)
+		res, err := eng.Search(context.Background(), m, query, user, 3)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@ package repro
 // agreement between the full pipeline and the exact baseline.
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -74,7 +75,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, m := range []core.Method{core.MethodLRW, core.MethodRCL} {
-		got, err := eng.SearchTopics(m, related, user, 4)
+		got, err := eng.SearchTopics(context.Background(), m, related, user, 4)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -103,7 +104,7 @@ func TestPersistenceRoundTrip(t *testing.T) {
 	// Materialize and collect LRW summaries for the query's topics.
 	var collected []summary.Summary
 	for _, tt := range related {
-		s, err := eng.Summarize(core.MethodLRW, tt)
+		s, err := eng.Summarize(context.Background(), core.MethodLRW, tt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,11 +147,11 @@ func TestPersistenceRoundTrip(t *testing.T) {
 	}
 
 	for user := graph.NodeID(0); user < 50; user++ {
-		a, err := eng.SearchTopics(core.MethodLRW, related, user, 3)
+		a, err := eng.SearchTopics(context.Background(), core.MethodLRW, related, user, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := eng2.SearchTopics(core.MethodLRW, related, user, 3)
+		b, err := eng2.SearchTopics(context.Background(), core.MethodLRW, related, user, 3)
 		if err != nil {
 			t.Fatal(err)
 		}

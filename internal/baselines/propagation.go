@@ -10,6 +10,7 @@ package baselines
 // than RCL-A/LRW-A (|V_t| ≫ |V*|) yet close to BaseMatrix in precision.
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/propidx"
@@ -63,5 +64,5 @@ func (p *Propagation) TopK(user int32, related []topics.TopicID, k int) ([]searc
 		}
 		sums = append(sums, summary.Summary{Topic: t, Reps: reps})
 	}
-	return p.searcher.TopK(user, sums, k)
+	return p.searcher.TopK(context.Background(), user, sums, k)
 }

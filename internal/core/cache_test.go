@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/summary"
@@ -8,10 +9,10 @@ import (
 
 func TestInvalidateTopicForcesRecompute(t *testing.T) {
 	eng := builtEngine(t)
-	if _, err := eng.Summarize(MethodLRW, 0); err != nil {
+	if _, err := eng.Summarize(context.Background(), MethodLRW, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Summarize(MethodRCL, 0); err != nil {
+	if _, err := eng.Summarize(context.Background(), MethodRCL, 0); err != nil {
 		t.Fatal(err)
 	}
 	if got := eng.CachedSummaries(MethodLRW); got != 1 {
@@ -25,7 +26,7 @@ func TestInvalidateTopicForcesRecompute(t *testing.T) {
 		t.Errorf("after invalidate CachedSummaries(RCL) = %d, want 0", got)
 	}
 	// Recompute succeeds and re-populates.
-	if _, err := eng.Summarize(MethodLRW, 0); err != nil {
+	if _, err := eng.Summarize(context.Background(), MethodLRW, 0); err != nil {
 		t.Fatal(err)
 	}
 	if got := eng.CachedSummaries(MethodLRW); got != 1 {
@@ -46,7 +47,7 @@ func TestPreloadSummaries(t *testing.T) {
 		t.Fatalf("CachedSummaries = %d, want 2", got)
 	}
 	// Summarize must now return the preloaded summary, not recompute.
-	s, err := eng.Summarize(MethodLRW, 1)
+	s, err := eng.Summarize(context.Background(), MethodLRW, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

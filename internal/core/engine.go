@@ -8,10 +8,16 @@
 //
 //	eng, _ := core.New(g, space, core.Options{})
 //	_ = eng.BuildIndexes()
-//	res, _ := eng.Search(core.MethodLRW, "phone", user, 10)
+//	res, _ := eng.Search(ctx, core.MethodLRW, "phone", user, 10)
+//
+// Every online entry point takes a context.Context that is threaded down
+// through the summarizers and the top-k search; a canceled or expired
+// context stops the work early with ctx.Err() instead of burning CPU.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -25,6 +31,19 @@ import (
 	"repro/internal/search"
 	"repro/internal/summary"
 	"repro/internal/topics"
+)
+
+// Sentinel errors let callers (the HTTP layer in particular) map engine
+// failures to the right behavior without string matching. Engine methods
+// wrap them with %w; test with errors.Is.
+var (
+	// ErrInvalidArgument tags request-level mistakes — unknown topic,
+	// unknown method, user outside the graph. An HTTP server should answer
+	// 400, not 500.
+	ErrInvalidArgument = errors.New("core: invalid argument")
+	// ErrNotReady tags use-before-BuildIndexes: the engine exists but its
+	// offline indexes are not built yet. An HTTP server should answer 503.
+	ErrNotReady = errors.New("core: engine not ready")
 )
 
 // Method selects which social summarization backs a search.
@@ -48,6 +67,9 @@ func (m Method) String() string {
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
 }
+
+// valid reports whether m names a known summarization method.
+func (m Method) valid() bool { return m == MethodLRW || m == MethodRCL }
 
 // Options configures an Engine. The zero value gives the paper's default
 // parameters at laptop scale.
@@ -104,6 +126,7 @@ type Engine struct {
 
 	mu       sync.Mutex
 	rclSum   *rcl.Summarizer // guarded by mu (owns a BFS traverser)
+	override map[Method]summary.Summarizer
 	cache    map[Method]map[topics.TopicID]summary.Summary
 	indexesB bool
 }
@@ -116,9 +139,10 @@ func New(g *graph.Graph, space *topics.Space, opts Options) (*Engine, error) {
 	}
 	opts.fill()
 	return &Engine{
-		g:     g,
-		space: space,
-		opts:  opts,
+		g:        g,
+		space:    space,
+		opts:     opts,
+		override: map[Method]summary.Summarizer{},
 		cache: map[Method]map[topics.TopicID]summary.Summary{
 			MethodLRW: {},
 			MethodRCL: {},
@@ -149,6 +173,30 @@ func (e *Engine) Walks() *randwalk.Index { return e.walks }
 
 // Prop returns the propagation index (nil before BuildIndexes).
 func (e *Engine) Prop() *propidx.Index { return e.prop }
+
+// Ready reports whether BuildIndexes has completed, i.e. whether the
+// online entry points will answer instead of returning ErrNotReady.
+func (e *Engine) Ready() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.indexesB
+}
+
+// SetSummarizer replaces the backend summarizer for method m — the
+// fault-injection / alternative-backend seam. The replacement receives
+// every cache-miss Summarize call (the engine does not serialize it; it
+// must be safe for concurrent use, or manage its own locking). Passing nil
+// restores the built-in implementation. Already-cached summaries are kept;
+// call InvalidateTopic to force recomputation through the replacement.
+func (e *Engine) SetSummarizer(m Method, s summary.Summarizer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s == nil {
+		delete(e.override, m)
+		return
+	}
+	e.override[m] = s
+}
 
 // BuildIndexes constructs the offline indexes: the L-length random-walk
 // index of Algorithm 6 and the personalized propagation index of Section
@@ -189,42 +237,51 @@ func (e *Engine) requireIndexes() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.indexesB {
-		return fmt.Errorf("core: BuildIndexes has not been called")
+		return fmt.Errorf("%w: BuildIndexes has not been called", ErrNotReady)
 	}
 	return nil
 }
 
 // Summarize returns (building and caching on first use) the topic-aware
 // social summarization of t under the given method — the offline stage of
-// Algorithm 5 / Algorithm 9.
-func (e *Engine) Summarize(m Method, t topics.TopicID) (summary.Summary, error) {
+// Algorithm 5 / Algorithm 9. Cache hits are served even when ctx is
+// already done (they cost nothing); cache misses check ctx before and
+// during the build.
+func (e *Engine) Summarize(ctx context.Context, m Method, t topics.TopicID) (summary.Summary, error) {
 	if err := e.requireIndexes(); err != nil {
 		return summary.Summary{}, err
 	}
+	if !m.valid() {
+		return summary.Summary{}, fmt.Errorf("%w: unknown method %v", ErrInvalidArgument, m)
+	}
 	if !e.space.Valid(t) {
-		return summary.Summary{}, fmt.Errorf("core: unknown topic %d", t)
+		return summary.Summary{}, fmt.Errorf("%w: unknown topic %d", ErrInvalidArgument, t)
 	}
 	e.mu.Lock()
 	if s, ok := e.cache[m][t]; ok {
 		e.mu.Unlock()
 		return s, nil
 	}
+	ov := e.override[m]
 	e.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return summary.Summary{}, err
+	}
 
 	var (
 		s   summary.Summary
 		err error
 	)
-	switch m {
-	case MethodLRW:
-		s, err = e.lrwSum.Summarize(t)
-	case MethodRCL:
+	switch {
+	case ov != nil:
+		s, err = ov.Summarize(ctx, t)
+	case m == MethodLRW:
+		s, err = e.lrwSum.Summarize(ctx, t)
+	default: // MethodRCL
 		// The RCL summarizer owns mutable BFS state; serialize it.
 		e.mu.Lock()
-		s, err = e.rclSum.Summarize(t)
+		s, err = e.rclSum.Summarize(ctx, t)
 		e.mu.Unlock()
-	default:
-		return summary.Summary{}, fmt.Errorf("core: unknown method %v", m)
 	}
 	if err != nil {
 		return summary.Summary{}, err
@@ -237,10 +294,15 @@ func (e *Engine) Summarize(m Method, t topics.TopicID) (summary.Summary, error) 
 
 // MaterializeAll pre-computes and caches summaries for every topic in the
 // space under the given method — the paper's full offline topic-to-
-// representative index build (reported in Figures 15–16).
-func (e *Engine) MaterializeAll(m Method) error {
+// representative index build (reported in Figures 15–16). ctx is checked
+// per topic, so a shutdown signal aborts a long materialization between
+// topics (already-built summaries stay cached).
+func (e *Engine) MaterializeAll(ctx context.Context, m Method) error {
 	for t := 0; t < e.space.NumTopics(); t++ {
-		if _, err := e.Summarize(m, topics.TopicID(t)); err != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := e.Summarize(ctx, m, topics.TopicID(t)); err != nil {
 			return err
 		}
 	}
@@ -274,11 +336,11 @@ func (e *Engine) CachedSummaries(m Method) int {
 // failing validation are rejected.
 func (e *Engine) PreloadSummaries(m Method, sums []summary.Summary) error {
 	if _, ok := e.cache[m]; !ok {
-		return fmt.Errorf("core: unknown method %v", m)
+		return fmt.Errorf("%w: unknown method %v", ErrInvalidArgument, m)
 	}
 	for _, s := range sums {
 		if !e.space.Valid(s.Topic) {
-			return fmt.Errorf("core: summary references unknown topic %d", s.Topic)
+			return fmt.Errorf("%w: summary references unknown topic %d", ErrInvalidArgument, s.Topic)
 		}
 		if err := s.Validate(); err != nil {
 			return fmt.Errorf("core: topic %d: %w", s.Topic, err)
@@ -292,40 +354,55 @@ func (e *Engine) PreloadSummaries(m Method, sums []summary.Summary) error {
 	return nil
 }
 
+// validateUser tags out-of-graph users as ErrInvalidArgument so the HTTP
+// layer answers 4xx instead of 500.
+func (e *Engine) validateUser(user graph.NodeID) error {
+	if !e.g.Valid(user) {
+		return fmt.Errorf("%w: user %d outside the graph", ErrInvalidArgument, user)
+	}
+	return nil
+}
+
 // SearchTopics runs the online top-k PIT-Search (Algorithm 10) over an
 // explicit q-related topic set.
-func (e *Engine) SearchTopics(m Method, related []topics.TopicID, user graph.NodeID, k int) ([]search.Result, error) {
+func (e *Engine) SearchTopics(ctx context.Context, m Method, related []topics.TopicID, user graph.NodeID, k int) ([]search.Result, error) {
 	if err := e.requireIndexes(); err != nil {
+		return nil, err
+	}
+	if err := e.validateUser(user); err != nil {
 		return nil, err
 	}
 	sums := make([]summary.Summary, 0, len(related))
 	for _, t := range related {
-		s, err := e.Summarize(m, t)
+		s, err := e.Summarize(ctx, m, t)
 		if err != nil {
 			return nil, err
 		}
 		sums = append(sums, s)
 	}
-	return e.searcher.TopK(user, sums, k)
+	return e.searcher.TopK(ctx, user, sums, k)
 }
 
 // SearchTrace is SearchTopics with full diagnostics: it additionally
 // reports per-topic pruning decisions, representative consumption and the
 // expansion frontier evolution (see search.Trace). Intended for operators
 // tuning θ, the expansion budget or the representative counts.
-func (e *Engine) SearchTrace(m Method, related []topics.TopicID, user graph.NodeID, k int) (*search.Trace, error) {
+func (e *Engine) SearchTrace(ctx context.Context, m Method, related []topics.TopicID, user graph.NodeID, k int) (*search.Trace, error) {
 	if err := e.requireIndexes(); err != nil {
+		return nil, err
+	}
+	if err := e.validateUser(user); err != nil {
 		return nil, err
 	}
 	sums := make([]summary.Summary, 0, len(related))
 	for _, t := range related {
-		s, err := e.Summarize(m, t)
+		s, err := e.Summarize(ctx, m, t)
 		if err != nil {
 			return nil, err
 		}
 		sums = append(sums, s)
 	}
-	return e.searcher.TopKTrace(user, sums, k)
+	return e.searcher.TopKTrace(ctx, user, sums, k)
 }
 
 // SearchDiverse is Search followed by representative-overlap
@@ -334,7 +411,7 @@ func (e *Engine) SearchTrace(m Method, related []topics.TopicID, user graph.Node
 // greedily re-ranks so each returned topic adds representatives the feed
 // has not already covered. lambda ∈ [0,1] is the diversity strength;
 // lambda = 0 degenerates to Search.
-func (e *Engine) SearchDiverse(m Method, query string, user graph.NodeID, k int, lambda float64) ([]TopicResult, error) {
+func (e *Engine) SearchDiverse(ctx context.Context, m Method, query string, user graph.NodeID, k int, lambda float64) ([]TopicResult, error) {
 	related := e.space.Related(query)
 	if len(related) == 0 {
 		return nil, nil
@@ -353,13 +430,13 @@ func (e *Engine) SearchDiverse(m Method, query string, user graph.NodeID, k int,
 	if fetch < k {
 		fetch = k
 	}
-	res, err := e.SearchTopics(m, related, user, fetch)
+	res, err := e.SearchTopics(ctx, m, related, user, fetch)
 	if err != nil {
 		return nil, err
 	}
 	sums := make([]summary.Summary, 0, len(res))
 	for _, r := range res {
-		s, err := e.Summarize(m, r.Topic)
+		s, err := e.Summarize(ctx, m, r.Topic)
 		if err != nil {
 			return nil, err
 		}
@@ -379,7 +456,8 @@ func (e *Engine) SearchDiverse(m Method, query string, user graph.NodeID, k int,
 // campaign query). Summaries are materialized once up front; searches
 // then fan out across workers (≤ 0: GOMAXPROCS). Results are indexed like
 // the input users; a query with no related topics yields nil entries.
-func (e *Engine) SearchMany(m Method, query string, users []graph.NodeID, k, workers int) ([][]TopicResult, error) {
+// Canceling ctx stops the materialization and every worker.
+func (e *Engine) SearchMany(ctx context.Context, m Method, query string, users []graph.NodeID, k, workers int) ([][]TopicResult, error) {
 	if err := e.requireIndexes(); err != nil {
 		return nil, err
 	}
@@ -390,7 +468,7 @@ func (e *Engine) SearchMany(m Method, query string, users []graph.NodeID, k, wor
 	}
 	// Materialize once so workers only read the cache.
 	for _, t := range related {
-		if _, err := e.Summarize(m, t); err != nil {
+		if _, err := e.Summarize(ctx, m, t); err != nil {
 			return nil, err
 		}
 	}
@@ -410,11 +488,15 @@ func (e *Engine) SearchMany(m Method, query string, users []graph.NodeID, k, wor
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					firstErr.CompareAndSwap(nil, ctx.Err())
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(users) {
 					return
 				}
-				res, err := e.Search(m, query, users[i], k)
+				res, err := e.Search(ctx, m, query, users[i], k)
 				if err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
@@ -433,12 +515,12 @@ func (e *Engine) SearchMany(m Method, query string, users []graph.NodeID, k, wor
 // Search answers a keyword query q issued by user: it resolves the
 // q-related topics (Algorithm 10 line 1) and returns the top-k most
 // influential ones with their full topic records.
-func (e *Engine) Search(m Method, query string, user graph.NodeID, k int) ([]TopicResult, error) {
+func (e *Engine) Search(ctx context.Context, m Method, query string, user graph.NodeID, k int) ([]TopicResult, error) {
 	related := e.space.Related(query)
 	if len(related) == 0 {
 		return nil, nil
 	}
-	res, err := e.SearchTopics(m, related, user, k)
+	res, err := e.SearchTopics(ctx, m, related, user, k)
 	if err != nil {
 		return nil, err
 	}
@@ -447,4 +529,51 @@ func (e *Engine) Search(m Method, query string, user graph.NodeID, k int) ([]Top
 		out[i] = TopicResult{Topic: e.space.Topic(r.Topic), Score: r.Score}
 	}
 	return out, nil
+}
+
+// SearchMaterialized is Search restricted to already-cached summaries —
+// the graceful-degradation fallback the serving layer uses when a request
+// deadline expires mid-search. It never builds a summary: q-related
+// topics without a materialized summary are skipped. The boolean reports
+// whether the answer is complete (every related topic had a cached
+// summary); false means a partial, degraded ranking. The search itself
+// still runs the full Algorithm 10 machinery and is cheap (Γ lookups
+// only), but honors ctx like everything else.
+func (e *Engine) SearchMaterialized(ctx context.Context, m Method, query string, user graph.NodeID, k int) ([]TopicResult, bool, error) {
+	if err := e.requireIndexes(); err != nil {
+		return nil, false, err
+	}
+	if !m.valid() {
+		return nil, false, fmt.Errorf("%w: unknown method %v", ErrInvalidArgument, m)
+	}
+	if err := e.validateUser(user); err != nil {
+		return nil, false, err
+	}
+	related := e.space.Related(query)
+	if len(related) == 0 {
+		return nil, true, nil
+	}
+	sums := make([]summary.Summary, 0, len(related))
+	complete := true
+	e.mu.Lock()
+	for _, t := range related {
+		if s, ok := e.cache[m][t]; ok {
+			sums = append(sums, s)
+		} else {
+			complete = false
+		}
+	}
+	e.mu.Unlock()
+	if len(sums) == 0 {
+		return nil, complete, nil
+	}
+	res, err := e.searcher.TopK(ctx, user, sums, k)
+	if err != nil {
+		return nil, complete, err
+	}
+	out := make([]TopicResult, len(res))
+	for i, r := range res {
+		out[i] = TopicResult{Topic: e.space.Topic(r.Topic), Score: r.Score}
+	}
+	return out, complete, nil
 }

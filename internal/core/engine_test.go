@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -56,10 +57,10 @@ func TestSearchBeforeBuildFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Search(MethodLRW, "tag000", 1, 5); err == nil {
+	if _, err := eng.Search(context.Background(), MethodLRW, "tag000", 1, 5); err == nil {
 		t.Error("search before BuildIndexes accepted")
 	}
-	if _, err := eng.Summarize(MethodLRW, 0); err == nil {
+	if _, err := eng.Summarize(context.Background(), MethodLRW, 0); err == nil {
 		t.Error("summarize before BuildIndexes accepted")
 	}
 }
@@ -90,7 +91,7 @@ func TestMethodString(t *testing.T) {
 func TestSummarizeBothMethodsAndCache(t *testing.T) {
 	eng := builtEngine(t)
 	for _, m := range []Method{MethodLRW, MethodRCL} {
-		s1, err := eng.Summarize(m, 0)
+		s1, err := eng.Summarize(context.Background(), m, 0)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -100,7 +101,7 @@ func TestSummarizeBothMethodsAndCache(t *testing.T) {
 		if s1.Len() == 0 {
 			t.Fatalf("%v produced empty summary", m)
 		}
-		s2, err := eng.Summarize(m, 0)
+		s2, err := eng.Summarize(context.Background(), m, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,10 +118,10 @@ func TestSummarizeBothMethodsAndCache(t *testing.T) {
 
 func TestSummarizeErrors(t *testing.T) {
 	eng := builtEngine(t)
-	if _, err := eng.Summarize(MethodLRW, 999); err == nil {
+	if _, err := eng.Summarize(context.Background(), MethodLRW, 999); err == nil {
 		t.Error("unknown topic accepted")
 	}
-	if _, err := eng.Summarize(Method(42), 0); err == nil {
+	if _, err := eng.Summarize(context.Background(), Method(42), 0); err == nil {
 		t.Error("unknown method accepted")
 	}
 }
@@ -139,7 +140,7 @@ func TestSearchEndToEnd(t *testing.T) {
 		t.Fatal("no suitable query user")
 	}
 	for _, m := range []Method{MethodLRW, MethodRCL} {
-		res, err := eng.Search(m, "tag000", user, 2)
+		res, err := eng.Search(context.Background(), m, "tag000", user, 2)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -159,7 +160,7 @@ func TestSearchEndToEnd(t *testing.T) {
 
 func TestSearchUnknownQuery(t *testing.T) {
 	eng := builtEngine(t)
-	res, err := eng.Search(MethodLRW, "definitely-not-a-tag", 0, 5)
+	res, err := eng.Search(context.Background(), MethodLRW, "definitely-not-a-tag", 0, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestSearchTopicsExplicit(t *testing.T) {
 	if len(related) == 0 {
 		t.Fatal("no related topics")
 	}
-	res, err := eng.SearchTopics(MethodLRW, related, 5, len(related))
+	res, err := eng.SearchTopics(context.Background(), MethodLRW, related, 5, len(related))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,12 +186,12 @@ func TestSearchTopicsExplicit(t *testing.T) {
 
 func TestMaterializeAll(t *testing.T) {
 	eng := builtEngine(t)
-	if err := eng.MaterializeAll(MethodLRW); err != nil {
+	if err := eng.MaterializeAll(context.Background(), MethodLRW); err != nil {
 		t.Fatal(err)
 	}
 	// After materialization, every topic summary comes from cache.
 	for ti := 0; ti < eng.Space().NumTopics(); ti++ {
-		s, err := eng.Summarize(MethodLRW, topics.TopicID(ti))
+		s, err := eng.Summarize(context.Background(), MethodLRW, topics.TopicID(ti))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -212,7 +213,7 @@ func TestConcurrentSearches(t *testing.T) {
 			if i%2 == 0 {
 				m = MethodRCL
 			}
-			if _, err := eng.Search(m, dataset.TagName(i%4), graph.NodeID(i*7%eng.Graph().NumNodes()), 3); err != nil {
+			if _, err := eng.Search(context.Background(), m, dataset.TagName(i%4), graph.NodeID(i*7%eng.Graph().NumNodes()), 3); err != nil {
 				errs <- err
 			}
 		}(i)
@@ -226,13 +227,13 @@ func TestConcurrentSearches(t *testing.T) {
 
 func BenchmarkSearchLRW(b *testing.B) {
 	eng := builtEngine(b)
-	if err := eng.MaterializeAll(MethodLRW); err != nil {
+	if err := eng.MaterializeAll(context.Background(), MethodLRW); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Search(MethodLRW, "tag000", graph.NodeID(i%eng.Graph().NumNodes()), 3); err != nil {
+		if _, err := eng.Search(context.Background(), MethodLRW, "tag000", graph.NodeID(i%eng.Graph().NumNodes()), 3); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -241,7 +242,7 @@ func BenchmarkSearchLRW(b *testing.B) {
 func TestSearchManyMatchesSearch(t *testing.T) {
 	eng := builtEngine(t)
 	users := []graph.NodeID{1, 5, 9, 13, 44, 101}
-	batch, err := eng.SearchMany(MethodLRW, "tag001", users, 3, 4)
+	batch, err := eng.SearchMany(context.Background(), MethodLRW, "tag001", users, 3, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestSearchManyMatchesSearch(t *testing.T) {
 		t.Fatalf("batch size %d, want %d", len(batch), len(users))
 	}
 	for i, u := range users {
-		single, err := eng.Search(MethodLRW, "tag001", u, 3)
+		single, err := eng.Search(context.Background(), MethodLRW, "tag001", u, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -267,7 +268,7 @@ func TestSearchManyMatchesSearch(t *testing.T) {
 func TestSearchManyEdgeCases(t *testing.T) {
 	eng := builtEngine(t)
 	// unknown query: nil rows, no error
-	batch, err := eng.SearchMany(MethodLRW, "zzz", []graph.NodeID{1, 2}, 3, 2)
+	batch, err := eng.SearchMany(context.Background(), MethodLRW, "zzz", []graph.NodeID{1, 2}, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,17 +278,17 @@ func TestSearchManyEdgeCases(t *testing.T) {
 		}
 	}
 	// empty users
-	if batch, err := eng.SearchMany(MethodLRW, "tag000", nil, 3, 2); err != nil || len(batch) != 0 {
+	if batch, err := eng.SearchMany(context.Background(), MethodLRW, "tag000", nil, 3, 2); err != nil || len(batch) != 0 {
 		t.Errorf("empty users: %v, %v", batch, err)
 	}
 	// invalid user inside the batch surfaces the error
-	if _, err := eng.SearchMany(MethodLRW, "tag000", []graph.NodeID{1, -5}, 3, 2); err == nil {
+	if _, err := eng.SearchMany(context.Background(), MethodLRW, "tag000", []graph.NodeID{1, -5}, 3, 2); err == nil {
 		t.Error("invalid user accepted in batch")
 	}
 	// before build
 	g, space := smallWorld()
 	fresh, _ := New(g, space, Options{})
-	if _, err := fresh.SearchMany(MethodLRW, "tag000", []graph.NodeID{1}, 1, 1); err == nil {
+	if _, err := fresh.SearchMany(context.Background(), MethodLRW, "tag000", []graph.NodeID{1}, 1, 1); err == nil {
 		t.Error("SearchMany before BuildIndexes accepted")
 	}
 }
@@ -310,11 +311,11 @@ func TestEngineDeterministicAcrossInstances(t *testing.T) {
 	a, b := build(), build()
 	for _, m := range []Method{MethodLRW, MethodRCL} {
 		for user := graph.NodeID(0); user < 40; user++ {
-			ra, err := a.Search(m, "tag002", user, 3)
+			ra, err := a.Search(context.Background(), m, "tag002", user, 3)
 			if err != nil {
 				t.Fatal(err)
 			}
-			rb, err := b.Search(m, "tag002", user, 3)
+			rb, err := b.Search(context.Background(), m, "tag002", user, 3)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,162 @@
+package core
+
+// Concurrency tests for the engine's summary cache — meant to run under
+// -race (the Makefile `check` target does). They exercise the two hazards
+// the serving stack creates in production: many requests racing to fill
+// the same cache entry, and cache invalidation (topic churn, §4.4) racing
+// live searches.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// TestConcurrentSummarizeSameTopic: N goroutines race to fill one cache
+// entry. Duplicate builds are acceptable (the cache is fill-on-miss, not
+// single-flight) but every caller must get a valid, identical summary and
+// the cache must end up with exactly one entry.
+func TestConcurrentSummarizeSameTopic(t *testing.T) {
+	eng := builtEngine(t)
+	const workers = 16
+	var wg sync.WaitGroup
+	results := make([]int, workers) // rep counts; LRW-A is deterministic
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := eng.Summarize(context.Background(), MethodLRW, 0)
+			results[w], errs[w] = s.Len(), err
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if results[w] != results[0] {
+			t.Errorf("worker %d saw %d reps, worker 0 saw %d", w, results[w], results[0])
+		}
+	}
+	if got := eng.CachedSummaries(MethodLRW); got != 1 {
+		t.Errorf("cache holds %d entries, want 1", got)
+	}
+}
+
+// TestConcurrentSummarizeBothMethodsAllTopics: concurrent cache fills
+// across every topic and both methods — including the mu-serialized RCL
+// path — must neither race nor deadlock.
+func TestConcurrentSummarizeBothMethodsAllTopics(t *testing.T) {
+	eng := builtEngine(t)
+	var wg sync.WaitGroup
+	for i := 0; i < eng.Space().NumTopics(); i++ {
+		for _, m := range []Method{MethodLRW, MethodRCL} {
+			wg.Add(1)
+			go func(i int, m Method) {
+				defer wg.Done()
+				if _, err := eng.Summarize(context.Background(), m, topics.TopicID(i)); err != nil {
+					t.Errorf("summarize %v topic %d: %v", m, i, err)
+				}
+			}(i, m)
+		}
+	}
+	wg.Wait()
+	n := eng.Space().NumTopics()
+	if eng.CachedSummaries(MethodLRW) != n || eng.CachedSummaries(MethodRCL) != n {
+		t.Errorf("cached %d/%d summaries, want %d each",
+			eng.CachedSummaries(MethodLRW), eng.CachedSummaries(MethodRCL), n)
+	}
+}
+
+// TestInvalidateTopicRacingSearch: one goroutine churns the cache (the
+// §4.4 refresh path) while others run full searches that re-materialize
+// on miss. Under -race this flushes out unguarded cache access; the
+// searches must also keep returning valid rankings throughout.
+func TestInvalidateTopicRacingSearch(t *testing.T) {
+	eng := builtEngine(t)
+	const rounds = 30
+	users := []graph.NodeID{1, 7, 42}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() { // churn: invalidate every topic, round after round
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < eng.Space().NumTopics(); i++ {
+				eng.InvalidateTopic(topics.TopicID(i))
+			}
+		}
+		close(stop)
+	}()
+	for _, u := range users {
+		wg.Add(1)
+		go func(u graph.NodeID) {
+			defer wg.Done()
+			for {
+				res, err := eng.Search(context.Background(), MethodLRW, "tag000", u, 3)
+				if err != nil {
+					t.Errorf("search user %d: %v", u, err)
+					return
+				}
+				if len(res) == 0 {
+					t.Errorf("search user %d returned no results", u)
+					return
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+}
+
+// TestSetSummarizerRacingSearch: installing/removing a fault-injection
+// override while searches are running must be safe — the serving stack
+// allows SetSummarizer on a live engine.
+func TestSetSummarizerRacingSearch(t *testing.T) {
+	eng := builtEngine(t)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 200; r++ {
+			eng.SetSummarizer(MethodLRW, noopSummarizer{})
+			eng.SetSummarizer(MethodLRW, nil)
+		}
+		close(stop)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if _, err := eng.Search(context.Background(), MethodLRW, "tag001", 5, 3); err != nil {
+				t.Errorf("search during SetSummarizer churn: %v", err)
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// noopSummarizer returns an empty (but valid) summary for any topic.
+type noopSummarizer struct{}
+
+func (noopSummarizer) Summarize(_ context.Context, t topics.TopicID) (summary.Summary, error) {
+	return summary.New(t, nil), nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 )
 
@@ -10,11 +11,11 @@ func TestSearchTraceMatchesSearchTopics(t *testing.T) {
 	if len(related) == 0 {
 		t.Fatal("no related topics")
 	}
-	res, err := eng.SearchTopics(MethodLRW, related, 7, 3)
+	res, err := eng.SearchTopics(context.Background(), MethodLRW, related, 7, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := eng.SearchTrace(MethodLRW, related, 7, 3)
+	tr, err := eng.SearchTrace(context.Background(), MethodLRW, related, 7, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,18 +46,18 @@ func TestSearchTraceBeforeBuildFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.SearchTrace(MethodLRW, nil, 1, 1); err == nil {
+	if _, err := eng.SearchTrace(context.Background(), MethodLRW, nil, 1, 1); err == nil {
 		t.Error("trace before BuildIndexes accepted")
 	}
 }
 
 func TestSearchDiverse(t *testing.T) {
 	eng := builtEngine(t)
-	plain, err := eng.Search(MethodLRW, "tag001", 7, 2)
+	plain, err := eng.Search(context.Background(), MethodLRW, "tag001", 7, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	zero, err := eng.SearchDiverse(MethodLRW, "tag001", 7, 2, 0)
+	zero, err := eng.SearchDiverse(context.Background(), MethodLRW, "tag001", 7, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestSearchDiverse(t *testing.T) {
 			t.Errorf("lambda=0 result %d differs: %+v vs %+v", i, zero[i], plain[i])
 		}
 	}
-	div, err := eng.SearchDiverse(MethodLRW, "tag001", 7, 2, 0.9)
+	div, err := eng.SearchDiverse(context.Background(), MethodLRW, "tag001", 7, 2, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestSearchDiverse(t *testing.T) {
 	if div[0] != plain[0] {
 		t.Errorf("diversification changed the top result: %+v vs %+v", div[0], plain[0])
 	}
-	if res, err := eng.SearchDiverse(MethodLRW, "no-such-tag", 7, 2, 0.5); err != nil || res != nil {
+	if res, err := eng.SearchDiverse(context.Background(), MethodLRW, "no-such-tag", 7, 2, 0.5); err != nil || res != nil {
 		t.Errorf("unknown query: %v, %v", res, err)
 	}
 }

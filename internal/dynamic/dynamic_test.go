@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -161,7 +162,7 @@ func TestRefreshCarriesUnaffectedSummaries(t *testing.T) {
 	if err := eng.BuildIndexes(); err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.MaterializeAll(core.MethodLRW); err != nil {
+	if err := eng.MaterializeAll(context.Background(), core.MethodLRW); err != nil {
 		t.Fatal(err)
 	}
 
@@ -185,13 +186,13 @@ func TestRefreshCarriesUnaffectedSummaries(t *testing.T) {
 		t.Errorf("cache holds %d, carried %d", got, carried[core.MethodLRW])
 	}
 	// The refreshed engine must search fine.
-	if _, err := fresh.Search(core.MethodLRW, "tag000", 5, 3); err != nil {
+	if _, err := fresh.Search(context.Background(), core.MethodLRW, "tag000", 5, 3); err != nil {
 		t.Fatal(err)
 	}
 	// Affected topics recompute on demand.
 	affected := AffectedTopics(fresh.Graph(), space, batch, 2)
 	for _, tt := range affected {
-		if _, err := fresh.Summarize(core.MethodLRW, tt); err != nil {
+		if _, err := fresh.Summarize(context.Background(), core.MethodLRW, tt); err != nil {
 			t.Fatalf("recompute of affected topic %d: %v", tt, err)
 		}
 	}
@@ -223,7 +224,7 @@ func TestRefreshInvalidatesChangedTopics(t *testing.T) {
 	if err := eng.BuildIndexes(); err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.MaterializeAll(core.MethodLRW); err != nil {
+	if err := eng.MaterializeAll(context.Background(), core.MethodLRW); err != nil {
 		t.Fatal(err)
 	}
 
@@ -254,7 +255,7 @@ func TestRefreshInvalidatesChangedTopics(t *testing.T) {
 		t.Errorf("carried %d, want %d (changed topic invalidated)", carried[core.MethodLRW], want)
 	}
 	// The changed topic recomputes against the NEW node set.
-	s, err := fresh.Summarize(core.MethodLRW, 0)
+	s, err := fresh.Summarize(context.Background(), core.MethodLRW, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ package eval
 // values next to the paper's and discusses shape agreement.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -527,14 +528,14 @@ func (r *Runner) FigS1() (Table, error) {
 		nTopics := space.NumTopics()
 		start := time.Now()
 		for ti := 0; ti < nTopics; ti++ {
-			if _, err := rclSum.Summarize(topics.TopicID(ti)); err != nil {
+			if _, err := rclSum.Summarize(context.Background(), topics.TopicID(ti)); err != nil {
 				return Table{}, err
 			}
 		}
 		rclDur := time.Since(start) / time.Duration(nTopics)
 		start = time.Now()
 		for ti := 0; ti < nTopics; ti++ {
-			if _, err := lrwSum.Summarize(topics.TopicID(ti)); err != nil {
+			if _, err := lrwSum.Summarize(context.Background(), topics.TopicID(ti)); err != nil {
 				return Table{}, err
 			}
 		}
@@ -644,7 +645,7 @@ func (r *Runner) FigS3() (Table, error) {
 			related := e.ds.Space.Related(q)
 			sums := make([]summary.Summary, 0, len(related))
 			for _, tt := range related {
-				s, err := e.eng.Summarize(core.MethodLRW, tt)
+				s, err := e.eng.Summarize(context.Background(), core.MethodLRW, tt)
 				if err != nil {
 					return Table{}, err
 				}
@@ -652,7 +653,7 @@ func (r *Runner) FigS3() (Table, error) {
 			}
 			for _, u := range e.work.Users {
 				start := time.Now()
-				if _, err := searcher.TopK(u, sums, k); err != nil {
+				if _, err := searcher.TopK(context.Background(), u, sums, k); err != nil {
 					return Table{}, err
 				}
 				total += time.Since(start)
@@ -692,7 +693,7 @@ func summarizeCost(eng *core.Engine, m core.Method, sample []topics.TopicID) (ti
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	for _, t := range sample {
-		if _, err := eng.Summarize(m, t); err != nil {
+		if _, err := eng.Summarize(context.Background(), m, t); err != nil {
 			return 0, 0, err
 		}
 	}

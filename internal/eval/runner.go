@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -191,7 +192,7 @@ type methodRanker struct {
 }
 
 func (mr methodRanker) TopK(user int32, related []topics.TopicID, k int) ([]search.Result, error) {
-	return mr.eng.SearchTopics(mr.m, related, user, k)
+	return mr.eng.SearchTopics(context.Background(), mr.m, related, user, k)
 }
 
 // measurement is the outcome of running one ranker over the workload.
@@ -240,10 +241,10 @@ func (r *Runner) runWorkload(e *env, ranker baselines.Ranker, maxK int) (measure
 func (r *Runner) warmSummaries(e *env) error {
 	for _, q := range e.work.Queries {
 		for _, t := range e.ds.Space.Related(q) {
-			if _, err := e.eng.Summarize(core.MethodLRW, t); err != nil {
+			if _, err := e.eng.Summarize(context.Background(), core.MethodLRW, t); err != nil {
 				return err
 			}
-			if _, err := e.eng.Summarize(core.MethodRCL, t); err != nil {
+			if _, err := e.eng.Summarize(context.Background(), core.MethodRCL, t); err != nil {
 				return err
 			}
 		}

@@ -5,6 +5,7 @@ package lrw
 // weight them by absorbing-walk influence migration (Algorithm 8).
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -34,8 +35,10 @@ func New(g *graph.Graph, space *topics.Space, walks *randwalk.Index, opts Option
 	return &Summarizer{g: g, space: space, walks: walks, opts: opts}, nil
 }
 
-// Summarize runs Algorithm 9's offline stage for one topic.
-func (s *Summarizer) Summarize(t topics.TopicID) (summary.Summary, error) {
+// Summarize runs Algorithm 9's offline stage for one topic. It checks ctx
+// between PageRank iterations and migration rows; a done context aborts
+// with ctx.Err().
+func (s *Summarizer) Summarize(ctx context.Context, t topics.TopicID) (summary.Summary, error) {
 	if !s.space.Valid(t) {
 		return summary.Summary{}, fmt.Errorf("lrw: unknown topic %d", t)
 	}
@@ -43,6 +46,9 @@ func (s *Summarizer) Summarize(t topics.TopicID) (summary.Summary, error) {
 	if len(vt) == 0 {
 		return summary.New(t, nil), nil
 	}
-	reps := RepNodes(s.g, s.walks, vt, s.opts)
-	return MigrateInfluence(t, s.walks, vt, reps), nil
+	reps, err := repNodesCtx(ctx, s.g, s.walks, vt, s.opts)
+	if err != nil {
+		return summary.Summary{}, err
+	}
+	return migrateInfluenceCtx(ctx, t, s.walks, vt, reps)
 }

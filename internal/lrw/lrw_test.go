@@ -1,6 +1,7 @@
 package lrw
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -70,7 +71,7 @@ func TestSummarizeUnknownTopic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Summarize(42); err == nil {
+	if _, err := s.Summarize(context.Background(), 42); err == nil {
 		t.Error("unknown topic accepted")
 	}
 }
@@ -84,7 +85,7 @@ func TestSummarizeEmptyTopic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum, err := s.Summarize(tid)
+	sum, err := s.Summarize(context.Background(), tid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestSummarizeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum, err := s.Summarize(tid)
+	sum, err := s.Summarize(context.Background(), tid)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,8 @@ package lrw
 // each representative's aggregated weight.
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/randwalk"
 	"repro/internal/summary"
@@ -23,8 +25,16 @@ import (
 // topic node keep weight 0 and are retained (the search layer treats their
 // remaining mass through the W_r bound).
 func MigrateInfluence(t topics.TopicID, walks *randwalk.Index, vt, reps []graph.NodeID) summary.Summary {
+	sum, _ := migrateInfluenceCtx(context.Background(), t, walks, vt, reps)
+	return sum
+}
+
+// migrateInfluenceCtx is MigrateInfluence with cooperative cancellation:
+// ctx is checked between absorbing-walk rows (one row per topic node /
+// representative, R walks each).
+func migrateInfluenceCtx(ctx context.Context, t topics.TopicID, walks *randwalk.Index, vt, reps []graph.NodeID) (summary.Summary, error) {
 	if len(vt) == 0 || len(reps) == 0 {
-		return summary.New(t, nil)
+		return summary.New(t, nil), nil
 	}
 
 	// Dense positions for matrix addressing.
@@ -45,6 +55,11 @@ func MigrateInfluence(t topics.TopicID, walks *randwalk.Index, vt, reps []graph.
 	// Forward absorption: walks from each topic node, absorbed by the
 	// first representative on the path (Algorithm 8 lines 3–7).
 	for i, v := range vt {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return summary.Summary{}, err
+			}
+		}
 		for s := 0; s < walks.R; s++ {
 			for d, node := range walks.Walk(s, v) {
 				if j, isRep := repPos[node]; isRep {
@@ -61,6 +76,11 @@ func MigrateInfluence(t topics.TopicID, walks *randwalk.Index, vt, reps []graph.
 	// Backward absorption: walks from each representative, absorbed by
 	// the first topic node on the path (lines 8–12).
 	for j, r := range reps {
+		if j%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return summary.Summary{}, err
+			}
+		}
 		for s := 0; s < walks.R; s++ {
 			for d, node := range walks.Walk(s, r) {
 				if i, isTopic := topicPos[node]; isTopic {
@@ -106,5 +126,5 @@ func MigrateInfluence(t topics.TopicID, walks *randwalk.Index, vt, reps []graph.
 	for j, r := range reps {
 		out[j] = summary.WeightedNode{Node: r, Weight: weights[j]}
 	}
-	return summary.New(t, out)
+	return summary.New(t, out), nil
 }

@@ -7,6 +7,7 @@
 package lrw
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -14,6 +15,11 @@ import (
 	"repro/internal/randwalk"
 	"repro/internal/topics"
 )
+
+// ctxStride is how many inner-loop nodes are processed between context
+// checks; large enough that the check is free, small enough that a
+// cancellation lands within microseconds on any realistic graph.
+const ctxStride = 8192
 
 // Options configures the LRW-A summarizer.
 type Options struct {
@@ -52,11 +58,18 @@ const hFloor = 1e-9
 // time-variant visiting frequency) and P*(v) the uniform topic prior over
 // vt. The returned slice has one score per graph node.
 func Scores(g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Options) []float64 {
+	scores, _ := scoresCtx(context.Background(), g, walks, vt, opt)
+	return scores
+}
+
+// scoresCtx is Scores with cooperative cancellation: ctx is checked every
+// PageRank iteration and every ctxStride nodes inside the O(n·deg) loops.
+func scoresCtx(ctx context.Context, g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Options) ([]float64, error) {
 	opt.fill()
 	n := g.NumNodes()
 	scores := make([]float64, n)
 	if n == 0 || len(vt) == 0 {
-		return scores
+		return scores, nil
 	}
 
 	// PStar: the topic-prior jump distribution, 1/|V_t| on topic nodes.
@@ -84,6 +97,11 @@ func Scores(g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Option
 	for i := 1; i <= walks.L; i++ {
 		h := walks.VisitFreqRow(i)
 		for u := 0; u < n; u++ {
+			if u%ctxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			nbrs, ws := g.OutNeighbors(graph.NodeID(u))
 			sum := 0.0
 			for k, w := range nbrs {
@@ -92,6 +110,11 @@ func Scores(g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Option
 			d[u] = sum
 		}
 		for v := 0; v < n; v++ {
+			if v%ctxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			in, inw := g.InNeighbors(graph.NodeID(v))
 			hv := h[v] + hFloor
 			acc := 0.0
@@ -106,7 +129,7 @@ func Scores(g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Option
 		prev, cur = cur, prev
 	}
 	copy(scores, prev)
-	return scores
+	return scores, nil
 }
 
 // RepNodes is Algorithm 7: rank every node by the diversified PageRank of
@@ -114,12 +137,21 @@ func Scores(g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Option
 // count is opt.RepCount if positive, else ⌈μ·|V_t|⌉ (minimum 1), capped at
 // the number of graph nodes.
 func RepNodes(g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Options) []graph.NodeID {
+	reps, _ := repNodesCtx(context.Background(), g, walks, vt, opt)
+	return reps
+}
+
+// repNodesCtx is RepNodes with cooperative cancellation (see scoresCtx).
+func repNodesCtx(ctx context.Context, g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Options) ([]graph.NodeID, error) {
 	opt.fill()
 	n := g.NumNodes()
 	if n == 0 || len(vt) == 0 {
-		return nil
+		return nil, nil
 	}
-	scores := Scores(g, walks, vt, opt)
+	scores, err := scoresCtx(ctx, g, walks, vt, opt)
+	if err != nil {
+		return nil, err
+	}
 
 	repCount := opt.RepCount
 	if repCount <= 0 {
@@ -143,7 +175,7 @@ func RepNodes(g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Opti
 		}
 		return order[a] < order[b]
 	})
-	return order[:repCount]
+	return order[:repCount], nil
 }
 
 func validateInputs(g *graph.Graph, space *topics.Space, walks *randwalk.Index) error {

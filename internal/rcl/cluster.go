@@ -8,6 +8,7 @@
 package rcl
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -148,14 +149,18 @@ func intersectionSize(a, b []graph.NodeID) int {
 }
 
 // buildGrouping runs Algorithm 1's pair-labeling over the topic nodes.
-// sampleSize is |V′|; reach[i] is V_{u_i,L} ∩ V′ for topic node i.
-func buildGrouping(nodes []graph.NodeID, reach [][]graph.NodeID, sampleSize int, rng *rand.Rand) *grouping {
+// sampleSize is |V′|; reach[i] is V_{u_i,L} ∩ V′ for topic node i. The
+// O(|V_t|²) pair loop checks ctx once per row.
+func buildGrouping(ctx context.Context, nodes []graph.NodeID, reach [][]graph.NodeID, sampleSize int, rng *rand.Rand) (*grouping, error) {
 	gr := &grouping{nodes: nodes, labels: make([]pairLabel, len(nodes)*len(nodes))}
 	if sampleSize == 0 {
-		return gr // no evidence: nothing can be grouped
+		return gr, nil // no evidence: nothing can be grouped
 	}
 	inv := 1.0 / float64(sampleSize)
 	for i := range nodes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for j := i + 1; j < len(nodes); j++ {
 			common := intersectionSize(reach[i], reach[j])
 			gPlus := float64(common) * inv
@@ -188,7 +193,7 @@ func buildGrouping(nodes []graph.NodeID, reach [][]graph.NodeID, sampleSize int,
 			gr.set(i, j, label)
 		}
 	}
-	return gr
+	return gr, nil
 }
 
 // nodeSet is one candidate group in the set-enumeration tree, stored as
@@ -201,7 +206,7 @@ type nodeSet []int
 // (GPLabel = 1) with every member. The total number of materialized sets is
 // capped at maxNodes; enumeration is best-first in input order so the cap
 // degrades gracefully to smaller groups rather than failing.
-func setEnumerationTree(gr *grouping, maxNodes int) []nodeSet {
+func setEnumerationTree(ctx context.Context, gr *grouping, maxNodes int) ([]nodeSet, error) {
 	n := len(gr.nodes)
 	level := make([]nodeSet, n)
 	for i := 0; i < n; i++ {
@@ -212,6 +217,9 @@ func setEnumerationTree(gr *grouping, maxNodes int) []nodeSet {
 	budget := maxNodes - n
 
 	for len(level) > 1 && budget > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var next []nodeSet
 	outer:
 		for xi := 0; xi < len(level) && budget > 0; xi++ {
@@ -239,7 +247,7 @@ func setEnumerationTree(gr *grouping, maxNodes int) []nodeSet {
 		}
 		level = next
 	}
-	return all
+	return all, nil
 }
 
 // sameButLast reports whether a and b share their first len−1 elements
@@ -318,8 +326,9 @@ func noOverlapGrouping(gr *grouping, sets []nodeSet, cSize int) [][]graph.NodeID
 }
 
 // Cluster runs Algorithm 1 end to end for topic t and returns the
-// non-overlapping topic node groups.
-func (s *Summarizer) Cluster(t topics.TopicID) ([][]graph.NodeID, error) {
+// non-overlapping topic node groups. ctx is checked between and inside the
+// clustering stages; a done context aborts with ctx.Err().
+func (s *Summarizer) Cluster(ctx context.Context, t topics.TopicID) ([][]graph.NodeID, error) {
 	if !s.space.Valid(t) {
 		return nil, fmt.Errorf("rcl: unknown topic %d", t)
 	}
@@ -340,9 +349,20 @@ func (s *Summarizer) Cluster(t topics.TopicID) ([][]graph.NodeID, error) {
 	}
 	reach := make([][]graph.NodeID, len(vt))
 	for i, u := range vt {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		reach[i] = reachWithinSample(s.walks, u, inSample)
 	}
-	gr := buildGrouping(vt, reach, sampleSize, rng)
-	sets := setEnumerationTree(gr, opts.MaxTreeNodes)
+	gr, err := buildGrouping(ctx, vt, reach, sampleSize, rng)
+	if err != nil {
+		return nil, err
+	}
+	sets, err := setEnumerationTree(ctx, gr, opts.MaxTreeNodes)
+	if err != nil {
+		return nil, err
+	}
 	return noOverlapGrouping(gr, sets, opts.CSize), nil
 }

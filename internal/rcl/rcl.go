@@ -7,6 +7,7 @@ package rcl
 // PIT-Search (Algorithm 10).
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -43,9 +44,11 @@ func New(g *graph.Graph, space *topics.Space, walks *randwalk.Index, opts Option
 
 // Summarize runs the offline stage of Algorithm 5 for one topic: it
 // returns the weighted representative (central) node set. Central nodes
-// shared by several clusters accumulate their clusters' weights.
-func (s *Summarizer) Summarize(t topics.TopicID) (summary.Summary, error) {
-	groups, err := s.Cluster(t)
+// shared by several clusters accumulate their clusters' weights. ctx is
+// checked between the clustering stages and centroid selections; a done
+// context aborts with ctx.Err().
+func (s *Summarizer) Summarize(ctx context.Context, t topics.TopicID) (summary.Summary, error) {
+	groups, err := s.Cluster(ctx, t)
 	if err != nil {
 		return summary.Summary{}, err
 	}
@@ -55,6 +58,9 @@ func (s *Summarizer) Summarize(t topics.TopicID) (summary.Summary, error) {
 	}
 	reps := make([]summary.WeightedNode, 0, len(groups))
 	for _, grp := range groups {
+		if err := ctx.Err(); err != nil {
+			return summary.Summary{}, err
+		}
 		central := s.selectCentral(grp)
 		if central < 0 {
 			continue

@@ -1,6 +1,7 @@
 package rcl
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -86,10 +87,10 @@ func TestNewValidation(t *testing.T) {
 func TestClusterUnknownTopic(t *testing.T) {
 	g, space, _ := twoCommunities(t, 20, 1)
 	s := buildSummarizer(t, g, space, Options{})
-	if _, err := s.Cluster(99); err == nil {
+	if _, err := s.Cluster(context.Background(), 99); err == nil {
 		t.Error("unknown topic accepted")
 	}
-	if _, err := s.Summarize(-1); err == nil {
+	if _, err := s.Summarize(context.Background(), -1); err == nil {
 		t.Error("negative topic accepted")
 	}
 }
@@ -97,7 +98,7 @@ func TestClusterUnknownTopic(t *testing.T) {
 func TestClusterCoversAllTopicNodesExactlyOnce(t *testing.T) {
 	g, space, tid := twoCommunities(t, 25, 3)
 	s := buildSummarizer(t, g, space, Options{CSize: 4, SampleRate: 0.5, Seed: 3})
-	groups, err := s.Cluster(tid)
+	groups, err := s.Cluster(context.Background(), tid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestClusterRespectsGroupCap(t *testing.T) {
 	g, space, tid := twoCommunities(t, 25, 5)
 	const cSize = 4
 	s := buildSummarizer(t, g, space, Options{CSize: cSize, SampleRate: 0.5, Seed: 5})
-	groups, err := s.Cluster(tid)
+	groups, err := s.Cluster(context.Background(), tid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestClusterRespectsGroupCap(t *testing.T) {
 func TestSummarizeWeightsSumToOne(t *testing.T) {
 	g, space, tid := twoCommunities(t, 25, 7)
 	s := buildSummarizer(t, g, space, Options{CSize: 3, SampleRate: 0.5, Seed: 7})
-	sum, err := s.Summarize(tid)
+	sum, err := s.Summarize(context.Background(), tid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestSummarizeEmptyTopic(t *testing.T) {
 	tid, _ := sb.AddTopic("x", "empty topic")
 	space := sb.Build()
 	s := buildSummarizer(t, g, space, Options{})
-	sum, err := s.Summarize(tid)
+	sum, err := s.Summarize(context.Background(), tid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestSummarizeSingleTopicNode(t *testing.T) {
 	_ = sb.AddNode(tid, 3)
 	space := sb.Build()
 	s := buildSummarizer(t, g, space, Options{})
-	sum, err := s.Summarize(tid)
+	sum, err := s.Summarize(context.Background(), tid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,11 +196,11 @@ func TestDeterministicPerSeed(t *testing.T) {
 	g, space, tid := twoCommunities(t, 20, 9)
 	a := buildSummarizer(t, g, space, Options{CSize: 3, Seed: 42})
 	b := buildSummarizer(t, g, space, Options{CSize: 3, Seed: 42})
-	sa, err := a.Summarize(tid)
+	sa, err := a.Summarize(context.Background(), tid)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sb, err := b.Summarize(tid)
+	sb, err := b.Summarize(context.Background(), tid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestCommunityLocalityOfCentroids(t *testing.T) {
 	const commSize = 30
 	g, space, tid := twoCommunities(t, commSize, 11)
 	s := buildSummarizer(t, g, space, Options{CSize: 2, SampleRate: 0.8, Seed: 11})
-	groups, err := s.Cluster(tid)
+	groups, err := s.Cluster(context.Background(), tid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestGroupingRules(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			gr := buildGrouping(nodes, [][]graph.NodeID{tc.a, tc.b}, tc.sampleSize, rng)
+			gr, _ := buildGrouping(context.Background(), nodes, [][]graph.NodeID{tc.a, tc.b}, tc.sampleSize, rng)
 			if got := gr.at(0, 1); got != tc.want {
 				t.Errorf("label = %d, want %d", got, tc.want)
 			}
@@ -324,7 +325,7 @@ func TestGroupingRule3Probabilistic(t *testing.T) {
 	const trials = 2000
 	for i := 0; i < trials; i++ {
 		rng := rand.New(rand.NewSource(int64(i)))
-		gr := buildGrouping(nodes, reach, 5, rng)
+		gr, _ := buildGrouping(context.Background(), nodes, reach, 5, rng)
 		if gr.at(0, 1) == labelGrouped {
 			grouped++
 		}
@@ -348,11 +349,11 @@ func TestSetEnumerationTreeRespectsCap(t *testing.T) {
 			gr.set(i, j, labelGrouped)
 		}
 	}
-	sets := setEnumerationTree(gr, 10)
+	sets, _ := setEnumerationTree(context.Background(), gr, 10)
 	if len(sets) > 10 {
 		t.Errorf("cap violated: %d sets", len(sets))
 	}
-	full := setEnumerationTree(gr, 1000)
+	full, _ := setEnumerationTree(context.Background(), gr, 1000)
 	// All 2^6−1 non-empty subsets are groupable.
 	if len(full) != 63 {
 		t.Errorf("full enumeration produced %d sets, want 63", len(full))
@@ -375,7 +376,7 @@ func TestNoOverlapGroupingPartitions(t *testing.T) {
 				gr.set(i, j, pairLabel(rng.Intn(3)))
 			}
 		}
-		sets := setEnumerationTree(gr, 200)
+		sets, _ := setEnumerationTree(context.Background(), gr, 200)
 		groups := noOverlapGrouping(gr, sets, 1+rng.Intn(4))
 		seen := map[graph.NodeID]int{}
 		for _, grp := range groups {
@@ -404,7 +405,7 @@ func BenchmarkSummarize(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Summarize(tid); err != nil {
+		if _, err := s.Summarize(context.Background(), tid); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -454,7 +455,7 @@ func TestRefineCentroidImprovesOrKeeps(t *testing.T) {
 func TestSummarizeWithRefinementStillValid(t *testing.T) {
 	g, space, tid := twoCommunities(t, 20, 13)
 	s := buildSummarizer(t, g, space, Options{CSize: 3, Seed: 13, RefineCentroid: true})
-	sum, err := s.Summarize(tid)
+	sum, err := s.Summarize(context.Background(), tid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -470,11 +471,11 @@ func TestRepCountCapKeepsHeaviest(t *testing.T) {
 	g, space, tid := twoCommunities(t, 25, 17)
 	uncapped := buildSummarizer(t, g, space, Options{CSize: 2, Seed: 17})
 	capped := buildSummarizer(t, g, space, Options{CSize: 2, Seed: 17, RepCount: 2})
-	full, err := uncapped.Summarize(tid)
+	full, err := uncapped.Summarize(context.Background(), tid)
 	if err != nil {
 		t.Fatal(err)
 	}
-	trimmed, err := capped.Summarize(tid)
+	trimmed, err := capped.Summarize(context.Background(), tid)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ package search
 //	go test -bench=Ablation -benchmem ./internal/search/
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -65,7 +66,7 @@ func benchSearch(b *testing.B, opts Options) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.TopK(user, sums, 10); err != nil {
+		if _, err := s.TopK(context.Background(), user, sums, 10); err != nil {
 			b.Fatal(err)
 		}
 	}

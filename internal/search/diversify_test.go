@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -102,7 +103,7 @@ func TestDiversifyPermutationAndHead(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		results, err := s.TopK(user, sums, len(sums))
+		results, err := s.TopK(context.Background(), user, sums, len(sums))
 		if err != nil {
 			return false
 		}

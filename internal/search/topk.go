@@ -9,6 +9,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -89,16 +90,20 @@ type expandNode struct {
 // TopK runs Algorithm 10 for the query user over the given summaries (one
 // per q-related topic) and returns the k most influential topics, highest
 // score first (ties by topic ID). k ≤ 0 or k ≥ len(summaries) returns all
-// topics ranked.
-func (s *Searcher) TopK(user graph.NodeID, summaries []summary.Summary, k int) ([]Result, error) {
-	return s.run(user, summaries, k, nil)
+// topics ranked. ctx is checked before each expansion level and every
+// few frontier nodes inside EXPAND; a done context aborts with ctx.Err().
+func (s *Searcher) TopK(ctx context.Context, user graph.NodeID, summaries []summary.Summary, k int) ([]Result, error) {
+	return s.run(ctx, user, summaries, k, nil)
 }
 
 // run is the shared core of TopK and TopKTrace; tr, when non-nil, receives
 // diagnostics.
-func (s *Searcher) run(user graph.NodeID, summaries []summary.Summary, k int, tr *Trace) ([]Result, error) {
+func (s *Searcher) run(ctx context.Context, user graph.NodeID, summaries []summary.Summary, k int, tr *Trace) ([]Result, error) {
 	if int(user) < 0 || int(user) >= s.prop.NumNodes() {
 		return nil, fmt.Errorf("search: user %d outside the indexed graph", user)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if len(summaries) == 0 {
 		return nil, nil
@@ -142,6 +147,9 @@ func (s *Searcher) run(user graph.NodeID, summaries []summary.Summary, k int, tr
 	}
 	depth := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		maxEP := maxAcc(frontier)
 		kth := kthScore(states, k)
 		var before []bool
@@ -166,7 +174,11 @@ func (s *Searcher) run(user graph.NodeID, summaries []summary.Summary, k int, tr
 		if tr != nil {
 			tr.FrontierSizes = append(tr.FrontierSizes, len(frontier))
 		}
-		frontier = s.expandOnce(states, frontier, visited)
+		next, err := s.expandOnce(ctx, states, frontier, visited)
+		if err != nil {
+			return nil, err
+		}
+		frontier = next
 		depth++
 	}
 
@@ -361,10 +373,16 @@ func (s *Searcher) pruneAndCount(states []*topicState, k int, kth, maxEP float64
 // expandOnce is one level of Algorithm 11: every frontier node u
 // contributes its Γ(u) row to all surviving topics, scaled by the
 // accumulated propagation from u to the query user, and the next frontier
-// is assembled from u's own potential marks.
-func (s *Searcher) expandOnce(states []*topicState, frontier []expandNode, visited map[graph.NodeID]bool) []expandNode {
+// is assembled from u's own potential marks. ctx is checked every 64
+// frontier nodes so a canceled search stops probing Γ promptly.
+func (s *Searcher) expandOnce(ctx context.Context, states []*topicState, frontier []expandNode, visited map[graph.NodeID]bool) ([]expandNode, error) {
 	var next []expandNode
-	for _, f := range frontier {
+	for fi, f := range frontier {
+		if fi%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		srcs, props, potential := s.prop.Gamma(f.node)
 		for _, st := range states {
 			s.consume(st, srcs, props, f.acc)
@@ -376,7 +394,7 @@ func (s *Searcher) expandOnce(states []*topicState, frontier []expandNode, visit
 			}
 		}
 	}
-	return next
+	return next, nil
 }
 
 // rank returns the k best topics by score, ties broken by topic ID.

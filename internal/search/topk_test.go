@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -39,10 +40,10 @@ func TestTopKValidatesUser(t *testing.T) {
 	b.MustAddEdge(0, 1, 0.5)
 	s := newSearcher(t, buildIndex(t, b.Build(), 0.1), Options{})
 	sums := []summary.Summary{summary.New(0, []summary.WeightedNode{{Node: 0, Weight: 1}})}
-	if _, err := s.TopK(-1, sums, 1); err == nil {
+	if _, err := s.TopK(context.Background(), -1, sums, 1); err == nil {
 		t.Error("negative user accepted")
 	}
-	if _, err := s.TopK(5, sums, 1); err == nil {
+	if _, err := s.TopK(context.Background(), 5, sums, 1); err == nil {
 		t.Error("out-of-range user accepted")
 	}
 }
@@ -51,7 +52,7 @@ func TestTopKEmptyTopics(t *testing.T) {
 	b := graph.NewBuilder(2)
 	b.MustAddEdge(0, 1, 0.5)
 	s := newSearcher(t, buildIndex(t, b.Build(), 0.1), Options{})
-	res, err := s.TopK(1, nil, 3)
+	res, err := s.TopK(context.Background(), 1, nil, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestDirectInfluenceScore(t *testing.T) {
 		{Node: 0, Weight: 0.5},
 		{Node: 1, Weight: 0.5},
 	})}
-	res, err := s.TopK(3, sums, 1)
+	res, err := s.TopK(context.Background(), 3, sums, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestRepOutsideGammaContributesNothingWithoutExpansion(t *testing.T) {
 	g := b.Build()
 	s := newSearcher(t, buildIndex(t, g, 0.05), Options{})
 	sums := []summary.Summary{summary.New(0, []summary.WeightedNode{{Node: 0, Weight: 1}})}
-	res, err := s.TopK(2, sums, 1)
+	res, err := s.TopK(context.Background(), 2, sums, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestExpandReachesRepViaPotentialNode(t *testing.T) {
 	// expansion machinery in exhaustive mode.
 	s := newSearcher(t, ix, Options{DisablePruning: true})
 	sums := []summary.Summary{summary.New(0, []summary.WeightedNode{{Node: 0, Weight: 1}})}
-	res, err := s.TopK(2, sums, 1)
+	res, err := s.TopK(context.Background(), 2, sums, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,11 +145,11 @@ func TestExpandDepthBound(t *testing.T) {
 
 	shallow := newSearcher(t, ix, Options{MaxExpandDepth: 1, DisablePruning: true})
 	deep := newSearcher(t, ix, Options{MaxExpandDepth: 4, DisablePruning: true})
-	resShallow, err := shallow.TopK(4, sums, 1)
+	resShallow, err := shallow.TopK(context.Background(), 4, sums, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resDeep, err := deep.TopK(4, sums, 1)
+	resDeep, err := deep.TopK(context.Background(), 4, sums, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestRankingOrderAndTies(t *testing.T) {
 		summary.New(11, []summary.WeightedNode{{Node: 0, Weight: 1}}), // 0.6
 		summary.New(12, []summary.WeightedNode{{Node: 2, Weight: 1}}), // 0.4 (ties 10)
 	}
-	res, err := s.TopK(3, sums, 3)
+	res, err := s.TopK(context.Background(), 3, sums, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestKClamping(t *testing.T) {
 		summary.New(1, []summary.WeightedNode{{Node: 1, Weight: 1}}),
 	}
 	for _, k := range []int{0, -5, 2, 99} {
-		res, err := s.TopK(2, sums, k)
+		res, err := s.TopK(context.Background(), 2, sums, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,7 +205,7 @@ func TestKClamping(t *testing.T) {
 			t.Errorf("k=%d returned %d results, want 2", k, len(res))
 		}
 	}
-	res, _ := s.TopK(2, sums, 1)
+	res, _ := s.TopK(context.Background(), 2, sums, 1)
 	if len(res) != 1 || res[0].Topic != 0 {
 		t.Errorf("k=1 = %+v, want topic 0", res)
 	}
@@ -258,11 +259,11 @@ func TestPruningPreservesResults(t *testing.T) {
 			return false
 		}
 		k := 1 + int(seed%3)
-		a, err := pruned.TopK(user, sums, k)
+		a, err := pruned.TopK(context.Background(), user, sums, k)
 		if err != nil {
 			return false
 		}
-		b, err := exhaustive.TopK(user, sums, k)
+		b, err := exhaustive.TopK(context.Background(), user, sums, k)
 		if err != nil {
 			return false
 		}
@@ -278,7 +279,7 @@ func TestPruningPreservesResults(t *testing.T) {
 		}
 		if len(b) < len(sums) {
 			// check boundary separation on the exhaustive ranking
-			all, _ := exhaustive.TopK(user, sums, len(sums))
+			all, _ := exhaustive.TopK(context.Background(), user, sums, len(sums))
 			if len(all) > k && math.Abs(all[k-1].Score-all[k].Score) < 1e-9 {
 				return true // tie at the boundary: either set is valid
 			}
@@ -303,7 +304,7 @@ func TestResultsSortedNonNegative(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := s.TopK(user, sums, len(sums))
+		res, err := s.TopK(context.Background(), user, sums, len(sums))
 		if err != nil {
 			return false
 		}
@@ -331,7 +332,7 @@ func TestTopKPrefixConsistency(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		all, err := s.TopK(user, sums, len(sums))
+		all, err := s.TopK(context.Background(), user, sums, len(sums))
 		if err != nil {
 			return false
 		}
@@ -339,7 +340,7 @@ func TestTopKPrefixConsistency(t *testing.T) {
 			if math.Abs(all[k-1].Score-all[k].Score) < 1e-9 {
 				continue
 			}
-			topK, err := s.TopK(user, sums, k)
+			topK, err := s.TopK(context.Background(), user, sums, k)
 			if err != nil {
 				return false
 			}
@@ -370,7 +371,7 @@ func TestRepConsumedOnlyOnce(t *testing.T) {
 	ix := buildIndex(t, g, 0.3)
 	s := newSearcher(t, ix, Options{MaxExpandDepth: 3, DisablePruning: true})
 	sums := []summary.Summary{summary.New(0, []summary.WeightedNode{{Node: 0, Weight: 1}})}
-	res, err := s.TopK(2, sums, 1)
+	res, err := s.TopK(context.Background(), 2, sums, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +389,7 @@ func BenchmarkTopK(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.TopK(user, sums, 3); err != nil {
+		if _, err := s.TopK(context.Background(), user, sums, 3); err != nil {
 			b.Fatal(err)
 		}
 	}

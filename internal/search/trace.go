@@ -8,6 +8,8 @@ package search
 // algorithm's internal behaviour, not just its output.
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/summary"
 	"repro/internal/topics"
@@ -43,9 +45,9 @@ type Trace struct {
 
 // TopKTrace is TopK with diagnostics. It returns the same results as TopK
 // for the same inputs.
-func (s *Searcher) TopKTrace(user graph.NodeID, summaries []summary.Summary, k int) (*Trace, error) {
+func (s *Searcher) TopKTrace(ctx context.Context, user graph.NodeID, summaries []summary.Summary, k int) (*Trace, error) {
 	tr := &Trace{}
-	if _, err := s.run(user, summaries, k, tr); err != nil {
+	if _, err := s.run(ctx, user, summaries, k, tr); err != nil {
 		return nil, err
 	}
 	return tr, nil

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -16,11 +17,11 @@ func TestTraceMatchesTopK(t *testing.T) {
 			return false
 		}
 		k := 1 + int(seed%4)
-		plain, err := s.TopK(user, sums, k)
+		plain, err := s.TopK(context.Background(), user, sums, k)
 		if err != nil {
 			return false
 		}
-		tr, err := s.TopKTrace(user, sums, k)
+		tr, err := s.TopKTrace(context.Background(), user, sums, k)
 		if err != nil {
 			return false
 		}
@@ -48,7 +49,7 @@ func TestTraceDiagnostics(t *testing.T) {
 	ix := buildIndex(t, g, 0.3)
 	s := newSearcher(t, ix, Options{DisablePruning: true})
 	sums := []summary.Summary{summary.New(0, []summary.WeightedNode{{Node: 0, Weight: 1}})}
-	tr, err := s.TopKTrace(2, sums, 1)
+	tr, err := s.TopKTrace(context.Background(), 2, sums, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestTracePruningRecorded(t *testing.T) {
 		summary.New(0, []summary.WeightedNode{{Node: 0, Weight: 1}}), // reaches user 2
 		summary.New(1, []summary.WeightedNode{{Node: 3, Weight: 1}}), // isolated
 	}
-	tr, err := s.TopKTrace(2, sums, 1)
+	tr, err := s.TopKTrace(context.Background(), 2, sums, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,14 +114,14 @@ func TestTraceEmptyAndInvalid(t *testing.T) {
 	b := graph.NewBuilder(2)
 	b.MustAddEdge(0, 1, 0.5)
 	s := newSearcher(t, buildIndex(t, b.Build(), 0.1), Options{})
-	tr, err := s.TopKTrace(1, nil, 3)
+	tr, err := s.TopKTrace(context.Background(), 1, nil, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tr.Results) != 0 || len(tr.Topics) != 0 {
 		t.Errorf("empty search produced trace content: %+v", tr)
 	}
-	if _, err := s.TopKTrace(-1, nil, 1); err == nil {
+	if _, err := s.TopKTrace(context.Background(), -1, nil, 1); err == nil {
 		t.Error("invalid user accepted")
 	}
 }

@@ -6,21 +6,43 @@
 //	GET /search?q=<keywords>&user=<id>&k=<n>&method=<lrw|rcl>&lambda=<0..1>
 //	GET /topics?q=<keywords>            — q-related topics (no ranking)
 //	GET /stats                          — graph/index/topic-space counters
-//	GET /healthz
+//	GET /healthz                        — liveness: process is up
+//	GET /readyz                         — readiness: indexes are built
+//
+// The handler stack is production-hardened: every request gets an ID and
+// an access-log line; panics in a handler are isolated into a single 500;
+// a per-request deadline (Config.RequestTimeout) is threaded through the
+// engine as a context so expired requests stop burning CPU; a semaphore
+// (Config.MaxInflight) sheds excess load with 429 + Retry-After; and a
+// search whose deadline expires mid-summarization degrades to the
+// already-materialized summaries and answers 200 with "degraded": true
+// instead of failing.
 //
 // All handlers are read-only against the engine and safe for concurrent
-// use once the engine's indexes are built.
+// use. The engine's indexes may be built after New: until MarkReady is
+// called the API answers 503 and /readyz reports not-ready, so index
+// construction can run off the startup critical path.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 )
+
+// statusClientClosedRequest is the de-facto (nginx) status code for a
+// request abandoned by the client before the response was written.
+const statusClientClosedRequest = 499
 
 // SearchResult is one JSON row of a /search response.
 type SearchResult struct {
@@ -37,6 +59,11 @@ type SearchResponse struct {
 	Method  string         `json:"method"`
 	K       int            `json:"k"`
 	Results []SearchResult `json:"results"`
+	// Degraded is set when the request deadline expired mid-search and the
+	// results were served from already-materialized summaries only — a
+	// partial, cheaper answer instead of an error (resource-constrained
+	// graceful degradation).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // TopicsResponse is the /topics payload.
@@ -59,80 +86,292 @@ type StatsResponse struct {
 }
 
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// Config tunes the serving stack. The zero value serves with no deadline,
+// no load shedding, k capped at 100 and the standard logger.
+type Config struct {
+	// MaxK caps the k any request may ask for (default 100).
+	MaxK int
+	// RequestTimeout is the per-request deadline applied to /search,
+	// /topics and /stats. Zero disables the deadline.
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrently served API requests; excess requests
+	// are shed immediately with 429 + Retry-After. Zero disables shedding.
+	MaxInflight int
+	// DegradeTimeout bounds the cached-summaries fallback search that runs
+	// after the main deadline expired (default 2s).
+	DegradeTimeout time.Duration
+	// Logger receives access-log, panic and encode-failure lines
+	// (default log.Default()).
+	Logger *log.Logger
+}
+
+func (c *Config) fill() {
+	if c.MaxK <= 0 {
+		c.MaxK = 100
+	}
+	if c.DegradeTimeout <= 0 {
+		c.DegradeTimeout = 2 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
 }
 
 // Server wraps an engine with HTTP handlers. Create with New, mount with
-// Handler.
+// Handler, flip MarkReady once the engine's indexes are built.
 type Server struct {
-	eng *core.Engine
-	// MaxK caps the k any request may ask for (default 100).
-	maxK int
+	eng      *core.Engine
+	cfg      Config
+	ready    atomic.Bool
+	reqSeq   atomic.Uint64
+	inflight chan struct{}
 }
 
-// New returns a Server over a fully built engine.
-func New(eng *core.Engine, maxK int) (*Server, error) {
+// New returns a Server over the engine. The engine's indexes do not have
+// to be built yet: the server starts not-ready (API answers 503, /readyz
+// reports failure) unless they already are. Call MarkReady after
+// BuildIndexes (and any pre-materialization) completes.
+func New(eng *core.Engine, cfg Config) (*Server, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("server: nil engine")
 	}
-	if eng.Prop() == nil {
-		return nil, fmt.Errorf("server: engine indexes not built")
+	cfg.fill()
+	s := &Server{eng: eng, cfg: cfg}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
 	}
-	if maxK <= 0 {
-		maxK = 100
+	if eng.Ready() {
+		s.ready.Store(true)
 	}
-	return &Server{eng: eng, maxK: maxK}, nil
+	return s, nil
 }
 
-// Handler returns the route multiplexer.
+// MarkReady flips /readyz to success and opens the API for traffic. Call
+// it once the engine's indexes (and optional summary materialization)
+// are built.
+func (s *Server) MarkReady() { s.ready.Store(true) }
+
+// Ready reports whether the server is accepting API traffic.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// ctxKey is the context key type for request-scoped values.
+type ctxKey int
+
+const ridKey ctxKey = 0
+
+// RequestID returns the request ID assigned by the middleware stack, or
+// "" outside a request.
+func RequestID(ctx context.Context) string {
+	rid, _ := ctx.Value(ridKey).(string)
+	return rid
+}
+
+// Handler returns the full middleware-wrapped route multiplexer:
+//
+//	request ID → access log → panic recovery → [API only: load shedding →
+//	deadline] → routes
+//
+// Health endpoints bypass the limiter and the deadline so orchestrator
+// probes keep answering under overload.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /search", s.handleSearch)
-	mux.HandleFunc("GET /topics", s.handleTopics)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-	return mux
+	api := http.NewServeMux()
+	api.HandleFunc("GET /search", s.handleSearch)
+	api.HandleFunc("GET /topics", s.handleTopics)
+	api.HandleFunc("GET /stats", s.handleStats)
+	var apiH http.Handler = api
+	apiH = s.withTimeout(apiH)
+	apiH = s.withLimit(apiH)
+
+	root := http.NewServeMux()
+	root.Handle("/search", apiH)
+	root.Handle("/topics", apiH)
+	root.Handle("/stats", apiH)
+	root.HandleFunc("GET /healthz", s.handleHealthz)
+	root.HandleFunc("GET /readyz", s.handleReadyz)
+
+	var h http.Handler = root
+	h = s.withRecovery(h)
+	h = s.withAccessLog(h)
+	h = s.withRequestID(h)
+	return h
 }
 
-func writeJSON(w http.ResponseWriter, status int, payload interface{}) {
+// statusRecorder captures the response status for the access log and lets
+// the panic handler detect whether a response was already started.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.wrote {
+		r.status = http.StatusOK
+		r.wrote = true
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// withRequestID assigns each request a process-unique ID, exposed to
+// handlers via the context and to clients via the X-Request-ID header.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := fmt.Sprintf("req-%08d", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-ID", rid)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ridKey, rid)))
+	})
+}
+
+// withAccessLog emits one structured line per request with latency and
+// final status.
+func (s *Server) withAccessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		s.cfg.Logger.Printf("%s method=%s path=%s status=%d dur=%s",
+			RequestID(r.Context()), r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// withRecovery isolates a panicking handler into a single 500 (with the
+// request ID) instead of tearing the whole process down.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler { // net/http's own abort protocol
+					panic(p)
+				}
+				s.cfg.Logger.Printf("%s panic serving %s: %v\n%s",
+					RequestID(r.Context()), r.URL.Path, p, debug.Stack())
+				if rec, ok := w.(*statusRecorder); !ok || !rec.wrote {
+					s.writeErr(w, r, http.StatusInternalServerError, "internal error")
+				}
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withLimit sheds load once MaxInflight requests are already being
+// served: excess requests get an immediate 429 with Retry-After instead
+// of queueing toward collapse.
+func (s *Server) withLimit(next http.Handler) http.Handler {
+	if s.inflight == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			s.writeErr(w, r, http.StatusTooManyRequests, "server at capacity (%d in-flight requests)", s.cfg.MaxInflight)
+		}
+	})
+}
+
+// withTimeout applies the per-request deadline; the context reaches the
+// engine, whose cancellation checks stop the search mid-loop.
+func (s *Server) withTimeout(next http.Handler) http.Handler {
+	if s.cfg.RequestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, payload interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(payload)
+	if err := json.NewEncoder(w).Encode(payload); err != nil {
+		// The status line is gone; all we can do is leave a trace tied to
+		// the request ID instead of dropping the failure silently.
+		s.cfg.Logger.Printf("%s encode response: %v", RequestID(r.Context()), err)
+	}
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, status int, format string, args ...interface{}) {
+	s.writeJSON(w, r, status, errorResponse{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: RequestID(r.Context()),
+	})
+}
+
+// requireReady gates an API handler until MarkReady: before that the
+// engine is still building indexes and cannot answer.
+func (s *Server) requireReady(w http.ResponseWriter, r *http.Request) bool {
+	if s.ready.Load() {
+		return true
+	}
+	w.Header().Set("Retry-After", "5")
+	s.writeErr(w, r, http.StatusServiceUnavailable, "indexes are still building")
+	return false
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready: indexes building")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if !s.requireReady(w, r) {
+		return
+	}
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		writeErr(w, http.StatusBadRequest, "missing q parameter")
+		s.writeErr(w, r, http.StatusBadRequest, "missing q parameter")
 		return
 	}
 	userStr := r.URL.Query().Get("user")
 	user, err := strconv.ParseInt(userStr, 10, 32)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad user %q", userStr)
+		s.writeErr(w, r, http.StatusBadRequest, "bad user %q", userStr)
 		return
 	}
 	if !s.eng.Graph().Valid(graph.NodeID(user)) {
-		writeErr(w, http.StatusNotFound, "user %d not in the network", user)
+		s.writeErr(w, r, http.StatusNotFound, "user %d not in the network", user)
 		return
 	}
 	k := 10
 	if ks := r.URL.Query().Get("k"); ks != "" {
 		k, err = strconv.Atoi(ks)
 		if err != nil || k < 1 {
-			writeErr(w, http.StatusBadRequest, "bad k %q", ks)
+			s.writeErr(w, r, http.StatusBadRequest, "bad k %q", ks)
 			return
 		}
 	}
-	if k > s.maxK {
-		k = s.maxK
+	if k > s.cfg.MaxK {
+		k = s.cfg.MaxK
 	}
 	method := core.MethodLRW
 	switch r.URL.Query().Get("method") {
@@ -140,34 +379,39 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	case "rcl":
 		method = core.MethodRCL
 	default:
-		writeErr(w, http.StatusBadRequest, "unknown method %q (want lrw or rcl)", r.URL.Query().Get("method"))
+		s.writeErr(w, r, http.StatusBadRequest, "unknown method %q (want lrw or rcl)", r.URL.Query().Get("method"))
 		return
 	}
 	lambda := 0.0
 	if ls := r.URL.Query().Get("lambda"); ls != "" {
 		lambda, err = strconv.ParseFloat(ls, 64)
 		if err != nil || lambda < 0 || lambda > 1 {
-			writeErr(w, http.StatusBadRequest, "bad lambda %q (want 0..1)", ls)
+			s.writeErr(w, r, http.StatusBadRequest, "bad lambda %q (want 0..1)", ls)
 			return
 		}
 	}
 
+	ctx := r.Context()
 	var res []core.TopicResult
 	if lambda > 0 {
-		res, err = s.eng.SearchDiverse(method, q, graph.NodeID(user), k, lambda)
+		res, err = s.eng.SearchDiverse(ctx, method, q, graph.NodeID(user), k, lambda)
 	} else {
-		res, err = s.eng.Search(method, q, graph.NodeID(user), k)
+		res, err = s.eng.Search(ctx, method, q, graph.NodeID(user), k)
 	}
+	degraded := false
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "search failed: %v", err)
-		return
+		res, degraded, err = s.recoverSearch(w, r, err, method, q, graph.NodeID(user), k)
+		if err != nil {
+			return // recoverSearch already wrote the error response
+		}
 	}
 	resp := SearchResponse{
-		Query:   q,
-		User:    int32(user),
-		Method:  method.String(),
-		K:       k,
-		Results: make([]SearchResult, 0, len(res)),
+		Query:    q,
+		User:     int32(user),
+		Method:   method.String(),
+		K:        k,
+		Results:  make([]SearchResult, 0, len(res)),
+		Degraded: degraded,
 	}
 	for i, tr := range res {
 		resp.Results = append(resp.Results, SearchResult{
@@ -177,13 +421,61 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Score: tr.Score,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, r, http.StatusOK, resp)
+}
+
+// recoverSearch maps a failed engine search to a response: 400 for
+// invalid arguments, 499 for a client that went away, 503 while not
+// ready, a degraded cached-summaries retry for an expired deadline, 504
+// when even that fails, 500 otherwise. It returns (results, true, nil)
+// when the caller should proceed with a degraded 200; any error return
+// means the response was already written.
+func (s *Server) recoverSearch(w http.ResponseWriter, r *http.Request, err error,
+	method core.Method, q string, user graph.NodeID, k int) ([]core.TopicResult, bool, error) {
+
+	switch {
+	case errors.Is(err, core.ErrInvalidArgument):
+		s.writeErr(w, r, http.StatusBadRequest, "bad request: %v", err)
+		return nil, false, err
+	case errors.Is(err, core.ErrNotReady):
+		w.Header().Set("Retry-After", "5")
+		s.writeErr(w, r, http.StatusServiceUnavailable, "indexes are still building")
+		return nil, false, err
+	case errors.Is(err, context.Canceled):
+		// The client disconnected; nobody is reading the body, but the
+		// status still lands in the access log.
+		s.writeErr(w, r, statusClientClosedRequest, "client closed request")
+		return nil, false, err
+	case errors.Is(err, context.DeadlineExceeded):
+		// Resource-constrained graceful degradation: the deadline expired
+		// mid-search (typically inside an uncached summarization). Retry
+		// against already-materialized summaries only — pure Γ lookups,
+		// no summary builds — on a fresh, short deadline detached from
+		// the request's expired context.
+		fbCtx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), s.cfg.DegradeTimeout)
+		defer cancel()
+		res, _, ferr := s.eng.SearchMaterialized(fbCtx, method, q, user, k)
+		if ferr != nil {
+			s.writeErr(w, r, http.StatusGatewayTimeout, "deadline exceeded and no degraded answer available: %v", ferr)
+			return nil, false, err
+		}
+		if res == nil {
+			res = []core.TopicResult{}
+		}
+		return res, true, nil
+	default:
+		s.writeErr(w, r, http.StatusInternalServerError, "search failed: %v", err)
+		return nil, false, err
+	}
 }
 
 func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
+	if !s.requireReady(w, r) {
+		return
+	}
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		writeErr(w, http.StatusBadRequest, "missing q parameter")
+		s.writeErr(w, r, http.StatusBadRequest, "missing q parameter")
 		return
 	}
 	related := s.eng.Space().Related(q)
@@ -191,12 +483,15 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 	for _, t := range related {
 		resp.Topics = append(resp.Topics, s.eng.Space().Topic(t).Label)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !s.requireReady(w, r) {
+		return
+	}
 	g := s.eng.Graph()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	s.writeJSON(w, r, http.StatusOK, StatsResponse{
 		Nodes:            g.NumNodes(),
 		Edges:            g.NumEdges(),
 		Topics:           s.eng.Space().NumTopics(),

@@ -31,7 +31,7 @@ var testServer = sync.OnceValues(func() (*Server, error) {
 	if err := eng.BuildIndexes(); err != nil {
 		return nil, err
 	}
-	return New(eng, 50)
+	return New(eng, Config{MaxK: 50})
 })
 
 func get(t *testing.T, path string) *httptest.ResponseRecorder {
@@ -47,15 +47,47 @@ func get(t *testing.T, path string) *httptest.ResponseRecorder {
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(nil, 10); err == nil {
+	if _, err := New(nil, Config{}); err == nil {
 		t.Error("nil engine accepted")
 	}
+	// An unbuilt engine is accepted but the server starts not-ready: the
+	// API answers 503 until MarkReady, so index building can happen after
+	// the listener is up.
 	g, _ := dataset.GenerateGraph(dataset.GraphConfig{Nodes: 10, MinOutDegree: 1, MaxOutDegree: 2, Seed: 1})
 	space, _ := dataset.GenerateTopics(g, dataset.TopicConfig{Tags: 1, TopicsPerTag: 1, MeanTopicNodes: 3, Seed: 1})
 	eng, _ := core.New(g, space, core.Options{})
-	if _, err := New(eng, 10); err == nil {
-		t.Error("unbuilt engine accepted")
+	srv, err := New(eng, Config{})
+	if err != nil {
+		t.Fatalf("unbuilt engine rejected: %v", err)
 	}
+	if srv.Ready() {
+		t.Error("server over unbuilt engine reports ready")
+	}
+	req := httptest.NewRequest(http.MethodGet, "/search?q=x&user=1", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("not-ready /search = %d, want 503", rec.Code)
+	}
+	if rec := probe(t, srv, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("not-ready /readyz = %d, want 503", rec.Code)
+	}
+	if rec := probe(t, srv, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("not-ready /healthz = %d, want 200", rec.Code)
+	}
+	srv.MarkReady()
+	if rec := probe(t, srv, "/readyz"); rec.Code != http.StatusOK {
+		t.Errorf("ready /readyz = %d, want 200", rec.Code)
+	}
+}
+
+// probe issues a GET against a specific server instance.
+func probe(t *testing.T, srv *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	return rec
 }
 
 func TestHealthz(t *testing.T) {

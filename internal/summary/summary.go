@@ -7,6 +7,7 @@
 package summary
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -92,8 +93,12 @@ func (s Summary) Validate() error {
 }
 
 // Summarizer produces the t-aware social summarization for a topic. RCL-A
-// and LRW-A implement it.
+// and LRW-A implement it; fault-injection test doubles implement it to
+// exercise the serving stack.
 type Summarizer interface {
 	// Summarize selects and weights the representative node set for t.
-	Summarize(t topics.TopicID) (Summary, error)
+	// Implementations check ctx periodically inside their long loops and
+	// return ctx.Err() (possibly wrapped) when it is done, so a canceled
+	// request stops summarization work instead of burning CPU.
+	Summarize(ctx context.Context, t topics.TopicID) (Summary, error)
 }
