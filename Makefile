@@ -1,11 +1,13 @@
 # Developer entry points. `make check` is the full pre-merge gate:
-# formatting, vet, the whole test suite under the race detector, and a
-# one-shot pass over the tier-1 figure benchmarks so a broken experiment
-# harness fails here instead of in a long benchmark run.
+# formatting, vet, the project's own static-analysis suite (pitlint), the
+# whole test suite under the race detector, a one-shot pass over the
+# tier-1 figure benchmarks so a broken experiment harness fails here
+# instead of in a long benchmark run, and a vulnerability scan when
+# govulncheck is installed.
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench-smoke
+.PHONY: all build test check fmt vet lint vulncheck race bench-smoke
 
 all: check
 
@@ -24,6 +26,23 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# pitlint: the repo's domain-specific analyzers (cancellation,
+# determinism, probability hygiene, error wrapping, lock safety),
+# run through the standard vet driver. See README "Static analysis".
+lint:
+	$(GO) build -o bin/pitlint ./cmd/pitlint
+	$(GO) vet -vettool=$(CURDIR)/bin/pitlint ./...
+
+# vulncheck is best-effort: govulncheck needs network access for its
+# vulnerability database, so skip (without failing the gate) when the
+# tool is not installed.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
@@ -32,4 +51,4 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig05TimeCostData2k|BenchmarkFig10PrecisionData2k' -benchtime 1x .
 
-check: build fmt vet race bench-smoke
+check: build fmt vet lint race bench-smoke vulncheck

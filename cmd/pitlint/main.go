@@ -1,0 +1,283 @@
+// Command pitlint is the repo's static-analysis suite, packaged as a
+// `go vet -vettool` unit checker:
+//
+//	go build -o bin/pitlint ./cmd/pitlint
+//	go vet -vettool=bin/pitlint ./...
+//
+// It speaks the cmd/go vet protocol — responding to -V=full (tool build
+// ID for the build cache), -flags (supported flags as JSON), and
+// otherwise a single *.cfg argument describing one type-checked
+// package — and runs the five pitlint analyzers over it:
+//
+//	ctxloop        heavy kernel loops must observe ctx cancellation
+//	norandglobal   no global math/rand state, no wall-clock seeding
+//	probinvariant  no raw float ==/!=, no unchecked probability products
+//	errsentinel    errors crossing core.Engine must wrap with %w
+//	locksafe       no same-receiver call that re-acquires a held mutex
+//
+// Findings print to stderr as file:line:col: [analyzer] message and the
+// tool exits 2, which go vet surfaces as a failure. Intentional
+// exceptions are suppressed with `//pitlint:ignore <analyzer> <reason>`
+// (see internal/analysis/ignore). The implementation is standard
+// library only; the repo builds offline.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxloop"
+	"repro/internal/analysis/errsentinel"
+	"repro/internal/analysis/locksafe"
+	"repro/internal/analysis/norandglobal"
+	"repro/internal/analysis/probinvariant"
+)
+
+var analyzers = []*analysis.Analyzer{
+	ctxloop.Analyzer,
+	errsentinel.Analyzer,
+	locksafe.Analyzer,
+	norandglobal.Analyzer,
+	probinvariant.Analyzer,
+}
+
+var (
+	jsonFlag = flag.Bool("json", false, "emit diagnostics as JSON on stdout instead of text on stderr")
+	listFlag = flag.Bool("list", false, "list the analyzers and exit")
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pitlint: ")
+
+	// Protocol probes from cmd/go arrive before normal flag parsing.
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			printFlags()
+			return
+		}
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-14s %s\n", a.Name, strings.TrimPrefix(doc, a.Name+": "))
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf(`usage: pitlint [-json] package.cfg
+
+pitlint is a go vet analysis tool; run it via:
+	go vet -vettool=$(pwd)/bin/pitlint ./...`)
+	}
+	diags, fset, err := run(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonFlag {
+		printJSON(fset, diags)
+		if len(diags) > 0 {
+			os.Exit(2)
+		}
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+// printVersion implements -V=full: cmd/go keys the build cache on this
+// line, so it must change whenever the executable does — hash ourselves.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+		filepath.Base(os.Args[0]), h.Sum(nil))
+}
+
+// printFlags implements -flags: the JSON flag descriptions cmd/go uses
+// to decide which command-line flags it may forward to the tool.
+func printFlags() {
+	type jsonFlagDesc struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var descs []jsonFlagDesc
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		descs = append(descs, jsonFlagDesc{
+			Name:  f.Name,
+			Bool:  ok && b.IsBoolFlag(),
+			Usage: f.Usage,
+		})
+	})
+	data, err := json.MarshalIndent(descs, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// config mirrors the JSON cmd/go writes to vet.cfg (see
+// cmd/go/internal/work.vetConfig); fields this tool does not consume are
+// omitted.
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// run executes the suite over the package described by cfgPath.
+func run(cfgPath string) ([]analysis.Diagnostic, *token.FileSet, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+
+	// Every invocation must leave a facts file for the build cache,
+	// even though pitlint's analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Dependency-only invocations exist to produce facts; done.
+	if cfg.VetxOnly {
+		return nil, token.NewFileSet(), nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, fset, nil
+			}
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tcfg := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(compiler, build.Default.GOARCH),
+		GoVersion: version.Lang(cfg.GoVersion),
+		Error:     func(error) {},
+	}
+	info := analysis.NewInfo()
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i] // "pkg [pkg.test]" variant
+	}
+	tpkg, err := tcfg.Check(importPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, fset, nil
+		}
+		return nil, nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+
+	diags, err := analysis.Run(&analysis.Package{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+	}, analyzers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return diags, fset, nil
+}
+
+// printJSON emits diagnostics as a JSON array on stdout.
+func printJSON(fset *token.FileSet, diags []analysis.Diagnostic) {
+	type jsonDiag struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		out = append(out, jsonDiag{
+			File:     posn.Filename,
+			Line:     posn.Line,
+			Column:   posn.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package main_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetProtocol builds pitlint and drives it through `go vet
+// -vettool` against a scratch module, covering the full protocol:
+// -V=full and -flags probes, vet.cfg parsing, gc-export-data
+// type-checking, diagnostic output and the failure exit code.
+func TestVetProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and shells out to the go tool")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not found: %v", err)
+	}
+
+	tool := filepath.Join(t.TempDir(), "pitlint")
+	build := exec.Command(goTool, "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pitlint: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(mod, name), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.24\n")
+	write("bad.go", `package scratch
+
+import "math/rand"
+
+func Draw() int { return rand.Intn(10) }
+`)
+	write("good.go", `package scratch
+
+import "math/rand"
+
+func DrawSeeded(seed int64) int { return rand.New(rand.NewSource(seed)).Intn(10) }
+`)
+
+	vet := func() (string, error) {
+		cmd := exec.Command(goTool, "vet", "-vettool="+tool, "./...")
+		cmd.Dir = mod
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = &buf
+		err := cmd.Run()
+		return buf.String(), err
+	}
+
+	out, err := vet()
+	if err == nil {
+		t.Fatalf("go vet succeeded on a package with a violation; output:\n%s", out)
+	}
+	if !strings.Contains(out, "norandglobal") || !strings.Contains(out, "rand.Intn") {
+		t.Fatalf("missing expected norandglobal diagnostic; output:\n%s", out)
+	}
+
+	// Fixing the violation (with a suppression, exercising the ignore
+	// path through the vet driver too) turns the run green.
+	write("bad.go", `package scratch
+
+import "math/rand"
+
+func Draw() int {
+	return rand.Intn(10) //pitlint:ignore norandglobal scratch fixture exercising suppression
+}
+`)
+	if out, err := vet(); err != nil {
+		t.Fatalf("go vet failed on a clean package: %v\noutput:\n%s", err, out)
+	}
+}

@@ -76,7 +76,7 @@ func run(preset string, scale float64, graphIn, topicsIn, method, query string,
 		return err
 	}
 	start := time.Now()
-	if err := eng.BuildIndexes(); err != nil {
+	if err := eng.BuildIndexes(context.Background()); err != nil {
 		return err
 	}
 	buildTime := time.Since(start)

@@ -121,7 +121,7 @@ func buildApp(o options) (*app, error) {
 // materialization) aborts it.
 func (a *app) prepare(ctx context.Context) error {
 	start := time.Now()
-	if err := a.eng.BuildIndexes(); err != nil {
+	if err := a.eng.BuildIndexes(ctx); err != nil {
 		return err
 	}
 	g, sp := a.eng.Graph(), a.eng.Space()

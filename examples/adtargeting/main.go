@@ -48,7 +48,7 @@ func main() {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	if err := eng.BuildIndexes(); err != nil {
+	if err := eng.BuildIndexes(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("network: %d users, %d links; offline indexes built in %v\n",

@@ -40,7 +40,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.BuildIndexes(); err != nil {
+	if err := eng.BuildIndexes(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 
@@ -70,7 +70,7 @@ func main() {
 	}
 	burst := space.Related(query)[0]
 	updated := adoptTopic(g, space, burst, userA, 50)
-	eng2, carried, err := dynamic.Refresh(eng, updated, dynamic.Batch{}, 2)
+	eng2, carried, err := dynamic.Refresh(context.Background(), eng, updated, dynamic.Batch{}, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

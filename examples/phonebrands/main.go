@@ -67,7 +67,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.BuildIndexes(); err != nil {
+	if err := eng.BuildIndexes(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\ntop-1 result per user (LRW-A summarization + top-k index):")

@@ -46,7 +46,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.BuildIndexes(); err != nil {
+	if err := eng.BuildIndexes(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	matrix, err := baselines.NewMatrix(g, space, 5)
@@ -96,7 +96,7 @@ func TestPersistenceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.BuildIndexes(); err != nil {
+	if err := eng.BuildIndexes(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	related := space.Related("tag000")
@@ -132,7 +132,7 @@ func TestPersistenceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng2.BuildIndexes(); err != nil {
+	if err := eng2.BuildIndexes(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	loaded, err := storage.LoadSummaries(sumPath)

@@ -1,0 +1,224 @@
+// Package ctxloop enforces the PR-1 cancellation contract on the
+// paper's heavy kernels: a function that accepts a context.Context and
+// then runs a loop doing real work (random-walk sampling, LRW power
+// iteration, set-enumeration search, propagation indexing) must observe
+// cancellation inside that loop — otherwise a cancelled request keeps
+// burning CPU until the loop drains naturally, defeating the serving
+// stack's deadlines and load shedding.
+//
+// A loop is "heavy" when its subtree contains at least one call that is
+// neither a builtin nor a type conversion. A heavy loop passes when its
+// subtree is "checked": it calls ctx.Err(), selects or receives on
+// ctx.Done(), passes a context.Context to any call, or calls a
+// same-package helper that is itself checked (resolved transitively).
+// Light loops — pure arithmetic over slices — are exempt: a ctx check
+// every iteration would dominate their cost, and PR 1 established the
+// stride-checking idiom for those instead.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// scopeDirs are the packages that implement the paper's expensive
+// kernels (sampling §4, LRW summarization §3, search §5, baselines'
+// shared propagation index). Cheap leaf packages (graph, summary,
+// storage) are out of scope.
+var scopeDirs = []string{
+	"internal/lrw",
+	"internal/rcl",
+	"internal/search",
+	"internal/propidx",
+	"internal/randwalk",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: "ctxloop: heavy loops in context-aware kernel functions must observe cancellation\n\n" +
+		"Flags for/range loops that perform non-trivial work inside a function taking a\n" +
+		"context.Context but never consult it, so cancelled searches keep consuming CPU.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), scopeDirs...) {
+		return nil
+	}
+	c := &checker{
+		pass:  pass,
+		decls: map[*types.Func]*ast.FuncDecl{},
+		memo:  map[*types.Func]int{},
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				c.decls[obj] = fd
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !takesContext(pass.TypesInfo, fd) {
+				continue
+			}
+			c.checkLoops(fd.Name.Name, fd.Body)
+		}
+	}
+	return nil
+}
+
+const (
+	stateChecking = iota + 1
+	stateChecked
+	stateUnchecked
+)
+
+type checker struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+	memo  map[*types.Func]int
+}
+
+// takesContext reports whether fd's signature includes a
+// context.Context parameter.
+func takesContext(info *types.Info, fd *ast.FuncDecl) bool {
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if analysis.IsContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLoops walks body and reports each outermost heavy loop whose
+// subtree never observes cancellation. An unchecked light loop cannot
+// contain a heavy one (heaviness is a subtree property), so recursion
+// stops at every loop either way.
+func (c *checker) checkLoops(fname string, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var loopBody ast.Node
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			loopBody = loop
+		case *ast.RangeStmt:
+			loopBody = loop
+		default:
+			return true
+		}
+		if !c.heavy(loopBody) {
+			return false
+		}
+		if !c.checked(loopBody) {
+			c.pass.Reportf(loopBody.Pos(),
+				"loop in context-aware function %s does no cancellation check; call ctx.Err(), select on ctx.Done(), or delegate to a context-aware helper so cancelled searches stop burning CPU",
+				fname)
+		}
+		return false
+	})
+}
+
+// heavy reports whether n's subtree contains at least one real call —
+// not a builtin, not a type conversion.
+func (c *checker) heavy(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+				return true
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// checked reports whether n's subtree observes cancellation.
+func (c *checker) checked(n ast.Node) bool {
+	ok := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		// ctx.Err() or ctx.Done() on a context.Context receiver. Done
+		// only matters inside <-ctx.Done() or a select, but any
+		// appearance of either is taken as intent to observe ctx.
+		if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+			if (sel.Sel.Name == "Err" || sel.Sel.Name == "Done") &&
+				analysis.IsContextType(c.pass.TypesInfo.TypeOf(sel.X)) {
+				ok = true
+				return false
+			}
+		}
+		// Passing a context to any call delegates the obligation.
+		for _, arg := range call.Args {
+			if analysis.IsContextType(c.pass.TypesInfo.TypeOf(arg)) {
+				ok = true
+				return false
+			}
+		}
+		// A same-package helper that checks, checks for its callers.
+		if fn := analysis.Callee(c.pass.TypesInfo, call); fn != nil {
+			if c.funcChecks(fn) {
+				ok = true
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// funcChecks reports whether fn (a function declared in this package)
+// observes cancellation somewhere in its body, memoized and
+// cycle-tolerant (a cycle resolves to "does not check").
+func (c *checker) funcChecks(fn *types.Func) bool {
+	switch c.memo[fn] {
+	case stateChecked:
+		return true
+	case stateUnchecked, stateChecking:
+		return false
+	}
+	fd, ok := c.decls[fn]
+	if !ok || fd.Body == nil {
+		c.memo[fn] = stateUnchecked
+		return false
+	}
+	c.memo[fn] = stateChecking
+	if c.checked(fd.Body) {
+		c.memo[fn] = stateChecked
+		return true
+	}
+	c.memo[fn] = stateUnchecked
+	return false
+}

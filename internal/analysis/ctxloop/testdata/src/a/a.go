@@ -1,0 +1,100 @@
+package a
+
+import "context"
+
+func sink(x int) {}
+
+// A heavy loop with no cancellation check in a ctx-taking function.
+func bad(ctx context.Context, xs []int) {
+	for _, x := range xs { // want "no cancellation check"
+		sink(x)
+	}
+}
+
+// ctx.Err() inside the loop satisfies the rule.
+func goodErr(ctx context.Context, xs []int) error {
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sink(x)
+	}
+	return nil
+}
+
+// Selecting on ctx.Done() satisfies the rule.
+func goodDone(ctx context.Context, xs []int) {
+	for _, x := range xs {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		sink(x)
+	}
+}
+
+func helper(ctx context.Context, x int) {}
+
+// Passing ctx onward delegates the obligation.
+func goodDelegate(ctx context.Context, xs []int) {
+	for _, x := range xs {
+		helper(ctx, x)
+	}
+}
+
+type state struct{ ctx context.Context }
+
+func (s *state) cancelled() bool { return s.ctx.Err() != nil }
+
+// A same-package helper that itself checks satisfies the rule without
+// ctx appearing in the loop body.
+func goodViaHelper(ctx context.Context, s *state, xs []int) {
+	for _, x := range xs {
+		if s.cancelled() {
+			return
+		}
+		sink(x)
+	}
+}
+
+// Light loops (no non-builtin calls) are exempt: a per-iteration check
+// would dominate the arithmetic.
+func lightLoop(ctx context.Context, xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Builtins and conversions do not make a loop heavy.
+func lightBuiltins(ctx context.Context, xs []int) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, float64(x))
+	}
+	return out
+}
+
+// Functions without a ctx parameter are out of reach.
+func noCtx(xs []int) {
+	for _, x := range xs {
+		sink(x)
+	}
+}
+
+// An explicit suppression with a reason silences the finding.
+func suppressed(ctx context.Context, xs []int) {
+	//pitlint:ignore ctxloop loop is bounded to the 3 fixed shards
+	for _, x := range xs {
+		sink(x)
+	}
+}
+
+// A for-statement (not range) is covered too.
+func badFor(ctx context.Context, n int) {
+	for i := 0; i < n; i++ { // want "no cancellation check"
+		sink(i)
+	}
+}

@@ -1,0 +1,14 @@
+// Package graph stands in for repro/internal/graph: inside the module
+// but outside ctxloop's scoped kernel directories, so even a flagrant
+// violation produces no finding.
+package graph
+
+import "context"
+
+func sink(x int) {}
+
+func unchecked(ctx context.Context, xs []int) {
+	for _, x := range xs { // no finding: package out of ctxloop scope
+		sink(x)
+	}
+}

@@ -1,0 +1,166 @@
+// Package errsentinel protects the core.Engine error contract. PR 1
+// introduced sentinel errors (core.ErrInvalidArgument, core.ErrNotReady,
+// core.ErrOverloaded, ...) that the server layer maps to HTTP status
+// codes via errors.Is. That mapping only works if every fmt.Errorf that
+// decorates an error on its way across the Engine boundary wraps with
+// %w — formatting an error with %v or %s (or splicing in err.Error())
+// flattens it to text and silently turns a 400/503 into a 500.
+//
+// The rule checks internal/core and internal/server: in a fmt.Errorf
+// call, an argument whose static type is error must be matched to a %w
+// verb, and err.Error() must not appear among the arguments.
+package errsentinel
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var scopeDirs = []string{
+	"internal/core",
+	"internal/server",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc: "errsentinel: errors crossing the core.Engine boundary must wrap with %w\n\n" +
+		"Flags fmt.Errorf calls in internal/core and internal/server that format an\n" +
+		"error value with a verb other than %w, or splice in err.Error(); both break\n" +
+		"the errors.Is sentinel mapping the HTTP layer depends on.",
+	Run: run,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), scopeDirs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+				return true
+			}
+			checkErrorf(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	// err.Error() as any formatting argument flattens the chain
+	// regardless of verb.
+	for _, arg := range call.Args[1:] {
+		if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr); ok &&
+				sel.Sel.Name == "Error" && len(inner.Args) == 0 &&
+				isErrorType(pass.TypesInfo.TypeOf(sel.X)) {
+				pass.Reportf(arg.Pos(),
+					"err.Error() flattens the error to text and breaks errors.Is sentinel matching across the Engine boundary; pass the error itself with %%w")
+			}
+		}
+	}
+	// Match verbs to arguments positionally.
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format string: out of reach
+	}
+	verbs := parseVerbs(constant.StringVal(tv.Value))
+	args := call.Args[1:]
+	for _, v := range verbs {
+		if v.argIndex >= len(args) {
+			break // malformed call; cmd/vet's printf check owns that
+		}
+		arg := args[v.argIndex]
+		if v.verb != 'w' && isErrorType(pass.TypesInfo.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(),
+				"error formatted with %%%c loses the sentinel chain; wrap with %%w so errors.Is keeps matching core sentinels", v.verb)
+		}
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if types.Identical(t, errorType) {
+		return true
+	}
+	// Concrete error implementations passed directly count too.
+	return types.Implements(t, errorType.Underlying().(*types.Interface))
+}
+
+type verb struct {
+	verb     rune
+	argIndex int
+}
+
+// parseVerbs scans a printf format string and returns each verb with
+// the index of the argument it consumes. '*' width/precision consume an
+// argument each; %% and %w-less flags are handled; explicit argument
+// indexes (%[1]d) are rare in this codebase and skipped conservatively.
+func parseVerbs(format string) []verb {
+	var out []verb
+	arg := 0
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(rs) {
+			break
+		}
+		if rs[i] == '%' {
+			continue
+		}
+		// flags
+		for i < len(rs) && (rs[i] == '#' || rs[i] == '+' || rs[i] == '-' || rs[i] == ' ' || rs[i] == '0') {
+			i++
+		}
+		// explicit index: bail out, positional accounting is off
+		if i < len(rs) && rs[i] == '[' {
+			return out
+		}
+		// width
+		for i < len(rs) && (rs[i] >= '0' && rs[i] <= '9') {
+			i++
+		}
+		if i < len(rs) && rs[i] == '*' {
+			arg++
+			i++
+		}
+		// precision
+		if i < len(rs) && rs[i] == '.' {
+			i++
+			for i < len(rs) && (rs[i] >= '0' && rs[i] <= '9') {
+				i++
+			}
+			if i < len(rs) && rs[i] == '*' {
+				arg++
+				i++
+			}
+		}
+		if i >= len(rs) {
+			break
+		}
+		out = append(out, verb{verb: rs[i], argIndex: arg})
+		arg++
+	}
+	return out
+}

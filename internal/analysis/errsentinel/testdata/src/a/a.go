@@ -1,0 +1,55 @@
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var sentinel = errors.New("boom")
+
+// %v flattens the chain: errors.Is(result, sentinel) stops matching.
+func bad(err error) error {
+	return fmt.Errorf("search failed: %v", err) // want "wrap with %w"
+}
+
+func badS(err error) error {
+	return fmt.Errorf("search failed: %s", err) // want "wrap with %w"
+}
+
+// err.Error() flattens regardless of verb.
+func badErrorCall(err error) error {
+	return fmt.Errorf("search failed: %s", err.Error()) // want `err\.Error\(\) flattens`
+}
+
+// %w preserves the sentinel chain.
+func good(err error) error {
+	return fmt.Errorf("search failed: %w", err)
+}
+
+// Non-error arguments take any verb.
+func goodNonError(n int, name string) error {
+	return fmt.Errorf("bad count %d for %q", n, name)
+}
+
+// Positional accounting: the error is the second argument here.
+func mixed(err error, n int) error {
+	return fmt.Errorf("step %d: %v", n, err) // want "wrap with %w"
+}
+
+func mixedGood(err error, n int) error {
+	return fmt.Errorf("step %d: %w", n, err)
+}
+
+type myErr struct{}
+
+func (myErr) Error() string { return "x" }
+
+// Concrete error implementations count as errors.
+func concrete() error {
+	return fmt.Errorf("wrapped: %v", myErr{}) // want "wrap with %w"
+}
+
+// Star width consumes an argument; the error still maps to %w.
+func starWidth(err error, w int) error {
+	return fmt.Errorf("pad %*d: %w", w, 0, err)
+}

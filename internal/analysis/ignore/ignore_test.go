@@ -1,0 +1,93 @@
+package ignore
+
+import (
+	goast "go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func buildFrom(t *testing.T, src string) (*Index, []Malformed, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ix, bad := Build(fset, []*goast.File{f})
+	return ix, bad, fset
+}
+
+func TestSameLineAndLineAbove(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //pitlint:ignore probinvariant exact comparison is intentional here
+	//pitlint:ignore ctxloop,locksafe bounded loop, measured
+	_ = 2
+	_ = 3
+}
+`
+	ix, bad, _ := buildFrom(t, src)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", bad)
+	}
+	pos := func(line int) token.Position { return token.Position{Filename: "x.go", Line: line} }
+
+	if !ix.Suppressed(pos(4), "probinvariant") {
+		t.Error("trailing directive should suppress its own line")
+	}
+	if ix.Suppressed(pos(4), "ctxloop") {
+		t.Error("directive must only suppress the listed analyzers")
+	}
+	if !ix.Suppressed(pos(6), "ctxloop") || !ix.Suppressed(pos(6), "locksafe") {
+		t.Error("own-line directive should suppress the next line for every listed analyzer")
+	}
+	if ix.Suppressed(pos(7), "ctxloop") {
+		t.Error("directive must not reach two lines down")
+	}
+	if ix.Suppressed(token.Position{Filename: "y.go", Line: 4}, "probinvariant") {
+		t.Error("directive must not cross files")
+	}
+}
+
+func TestAllKeywordAndCaseInsensitivity(t *testing.T) {
+	src := `package p
+
+//pitlint:ignore ALL generated code, reviewed upstream
+var x = 1
+`
+	ix, bad, _ := buildFrom(t, src)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", bad)
+	}
+	if !ix.Suppressed(token.Position{Filename: "x.go", Line: 4}, "anything") {
+		t.Error("\"all\" should suppress every analyzer, case-insensitively")
+	}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	src := `package p
+
+//pitlint:ignore
+var a = 1
+
+//pitlint:ignore ctxloop
+var b = 2
+
+//pitlint:ignorectxloop reasons
+var c = 3
+`
+	ix, bad, _ := buildFrom(t, src)
+	if len(bad) != 2 {
+		t.Fatalf("want 2 malformed directives (missing list, missing reason), got %d: %v", len(bad), bad)
+	}
+	// The glued "pitlint:ignorectxloop" is not a directive at all.
+	if ix.Suppressed(token.Position{Filename: "x.go", Line: 10}, "ctxloop") {
+		t.Error("non-directive comment must not suppress anything")
+	}
+	// Malformed directives must not suppress.
+	if ix.Suppressed(token.Position{Filename: "x.go", Line: 4}, "ctxloop") {
+		t.Error("malformed directive must not suppress")
+	}
+}

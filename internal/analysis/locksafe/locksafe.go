@@ -1,0 +1,277 @@
+// Package locksafe catches the self-deadlock pattern that the serving
+// layer is one refactor away from: a method locks its receiver's
+// sync.Mutex (or takes a write RWMutex lock) and then, with the lock
+// still held, calls another method on the same receiver that acquires
+// the same mutex. Go mutexes are not reentrant, so the nested Lock
+// blocks forever — and because core.Engine and the server's app state
+// serialize requests through those mutexes, one such call freezes the
+// whole process, not just one request.
+//
+// The check is a lexical over-approximation per method body: Lock/RLock
+// on a receiver mutex field marks it held; Unlock/RUnlock releases it;
+// a deferred unlock keeps it held to the end of the body (correct — the
+// defer runs at return). Calls to same-receiver methods while a mutex
+// is held are reported if the callee (transitively) acquires that
+// mutex. Function literals are skipped: a goroutine body runs after the
+// caller releases the lock, so flagging it would be noise.
+package locksafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var scopeDirs = []string{
+	"internal/core",
+	"internal/server",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc: "locksafe: no same-receiver method call that re-acquires a held mutex\n\n" +
+		"Flags method calls made while the receiver's sync.Mutex/RWMutex is held when\n" +
+		"the callee locks the same mutex; Go locks are not reentrant, so that call\n" +
+		"deadlocks the process.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), scopeDirs...) {
+		return nil
+	}
+	c := newChecker(pass)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv != nil && fd.Body != nil {
+				c.indexMethod(fd)
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv != nil && fd.Body != nil {
+				c.checkMethod(fd)
+			}
+		}
+	}
+	return nil
+}
+
+type methodKey struct {
+	recv *types.TypeName // receiver's base named type
+	name string
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	methods map[methodKey]*ast.FuncDecl
+	// locksMemo caches which receiver mutex fields a method acquires
+	// (directly or through same-receiver calls).
+	locksMemo map[methodKey]map[string]bool
+	busy      map[methodKey]bool
+}
+
+func newChecker(pass *analysis.Pass) *checker {
+	return &checker{
+		pass:      pass,
+		methods:   map[methodKey]*ast.FuncDecl{},
+		locksMemo: map[methodKey]map[string]bool{},
+		busy:      map[methodKey]bool{},
+	}
+}
+
+// recvTypeName resolves fd's receiver base type, unwrapping pointers.
+func (c *checker) recvTypeName(fd *ast.FuncDecl) *types.TypeName {
+	obj, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// recvIdent returns the receiver variable's object, or nil for
+// anonymous receivers.
+func (c *checker) recvIdent(fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return c.pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+func (c *checker) indexMethod(fd *ast.FuncDecl) {
+	if tn := c.recvTypeName(fd); tn != nil {
+		c.methods[methodKey{tn, fd.Name.Name}] = fd
+	}
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// mutexOp decodes a call like recv.mu.Lock(): it returns the mutex
+// field name and the method name, or ok=false.
+func (c *checker) mutexOp(call *ast.CallExpr, recv types.Object) (field, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	inner, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := ast.Unparen(inner.X).(*ast.Ident)
+	if !isID || c.pass.TypesInfo.Uses[id] != recv || recv == nil {
+		return "", "", false
+	}
+	if !isMutexType(c.pass.TypesInfo.TypeOf(inner)) {
+		return "", "", false
+	}
+	return inner.Sel.Name, sel.Sel.Name, true
+}
+
+// sameRecvCall decodes recv.Method(...) and returns the method name.
+func (c *checker) sameRecvCall(call *ast.CallExpr, recv types.Object) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || recv == nil || c.pass.TypesInfo.Uses[id] != recv {
+		return "", false
+	}
+	if _, isFn := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFn {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// locks returns the set of receiver mutex fields key's method acquires,
+// directly or via same-receiver calls (memoized; cycles contribute
+// nothing, matching the traversal's fixed point).
+func (c *checker) locks(key methodKey) map[string]bool {
+	if got, ok := c.locksMemo[key]; ok {
+		return got
+	}
+	if c.busy[key] {
+		return nil
+	}
+	fd, ok := c.methods[key]
+	if !ok {
+		return nil
+	}
+	c.busy[key] = true
+	recv := c.recvIdent(fd)
+	acquired := map[string]bool{}
+	c.walk(fd.Body, func(call *ast.CallExpr) {
+		if field, op, ok := c.mutexOp(call, recv); ok && (op == "Lock" || op == "RLock") {
+			acquired[field] = true
+		}
+		if name, ok := c.sameRecvCall(call, recv); ok {
+			for f := range c.locks(methodKey{key.recv, name}) {
+				acquired[f] = true
+			}
+		}
+	})
+	c.busy[key] = false
+	c.locksMemo[key] = acquired
+	return acquired
+}
+
+// walk visits every CallExpr in body in lexical order, skipping
+// function literals (their bodies execute on a different timeline).
+func (c *checker) walk(body ast.Node, visit func(*ast.CallExpr)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			visit(n)
+		}
+		return true
+	})
+}
+
+// checkMethod simulates lock state lexically through fd's body and
+// reports nested acquisitions via same-receiver calls.
+func (c *checker) checkMethod(fd *ast.FuncDecl) {
+	tn := c.recvTypeName(fd)
+	recv := c.recvIdent(fd)
+	if tn == nil || recv == nil {
+		return
+	}
+	held := map[string]int{}
+	deferred := map[string]bool{}
+	var deferDepth int
+
+	var scan func(n ast.Node)
+	scan = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				// A deferred unlock releases at return, not here:
+				// record it so the matching Unlock never decrements.
+				deferDepth++
+				scan(n.Call)
+				deferDepth--
+				return false
+			case *ast.CallExpr:
+				if field, op, ok := c.mutexOp(n, recv); ok {
+					switch op {
+					case "Lock", "RLock":
+						held[field]++
+					case "Unlock", "RUnlock":
+						if deferDepth > 0 {
+							deferred[field] = true
+						} else if held[field] > 0 && !deferred[field] {
+							held[field]--
+						}
+					}
+					return true
+				}
+				if name, ok := c.sameRecvCall(n, recv); ok {
+					callee := methodKey{tn, name}
+					for field := range c.locks(callee) {
+						if held[field] > 0 {
+							c.pass.Reportf(n.Pos(),
+								"%s calls %s.%s while holding %s.%s, and the callee acquires the same mutex; Go locks are not reentrant, so this self-deadlocks — hand off to an unexported *Locked variant instead",
+								fd.Name.Name, recv.Name(), name, recv.Name(), field)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	scan(fd.Body)
+}

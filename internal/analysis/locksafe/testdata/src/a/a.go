@@ -1,0 +1,80 @@
+package a
+
+import "sync"
+
+type engine struct {
+	mu    sync.Mutex
+	state int
+}
+
+func (e *engine) Snapshot() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.state
+}
+
+// Calling a locking method while holding the same mutex self-deadlocks.
+func (e *engine) bad() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Snapshot() // want "self-deadlocks"
+}
+
+// Releasing first is fine.
+func (e *engine) goodAfterUnlock() int {
+	e.mu.Lock()
+	e.state++
+	e.mu.Unlock()
+	return e.Snapshot()
+}
+
+// The sanctioned pattern: delegate to an unexported *Locked variant.
+func (e *engine) goodLocked() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.snapshotLocked()
+}
+
+func (e *engine) snapshotLocked() int { return e.state }
+
+// The callee's acquisition is found transitively.
+func (e *engine) transitive() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.indirect() // want "self-deadlocks"
+}
+
+func (e *engine) indirect() { _ = e.Snapshot() }
+
+// Goroutine bodies run on their own timeline; out of reach by design.
+func (e *engine) spawn() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() { _ = e.Snapshot() }()
+}
+
+type rw struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (r *rw) Read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}
+
+// Recursive read-locking is prohibited by the sync docs: a queued
+// writer between the two RLocks deadlocks both.
+func (r *rw) badRead() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.Read() // want "self-deadlocks"
+}
+
+func (r *rw) goodRead() int {
+	v := r.Read()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return v + r.n
+}

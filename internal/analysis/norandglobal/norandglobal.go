@@ -1,0 +1,110 @@
+// Package norandglobal enforces the repo's determinism contract:
+// every random draw flows from a configured seed (Options.Seed plus
+// splitmix64 per-worker derivation), so a search result is exactly
+// reproducible from its config. Two things break that:
+//
+//  1. the global functions of math/rand or math/rand/v2
+//     (rand.Intn, rand.Float64, rand.Shuffle, rand.Seed, ...), which
+//     draw from process-global state shared across goroutines, and
+//  2. seeding any RNG from the wall clock (time.Now()), which makes
+//     the seed unrecoverable.
+//
+// Constructing explicit generators — rand.New, rand.NewSource,
+// rand.NewZipf, and the v2 source constructors — is allowed; that is
+// precisely the injected-RNG idiom the rule pushes toward.
+//
+// The rule applies module-wide outside _test.go files.
+package norandglobal
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "norandglobal",
+	Doc: "norandglobal: forbid global math/rand state and wall-clock RNG seeding\n\n" +
+		"Flags calls to math/rand top-level functions (process-global, irreproducible\n" +
+		"state) and RNGs seeded from time.Now(); randomness must come from a *rand.Rand\n" +
+		"constructed from the configured seed.",
+	Run: run,
+}
+
+// allowedCtors are the explicit-generator constructors; everything else
+// at package level in math/rand{,/v2} manipulates global state.
+var allowedCtors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes its *rand.Rand explicitly
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	// Nested constructors (rand.New(rand.NewSource(...))) would each
+	// re-discover the same time.Now call; report each position once.
+	reported := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			pkgPath := fn.Pkg().Path()
+			if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand etc. have a receiver; only
+			// package-level functions are the global state.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			if !allowedCtors[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"call to global %s.%s uses process-global random state and breaks run-to-run reproducibility; draw from a *rand.Rand seeded from the configured seed",
+					pkgPath, fn.Name())
+				return true
+			}
+			// Allowed constructor — but not seeded from the clock.
+			for _, arg := range call.Args {
+				if now := findTimeNow(pass.TypesInfo, arg); now != nil && !reported[now.Pos()] {
+					reported[now.Pos()] = true
+					pass.Reportf(now.Pos(),
+						"RNG seeded from time.Now() makes the seed unrecoverable; derive it from the configured seed (see splitmix64 in internal/randwalk)")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findTimeNow returns the first call to time.Now in e's subtree, if any.
+func findTimeNow(info *types.Info, e ast.Expr) (found *ast.CallExpr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := analysis.Callee(info, call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}

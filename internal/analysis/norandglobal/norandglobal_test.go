@@ -1,0 +1,12 @@
+package norandglobal_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/norandglobal"
+)
+
+func TestNorandglobal(t *testing.T) {
+	analysistest.Run(t, "testdata", norandglobal.Analyzer, "a")
+}

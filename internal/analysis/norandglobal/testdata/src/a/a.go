@@ -1,0 +1,40 @@
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Global top-level draws share mutable process state.
+func bad() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want `global math/rand\.Float64`
+}
+
+func badSeed() {
+	rand.Seed(42) // want `global math/rand\.Seed`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+}
+
+// Wall-clock seeding makes the seed unrecoverable even through an
+// allowed constructor.
+func badClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from time\.Now`
+}
+
+// Explicit generators built from a configured seed are the sanctioned
+// idiom.
+func good(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10) // method on an injected *rand.Rand: fine
+}
+
+func goodZipf(r *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(r, 1.1, 1, 100)
+}

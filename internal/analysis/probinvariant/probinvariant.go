@@ -1,0 +1,151 @@
+// Package probinvariant guards the numeric hygiene of the paper's
+// probability computations. Everything the engine ranks — random-walk
+// visiting probabilities (§4), LRW stationary distributions (§3),
+// propagation scores (§5) — is a float64 that is mathematically a
+// probability. Two recurring bug shapes erode that:
+//
+//  1. raw == / != between floats ("p == 0", "a.Weight != b.Weight"),
+//     which is sensitive to rounding noise and breaks comparator
+//     transitivity, and
+//  2. accumulating products of probabilities ("score += p * w") with no
+//     bound enforcement, which lets rounding push mass above 1 or below
+//     0 and then propagates garbage through top-k pruning thresholds.
+//
+// The fix lives in internal/prob: IsZero/ApproxEq for comparisons and
+// Clamp01/NormalizeInPlace for accumulations. A function that already
+// routes through the prob package is trusted on rule 2; a site where
+// clamping would be mathematically wrong (mass genuinely exceeds 1)
+// documents itself with //pitlint:ignore.
+package probinvariant
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// scopeDirs: the numeric kernels plus the baselines they are validated
+// against. Server/storage layers do not do float math on probabilities.
+var scopeDirs = []string{
+	"internal/lrw",
+	"internal/rcl",
+	"internal/search",
+	"internal/propidx",
+	"internal/randwalk",
+	"internal/baselines",
+	// prob itself is in scope: its IsZero wraps the one sanctioned
+	// exact comparison under a //pitlint:ignore, keeping the
+	// suppression path exercised by real code.
+	"internal/prob",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "probinvariant",
+	Doc: "probinvariant: no raw float equality, no unchecked probability-product accumulation\n\n" +
+		"Flags ==/!= between floats and `x += a*b`-style accumulations of probability\n" +
+		"products in functions that never touch internal/prob's checked helpers.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), scopeDirs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	usesProb := referencesProb(pass.TypesInfo, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if (n.Op == token.EQL || n.Op == token.NEQ) &&
+				isFloat(pass.TypesInfo.TypeOf(n.X)) && isFloat(pass.TypesInfo.TypeOf(n.Y)) {
+				pass.Reportf(n.OpPos,
+					"raw %s between floats is rounding-sensitive; use prob.IsZero / prob.ApproxEq (internal/prob) or restructure with an ordering comparison",
+					n.Op)
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.ADD_ASSIGN || len(n.Lhs) != 1 || usesProb {
+				return true
+			}
+			if !isFloat(pass.TypesInfo.TypeOf(n.Lhs[0])) {
+				return true
+			}
+			if hasFloatProduct(pass.TypesInfo, n.Rhs[0]) {
+				pass.Reportf(n.Pos(),
+					"accumulating a probability product with no bound enforcement lets rounding push mass outside [0,1]; route the result through prob.Clamp01 / prob.NormalizeInPlace, or suppress with //pitlint:ignore and a justification")
+			}
+		}
+		return true
+	})
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type (untyped float constants fold into these after conversion).
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// hasFloatProduct reports whether e's subtree multiplies or divides
+// floats — the shape of a probability-chain term.
+func hasFloatProduct(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if (b.Op == token.MUL || b.Op == token.QUO) && isFloat(info.TypeOf(b.X)) && isFloat(info.TypeOf(b.Y)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// referencesProb reports whether body mentions the prob package — the
+// signal that this function already routes its bounds through the
+// checked helpers.
+func referencesProb(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pkgName.Imported().Path()
+		if path == "prob" || len(path) > 5 && path[len(path)-5:] == "/prob" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

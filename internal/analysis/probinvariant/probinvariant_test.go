@@ -1,0 +1,12 @@
+package probinvariant_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/probinvariant"
+)
+
+func TestProbinvariant(t *testing.T) {
+	analysistest.Run(t, "testdata", probinvariant.Analyzer, "a")
+}

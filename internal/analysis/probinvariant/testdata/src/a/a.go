@@ -1,0 +1,71 @@
+package a
+
+import "prob"
+
+// Raw float equality is rounding-sensitive.
+func cmpEq(x, y float64) bool {
+	return x == y // want "raw == between floats"
+}
+
+func cmpNeq(x, y float64) bool {
+	return x != y // want "raw != between floats"
+}
+
+func cmpF32(x, y float32) bool {
+	return x == y // want "raw == between floats"
+}
+
+func cmpZero(x float64) bool {
+	return x == 0 // want "raw == between floats"
+}
+
+// Integer equality is exact and fine.
+func cmpInt(x, y int) bool { return x == y }
+
+// Ordering comparisons are the sanctioned restructuring.
+func cmpOrder(x, y float64) bool { return !(x < y) && !(y < x) }
+
+// Accumulating a probability product with no bound enforcement.
+func accumulate(ws, ps []float64) float64 {
+	var acc float64
+	for i := range ws {
+		acc += ws[i] * ps[i] // want "probability product"
+	}
+	return acc
+}
+
+// A function that routes through the prob package is trusted.
+func accumulateChecked(ws, ps []float64) float64 {
+	var acc float64
+	for i := range ws {
+		acc += ws[i] * ps[i]
+	}
+	return prob.Clamp01(acc)
+}
+
+// Plain sums carry no product and are fine.
+func plainSum(xs []float64) float64 {
+	var acc float64
+	for _, x := range xs {
+		acc += x
+	}
+	return acc
+}
+
+// Integer accumulations are out of reach.
+func intAccum(xs []int) int {
+	var acc int
+	for _, x := range xs {
+		acc += x * 2
+	}
+	return acc
+}
+
+// Mass that genuinely exceeds [0,1] documents itself.
+func suppressedAccum(ws, ps []float64) float64 {
+	var acc float64
+	for i := range ws {
+		acc += ws[i] * ps[i] //pitlint:ignore probinvariant expected-visits mass exceeds 1 by design
+	}
+	return acc
+}

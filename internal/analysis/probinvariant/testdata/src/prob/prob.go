@@ -1,0 +1,13 @@
+// Package prob is a fixture stand-in for repro/internal/prob; the
+// analyzer recognizes it by import-path suffix.
+package prob
+
+func Clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -35,8 +35,11 @@ func rank(related []topics.TopicID, scores []float64, k int) []search.Result {
 		out[i] = search.Result{Topic: t, Score: scores[i]}
 	}
 	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
-			return out[a].Score > out[b].Score
+		if out[a].Score > out[b].Score {
+			return true
+		}
+		if out[a].Score < out[b].Score {
+			return false
 		}
 		return out[a].Topic < out[b].Topic
 	})

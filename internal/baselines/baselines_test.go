@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -274,7 +275,7 @@ func TestDijkstraUnreachable(t *testing.T) {
 
 func TestPropagationValidation(t *testing.T) {
 	g, space, _, _ := lineFixture(t)
-	ix, err := propidx.Build(g, propidx.Options{Theta: 0.05})
+	ix, err := propidx.Build(context.Background(), g, propidx.Options{Theta: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestPropagationValidation(t *testing.T) {
 
 func TestPropagationMatchesIndexSums(t *testing.T) {
 	g, space, ta, tb := lineFixture(t)
-	ix, _ := propidx.Build(g, propidx.Options{Theta: 0.05})
+	ix, _ := propidx.Build(context.Background(), g, propidx.Options{Theta: 0.05})
 	p, _ := NewPropagation(ix, space)
 	res, err := p.TopK(2, []topics.TopicID{ta, tb}, 2)
 	if err != nil {
@@ -340,7 +341,7 @@ func TestRankersStructuralInvariants(t *testing.T) {
 			}
 		}
 		space := sb.Build()
-		ix, err := propidx.Build(g, propidx.Options{Theta: 0.1})
+		ix, err := propidx.Build(context.Background(), g, propidx.Options{Theta: 0.1})
 		if err != nil {
 			return false
 		}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/prob"
 	"repro/internal/search"
 	"repro/internal/topics"
 )
@@ -107,7 +108,7 @@ func (d *Dijkstra) pathInfluence(src, user graph.NodeID) float64 {
 		return 0
 	}
 	best := d.dist[src]
-	if best == 0 {
+	if prob.IsZero(best) {
 		return 0
 	}
 	total := best
@@ -120,7 +121,7 @@ func (d *Dijkstra) pathInfluence(src, user graph.NodeID) float64 {
 			if y == next {
 				continue // the best path itself
 			}
-			if d.dist[y] == 0 {
+			if prob.IsZero(d.dist[y]) {
 				continue // neighbor cannot reach the user
 			}
 			dev := prefix * ws[k] * d.dist[y]

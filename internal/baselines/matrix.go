@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/prob"
 	"repro/internal/search"
 	"repro/internal/topics"
 )
@@ -63,7 +64,7 @@ func (m *Matrix) Influence(t topics.TopicID, user graph.NodeID) float64 {
 	for it := 0; it < m.iterations; it++ {
 		for u := 0; u < m.g.NumNodes(); u++ {
 			xu := m.cur[u]
-			if xu == 0 {
+			if prob.IsZero(xu) {
 				continue
 			}
 			nbrs, ws := m.g.OutNeighbors(graph.NodeID(u))

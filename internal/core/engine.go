@@ -7,7 +7,7 @@
 // Typical usage:
 //
 //	eng, _ := core.New(g, space, core.Options{})
-//	_ = eng.BuildIndexes()
+//	_ = eng.BuildIndexes(ctx)
 //	res, _ := eng.Search(ctx, core.MethodLRW, "phone", user, 10)
 //
 // Every online entry point takes a context.Context that is threaded down
@@ -200,18 +200,19 @@ func (e *Engine) SetSummarizer(m Method, s summary.Summarizer) {
 
 // BuildIndexes constructs the offline indexes: the L-length random-walk
 // index of Algorithm 6 and the personalized propagation index of Section
-// 5.1. It is idempotent.
-func (e *Engine) BuildIndexes() error {
+// 5.1. It is idempotent. ctx is threaded into both index builders, so a
+// canceled context (shutdown, deployment rollback) aborts a long build.
+func (e *Engine) BuildIndexes(ctx context.Context) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.indexesB {
 		return nil
 	}
-	walks, err := randwalk.Build(e.g, randwalk.Options{L: e.opts.WalkL, R: e.opts.WalkR, Seed: e.opts.Seed})
+	walks, err := randwalk.Build(ctx, e.g, randwalk.Options{L: e.opts.WalkL, R: e.opts.WalkR, Seed: e.opts.Seed})
 	if err != nil {
 		return fmt.Errorf("core: walk index: %w", err)
 	}
-	prop, err := propidx.Build(e.g, propidx.Options{Theta: e.opts.Theta})
+	prop, err := propidx.Build(ctx, e.g, propidx.Options{Theta: e.opts.Theta})
 	if err != nil {
 		return fmt.Errorf("core: propagation index: %w", err)
 	}

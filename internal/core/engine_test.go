@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -35,7 +36,7 @@ func builtEngine(t testing.TB) *Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.BuildIndexes(); err != nil {
+	if err := eng.BuildIndexes(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	return eng
@@ -68,7 +69,7 @@ func TestSearchBeforeBuildFails(t *testing.T) {
 func TestBuildIndexesIdempotent(t *testing.T) {
 	eng := builtEngine(t)
 	walks := eng.Walks()
-	if err := eng.BuildIndexes(); err != nil {
+	if err := eng.BuildIndexes(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if eng.Walks() != walks {
@@ -303,7 +304,7 @@ func TestEngineDeterministicAcrossInstances(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := eng.BuildIndexes(); err != nil {
+		if err := eng.BuildIndexes(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		return eng
@@ -328,5 +329,26 @@ func TestEngineDeterministicAcrossInstances(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestBuildIndexesCanceledContext(t *testing.T) {
+	g, space := smallWorld()
+	eng, err := New(g, space, Options{WalkL: 4, WalkR: 8, Theta: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := eng.BuildIndexes(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if eng.Ready() {
+		t.Fatal("engine must not be ready after an aborted build")
+	}
+	// A second attempt with a live context succeeds: the abort left no
+	// partial state behind.
+	if err := eng.BuildIndexes(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -21,6 +21,7 @@
 package dynamic
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -166,8 +167,9 @@ func sortTopicIDs(ids []topics.TopicID) {
 // cached summaries of every topic NOT affected within `radius` hops.
 // It returns the new engine and how many summaries were carried per
 // method. The topic space may itself be updated (e.g. new adopters); it
-// defaults to the old engine's space when nil.
-func Refresh(old *core.Engine, space *topics.Space, batch Batch, radius int) (*core.Engine, map[core.Method]int, error) {
+// defaults to the old engine's space when nil. ctx bounds the index
+// rebuild: a canceled context aborts it and the old engine stays usable.
+func Refresh(ctx context.Context, old *core.Engine, space *topics.Space, batch Batch, radius int) (*core.Engine, map[core.Method]int, error) {
 	if old == nil {
 		return nil, nil, fmt.Errorf("dynamic: nil engine")
 	}
@@ -182,7 +184,7 @@ func Refresh(old *core.Engine, space *topics.Space, batch Batch, radius int) (*c
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := eng.BuildIndexes(); err != nil {
+	if err := eng.BuildIndexes(ctx); err != nil {
 		return nil, nil, err
 	}
 

@@ -159,7 +159,7 @@ func TestRefreshCarriesUnaffectedSummaries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.BuildIndexes(); err != nil {
+	if err := eng.BuildIndexes(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := eng.MaterializeAll(context.Background(), core.MethodLRW); err != nil {
@@ -168,7 +168,7 @@ func TestRefreshCarriesUnaffectedSummaries(t *testing.T) {
 
 	// A single far-corner edge change should leave most topics intact.
 	batch := Batch{Updates: []EdgeUpdate{{From: 599, To: 0, Weight: 0.3}}}
-	fresh, carried, err := Refresh(eng, nil, batch, 2)
+	fresh, carried, err := Refresh(context.Background(), eng, nil, batch, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestRefreshCarriesUnaffectedSummaries(t *testing.T) {
 }
 
 func TestRefreshNilEngine(t *testing.T) {
-	if _, _, err := Refresh(nil, nil, Batch{}, 1); err == nil {
+	if _, _, err := Refresh(context.Background(), nil, nil, Batch{}, 1); err == nil {
 		t.Error("nil engine accepted")
 	}
 }
@@ -221,7 +221,7 @@ func TestRefreshInvalidatesChangedTopics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.BuildIndexes(); err != nil {
+	if err := eng.BuildIndexes(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := eng.MaterializeAll(context.Background(), core.MethodLRW); err != nil {
@@ -246,7 +246,7 @@ func TestRefreshInvalidatesChangedTopics(t *testing.T) {
 	_ = sb.AddNode(0, extra)
 	updated := sb.Build()
 
-	fresh, carried, err := Refresh(eng, updated, Batch{}, 1)
+	fresh, carried, err := Refresh(context.Background(), eng, updated, Batch{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

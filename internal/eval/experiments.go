@@ -417,7 +417,7 @@ func (r *Runner) Fig15() (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		if err := sum.BuildIndexes(); err != nil {
+		if err := sum.BuildIndexes(context.Background()); err != nil {
 			return Table{}, err
 		}
 		dur, kb, err := summarizeCost(sum, core.MethodRCL, sampleTopics)
@@ -438,7 +438,7 @@ func (r *Runner) Fig15() (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		if err := sum.BuildIndexes(); err != nil {
+		if err := sum.BuildIndexes(context.Background()); err != nil {
 			return Table{}, err
 		}
 		dur, kb, err := summarizeCost(sum, core.MethodLRW, sampleTopics)
@@ -496,7 +496,7 @@ func (r *Runner) FigS1() (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
-	walks, err := randwalk.Build(g, randwalk.Options{L: r.cfg.WalkL, R: r.cfg.WalkR, Seed: r.cfg.Seed})
+	walks, err := randwalk.Build(context.Background(), g, randwalk.Options{L: r.cfg.WalkL, R: r.cfg.WalkR, Seed: r.cfg.Seed})
 	if err != nil {
 		return Table{}, err
 	}

@@ -159,7 +159,7 @@ func (r *Runner) environment(presetName string, walkL, repCount int) (*env, erro
 	if err != nil {
 		return nil, err
 	}
-	if err := eng.BuildIndexes(); err != nil {
+	if err := eng.BuildIndexes(context.Background()); err != nil {
 		return nil, err
 	}
 	matrix, err := baselines.NewMatrix(ds.Graph, ds.Space, walkL)

@@ -1,6 +1,7 @@
 package influence
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -150,7 +151,7 @@ func TestBoundsAreMonotone(t *testing.T) {
 // users) track the exact influence at least as well.
 func TestSummarizationErrorDecreasesWithMoreReps(t *testing.T) {
 	g, space, tid := testWorld(t)
-	walks, err := randwalk.Build(g, randwalk.Options{L: 4, R: 16, Seed: 5})
+	walks, err := randwalk.Build(context.Background(), g, randwalk.Options{L: 4, R: 16, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

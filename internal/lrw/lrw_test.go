@@ -39,7 +39,7 @@ func hubGraph(t testing.TB) (*graph.Graph, *topics.Space, topics.TopicID) {
 }
 
 func buildWalks(t testing.TB, g *graph.Graph, L, R int) *randwalk.Index {
-	ix, err := randwalk.Build(g, randwalk.Options{L: L, R: R, Seed: 5})
+	ix, err := randwalk.Build(context.Background(), g, randwalk.Options{L: L, R: R, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestMigrateInfluenceMassBound(t *testing.T) {
 			_ = b.AddEdge(u, v, 0.1+0.8*rng.Float64())
 		}
 		g := b.Build()
-		walks, err := randwalk.Build(g, randwalk.Options{L: 3, R: 3, Seed: seed})
+		walks, err := randwalk.Build(context.Background(), g, randwalk.Options{L: 3, R: 3, Seed: seed})
 		if err != nil {
 			return false
 		}
@@ -316,7 +316,7 @@ func BenchmarkRepNodes(b *testing.B) {
 		_ = gb.AddEdge(u, v, 0.1+0.8*rng.Float64())
 	}
 	g := gb.Build()
-	walks, err := randwalk.Build(g, randwalk.Options{L: 5, R: 8, Seed: 2})
+	walks, err := randwalk.Build(context.Background(), g, randwalk.Options{L: 5, R: 8, Seed: 2})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 	"context"
 
 	"repro/internal/graph"
+	"repro/internal/prob"
 	"repro/internal/randwalk"
 	"repro/internal/summary"
 	"repro/internal/topics"
@@ -99,7 +100,7 @@ func migrateInfluenceCtx(ctx context.Context, t topics.TopicID, walks *randwalk.
 	// make the self-association explicit (D = 0 → closeness 1).
 	for j, r := range reps {
 		if i, isTopic := topicPos[r]; isTopic {
-			if cell := at(i, j); *cell < 1 {
+			if cell := &m[i*len(reps)+j]; *cell < 1 {
 				*cell = 1
 			}
 		}
@@ -110,15 +111,17 @@ func migrateInfluenceCtx(ctx context.Context, t topics.TopicID, walks *randwalk.
 	weights := make([]float64, len(reps))
 	invVt := 1.0 / float64(len(vt))
 	for i := range vt {
-		rowSum := 0.0
-		for j := range reps {
-			rowSum += *at(i, j)
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return summary.Summary{}, err
+			}
 		}
-		if rowSum == 0 {
+		row := m[i*len(reps) : (i+1)*len(reps)]
+		if prob.IsZero(prob.NormalizeInPlace(row)) {
 			continue // topic node absorbed by nobody: its mass stays unmigrated
 		}
 		for j := range reps {
-			weights[j] += *at(i, j) / rowSum * invVt
+			weights[j] += row[j] * invVt
 		}
 	}
 

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/prob"
 	"repro/internal/randwalk"
 	"repro/internal/topics"
 )
@@ -124,7 +125,12 @@ func scoresCtx(ctx context.Context, g *graph.Graph, walks *randwalk.Index, vt []
 				}
 				acc += inw[k] * hv / d[u] * prev[u]
 			}
-			cur[v] = (1-opt.Lambda)*pStar[v] + opt.Lambda*acc
+			// The reinforced transition is row-substochastic (each
+			// coefficient inw·(h_v+hFloor)/d[u] ≤ 1 because d[u] sums
+			// that very term over all of u's out-edges), so the rank
+			// vector stays a distribution; Clamp01 only strips
+			// accumulated rounding noise at the boundaries.
+			cur[v] = prob.Clamp01((1-opt.Lambda)*pStar[v] + opt.Lambda*acc)
 		}
 		prev, cur = cur, prev
 	}
@@ -170,8 +176,11 @@ func repNodesCtx(ctx context.Context, g *graph.Graph, walks *randwalk.Index, vt 
 	}
 	// Highest score first; ties by node ID for determinism.
 	sort.Slice(order, func(a, b int) bool {
-		if scores[order[a]] != scores[order[b]] {
-			return scores[order[a]] > scores[order[b]]
+		if scores[order[a]] > scores[order[b]] {
+			return true
+		}
+		if scores[order[a]] < scores[order[b]] {
+			return false
 		}
 		return order[a] < order[b]
 	})

@@ -1,0 +1,73 @@
+// Package prob holds the checked floating-point helpers the pitlint
+// probinvariant analyzer points at (cmd/pitlint). The paper's guarantees
+// lean on numeric invariants — probability mass staying in [0,1]
+// (Equation 5's rank vector, summary weights), tolerance-aware
+// comparisons of accumulated influence, and row normalization that is
+// robust to empty rows (Algorithm 8 lines 13–18). Spelling those
+// operations through this package makes the intent machine-checkable:
+// code in the numeric packages that compares or accumulates probabilities
+// without these helpers is flagged by `make lint`.
+package prob
+
+import "math"
+
+// DefaultEps is the tolerance used for "equal up to floating-point noise"
+// comparisons of probability mass. It sits far below any meaningful
+// influence difference (summary weights are ≥ 1/|V_t| apart in practice)
+// and far above accumulated rounding error of the O(n·deg) loops.
+const DefaultEps = 1e-9
+
+// Clamp01 clamps x into the unit interval [0, 1]. It is the guard the
+// summarizers apply at distribution boundaries: values that are
+// mathematically in [0,1] but drift out by accumulated rounding are pulled
+// back, while in-range values pass through bit-identical. NaN passes
+// through unchanged (clamping would hide the upstream bug that produced
+// it; Summary.Validate and the invariant tests reject NaN explicitly).
+func Clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// ApproxEq reports whether a and b are within eps of each other. eps < 0
+// is treated as DefaultEps. It is the blessed spelling for tolerance
+// comparisons of probability mass; raw ==/!= on float64 is flagged by
+// pitlint's probinvariant analyzer.
+func ApproxEq(a, b, eps float64) bool {
+	if eps < 0 {
+		eps = DefaultEps
+	}
+	return math.Abs(a-b) <= eps
+}
+
+// IsZero reports whether x is exactly zero. It exists so that intentional
+// exact-zero tests — skip-if-no-mass fast paths, "was this entry ever
+// written" checks — are grep-able and visibly deliberate, rather than
+// looking like an accidental float comparison. The semantics are exactly
+// x == 0 (so -0 and +0 both qualify, NaN does not).
+func IsZero(x float64) bool {
+	return x == 0 //pitlint:ignore probinvariant IsZero is the checked helper that wraps the exact comparison
+}
+
+// NormalizeInPlace scales xs so it sums to 1 and returns the original
+// sum. If the sum is zero, negative or non-finite, xs is left untouched
+// and the (degenerate) sum is returned — callers treat such rows as
+// "no mass to migrate" (Algorithm 8's empty absorption rows).
+func NormalizeInPlace(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	if sum <= 0 || math.IsInf(sum, 0) || math.IsNaN(sum) {
+		return sum
+	}
+	inv := 1 / sum
+	for i := range xs {
+		xs[i] *= inv
+	}
+	return sum
+}

@@ -1,0 +1,119 @@
+package prob
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClamp01(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{-1, 0},
+		{-1e-300, 0},
+		{0, 0},
+		{0.25, 0.25},
+		{1, 1},
+		{1 + 1e-12, 1},
+		{42, 1},
+		{math.Inf(1), 1},
+		{math.Inf(-1), 0},
+	}
+	for _, c := range cases {
+		if got := Clamp01(c.in); got != c.want {
+			t.Errorf("Clamp01(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// In-range values must pass through bit-identical.
+	for _, x := range []float64{0.1, 0.5, 0.999999999, 1.0 / 3.0} {
+		if got := Clamp01(x); got != x {
+			t.Errorf("Clamp01(%v) changed an in-range value to %v", x, got)
+		}
+	}
+	// NaN passes through so upstream bugs stay visible.
+	if got := Clamp01(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Clamp01(NaN) = %v, want NaN", got)
+	}
+}
+
+func TestApproxEq(t *testing.T) {
+	if !ApproxEq(0.1+0.2, 0.3, DefaultEps) {
+		t.Error("0.1+0.2 should approx-equal 0.3")
+	}
+	if ApproxEq(0.3, 0.3+1e-6, DefaultEps) {
+		t.Error("difference of 1e-6 should exceed DefaultEps")
+	}
+	if !ApproxEq(1, 1, 0) {
+		t.Error("identical values must be equal at eps 0")
+	}
+	// Negative eps falls back to DefaultEps.
+	if !ApproxEq(0.5, 0.5+1e-12, -1) {
+		t.Error("negative eps should behave as DefaultEps")
+	}
+	if ApproxEq(math.NaN(), math.NaN(), 1) {
+		t.Error("NaN approx-equals nothing")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !IsZero(0) || !IsZero(math.Copysign(0, -1)) {
+		t.Error("both zero signs must report zero")
+	}
+	for _, x := range []float64{1e-300, -1e-300, 1, math.NaN(), math.Inf(1)} {
+		if IsZero(x) {
+			t.Errorf("IsZero(%v) = true", x)
+		}
+	}
+}
+
+func TestNormalizeInPlace(t *testing.T) {
+	xs := []float64{1, 3, 4}
+	sum := NormalizeInPlace(xs)
+	if !ApproxEq(sum, 8, 0) {
+		t.Fatalf("sum = %v, want 8", sum)
+	}
+	want := []float64{0.125, 0.375, 0.5}
+	for i := range xs {
+		if !ApproxEq(xs[i], want[i], DefaultEps) {
+			t.Errorf("xs[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	if !ApproxEq(total, 1, DefaultEps) {
+		t.Errorf("normalized row sums to %v, want 1", total)
+	}
+}
+
+func TestNormalizeInPlaceDegenerate(t *testing.T) {
+	// Zero row: untouched.
+	zero := []float64{0, 0, 0}
+	if sum := NormalizeInPlace(zero); !IsZero(sum) {
+		t.Errorf("zero row sum = %v", sum)
+	}
+	for i, x := range zero {
+		if !IsZero(x) {
+			t.Errorf("zero row modified at %d: %v", i, x)
+		}
+	}
+	// Negative sum: untouched.
+	neg := []float64{1, -3}
+	if sum := NormalizeInPlace(neg); sum > 0 {
+		t.Errorf("negative row sum = %v", sum)
+	}
+	if neg[0] != 1 || neg[1] != -3 {
+		t.Errorf("negative row modified: %v", neg)
+	}
+	// Non-finite sum: untouched.
+	inf := []float64{math.Inf(1), 1}
+	NormalizeInPlace(inf)
+	if !math.IsInf(inf[0], 1) {
+		t.Errorf("inf row modified: %v", inf)
+	}
+	// Empty row is a no-op.
+	if sum := NormalizeInPlace(nil); !IsZero(sum) {
+		t.Errorf("nil row sum = %v", sum)
+	}
+}

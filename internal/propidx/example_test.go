@@ -1,6 +1,7 @@
 package propidx_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -17,7 +18,7 @@ func ExampleBuild() {
 	b.MustAddEdge(1, 2, 0.5)
 	g := b.Build()
 
-	ix, err := propidx.Build(g, propidx.Options{Theta: 0.3})
+	ix, err := propidx.Build(context.Background(), g, propidx.Options{Theta: 0.3})
 	if err != nil {
 		fmt.Println(err)
 		return

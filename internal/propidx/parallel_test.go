@@ -1,6 +1,7 @@
 package propidx
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -22,12 +23,12 @@ func TestParallelBuildMatchesSerial(t *testing.T) {
 	}
 	g := b.Build()
 
-	serial, err := Build(g, Options{Theta: 0.05, Workers: 1})
+	serial, err := Build(context.Background(), g, Options{Theta: 0.05, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 16} {
-		parallel, err := Build(g, Options{Theta: 0.05, Workers: workers})
+		parallel, err := Build(context.Background(), g, Options{Theta: 0.05, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +55,7 @@ func TestWorkersExceedingNodes(t *testing.T) {
 	b.MustAddEdge(0, 1, 0.5)
 	b.MustAddEdge(1, 2, 0.5)
 	g := b.Build()
-	ix, err := Build(g, Options{Theta: 0.1, Workers: 64})
+	ix, err := Build(context.Background(), g, Options{Theta: 0.1, Workers: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func BenchmarkBuildParallel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Build(g, Options{Theta: 0.05}); err != nil {
+		if _, err := Build(context.Background(), g, Options{Theta: 0.05}); err != nil {
 			b.Fatal(err)
 		}
 	}

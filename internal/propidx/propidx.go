@@ -9,6 +9,7 @@
 package propidx
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -216,7 +217,9 @@ func (e *enumerator) enumerate(v graph.NodeID) row {
 // Build materializes the index for every node of g with a reverse
 // depth-first path enumeration bounded by θ. Targets are sharded across
 // opt.Workers goroutines; the result is identical at any worker count.
-func Build(g *graph.Graph, opt Options) (*Index, error) {
+// ctx is checked between targets (sequential) or between chunks
+// (parallel); a done context aborts the build with ctx.Err().
+func Build(ctx context.Context, g *graph.Graph, opt Options) (*Index, error) {
 	if err := opt.fill(); err != nil {
 		return nil, err
 	}
@@ -234,18 +237,28 @@ func Build(g *graph.Graph, opt Options) (*Index, error) {
 	if workers <= 1 {
 		e := newEnumerator(g, opt)
 		for v := 0; v < n; v++ {
+			if v%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			rows[v] = e.enumerate(graph.NodeID(v))
 		}
 	} else {
 		var wg sync.WaitGroup
 		var next atomic.Int64
+		errs := make([]error, workers)
 		const chunk = 256
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(errSlot *error) {
 				defer wg.Done()
 				e := newEnumerator(g, opt)
 				for {
+					if err := ctx.Err(); err != nil {
+						*errSlot = err
+						return
+					}
 					lo := int(next.Add(chunk)) - chunk
 					if lo >= n {
 						return
@@ -258,9 +271,14 @@ func Build(g *graph.Graph, opt Options) (*Index, error) {
 						rows[v] = e.enumerate(graph.NodeID(v))
 					}
 				}
-			}()
+			}(&errs[w])
 		}
 		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	total := 0

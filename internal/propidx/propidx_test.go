@@ -1,6 +1,8 @@
 package propidx
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -22,7 +24,7 @@ func triangle(t testing.TB) *graph.Graph {
 func TestBuildValidatesTheta(t *testing.T) {
 	g := triangle(t)
 	for _, theta := range []float64{0, -0.1, 1, 1.5} {
-		if _, err := Build(g, Options{Theta: theta}); err == nil {
+		if _, err := Build(context.Background(), g, Options{Theta: theta}); err == nil {
 			t.Errorf("theta %v accepted", theta)
 		}
 	}
@@ -31,7 +33,7 @@ func TestBuildValidatesTheta(t *testing.T) {
 func TestGammaAggregatesPathProducts(t *testing.T) {
 	// θ=0.05 admits every path: Γ(3) = {1: 0.3 + 0.5·0.4, 2: 0.4}.
 	g := triangle(t)
-	ix, err := Build(g, Options{Theta: 0.05})
+	ix, err := Build(context.Background(), g, Options{Theta: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +54,7 @@ func TestGammaAggregatesPathProducts(t *testing.T) {
 func TestThetaCutsLongPath(t *testing.T) {
 	// θ=0.25 cuts 1→2→3 (0.2) but keeps 1→3 (0.3) and 2→3 (0.4).
 	g := triangle(t)
-	ix, err := Build(g, Options{Theta: 0.25})
+	ix, err := Build(context.Background(), g, Options{Theta: 0.25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +73,7 @@ func TestPotentialMarking(t *testing.T) {
 	// below threshold. Node 2 keeps an unindexed pruned in-neighbor and
 	// must be marked potential; maxEP = Prop(3,2) = 0.4.
 	g := triangle(t)
-	ix, err := Build(g, Options{Theta: 0.35})
+	ix, err := Build(context.Background(), g, Options{Theta: 0.35})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +96,7 @@ func TestCyclesDoNotLoopForever(t *testing.T) {
 	b.MustAddEdge(0, 1, 0.9)
 	b.MustAddEdge(1, 0, 0.9)
 	g := b.Build()
-	ix, err := Build(g, Options{Theta: 0.1})
+	ix, err := Build(context.Background(), g, Options{Theta: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +116,7 @@ func TestDiamondAggregation(t *testing.T) {
 	b.MustAddEdge(0, 2, 0.4)
 	b.MustAddEdge(2, 3, 0.5)
 	g := b.Build()
-	ix, err := Build(g, Options{Theta: 0.1})
+	ix, err := Build(context.Background(), g, Options{Theta: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +128,7 @@ func TestDiamondAggregation(t *testing.T) {
 
 func TestEmptyGraph(t *testing.T) {
 	g := graph.NewBuilder(0).Build()
-	ix, err := Build(g, Options{Theta: 0.1})
+	ix, err := Build(context.Background(), g, Options{Theta: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +151,7 @@ func TestBudgetCapMarksPotential(t *testing.T) {
 		}
 	}
 	g := b.Build()
-	ix, err := Build(g, Options{Theta: 0.01, MaxPathsPerNode: 20})
+	ix, err := Build(context.Background(), g, Options{Theta: 0.01, MaxPathsPerNode: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +211,7 @@ func TestMatchesBruteForce(t *testing.T) {
 		}
 		g := b.Build()
 		theta := 0.05 + 0.3*rng.Float64()
-		ix, err := Build(g, Options{Theta: theta})
+		ix, err := Build(context.Background(), g, Options{Theta: theta})
 		if err != nil {
 			return false
 		}
@@ -247,7 +249,7 @@ func TestEntriesAtLeastTheta(t *testing.T) {
 			_ = b.AddEdge(u, v, 0.1+0.8*rng.Float64())
 		}
 		g := b.Build()
-		ix, err := Build(g, Options{Theta: 0.15})
+		ix, err := Build(context.Background(), g, Options{Theta: 0.15})
 		if err != nil {
 			return false
 		}
@@ -268,7 +270,7 @@ func TestEntriesAtLeastTheta(t *testing.T) {
 
 func TestGammaSorted(t *testing.T) {
 	g := triangle(t)
-	ix, err := Build(g, Options{Theta: 0.05})
+	ix, err := Build(context.Background(), g, Options{Theta: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +286,7 @@ func TestGammaSorted(t *testing.T) {
 
 func TestMemoryBytesAndSize(t *testing.T) {
 	g := triangle(t)
-	ix, _ := Build(g, Options{Theta: 0.05})
+	ix, _ := Build(context.Background(), g, Options{Theta: 0.05})
 	if ix.Size() == 0 || ix.MemoryBytes() <= 0 {
 		t.Errorf("Size=%d MemoryBytes=%d", ix.Size(), ix.MemoryBytes())
 	}
@@ -305,7 +307,7 @@ func BenchmarkBuild(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Build(g, Options{Theta: 0.05}); err != nil {
+		if _, err := Build(context.Background(), g, Options{Theta: 0.05}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -326,7 +328,7 @@ func TestMaxPotentialConsistentWithGamma(t *testing.T) {
 			_ = b.AddEdge(u, v, 0.1+0.6*rng.Float64())
 		}
 		g := b.Build()
-		ix, err := Build(g, Options{Theta: 0.1})
+		ix, err := Build(context.Background(), g, Options{Theta: 0.1})
 		if err != nil {
 			return false
 		}
@@ -346,5 +348,15 @@ func TestMaxPotentialConsistentWithGamma(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestBuildCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if _, err := Build(ctx, triangle(t), Options{Theta: 0.05, Workers: workers}); !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
 	}
 }

@@ -12,6 +12,7 @@
 package randwalk
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -86,8 +87,11 @@ type walkShard struct {
 	pairs []int64
 }
 
-// Build runs Algorithm 6 over g and returns the index.
-func Build(g *graph.Graph, opt Options) (*Index, error) {
+// Build runs Algorithm 6 over g and returns the index. ctx is checked
+// periodically inside every sampling shard; a done context aborts the
+// build with ctx.Err() (index construction on a large graph can run for
+// minutes, and a shutting-down server must not wait it out).
+func Build(ctx context.Context, g *graph.Graph, opt Options) (*Index, error) {
 	if opt.L < 1 {
 		return nil, fmt.Errorf("randwalk: L must be ≥ 1, got %d", opt.L)
 	}
@@ -117,17 +121,23 @@ func Build(g *graph.Graph, opt Options) (*Index, error) {
 		workers = n
 	}
 	shards := make([]walkShard, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * n / workers
 		hi := (w + 1) * n / workers
 		wg.Add(1)
-		go func(shard *walkShard, lo, hi int) {
+		go func(shard *walkShard, errSlot *error, lo, hi int) {
 			defer wg.Done()
-			ix.sampleRange(g, opt, shard, lo, hi)
-		}(&shards[w], lo, hi)
+			*errSlot = ix.sampleRange(ctx, g, opt, shard, lo, hi)
+		}(&shards[w], &errs[w], lo, hi)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	// Merge shard-local H rows (element-wise max) and reach pairs.
 	totalPairs := 0
@@ -150,8 +160,9 @@ func Build(g *graph.Graph, opt Options) (*Index, error) {
 	return ix, nil
 }
 
-// sampleRange runs Algorithm 6's sampling loop for start nodes [lo, hi).
-func (ix *Index) sampleRange(g *graph.Graph, opt Options, shard *walkShard, lo, hi int) {
+// sampleRange runs Algorithm 6's sampling loop for start nodes [lo, hi),
+// checking ctx every few start nodes.
+func (ix *Index) sampleRange(ctx context.Context, g *graph.Graph, opt Options, shard *walkShard, lo, hi int) error {
 	n := g.NumNodes()
 	shard.h = make([][]float64, opt.L)
 	for j := range shard.h {
@@ -166,6 +177,11 @@ func (ix *Index) sampleRange(g *graph.Graph, opt Options, shard *walkShard, lo, 
 	var cur int64
 
 	for w := lo; w < hi; w++ {
+		if (w-lo)%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		rng := rand.New(rand.NewSource(int64(splitmix64(uint64(opt.Seed) ^ uint64(w)<<1))))
 		for i := 0; i < opt.R; i++ {
 			cur++
@@ -196,6 +212,7 @@ func (ix *Index) sampleRange(g *graph.Graph, opt Options, shard *walkShard, lo, 
 			}
 		}
 	}
+	return nil
 }
 
 // buildReach sorts and dedups (target, start) pairs into the reach CSR.

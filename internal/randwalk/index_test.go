@@ -1,6 +1,8 @@
 package randwalk
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -33,10 +35,10 @@ func randomGraph(seed int64, n, m int) *graph.Graph {
 
 func TestBuildValidatesOptions(t *testing.T) {
 	g := lineGraph(t, 3)
-	if _, err := Build(g, Options{L: 0, R: 1}); err == nil {
+	if _, err := Build(context.Background(), g, Options{L: 0, R: 1}); err == nil {
 		t.Error("L=0 accepted")
 	}
-	if _, err := Build(g, Options{L: 1, R: 0}); err == nil {
+	if _, err := Build(context.Background(), g, Options{L: 1, R: 0}); err == nil {
 		t.Error("R=0 accepted")
 	}
 }
@@ -45,7 +47,7 @@ func TestWalksOnLineGraphAreDeterministicPaths(t *testing.T) {
 	// A line graph has exactly one walk choice at every step, so every
 	// sampled walk from node 0 must be 1,2,3,... up to L hops.
 	g := lineGraph(t, 10)
-	ix, err := Build(g, Options{L: 4, R: 3, Seed: 42})
+	ix, err := Build(context.Background(), g, Options{L: 4, R: 3, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +67,7 @@ func TestWalksOnLineGraphAreDeterministicPaths(t *testing.T) {
 
 func TestWalkTerminatesAtDeadEnd(t *testing.T) {
 	g := lineGraph(t, 3) // 0→1→2, node 2 is a dead end
-	ix, err := Build(g, Options{L: 5, R: 2, Seed: 1})
+	ix, err := Build(context.Background(), g, Options{L: 5, R: 2, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +82,7 @@ func TestWalkTerminatesAtDeadEnd(t *testing.T) {
 
 func TestWalkEntriesAreValidEdges(t *testing.T) {
 	g := randomGraph(7, 30, 120)
-	ix, err := Build(g, Options{L: 5, R: 4, Seed: 7})
+	ix, err := Build(context.Background(), g, Options{L: 5, R: 4, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +114,7 @@ func TestWalkEntriesAreValidEdges(t *testing.T) {
 
 func TestReachLConsistentWithWalks(t *testing.T) {
 	g := randomGraph(3, 25, 100)
-	ix, err := Build(g, Options{L: 4, R: 3, Seed: 3})
+	ix, err := Build(context.Background(), g, Options{L: 4, R: 3, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +149,7 @@ func TestReachLConsistentWithWalks(t *testing.T) {
 
 func TestReachLSorted(t *testing.T) {
 	g := randomGraph(11, 40, 200)
-	ix, err := Build(g, Options{L: 3, R: 5, Seed: 11})
+	ix, err := Build(context.Background(), g, Options{L: 3, R: 5, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +166,7 @@ func TestReachLSorted(t *testing.T) {
 func TestVisitFreqBounds(t *testing.T) {
 	g := randomGraph(5, 30, 150)
 	const R = 4
-	ix, err := Build(g, Options{L: 5, R: R, Seed: 5})
+	ix, err := Build(context.Background(), g, Options{L: 5, R: R, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +196,7 @@ func TestVisitFreqMonotoneOnLine(t *testing.T) {
 	// iteration j with frequency 1/R (maximum over identical walks).
 	g := lineGraph(t, 6)
 	const R = 3
-	ix, err := Build(g, Options{L: 5, R: R, Seed: 9})
+	ix, err := Build(context.Background(), g, Options{L: 5, R: R, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,11 +210,11 @@ func TestVisitFreqMonotoneOnLine(t *testing.T) {
 
 func TestDeterminismBySeed(t *testing.T) {
 	g := randomGraph(13, 40, 200)
-	a, err := Build(g, Options{L: 4, R: 3, Seed: 99})
+	a, err := Build(context.Background(), g, Options{L: 4, R: 3, Seed: 99})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Build(g, Options{L: 4, R: 3, Seed: 99})
+	b, err := Build(context.Background(), g, Options{L: 4, R: 3, Seed: 99})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +231,7 @@ func TestDeterminismBySeed(t *testing.T) {
 			}
 		}
 	}
-	c, err := Build(g, Options{L: 4, R: 3, Seed: 100})
+	c, err := Build(context.Background(), g, Options{L: 4, R: 3, Seed: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +274,7 @@ func TestSampleSize(t *testing.T) {
 
 func TestMemoryBytesPositive(t *testing.T) {
 	g := lineGraph(t, 10)
-	ix, _ := Build(g, Options{L: 3, R: 2, Seed: 1})
+	ix, _ := Build(context.Background(), g, Options{L: 3, R: 2, Seed: 1})
 	if ix.MemoryBytes() <= 0 {
 		t.Error("MemoryBytes not positive")
 	}
@@ -283,7 +285,7 @@ func TestMemoryBytesPositive(t *testing.T) {
 func TestCanReachMatchesScan(t *testing.T) {
 	check := func(seed int64) bool {
 		g := randomGraph(seed, 20, 60)
-		ix, err := Build(g, Options{L: 3, R: 2, Seed: seed})
+		ix, err := Build(context.Background(), g, Options{L: 3, R: 2, Seed: seed})
 		if err != nil {
 			return false
 		}
@@ -314,8 +316,18 @@ func BenchmarkBuild(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Build(g, Options{L: 6, R: 8, Seed: int64(i)}); err != nil {
+		if _, err := Build(context.Background(), g, Options{L: 6, R: 8, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func TestBuildCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if _, err := Build(ctx, lineGraph(t, 64), Options{L: 3, R: 2, Seed: 1, Workers: workers}); !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: want context.Canceled, got %v", workers, err)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package randwalk
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/graph"
@@ -10,12 +11,12 @@ import (
 // independent of the worker count.
 func TestParallelBuildMatchesSerial(t *testing.T) {
 	g := randomGraph(23, 300, 1800)
-	serial, err := Build(g, Options{L: 4, R: 4, Seed: 23, Workers: 1})
+	serial, err := Build(context.Background(), g, Options{L: 4, R: 4, Seed: 23, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 5, 32} {
-		par, err := Build(g, Options{L: 4, R: 4, Seed: 23, Workers: workers})
+		par, err := Build(context.Background(), g, Options{L: 4, R: 4, Seed: 23, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -53,7 +54,7 @@ func TestParallelBuildMatchesSerial(t *testing.T) {
 
 func TestBuildEmptyGraph(t *testing.T) {
 	g := graph.NewBuilder(0).Build()
-	ix, err := Build(g, Options{L: 2, R: 2, Seed: 1})
+	ix, err := Build(context.Background(), g, Options{L: 2, R: 2, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

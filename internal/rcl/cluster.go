@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/prob"
 	"repro/internal/randwalk"
 	"repro/internal/topics"
 )
@@ -99,7 +100,7 @@ func sampleNodes(g *graph.Graph, rate float64, rng *rand.Rand) []bool {
 	for v := 0; v < n; v++ {
 		totalDeg += float64(g.Degree(graph.NodeID(v)))
 	}
-	if totalDeg == 0 {
+	if prob.IsZero(totalDeg) {
 		return member
 	}
 	target := rate * float64(n)

@@ -75,8 +75,11 @@ func (s *Summarizer) Summarize(ctx context.Context, t topics.TopicID) (summary.S
 		// Keep the heaviest centroids; ties by node ID for determinism.
 		trimmed := append([]summary.WeightedNode(nil), sum.Reps...)
 		sort.Slice(trimmed, func(a, b int) bool {
-			if trimmed[a].Weight != trimmed[b].Weight {
-				return trimmed[a].Weight > trimmed[b].Weight
+			if trimmed[a].Weight > trimmed[b].Weight {
+				return true
+			}
+			if trimmed[a].Weight < trimmed[b].Weight {
+				return false
 			}
 			return trimmed[a].Node < trimmed[b].Node
 		})

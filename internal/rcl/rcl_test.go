@@ -54,7 +54,7 @@ func twoCommunities(t testing.TB, commSize int, seed int64) (*graph.Graph, *topi
 }
 
 func buildSummarizer(t testing.TB, g *graph.Graph, space *topics.Space, opts Options) *Summarizer {
-	walks, err := randwalk.Build(g, randwalk.Options{L: 3, R: 8, Seed: 7})
+	walks, err := randwalk.Build(context.Background(), g, randwalk.Options{L: 3, R: 8, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func buildSummarizer(t testing.TB, g *graph.Graph, space *topics.Space, opts Opt
 
 func TestNewValidation(t *testing.T) {
 	g, space, _ := twoCommunities(t, 20, 1)
-	walks, _ := randwalk.Build(g, randwalk.Options{L: 3, R: 4, Seed: 1})
+	walks, _ := randwalk.Build(context.Background(), g, randwalk.Options{L: 3, R: 4, Seed: 1})
 	if _, err := New(nil, space, walks, Options{}); err == nil {
 		t.Error("nil graph accepted")
 	}
@@ -78,7 +78,7 @@ func TestNewValidation(t *testing.T) {
 		t.Error("nil walk index accepted")
 	}
 	other := graph.NewBuilder(3).Build()
-	otherWalks, _ := randwalk.Build(other, randwalk.Options{L: 2, R: 2, Seed: 1})
+	otherWalks, _ := randwalk.Build(context.Background(), other, randwalk.Options{L: 2, R: 2, Seed: 1})
 	if _, err := New(g, space, otherWalks, Options{}); err == nil {
 		t.Error("mismatched walk index accepted")
 	}
@@ -422,7 +422,7 @@ func TestRefineCentroidImprovesOrKeeps(t *testing.T) {
 	b.MustAddEdge(4, 0, 0.5)
 	b.MustAddEdge(5, 4, 0.5)
 	g := b.Build()
-	walks, err := randwalk.Build(g, randwalk.Options{L: 3, R: 8, Seed: 2})
+	walks, err := randwalk.Build(context.Background(), g, randwalk.Options{L: 3, R: 8, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

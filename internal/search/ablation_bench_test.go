@@ -32,7 +32,7 @@ func ablationScenario(b *testing.B) (*propidx.Index, []summary.Summary, graph.No
 		_ = gb.AddEdge(u, v, 0.05+0.3*rng.Float64())
 	}
 	g := gb.Build()
-	ix, err := propidx.Build(g, propidx.Options{Theta: 0.02})
+	ix, err := propidx.Build(context.Background(), g, propidx.Options{Theta: 0.02})
 	if err != nil {
 		b.Fatal(err)
 	}

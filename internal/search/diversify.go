@@ -11,6 +11,7 @@ package search
 
 import (
 	"repro/internal/graph"
+	"repro/internal/prob"
 	"repro/internal/summary"
 	"repro/internal/topics"
 )
@@ -44,7 +45,7 @@ func Diversify(results []Result, summaries []summary.Summary, lambda float64, k 
 		bestIdx, bestScore := 0, -1.0
 		for i, r := range remaining {
 			adjusted := r.Score * (1 - lambda*overlapWith(byTopic[r.Topic], covered))
-			if adjusted > bestScore || (adjusted == bestScore && r.Topic < remaining[bestIdx].Topic) {
+			if adjusted > bestScore || (prob.ApproxEq(adjusted, bestScore, 0) && r.Topic < remaining[bestIdx].Topic) {
 				bestIdx, bestScore = i, adjusted
 			}
 		}
@@ -71,7 +72,7 @@ func overlapWith(s summary.Summary, covered map[graph.NodeID]bool) float64 {
 			hit += rep.Weight
 		}
 	}
-	if total == 0 {
+	if prob.IsZero(total) {
 		return 0
 	}
 	return hit / total

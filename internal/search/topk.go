@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/prob"
 	"repro/internal/propidx"
 	"repro/internal/summary"
 	"repro/internal/topics"
@@ -114,6 +115,9 @@ func (s *Searcher) run(ctx context.Context, user graph.NodeID, summaries []summa
 
 	states := make([]*topicState, len(summaries))
 	for i, sum := range summaries {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		states[i] = &topicState{
 			id:       sum.Topic,
 			reps:     sum.Reps,
@@ -129,6 +133,9 @@ func (s *Searcher) run(ctx context.Context, user graph.NodeID, summaries []summa
 		tr.GammaSize = len(srcs)
 	}
 	for _, st := range states {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s.consume(st, srcs, props, 1.0)
 	}
 
@@ -248,9 +255,10 @@ func (s *Searcher) consume(st *topicState, srcs []graph.NodeID, props []float64,
 			}
 		}
 	}
-	if st.wr < 0 {
-		st.wr = 0
-	}
+	// W_r is a remainder of Validate-checked weights (nonnegative, total
+	// ≤ 1 up to rounding); repeated subtraction can only leave rounding
+	// noise outside [0,1].
+	st.wr = prob.Clamp01(st.wr)
 }
 
 // findNode binary-searches a sorted node slice, returning the index of u
@@ -289,8 +297,11 @@ func (s *Searcher) truncateFrontier(frontier []expandNode) []expandNode {
 		return frontier
 	}
 	sort.Slice(frontier, func(a, b int) bool {
-		if frontier[a].acc != frontier[b].acc {
-			return frontier[a].acc > frontier[b].acc
+		if frontier[a].acc > frontier[b].acc {
+			return true
+		}
+		if frontier[a].acc < frontier[b].acc {
+			return false
 		}
 		return frontier[a].node < frontier[b].node
 	})
@@ -332,7 +343,7 @@ func (s *Searcher) pruneAndCount(states []*topicState, k int, kth, maxEP float64
 	if s.opts.DisablePruning {
 		undecided := 0
 		for _, st := range states {
-			if st.wr > 1e-15 {
+			if !prob.ApproxEq(st.wr, 0, 1e-15) {
 				undecided++
 			}
 		}
@@ -344,7 +355,7 @@ func (s *Searcher) pruneAndCount(states []*topicState, k int, kth, maxEP float64
 		}
 		// (1) no remaining representatives, or (2) upper bound
 		// W_r·maxEP + heap[t] cannot reach the k-th score.
-		if st.wr <= 1e-15 || kth >= st.wr*maxEP+st.score {
+		if prob.ApproxEq(st.wr, 0, 1e-15) || kth >= st.wr*maxEP+st.score {
 			st.pruned = true
 		}
 	}
@@ -356,8 +367,11 @@ func (s *Searcher) pruneAndCount(states []*topicState, k int, kth, maxEP float64
 	}
 	sort.Slice(order, func(a, b int) bool {
 		sa, sb := states[order[a]], states[order[b]]
-		if sa.score != sb.score {
-			return sa.score > sb.score
+		if sa.score > sb.score {
+			return true
+		}
+		if sa.score < sb.score {
+			return false
 		}
 		return sa.id < sb.id
 	})
@@ -404,8 +418,11 @@ func rank(states []*topicState, k int) []Result {
 		out[i] = Result{Topic: st.id, Score: st.score}
 	}
 	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
-			return out[a].Score > out[b].Score
+		if out[a].Score > out[b].Score {
+			return true
+		}
+		if out[a].Score < out[b].Score {
+			return false
 		}
 		return out[a].Topic < out[b].Topic
 	})

@@ -14,7 +14,7 @@ import (
 )
 
 func buildIndex(t testing.TB, g *graph.Graph, theta float64) *propidx.Index {
-	ix, err := propidx.Build(g, propidx.Options{Theta: theta})
+	ix, err := propidx.Build(context.Background(), g, propidx.Options{Theta: theta})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func randomScenario(seed int64) (*propidx.Index, []summary.Summary, graph.NodeID
 		_ = b.AddEdge(u, v, 0.1+0.8*rng.Float64())
 	}
 	g := b.Build()
-	ix, err := propidx.Build(g, propidx.Options{Theta: 0.1 + 0.2*rng.Float64()})
+	ix, err := propidx.Build(context.Background(), g, propidx.Options{Theta: 0.1 + 0.2*rng.Float64()})
 	if err != nil {
 		panic(err)
 	}

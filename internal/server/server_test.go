@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -28,7 +29,7 @@ var testServer = sync.OnceValues(func() (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := eng.BuildIndexes(); err != nil {
+	if err := eng.BuildIndexes(context.Background()); err != nil {
 		return nil, err
 	}
 	return New(eng, Config{MaxK: 50})

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -28,7 +29,7 @@ func testGraph(t testing.TB) *graph.Graph {
 
 func TestWalkIndexRoundTrip(t *testing.T) {
 	g := testGraph(t)
-	ix, err := randwalk.Build(g, randwalk.Options{L: 4, R: 3, Seed: 1})
+	ix, err := randwalk.Build(context.Background(), g, randwalk.Options{L: 4, R: 3, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestWalkIndexRoundTrip(t *testing.T) {
 
 func TestPropIndexRoundTrip(t *testing.T) {
 	g := testGraph(t)
-	ix, err := propidx.Build(g, propidx.Options{Theta: 0.1})
+	ix, err := propidx.Build(context.Background(), g, propidx.Options{Theta: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestSummariesRoundTrip(t *testing.T) {
 
 func TestKindMismatchRejected(t *testing.T) {
 	g := testGraph(t)
-	walks, _ := randwalk.Build(g, randwalk.Options{L: 2, R: 2, Seed: 1})
+	walks, _ := randwalk.Build(context.Background(), g, randwalk.Options{L: 2, R: 2, Seed: 1})
 	path := filepath.Join(t.TempDir(), "walks.gob")
 	if err := SaveWalkIndex(path, walks); err != nil {
 		t.Fatal(err)
