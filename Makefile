@@ -6,10 +6,27 @@
 # govulncheck is installed.
 
 GO ?= go
+# Label under which `make bench` records its run in BENCH_PR3.json
+# (e.g. `make bench BENCH_LABEL=mybranch` for a comparison run).
+BENCH_LABEL ?= after
 
-.PHONY: all build test check fmt vet lint vulncheck race bench-smoke
+.PHONY: all help build test check fmt vet lint vulncheck race bench bench-smoke
 
 all: check
+
+help:
+	@echo "make check       - full pre-merge gate (build fmt vet lint race bench-smoke vulncheck)"
+	@echo "make build       - compile all packages"
+	@echo "make test        - run the test suite"
+	@echo "make race        - run the test suite under the race detector"
+	@echo "make fmt         - fail if any file needs gofmt"
+	@echo "make vet         - go vet"
+	@echo "make lint        - pitlint, the repo's own static-analysis suite"
+	@echo "make bench       - online-path load benchmark (cmd/pitperf); merges a"
+	@echo "                   '$(BENCH_LABEL)' run into BENCH_PR3.json (BENCH_LABEL=...)"
+	@echo "make bench-smoke - one-shot benchmark smoke: figure benchmarks plus the"
+	@echo "                   search/core micro-benchmarks and a pitperf -smoke run"
+	@echo "make vulncheck   - govulncheck when installed (best-effort)"
 
 build:
 	$(GO) build ./...
@@ -46,9 +63,19 @@ vulncheck:
 race:
 	$(GO) test -race ./...
 
-# Tier-1 benchmark smoke: run the data_2k figure benchmarks exactly once
-# (-benchtime 1x) to prove the experiment pipeline still executes.
+# Online-path load benchmark (reproducible: fixed seed, fixed dataset
+# shape). Records the run under $(BENCH_LABEL) in BENCH_PR3.json and
+# refuses to merge runs whose dataset configs differ.
+bench:
+	$(GO) run ./cmd/pitperf -label $(BENCH_LABEL) -out BENCH_PR3.json
+
+# Benchmark smoke: run the data_2k figure benchmarks and the online-path
+# micro-benchmarks exactly once (-benchtime 1x), plus the pitperf smoke
+# config, to prove both harnesses still execute. No timing value — just
+# "does it run".
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig05TimeCostData2k|BenchmarkFig10PrecisionData2k' -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/search/ ./internal/core/
+	$(GO) run ./cmd/pitperf -smoke -out /tmp/pitperf-smoke.json
 
 check: build fmt vet lint race bench-smoke vulncheck

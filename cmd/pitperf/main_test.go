@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMergeInto: a fresh file gains a run, a second label merges beside
+// it, and a config mismatch is rejected instead of silently mixing
+// incomparable numbers.
+func TestMergeInto(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	cfg := smokeConfig(1)
+	rec := runRecord{Date: "2026-01-01T00:00:00Z", GoMaxProcs: 1,
+		Results: map[string]metric{"search_warm": {Iters: 10, NsPerOp: 100}}}
+
+	if err := mergeInto(path, cfg, "before", rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeInto(path, cfg, "after", rec); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"before"`, `"after"`, `"search_warm"`, `"ns_per_op"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("merged file missing %s:\n%s", want, raw)
+		}
+	}
+	other := cfg
+	other.Nodes++
+	if err := mergeInto(path, other, "again", rec); err == nil {
+		t.Error("config mismatch accepted")
+	}
+}
+
+// TestSmokeConfigBuilds: the smoke dataset builds a ready engine and the
+// query resolves to topics — the preconditions `pitperf -smoke` needs.
+func TestSmokeConfigBuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds an engine")
+	}
+	cfg := smokeConfig(1)
+	eng, err := buildEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Ready() {
+		t.Fatal("engine not ready")
+	}
+	if len(eng.Space().Related(cfg.Query)) == 0 {
+		t.Fatalf("query %q resolves to no topics", cfg.Query)
+	}
+	if len(batchUsers(cfg)) != cfg.BatchUsers {
+		t.Fatal("batchUsers size mismatch")
+	}
+}

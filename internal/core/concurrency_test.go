@@ -1,0 +1,268 @@
+package core
+
+// PR 3 concurrency tests: the sharded cache under churn, singleflight
+// materialization (exactly one summarization per topic under concurrent
+// misses), waiter cancellation not aborting the shared build, and
+// SearchMany's worker clamping + first-error semantics. Run with -race.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// countingSummarizer counts Summarize calls; a non-nil gate holds every
+// call open until the test releases it.
+type countingSummarizer struct {
+	calls atomic.Int32
+	gate  chan struct{}
+}
+
+func (c *countingSummarizer) Summarize(_ context.Context, t topics.TopicID) (summary.Summary, error) {
+	c.calls.Add(1)
+	if c.gate != nil {
+		<-c.gate
+	}
+	return summary.New(t, nil), nil
+}
+
+// TestSummarizeSingleFlight: N concurrent misses on one uncached topic
+// run the backend summarizer exactly once — the singleflight guarantee
+// the ISSUE's tentpole demands, observed through the SetSummarizer seam.
+func TestSummarizeSingleFlight(t *testing.T) {
+	eng := builtEngine(t)
+	cs := &countingSummarizer{gate: make(chan struct{})}
+	eng.SetSummarizer(MethodLRW, cs)
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	started := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			started <- struct{}{}
+			_, errs[w] = eng.Summarize(context.Background(), MethodLRW, 0)
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-started
+	}
+	// All workers have signaled; between the signal and blocking in the
+	// flight there is only straight-line code (cache miss, ctx check), so
+	// a short sleep lets every one of them join the in-flight build the
+	// gate is holding open. Then one release completes the shared call.
+	time.Sleep(50 * time.Millisecond)
+	close(cs.gate)
+	wg.Wait()
+
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if got := cs.calls.Load(); got != 1 {
+		t.Fatalf("summarizer ran %d times for one topic, want exactly 1", got)
+	}
+	// Post-completion callers are cache hits, not new flights.
+	if _, err := eng.Summarize(context.Background(), MethodLRW, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.calls.Load(); got != 1 {
+		t.Fatalf("cache hit re-ran the summarizer (%d calls)", got)
+	}
+}
+
+// TestSummarizeWaiterCancellationKeepsBuild: a waiter whose context
+// expires mid-build unblocks with ctx.Err(), while the build itself
+// keeps running and lands in the cache for the patient caller.
+func TestSummarizeWaiterCancellationKeepsBuild(t *testing.T) {
+	eng := builtEngine(t)
+	cs := &countingSummarizer{gate: make(chan struct{})}
+	eng.SetSummarizer(MethodLRW, cs)
+
+	inFlight := make(chan struct{})
+	patient := make(chan error, 1)
+	go func() {
+		close(inFlight)
+		_, err := eng.Summarize(context.Background(), MethodLRW, 0)
+		patient <- err
+	}()
+	<-inFlight
+	// Wait until the patient caller's build is actually running.
+	for cs.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := eng.Summarize(ctx, MethodLRW, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("impatient waiter got %v, want context.Canceled", err)
+	}
+
+	close(cs.gate)
+	if err := <-patient; err != nil {
+		t.Fatalf("patient caller: %v", err)
+	}
+	if got := cs.calls.Load(); got != 1 {
+		t.Fatalf("summarizer ran %d times, want 1 — waiter cancellation must not abort or restart the build", got)
+	}
+	if got := eng.CachedSummaries(MethodLRW); got != 1 {
+		t.Fatalf("cache holds %d LRW entries, want 1", got)
+	}
+}
+
+// TestCacheChurnRace hammers the sharded cache from every write path at
+// once — Search (fill-on-miss), InvalidateTopic, PreloadSummaries, and
+// the CachedSummaries stats walk — while -race watches. Searches must
+// keep returning valid rankings throughout.
+func TestCacheChurnRace(t *testing.T) {
+	eng := builtEngine(t)
+
+	// Materialize once to harvest valid summaries for the preload path.
+	if err := eng.MaterializeAll(context.Background(), MethodLRW); err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]summary.Summary, eng.Space().NumTopics())
+	for i := range sums {
+		s, err := eng.Summarize(context.Background(), MethodLRW, topics.TopicID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums[i] = s
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() { // invalidation churn
+		defer wg.Done()
+		for r := 0; r < 40; r++ {
+			for i := 0; i < eng.Space().NumTopics(); i++ {
+				eng.InvalidateTopic(topics.TopicID(i))
+			}
+		}
+		close(stop)
+	}()
+	wg.Add(1)
+	go func() { // preload churn
+		defer wg.Done()
+		for {
+			if err := eng.PreloadSummaries(MethodLRW, sums); err != nil {
+				t.Errorf("preload: %v", err)
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // stats reader
+		defer wg.Done()
+		for {
+			if n := eng.CachedSummaries(MethodLRW); n < 0 || n > len(sums) {
+				t.Errorf("CachedSummaries = %d, want 0..%d", n, len(sums))
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	for _, u := range []graph.NodeID{3, 17, 80} {
+		wg.Add(1)
+		go func(u graph.NodeID) { // searchers re-materializing on miss
+			defer wg.Done()
+			for {
+				res, err := eng.Search(context.Background(), MethodLRW, "tag000", u, 3)
+				if err != nil {
+					t.Errorf("search user %d: %v", u, err)
+					return
+				}
+				if len(res) == 0 {
+					t.Errorf("search user %d returned no results", u)
+					return
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+}
+
+// TestSearchManyMixedErrors: a batch mixing valid and invalid users
+// returns (nil, first error) — never partial results — and the error is
+// classified ErrInvalidArgument for the HTTP layer.
+func TestSearchManyMixedErrors(t *testing.T) {
+	eng := builtEngine(t)
+	users := []graph.NodeID{1, 5, -7, 9, graph.NodeID(eng.Graph().NumNodes() + 3)}
+	batch, err := eng.SearchMany(context.Background(), MethodLRW, "tag000", users, 3, 2)
+	if err == nil {
+		t.Fatal("mixed batch with invalid users accepted")
+	}
+	if !errors.Is(err, ErrInvalidArgument) {
+		t.Errorf("error %v not classified ErrInvalidArgument", err)
+	}
+	if batch != nil {
+		t.Errorf("failed batch returned partial results: %v", batch)
+	}
+}
+
+// TestSearchManyWorkerClamping: workers <= 0 means GOMAXPROCS on every
+// path — including the early returns for empty batches and unknown
+// queries, which used to be reachable before the clamp — and any worker
+// count yields the same answers.
+func TestSearchManyWorkerClamping(t *testing.T) {
+	eng := builtEngine(t)
+	users := []graph.NodeID{2, 4, 6, 8}
+	for _, workers := range []int{-3, 0, 1, 16} {
+		// Early-return paths with an unclamped-looking worker count.
+		if batch, err := eng.SearchMany(context.Background(), MethodLRW, "no-such-tag", users, 3, workers); err != nil || len(batch) != len(users) {
+			t.Fatalf("workers=%d unknown query: %v, %v", workers, batch, err)
+		}
+		if batch, err := eng.SearchMany(context.Background(), MethodLRW, "tag000", nil, 3, workers); err != nil || len(batch) != 0 {
+			t.Fatalf("workers=%d empty users: %v, %v", workers, batch, err)
+		}
+	}
+	ref, err := eng.SearchMany(context.Background(), MethodLRW, "tag001", users, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{-1, 0, 2, 32} {
+		got, err := eng.SearchMany(context.Background(), MethodLRW, "tag001", users, 3, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ref {
+			if len(got[i]) != len(ref[i]) {
+				t.Fatalf("workers=%d user %d: %d results vs %d", workers, users[i], len(got[i]), len(ref[i]))
+			}
+			for j := range ref[i] {
+				if got[i][j] != ref[i][j] {
+					t.Errorf("workers=%d user %d result %d: %+v vs %+v", workers, users[i], j, got[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+}

@@ -13,6 +13,15 @@
 // Every online entry point takes a context.Context that is threaded down
 // through the summarizers and the top-k search; a canceled or expired
 // context stops the work early with ctx.Err() instead of burning CPU.
+//
+// Concurrency design (PR 3): the online read path is lock-free for
+// readers. Readiness is an atomic flag that publishes the immutable
+// indexes, the summary cache is sharded with per-shard RWMutexes
+// (sumcache.go), and cache misses deduplicate through a singleflight
+// group so a thundering herd of identical queries triggers exactly one
+// summarization. The remaining mutexes serialize only what is truly
+// mutable: index construction, the RCL summarizer's BFS scratch, and
+// the fault-injection override table.
 package core
 
 import (
@@ -29,6 +38,7 @@ import (
 	"repro/internal/randwalk"
 	"repro/internal/rcl"
 	"repro/internal/search"
+	"repro/internal/singleflight"
 	"repro/internal/summary"
 	"repro/internal/topics"
 )
@@ -111,24 +121,30 @@ type TopicResult struct {
 }
 
 // Engine owns the graph, topic space, both offline indexes, the two
-// summarizers and a per-method summary cache. All methods are safe for
-// concurrent use after BuildIndexes has returned.
+// summarizers and a sharded per-method summary cache. All methods are
+// safe for concurrent use after BuildIndexes has returned.
 type Engine struct {
 	g     *graph.Graph
 	space *topics.Space
 	opts  Options
 
-	walks *randwalk.Index
-	prop  *propidx.Index
-
+	// Set by BuildIndexes and published by the ready flag: immutable —
+	// and therefore read without locks — once ready is true.
+	walks    *randwalk.Index
+	prop     *propidx.Index
 	searcher *search.Searcher
 	lrwSum   *lrw.Summarizer
+	rclSum   *rcl.Summarizer
 
-	mu       sync.Mutex
-	rclSum   *rcl.Summarizer // guarded by mu (owns a BFS traverser)
-	override map[Method]summary.Summarizer
-	cache    map[Method]map[topics.TopicID]summary.Summary
-	indexesB bool
+	ready   atomic.Bool // true once BuildIndexes published the fields above
+	buildMu sync.Mutex  // serializes BuildIndexes
+	rclMu   sync.Mutex  // the RCL summarizer owns mutable BFS scratch
+
+	ovMu     sync.RWMutex
+	override map[Method]summary.Summarizer // guarded by ovMu
+
+	cache  sumCache // sharded; internally locked
+	flight singleflight.Group[cacheKey, summary.Summary]
 }
 
 // New returns an Engine over the graph and topic space. Indexes are not
@@ -138,16 +154,14 @@ func New(g *graph.Graph, space *topics.Space, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("core: nil graph or topic space")
 	}
 	opts.fill()
-	return &Engine{
+	e := &Engine{
 		g:        g,
 		space:    space,
 		opts:     opts,
 		override: map[Method]summary.Summarizer{},
-		cache: map[Method]map[topics.TopicID]summary.Summary{
-			MethodLRW: {},
-			MethodRCL: {},
-		},
-	}, nil
+	}
+	e.cache.init()
+	return e, nil
 }
 
 // Graph returns the engine's social graph.
@@ -159,10 +173,7 @@ func (e *Engine) Options() Options { return e.opts }
 
 // CachedSummary returns the cached summary of t under m, if materialized.
 func (e *Engine) CachedSummary(m Method, t topics.TopicID) (summary.Summary, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, ok := e.cache[m][t]
-	return s, ok
+	return e.cache.get(cacheKey{m, t})
 }
 
 // Space returns the engine's topic space.
@@ -176,11 +187,7 @@ func (e *Engine) Prop() *propidx.Index { return e.prop }
 
 // Ready reports whether BuildIndexes has completed, i.e. whether the
 // online entry points will answer instead of returning ErrNotReady.
-func (e *Engine) Ready() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.indexesB
-}
+func (e *Engine) Ready() bool { return e.ready.Load() }
 
 // SetSummarizer replaces the backend summarizer for method m — the
 // fault-injection / alternative-backend seam. The replacement receives
@@ -189,8 +196,8 @@ func (e *Engine) Ready() bool {
 // restores the built-in implementation. Already-cached summaries are kept;
 // call InvalidateTopic to force recomputation through the replacement.
 func (e *Engine) SetSummarizer(m Method, s summary.Summarizer) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.ovMu.Lock()
+	defer e.ovMu.Unlock()
 	if s == nil {
 		delete(e.override, m)
 		return
@@ -203,9 +210,9 @@ func (e *Engine) SetSummarizer(m Method, s summary.Summarizer) {
 // 5.1. It is idempotent. ctx is threaded into both index builders, so a
 // canceled context (shutdown, deployment rollback) aborts a long build.
 func (e *Engine) BuildIndexes(ctx context.Context) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.indexesB {
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	if e.ready.Load() {
 		return nil
 	}
 	walks, err := randwalk.Build(ctx, e.g, randwalk.Options{L: e.opts.WalkL, R: e.opts.WalkR, Seed: e.opts.Seed})
@@ -230,14 +237,14 @@ func (e *Engine) BuildIndexes(ctx context.Context) error {
 	}
 	e.walks, e.prop = walks, prop
 	e.searcher, e.lrwSum, e.rclSum = searcher, lrwSum, rclSum
-	e.indexesB = true
+	// The atomic store publishes every field written above: a reader
+	// that observes ready == true also observes the built indexes.
+	e.ready.Store(true)
 	return nil
 }
 
 func (e *Engine) requireIndexes() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.indexesB {
+	if !e.ready.Load() {
 		return fmt.Errorf("%w: BuildIndexes has not been called", ErrNotReady)
 	}
 	return nil
@@ -246,8 +253,12 @@ func (e *Engine) requireIndexes() error {
 // Summarize returns (building and caching on first use) the topic-aware
 // social summarization of t under the given method — the offline stage of
 // Algorithm 5 / Algorithm 9. Cache hits are served even when ctx is
-// already done (they cost nothing); cache misses check ctx before and
-// during the build.
+// already done (they cost nothing); cache misses check ctx before the
+// build and deduplicate through a singleflight group: N concurrent
+// misses on one (method, topic) trigger exactly one summarization, and
+// all N callers receive its result. A waiter whose ctx expires while the
+// shared build runs returns ctx.Err() without aborting the build — the
+// surviving waiters (and the cache) still want it.
 func (e *Engine) Summarize(ctx context.Context, m Method, t topics.TopicID) (summary.Summary, error) {
 	if err := e.requireIndexes(); err != nil {
 		return summary.Summary{}, err
@@ -258,56 +269,115 @@ func (e *Engine) Summarize(ctx context.Context, m Method, t topics.TopicID) (sum
 	if !e.space.Valid(t) {
 		return summary.Summary{}, fmt.Errorf("%w: unknown topic %d", ErrInvalidArgument, t)
 	}
-	e.mu.Lock()
-	if s, ok := e.cache[m][t]; ok {
-		e.mu.Unlock()
+	key := cacheKey{m, t}
+	if s, ok := e.cache.get(key); ok {
 		return s, nil
 	}
-	ov := e.override[m]
-	e.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return summary.Summary{}, err
 	}
+	s, err, _ := e.flight.Do(ctx, key, func(ctx context.Context) (summary.Summary, error) {
+		// Re-check under the flight: a racing fill (or preload) may have
+		// landed between our miss and winning the flight slot.
+		if s, ok := e.cache.get(key); ok {
+			return s, nil
+		}
+		s, err := e.summarizeBackend(ctx, m, t)
+		if err != nil {
+			return summary.Summary{}, err
+		}
+		e.cache.put(key, s)
+		return s, nil
+	})
+	return s, err
+}
 
-	var (
-		s   summary.Summary
-		err error
-	)
+// summarizeBackend dispatches a cache-miss build to the override seam
+// or the built-in summarizer for m.
+func (e *Engine) summarizeBackend(ctx context.Context, m Method, t topics.TopicID) (summary.Summary, error) {
+	e.ovMu.RLock()
+	ov := e.override[m]
+	e.ovMu.RUnlock()
 	switch {
 	case ov != nil:
-		s, err = ov.Summarize(ctx, t)
+		return ov.Summarize(ctx, t)
 	case m == MethodLRW:
-		s, err = e.lrwSum.Summarize(ctx, t)
+		return e.lrwSum.Summarize(ctx, t)
 	default: // MethodRCL
 		// The RCL summarizer owns mutable BFS state; serialize it.
-		e.mu.Lock()
-		s, err = e.rclSum.Summarize(ctx, t)
-		e.mu.Unlock()
+		e.rclMu.Lock()
+		defer e.rclMu.Unlock()
+		return e.rclSum.Summarize(ctx, t)
 	}
-	if err != nil {
-		return summary.Summary{}, err
-	}
-	e.mu.Lock()
-	e.cache[m][t] = s
-	e.mu.Unlock()
-	return s, nil
 }
 
 // MaterializeAll pre-computes and caches summaries for every topic in the
 // space under the given method — the paper's full offline topic-to-
-// representative index build (reported in Figures 15–16). ctx is checked
-// per topic, so a shutdown signal aborts a long materialization between
-// topics (already-built summaries stay cached).
+// representative index build (reported in Figures 15–16). Topics fan out
+// across GOMAXPROCS workers; ctx is checked per topic, so a shutdown
+// signal aborts a long materialization (already-built summaries stay
+// cached). On failure the first error observed is returned.
 func (e *Engine) MaterializeAll(ctx context.Context, m Method) error {
-	for t := 0; t < e.space.NumTopics(); t++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if _, err := e.Summarize(ctx, m, topics.TopicID(t)); err != nil {
-			return err
-		}
+	all := make([]topics.TopicID, e.space.NumTopics())
+	for t := range all {
+		all[t] = topics.TopicID(t)
 	}
-	return nil
+	_, err := e.materializeMany(ctx, m, all, runtime.GOMAXPROCS(0))
+	return err
+}
+
+// materializeMany returns the summaries of the given topics under m,
+// building cache misses across up to `workers` goroutines. Concurrent
+// builds of one topic — within this call or across calls — collapse to
+// one summarization via the singleflight group. The result is indexed
+// like the input; on error the first failure observed is returned.
+func (e *Engine) materializeMany(ctx context.Context, m Method, ts []topics.TopicID, workers int) ([]summary.Summary, error) {
+	sums := make([]summary.Summary, len(ts))
+	if workers > len(ts) {
+		workers = len(ts)
+	}
+	if workers <= 1 {
+		for i, t := range ts {
+			s, err := e.Summarize(ctx, m, t)
+			if err != nil {
+				return nil, err
+			}
+			sums[i] = s
+		}
+		return sums, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		firstErr atomic.Value
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if err := ctx.Err(); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(ts) {
+					return
+				}
+				s, err := e.Summarize(ctx, m, ts[i])
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				sums[i] = s
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, err
+	}
+	return sums, nil
 }
 
 // InvalidateTopic drops the cached summaries of t for every method, so the
@@ -317,26 +387,20 @@ func (e *Engine) MaterializeAll(ctx context.Context, m Method) error {
 // affected topics instead of rebuilding the whole topic-to-representative
 // index.
 func (e *Engine) InvalidateTopic(t topics.TopicID) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for m := range e.cache {
-		delete(e.cache[m], t)
-	}
+	e.cache.deleteTopic(t, MethodLRW, MethodRCL)
 }
 
 // CachedSummaries returns how many topic summaries are currently
 // materialized for the method.
 func (e *Engine) CachedSummaries(m Method) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.cache[m])
+	return e.cache.countMethod(m)
 }
 
 // PreloadSummaries seeds the cache with externally materialized summaries
 // (e.g. loaded from internal/storage). Summaries for unknown topics or
-// failing validation are rejected.
+// failing validation are rejected; a failed preload installs nothing.
 func (e *Engine) PreloadSummaries(m Method, sums []summary.Summary) error {
-	if _, ok := e.cache[m]; !ok {
+	if !m.valid() {
 		return fmt.Errorf("%w: unknown method %v", ErrInvalidArgument, m)
 	}
 	for _, s := range sums {
@@ -347,11 +411,7 @@ func (e *Engine) PreloadSummaries(m Method, sums []summary.Summary) error {
 			return fmt.Errorf("core: topic %d: %w", s.Topic, err)
 		}
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, s := range sums {
-		e.cache[m][s.Topic] = s
-	}
+	e.cache.putAll(m, sums)
 	return nil
 }
 
@@ -454,27 +514,35 @@ func (e *Engine) SearchDiverse(ctx context.Context, m Method, query string, user
 // SearchMany answers the same keyword query for a batch of users
 // concurrently — the shape of the paper's personalized-service use cases
 // (ad targeting segments thousands of candidate customers with one
-// campaign query). Summaries are materialized once up front; searches
-// then fan out across workers (≤ 0: GOMAXPROCS). Results are indexed like
-// the input users; a query with no related topics yields nil entries.
-// Canceling ctx stops the materialization and every worker.
+// campaign query). The q-related summaries are materialized once, in
+// parallel, with misses deduplicated through the singleflight group;
+// searches then fan out across workers (≤ 0: GOMAXPROCS) running the
+// top-k directly against the shared summary slice, so the per-user loop
+// touches no cache or lock at all. Results are indexed like the input
+// users; a query with no related topics yields nil entries.
+//
+// Error semantics: canceling ctx stops the materialization and every
+// worker, and any failure (canceled context, invalid user, failed
+// summarization) surfaces as the *first* error observed — not an
+// aggregate. A batch mixing valid and invalid users therefore returns
+// (nil, err), never partial results.
 func (e *Engine) SearchMany(ctx context.Context, m Method, query string, users []graph.NodeID, k, workers int) ([][]TopicResult, error) {
 	if err := e.requireIndexes(); err != nil {
 		return nil, err
+	}
+	// Clamp workers before any early return so every exit path — and the
+	// parallel materialization below — sees a sane worker count.
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	related := e.space.Related(query)
 	out := make([][]TopicResult, len(users))
 	if len(related) == 0 || len(users) == 0 {
 		return out, nil
 	}
-	// Materialize once so workers only read the cache.
-	for _, t := range related {
-		if _, err := e.Summarize(ctx, m, t); err != nil {
-			return nil, err
-		}
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	sums, err := e.materializeMany(ctx, m, related, workers)
+	if err != nil {
+		return nil, err
 	}
 	if workers > len(users) {
 		workers = len(users)
@@ -497,12 +565,20 @@ func (e *Engine) SearchMany(ctx context.Context, m Method, query string, users [
 				if i >= len(users) {
 					return
 				}
-				res, err := e.Search(ctx, m, query, users[i], k)
+				if err := e.validateUser(users[i]); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				res, err := e.searcher.TopK(ctx, users[i], sums, k)
 				if err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
-				out[i] = res
+				row := make([]TopicResult, len(res))
+				for j, r := range res {
+					row[j] = TopicResult{Topic: e.space.Topic(r.Topic), Score: r.Score}
+				}
+				out[i] = row
 			}
 		}()
 	}
@@ -556,15 +632,13 @@ func (e *Engine) SearchMaterialized(ctx context.Context, m Method, query string,
 	}
 	sums := make([]summary.Summary, 0, len(related))
 	complete := true
-	e.mu.Lock()
 	for _, t := range related {
-		if s, ok := e.cache[m][t]; ok {
+		if s, ok := e.cache.get(cacheKey{m, t}); ok {
 			sums = append(sums, s)
 		} else {
 			complete = false
 		}
 	}
-	e.mu.Unlock()
 	if len(sums) == 0 {
 		return nil, complete, nil
 	}

@@ -17,9 +17,10 @@ import (
 )
 
 // TestConcurrentSummarizeSameTopic: N goroutines race to fill one cache
-// entry. Duplicate builds are acceptable (the cache is fill-on-miss, not
-// single-flight) but every caller must get a valid, identical summary and
-// the cache must end up with exactly one entry.
+// entry. The singleflight group collapses them to one build (asserted
+// precisely in TestSummarizeSingleFlight); here we only require that every
+// caller gets a valid, identical summary and the cache ends up with
+// exactly one entry.
 func TestConcurrentSummarizeSameTopic(t *testing.T) {
 	eng := builtEngine(t)
 	const workers = 16

@@ -1,0 +1,125 @@
+package core
+
+// The engine's summary cache, rebuilt for concurrency (PR 3): the
+// original design guarded one map with the engine-wide mutex, so every
+// Search — even a pure cache hit — serialized against every other
+// request. The read path of PIT-Search is read-mostly by construction
+// (summaries are the paper's *offline* artifact; online queries only
+// consult them), so the cache is sharded by key hash with a per-shard
+// RWMutex: concurrent readers of any keys never contend, and writers
+// (materialization, invalidation, preload) only contend within one
+// shard.
+
+import (
+	"sync"
+
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// numCacheShards is the shard count; a power of two so the hash folds
+// with a mask. 32 shards keep worst-case writer contention at 1/32 of
+// the old global lock while costing ~32 × a few words of memory.
+const numCacheShards = 32
+
+// cacheKey identifies one materialized summary: (method, topic).
+type cacheKey struct {
+	m Method
+	t topics.TopicID
+}
+
+// shardOf hashes the key to its shard. Topic IDs are dense small
+// integers, so a Fibonacci multiply spreads consecutive topics across
+// shards; the method folds in so LRW/RCL entries of one topic land on
+// different shards.
+func shardOf(k cacheKey) uint32 {
+	h := (uint32(k.t)*2 + uint32(k.m) + 1) * 2654435761
+	return (h >> 16) & (numCacheShards - 1)
+}
+
+// cacheShard is one lock + map pair, padded apart by the surrounding
+// array layout (maps are pointers; the mutex dominates the struct).
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[cacheKey]summary.Summary
+}
+
+// sumCache is the sharded (method, topic) → summary map. The zero
+// value is NOT ready; call init. All methods are safe for concurrent
+// use.
+type sumCache struct {
+	shards [numCacheShards]cacheShard
+}
+
+func (c *sumCache) init() {
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey]summary.Summary)
+	}
+}
+
+// get returns the cached summary for key, if present. Read-lock only:
+// concurrent hits never serialize.
+func (c *sumCache) get(k cacheKey) (summary.Summary, bool) {
+	sh := &c.shards[shardOf(k)]
+	sh.mu.RLock()
+	s, ok := sh.m[k]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+// put stores the summary for key, overwriting any previous entry.
+func (c *sumCache) put(k cacheKey, s summary.Summary) {
+	sh := &c.shards[shardOf(k)]
+	sh.mu.Lock()
+	sh.m[k] = s
+	sh.mu.Unlock()
+}
+
+// putAll stores a batch (the preload path). Entries are grouped per
+// shard so each shard's write lock is taken once.
+func (c *sumCache) putAll(m Method, sums []summary.Summary) {
+	var perShard [numCacheShards][]summary.Summary
+	for _, s := range sums {
+		i := shardOf(cacheKey{m, s.Topic})
+		perShard[i] = append(perShard[i], s)
+	}
+	for i := range perShard {
+		if len(perShard[i]) == 0 {
+			continue
+		}
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, s := range perShard[i] {
+			sh.m[cacheKey{m, s.Topic}] = s
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// deleteTopic drops the cached summaries of t for the given methods.
+func (c *sumCache) deleteTopic(t topics.TopicID, methods ...Method) {
+	for _, m := range methods {
+		k := cacheKey{m, t}
+		sh := &c.shards[shardOf(k)]
+		sh.mu.Lock()
+		delete(sh.m, k)
+		sh.mu.Unlock()
+	}
+}
+
+// countMethod returns how many summaries are cached under m — a stats
+// path; it walks every shard under read locks.
+func (c *sumCache) countMethod(m Method) int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for k := range sh.m {
+			if k.m == m {
+				n++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}

@@ -6,12 +6,21 @@
 // query user, pruning topics whose influence upper bound cannot reach the
 // current top-k and expanding potential-marked index nodes only when the
 // result set is still undecided.
+//
+// The searcher is built for high query rates: all per-query state
+// (topic states, consumed marks, the visited set, the expansion
+// frontier, ranking scratch) lives in a sync.Pool-recycled scratch
+// arena, so a warm search allocates only its result slice. Summary rep
+// slices arrive sorted by node ID — established once at summary build
+// (summary.New) and checked by Summary.Validate — so the intersection
+// with Γ rows needs no per-query sorting.
 package search
 
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/prob"
@@ -36,7 +45,7 @@ type Options struct {
 	// level, best-first by accumulated propagation — the paper's goal of
 	// "probing as few nodes as possible". The pruning bound maxEP is
 	// still computed over the full frontier, so pruning stays sound with
-	// respect to the truncated exploration. Default 64. Negative
+	// respect to the truncated exploration. Default 256. Negative
 	// disables the bound.
 	MaxFrontier int
 	// DisablePruning turns off the upper-bound pruning and expands the
@@ -55,10 +64,12 @@ func (o *Options) fill() {
 }
 
 // Searcher runs top-k PIT-Search queries against a fixed propagation
-// index. It is stateless and safe for concurrent use.
+// index. It is safe for concurrent use: the index is immutable and all
+// mutable per-query state lives in a pooled scratch arena.
 type Searcher struct {
 	prop *propidx.Index
 	opts Options
+	pool sync.Pool // *scratch
 }
 
 // New returns a Searcher over the propagation index.
@@ -70,13 +81,15 @@ func New(prop *propidx.Index, opts Options) (*Searcher, error) {
 	return &Searcher{prop: prop, opts: opts}, nil
 }
 
-// topicState tracks one q-related topic through the search.
+// topicState tracks one q-related topic through the search. reps aliases
+// the summary's rep slice (sorted by node ID at summary build); consumed
+// is a scratch-arena subslice parallel to it.
 type topicState struct {
 	id       topics.TopicID
-	reps     []summary.WeightedNode // sorted by node ID
-	consumed []bool                 // parallel to reps
-	score    float64                // heap[t]: influence accumulated so far
-	wr       float64                // W_r[t]: total weight of unconsumed reps
+	reps     []summary.WeightedNode
+	consumed []bool
+	score    float64 // heap[t]: influence accumulated so far
+	wr       float64 // W_r[t]: total weight of unconsumed reps
 	pruned   bool
 }
 
@@ -86,6 +99,61 @@ type topicState struct {
 type expandNode struct {
 	node graph.NodeID
 	acc  float64
+}
+
+// scratch is the reusable per-query state arena. Pool recycling keeps
+// the warm-path allocation count independent of graph and frontier
+// size; everything here is reset (cheaply) at the start of each query.
+type scratch struct {
+	states   []topicState
+	consumed []bool // flat backing for every state's consumed marks
+	// visited is an epoch-stamped set over index nodes: visited[u] ==
+	// epoch means u was seen this query. Bumping epoch resets the set in
+	// O(1) instead of clearing or reallocating a map.
+	visited  []uint32
+	epoch    uint32
+	frontier []expandNode
+	next     []expandNode
+	scores   []float64
+	order    []int
+}
+
+// getScratch fetches (or creates) a scratch arena sized for this query.
+func (s *Searcher) getScratch(numTopics, totalReps int) *scratch {
+	sc, _ := s.pool.Get().(*scratch)
+	if sc == nil {
+		sc = &scratch{}
+	}
+	if cap(sc.states) >= numTopics {
+		sc.states = sc.states[:numTopics]
+	} else {
+		sc.states = make([]topicState, numTopics)
+	}
+	if cap(sc.consumed) >= totalReps {
+		sc.consumed = sc.consumed[:totalReps]
+		clear(sc.consumed)
+	} else {
+		sc.consumed = make([]bool, totalReps)
+	}
+	if n := s.prop.NumNodes(); len(sc.visited) < n {
+		sc.visited = make([]uint32, n)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // uint32 wraparound: stale stamps could collide
+		clear(sc.visited)
+		sc.epoch = 1
+	}
+	return sc
+}
+
+// visit marks u as seen this query and reports whether it was new.
+func (sc *scratch) visit(u graph.NodeID) bool {
+	if sc.visited[u] == sc.epoch {
+		return false
+	}
+	sc.visited[u] = sc.epoch
+	return true
 }
 
 // TopK runs Algorithm 10 for the query user over the given summaries (one
@@ -113,17 +181,27 @@ func (s *Searcher) run(ctx context.Context, user graph.NodeID, summaries []summa
 		k = len(summaries)
 	}
 
-	states := make([]*topicState, len(summaries))
-	for i, sum := range summaries {
+	totalReps := 0
+	for i := range summaries {
+		totalReps += len(summaries[i].Reps)
+	}
+	sc := s.getScratch(len(summaries), totalReps)
+	defer s.pool.Put(sc)
+
+	states := sc.states
+	off := 0
+	for i := range summaries {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		states[i] = &topicState{
+		sum := &summaries[i]
+		states[i] = topicState{
 			id:       sum.Topic,
 			reps:     sum.Reps,
-			consumed: make([]bool, len(sum.Reps)),
+			consumed: sc.consumed[off : off+len(sum.Reps)],
 			wr:       sum.TotalWeight(),
 		}
+		off += len(sum.Reps)
 	}
 
 	// Round 1 (Algorithm 10 lines 4–13): consume every representative
@@ -132,21 +210,23 @@ func (s *Searcher) run(ctx context.Context, user graph.NodeID, summaries []summa
 	if tr != nil {
 		tr.GammaSize = len(srcs)
 	}
-	for _, st := range states {
+	for i := range states {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		s.consume(st, srcs, props, 1.0)
+		s.consume(&states[i], srcs, props, 1.0)
 	}
 
-	// Frontier Γ*(v) and maxEP (lines 14–16).
-	frontier := collectFrontier(srcs, props, potential, 1.0, nil)
+	// Frontier Γ*(v) and maxEP (lines 14–16). cur/spare ping-pong over
+	// the two pooled frontier arrays across expansion levels.
+	cur := collectFrontier(srcs, props, potential, 1.0, sc.frontier[:0])
+	spare := sc.next[:0]
 
 	// Prune (lines 17–20) and, while undecided topics remain outside the
 	// current top-k, expand (line 21–22, Algorithm 11).
-	visited := map[graph.NodeID]bool{user: true}
-	for _, f := range frontier {
-		visited[f.node] = true
+	sc.visit(user)
+	for _, f := range cur { //pitlint:ignore ctxloop bounded visited-bit marking pass with no nested work; ctx is checked immediately before (round 1) and after (top of the expansion loop)
+		sc.visit(f.node)
 	}
 	var prunedAt []int
 	if tr != nil {
@@ -157,44 +237,47 @@ func (s *Searcher) run(ctx context.Context, user graph.NodeID, summaries []summa
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		maxEP := maxAcc(frontier)
-		kth := kthScore(states, k)
+		maxEP := maxAcc(cur)
+		kth := kthScore(sc, states, k)
 		var before []bool
 		if tr != nil {
 			before = make([]bool, len(states))
-			for i, st := range states {
-				before[i] = st.pruned
+			for i := range states {
+				before[i] = states[i].pruned
 			}
 		}
-		undecided := s.pruneAndCount(states, k, kth, maxEP)
+		undecided := s.pruneAndCount(sc, states, k, kth, maxEP)
 		if tr != nil {
-			for i, st := range states {
-				if st.pruned && !before[i] {
+			for i := range states {
+				if states[i].pruned && !before[i] {
 					prunedAt[i] = depth
 				}
 			}
 		}
-		if undecided == 0 || len(frontier) == 0 || depth >= s.opts.MaxExpandDepth {
+		if undecided == 0 || len(cur) == 0 || depth >= s.opts.MaxExpandDepth {
 			break
 		}
-		frontier = s.truncateFrontier(frontier)
+		cur = s.truncateFrontier(cur)
 		if tr != nil {
-			tr.FrontierSizes = append(tr.FrontierSizes, len(frontier))
+			tr.FrontierSizes = append(tr.FrontierSizes, len(cur))
 		}
-		next, err := s.expandOnce(ctx, states, frontier, visited)
+		next, err := s.expandOnce(ctx, sc, states, cur, spare[:0])
 		if err != nil {
 			return nil, err
 		}
-		frontier = next
+		cur, spare = next, cur
 		depth++
 	}
+	// Hand the (possibly grown) frontier arrays back to the arena.
+	sc.frontier, sc.next = cur[:0], spare[:0]
 
 	results := rank(states, k)
 	if tr != nil {
 		tr.Depth = depth
 		tr.Results = results
 		tr.Topics = make([]TopicTrace, len(states))
-		for i, st := range states {
+		for i := range states {
+			st := &states[i]
 			consumed := 0
 			for _, c := range st.consumed {
 				if c {
@@ -218,9 +301,10 @@ func (s *Searcher) run(ctx context.Context, user graph.NodeID, summaries []summa
 // consume intersects the topic's remaining representative set with a Γ
 // row (vInner ← S_i ∩ Γ), adding acc·prop(u)·weight(u) for every
 // unconsumed representative found and removing it from the remaining set
-// (S_i ← S_i \ vInner). Both sides are sorted; when the rep set is much
-// smaller than the Γ row — the whole point of social summarization — a
-// per-rep binary search beats the linear merge.
+// (S_i ← S_i \ vInner). Both sides are sorted — reps once at summary
+// build, Γ rows at index build — so when the rep set is much smaller
+// than the Γ row (the whole point of social summarization) a per-rep
+// binary search beats the linear merge.
 func (s *Searcher) consume(st *topicState, srcs []graph.NodeID, props []float64, acc float64) {
 	if st.pruned {
 		return
@@ -296,14 +380,19 @@ func (s *Searcher) truncateFrontier(frontier []expandNode) []expandNode {
 	if s.opts.MaxFrontier < 0 || len(frontier) <= s.opts.MaxFrontier {
 		return frontier
 	}
-	sort.Slice(frontier, func(a, b int) bool {
-		if frontier[a].acc > frontier[b].acc {
-			return true
+	slices.SortFunc(frontier, func(a, b expandNode) int {
+		switch {
+		case a.acc > b.acc:
+			return -1
+		case a.acc < b.acc:
+			return 1
+		case a.node < b.node:
+			return -1
+		case a.node > b.node:
+			return 1
+		default:
+			return 0
 		}
-		if frontier[a].acc < frontier[b].acc {
-			return false
-		}
-		return frontier[a].node < frontier[b].node
 	})
 	return frontier[:s.opts.MaxFrontier]
 }
@@ -321,14 +410,15 @@ func maxAcc(frontier []expandNode) float64 {
 // kthScore returns the current k-th best accumulated score min(T^k)
 // across all topics (pruned topics keep their final scores and still
 // occupy ranks — pruning only asserts they cannot *rise*).
-func kthScore(states []*topicState, k int) float64 {
-	scores := make([]float64, len(states))
-	for i, st := range states {
-		scores[i] = st.score
+func kthScore(sc *scratch, states []topicState, k int) float64 {
+	scores := sc.scores[:0]
+	for i := range states {
+		scores = append(scores, states[i].score)
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
-	if k-1 < len(scores) {
-		return scores[k-1]
+	sc.scores = scores
+	slices.Sort(scores) // ascending: the k-th best sits at len-k
+	if k <= len(scores) {
+		return scores[len(scores)-k]
 	}
 	return 0
 }
@@ -339,17 +429,18 @@ func kthScore(states []*topicState, k int) float64 {
 // disabled (exhaustive mode) every topic with remaining representative
 // mass counts as undecided, so expansion proceeds until the frontier or
 // the rep sets are exhausted.
-func (s *Searcher) pruneAndCount(states []*topicState, k int, kth, maxEP float64) int {
+func (s *Searcher) pruneAndCount(sc *scratch, states []topicState, k int, kth, maxEP float64) int {
 	if s.opts.DisablePruning {
 		undecided := 0
-		for _, st := range states {
-			if !prob.ApproxEq(st.wr, 0, 1e-15) {
+		for i := range states {
+			if !prob.ApproxEq(states[i].wr, 0, 1e-15) {
 				undecided++
 			}
 		}
 		return undecided
 	}
-	for _, st := range states {
+	for i := range states {
+		st := &states[i]
 		if st.pruned {
 			continue
 		}
@@ -361,19 +452,25 @@ func (s *Searcher) pruneAndCount(states []*topicState, k int, kth, maxEP float64
 	}
 	// T^k is the current top-k by (score, topic ID) — the same order the
 	// final ranking uses; survivors at positions ≥ k are undecided.
-	order := make([]int, len(states))
-	for i := range order {
-		order[i] = i
+	order := sc.order[:0]
+	for i := range states {
+		order = append(order, i)
 	}
-	sort.Slice(order, func(a, b int) bool {
-		sa, sb := states[order[a]], states[order[b]]
-		if sa.score > sb.score {
-			return true
+	sc.order = order
+	slices.SortFunc(order, func(a, b int) int {
+		sa, sb := &states[a], &states[b]
+		switch {
+		case sa.score > sb.score:
+			return -1
+		case sa.score < sb.score:
+			return 1
+		case sa.id < sb.id:
+			return -1
+		case sa.id > sb.id:
+			return 1
+		default:
+			return 0
 		}
-		if sa.score < sb.score {
-			return false
-		}
-		return sa.id < sb.id
 	})
 	undecided := 0
 	for pos := k; pos < len(order); pos++ {
@@ -387,10 +484,9 @@ func (s *Searcher) pruneAndCount(states []*topicState, k int, kth, maxEP float64
 // expandOnce is one level of Algorithm 11: every frontier node u
 // contributes its Γ(u) row to all surviving topics, scaled by the
 // accumulated propagation from u to the query user, and the next frontier
-// is assembled from u's own potential marks. ctx is checked every 64
-// frontier nodes so a canceled search stops probing Γ promptly.
-func (s *Searcher) expandOnce(ctx context.Context, states []*topicState, frontier []expandNode, visited map[graph.NodeID]bool) ([]expandNode, error) {
-	var next []expandNode
+// is assembled (into dst) from u's own potential marks. ctx is checked
+// every 64 frontier nodes so a canceled search stops probing Γ promptly.
+func (s *Searcher) expandOnce(ctx context.Context, sc *scratch, states []topicState, frontier []expandNode, dst []expandNode) ([]expandNode, error) {
 	for fi, f := range frontier {
 		if fi%64 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -398,33 +494,38 @@ func (s *Searcher) expandOnce(ctx context.Context, states []*topicState, frontie
 			}
 		}
 		srcs, props, potential := s.prop.Gamma(f.node)
-		for _, st := range states {
-			s.consume(st, srcs, props, f.acc)
+		for i := range states {
+			s.consume(&states[i], srcs, props, f.acc)
 		}
 		for i, p := range potential {
-			if p && !visited[srcs[i]] {
-				visited[srcs[i]] = true
-				next = append(next, expandNode{node: srcs[i], acc: f.acc * props[i]})
+			if p && sc.visit(srcs[i]) {
+				dst = append(dst, expandNode{node: srcs[i], acc: f.acc * props[i]})
 			}
 		}
 	}
-	return next, nil
+	return dst, nil
 }
 
-// rank returns the k best topics by score, ties broken by topic ID.
-func rank(states []*topicState, k int) []Result {
+// rank returns the k best topics by score, ties broken by topic ID. The
+// returned slice is freshly allocated — it outlives the scratch arena.
+func rank(states []topicState, k int) []Result {
 	out := make([]Result, len(states))
-	for i, st := range states {
-		out[i] = Result{Topic: st.id, Score: st.score}
+	for i := range states {
+		out[i] = Result{Topic: states[i].id, Score: states[i].score}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score > out[b].Score {
-			return true
+	slices.SortFunc(out, func(a, b Result) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		case a.Topic < b.Topic:
+			return -1
+		case a.Topic > b.Topic:
+			return 1
+		default:
+			return 0
 		}
-		if out[a].Score < out[b].Score {
-			return false
-		}
-		return out[a].Topic < out[b].Topic
 	})
 	if k < len(out) {
 		out = out[:k]

@@ -1,0 +1,99 @@
+// Package singleflight deduplicates concurrent function calls by key:
+// when N goroutines ask for the same key at once, exactly one executes
+// the function and all N receive its result. The engine uses it for
+// summary materialization, where the paper's offline summarization
+// (§3–4) is the expensive step a thundering herd of cache misses must
+// not repeat.
+//
+// Unlike golang.org/x/sync/singleflight (not vendored here — the repo
+// builds offline), this implementation is context-aware on the waiter
+// side only: the shared call runs on a context *detached* from every
+// waiter's cancellation, so one canceled request cannot abort a build
+// that other requests — or the cache — still want. A waiter whose own
+// ctx ends before the shared call completes unblocks immediately with
+// ctx.Err(); the call keeps running and its result still reaches the
+// remaining waiters.
+package singleflight
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// call is one in-flight (or completed) execution.
+type call[V any] struct {
+	done chan struct{} // closed when val/err are set
+	val  V
+	err  error
+}
+
+// Group deduplicates concurrent Do calls by key. The zero value is
+// ready to use. A Group must not be copied after first use.
+type Group[K comparable, V any] struct {
+	mu     sync.Mutex
+	flight map[K]*call[V]
+}
+
+// Do executes fn for key, deduplicating concurrent callers: while a
+// call for key is in flight, later Do calls wait for it instead of
+// launching their own. shared reports whether the returned value came
+// from a call this goroutine did not itself start.
+//
+// fn runs in its own goroutine on context.WithoutCancel(ctx) — values
+// (trace IDs etc.) flow through, cancellation does not, so a waiter
+// hanging up never kills work other waiters depend on. fn must honor
+// its context's values only; it will never observe a deadline. When the
+// caller's ctx ends before fn completes, Do returns ctx.Err() for that
+// caller while fn keeps running to completion for the others.
+//
+// Results are not cached: once fn returns and every waiter is released,
+// the key is forgotten. Pair Do with an external cache checked first
+// (and re-checked inside fn) for read-through behavior.
+func (g *Group[K, V]) Do(ctx context.Context, key K, fn func(context.Context) (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if g.flight == nil {
+		g.flight = make(map[K]*call[V])
+	}
+	if c, ok := g.flight[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return v, ctx.Err(), true
+		}
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.flight[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				c.err = fmt.Errorf("singleflight: call panicked: %v", p)
+			}
+			g.mu.Lock()
+			delete(g.flight, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.val, c.err = fn(context.WithoutCancel(ctx))
+	}()
+
+	select {
+	case <-c.done:
+		return c.val, c.err, false
+	case <-ctx.Done():
+		return v, ctx.Err(), false
+	}
+}
+
+// InFlight reports whether a call for key is currently executing —
+// a test/metrics helper, inherently racy as a synchronization primitive.
+func (g *Group[K, V]) InFlight(key K) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.flight[key]
+	return ok
+}

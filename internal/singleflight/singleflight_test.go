@@ -1,0 +1,219 @@
+package singleflight
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDoDeduplicates: N concurrent callers on one key run fn exactly
+// once, and everyone sees the same value.
+func TestDoDeduplicates(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int32
+	gate := make(chan struct{})
+
+	const workers = 16
+	var wg sync.WaitGroup
+	vals := make([]int, workers)
+	errs := make([]error, workers)
+	started := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			started <- struct{}{}
+			vals[w], errs[w], _ = g.Do(context.Background(), "k", func(context.Context) (int, error) {
+				<-gate // hold the flight open until all workers joined
+				return int(calls.Add(1)), nil
+			})
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-started
+	}
+	// Every worker has signaled; give the scheduler a moment so they all
+	// block inside Do (between the signal and Do there is straight-line
+	// code only) while the first holds the flight open at the gate. Then
+	// releasing the gate lets the one shared call finish.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if vals[w] != 1 {
+			t.Errorf("worker %d got %d, want 1", w, vals[w])
+		}
+	}
+}
+
+// TestWaiterCancellationDoesNotAbortCall: a waiter whose ctx is
+// canceled unblocks with ctx.Err() while the shared call keeps running
+// and delivers its result to the patient waiter.
+func TestWaiterCancellationDoesNotAbortCall(t *testing.T) {
+	var g Group[string, string]
+	release := make(chan struct{})
+	inFn := make(chan struct{})
+	var fnCtxErr error
+	var mu sync.Mutex
+
+	// Patient caller starts the flight.
+	type res struct {
+		v   string
+		err error
+	}
+	patient := make(chan res, 1)
+	go func() {
+		v, err, _ := g.Do(context.Background(), "k", func(ctx context.Context) (string, error) {
+			close(inFn)
+			<-release
+			mu.Lock()
+			fnCtxErr = ctx.Err()
+			mu.Unlock()
+			return "built", nil
+		})
+		patient <- res{v, err}
+	}()
+	<-inFn
+
+	// Impatient waiter joins, then its context is canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, err, shared := g.Do(ctx, "k", func(context.Context) (string, error) {
+		t.Error("second fn must not run")
+		return "", nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("impatient waiter got %v, want context.Canceled", err)
+	}
+	if !shared {
+		t.Error("impatient waiter should report shared")
+	}
+
+	// The build was not aborted by the waiter's cancellation.
+	close(release)
+	r := <-patient
+	if r.err != nil || r.v != "built" {
+		t.Fatalf("patient waiter got (%q, %v), want (built, nil)", r.v, r.err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fnCtxErr != nil {
+		t.Errorf("fn observed ctx error %v; its context must be detached from waiters", fnCtxErr)
+	}
+}
+
+// TestCallerCancellationDetached: even the *initiating* caller's
+// cancellation does not cancel fn's context.
+func TestCallerCancellationDetached(t *testing.T) {
+	var g Group[string, int]
+	ctx, cancel := context.WithCancel(context.Background())
+	inFn := make(chan struct{})
+	release := make(chan struct{})
+	fnErr := make(chan error, 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(ctx, "k", func(fctx context.Context) (int, error) {
+			close(inFn)
+			<-release // outlive the initiator's cancellation
+			fnErr <- fctx.Err()
+			return 42, nil
+		})
+		done <- err
+	}()
+	<-inFn
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled initiator got %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := <-fnErr; err != nil {
+		t.Errorf("fn observed ctx error %v after initiator canceled; must be detached", err)
+	}
+	// The flight eventually drains (fn finished without a ctx error and
+	// the key is forgotten).
+	deadline := time.After(2 * time.Second)
+	for g.InFlight("k") {
+		select {
+		case <-deadline:
+			t.Fatal("flight never drained")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestErrorsPropagateAndAreNotCached: an error reaches every concurrent
+// waiter, but the next Do after completion retries fresh.
+func TestErrorsPropagateAndAreNotCached(t *testing.T) {
+	var g Group[int, int]
+	boom := errors.New("boom")
+	attempt := 0
+	_, err, _ := g.Do(context.Background(), 7, func(context.Context) (int, error) {
+		attempt++
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	v, err, _ := g.Do(context.Background(), 7, func(context.Context) (int, error) {
+		attempt++
+		return attempt, nil
+	})
+	if err != nil || v != 2 {
+		t.Fatalf("retry got (%d, %v), want (2, nil)", v, err)
+	}
+}
+
+// TestDistinctKeysRunIndependently: different keys never share a call.
+func TestDistinctKeysRunIndependently(t *testing.T) {
+	var g Group[int, int]
+	var wg sync.WaitGroup
+	var calls atomic.Int32
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			v, err, _ := g.Do(context.Background(), k, func(context.Context) (int, error) {
+				calls.Add(1)
+				return k * 10, nil
+			})
+			if err != nil || v != k*10 {
+				t.Errorf("key %d got (%d, %v)", k, v, err)
+			}
+		}(k)
+	}
+	wg.Wait()
+	if calls.Load() != 8 {
+		t.Errorf("ran %d calls, want 8", calls.Load())
+	}
+}
+
+// TestPanicBecomesError: a panicking fn is converted into an error for
+// every waiter instead of crashing the process or wedging the flight.
+func TestPanicBecomesError(t *testing.T) {
+	var g Group[string, int]
+	_, err, _ := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+		panic("kaboom")
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("got %v, want panic error mentioning kaboom", err)
+	}
+	// The key is usable again.
+	v, err, _ := g.Do(context.Background(), "k", func(context.Context) (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("post-panic Do got (%d, %v)", v, err)
+	}
+}
