@@ -151,6 +151,9 @@ func (a *app) run() error {
 	// outlived the grace period.
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
+	// Engine shutdown stops detached summary builds (waiters can't cancel
+	// them by design); deferred so error-path returns also clean up.
+	defer a.eng.Close()
 
 	httpSrv := &http.Server{
 		Addr:              a.opts.addr,
@@ -194,7 +197,8 @@ func (a *app) run() error {
 	shutCtx, cancel := context.WithTimeout(context.Background(), a.opts.shutdownGrace)
 	defer cancel()
 	err := httpSrv.Shutdown(shutCtx)
-	cancelBase() // grace is over: stop engine work for any straggler
+	cancelBase()  // grace is over: stop engine work for any straggler
+	a.eng.Close() // and stop detached builds no request context reaches
 	if err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}

@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -209,6 +210,170 @@ func TestCacheChurnRace(t *testing.T) {
 		}(u)
 	}
 	wg.Wait()
+}
+
+// TestFirstErrorMixedTypes: many goroutines racing to record errors of
+// different concrete types must not panic and must keep exactly one.
+// The original implementation used atomic.Value.CompareAndSwap, which
+// panics ("compare and swap of inconsistently typed value") when the
+// second store's concrete type differs from the first — e.g. one worker
+// failing with a *fmt.wrapError while another records context.Canceled.
+func TestFirstErrorMixedTypes(t *testing.T) {
+	var f firstError
+	base := errors.New("base failure")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				f.set(base) // *errors.errorString
+			} else {
+				f.set(fmt.Errorf("worker %d: %w", i, base)) // *fmt.wrapError
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := f.get(); !errors.Is(err, base) {
+		t.Fatalf("recorded error %v does not wrap the base failure", err)
+	}
+}
+
+// mixedErrSummarizer fails every topic, deliberately alternating two
+// distinct concrete error types, and holds every call at a barrier
+// until `need` of them are in flight — so the workers' error stores
+// race against each other with inconsistent types.
+type mixedErrSummarizer struct {
+	need    int32
+	arrived atomic.Int32
+	release chan struct{}
+	once    sync.Once
+	errEven error
+	errOdd  error
+}
+
+func (s *mixedErrSummarizer) Summarize(_ context.Context, t topics.TopicID) (summary.Summary, error) {
+	if s.arrived.Add(1) >= s.need {
+		s.once.Do(func() { close(s.release) })
+	}
+	<-s.release
+	if t%2 == 0 {
+		return summary.Summary{}, s.errEven
+	}
+	return summary.Summary{}, fmt.Errorf("topic %d: %w", t, s.errOdd)
+}
+
+// TestMaterializeManyMixedErrorTypes: two workers failing at the same
+// instant with different concrete error types must surface one of them
+// as an ordinary first error — not crash the process (the bug this
+// pins: atomic.Value.CompareAndSwap panicking on inconsistently typed
+// stores in materializeMany's error collection).
+func TestMaterializeManyMixedErrorTypes(t *testing.T) {
+	eng := builtEngine(t)
+	errEven := errors.New("even topic failed")
+	errOdd := errors.New("odd topic failed")
+	for round := 0; round < 25; round++ {
+		ms := &mixedErrSummarizer{need: 2, release: make(chan struct{}), errEven: errEven, errOdd: errOdd}
+		eng.SetSummarizer(MethodLRW, ms)
+		_, err := eng.materializeMany(context.Background(), MethodLRW, []topics.TopicID{0, 1}, 2)
+		if err == nil {
+			t.Fatal("materializeMany with a failing summarizer returned nil error")
+		}
+		if !errors.Is(err, errEven) && !errors.Is(err, errOdd) {
+			t.Fatalf("round %d: error %v is neither worker's failure", round, err)
+		}
+	}
+}
+
+// TestInvalidateDuringBuildIsNotCached: an InvalidateTopic landing
+// while a summary build is in flight wins — the build's result still
+// reaches its waiters, but it must NOT land in the cache (it summarizes
+// pre-invalidation data), and the next Summarize rebuilds.
+func TestInvalidateDuringBuildIsNotCached(t *testing.T) {
+	eng := builtEngine(t)
+	cs := &countingSummarizer{gate: make(chan struct{})}
+	eng.SetSummarizer(MethodLRW, cs)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Summarize(context.Background(), MethodLRW, 0)
+		done <- err
+	}()
+	// Wait until the build is past its in-flight cache re-check (the
+	// summarizer increments before blocking on the gate).
+	for cs.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	eng.InvalidateTopic(0)
+	close(cs.gate)
+	if err := <-done; err != nil {
+		t.Fatalf("build interrupted by invalidation should still serve its waiters: %v", err)
+	}
+	if _, ok := eng.CachedSummary(MethodLRW, 0); ok {
+		t.Fatal("summary built before InvalidateTopic landed stayed cached")
+	}
+	if _, err := eng.Summarize(context.Background(), MethodLRW, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.calls.Load(); got != 2 {
+		t.Fatalf("summarizer ran %d times, want 2 — post-invalidation Summarize must rebuild", got)
+	}
+	if _, ok := eng.CachedSummary(MethodLRW, 0); !ok {
+		t.Fatal("post-invalidation rebuild was not cached")
+	}
+}
+
+// blockingSummarizer parks until its context is canceled — the stand-in
+// for a long build only the engine lifecycle can stop.
+type blockingSummarizer struct {
+	entered chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingSummarizer) Summarize(ctx context.Context, _ topics.TopicID) (summary.Summary, error) {
+	b.once.Do(func() { close(b.entered) })
+	<-ctx.Done()
+	return summary.Summary{}, ctx.Err()
+}
+
+// TestCloseCancelsDetachedBuild: waiter cancellation deliberately never
+// aborts a shared build, so engine shutdown must — Close cancels the
+// lifecycle context the builds run on. Cache hits keep serving after
+// Close; new builds fail with context.Canceled.
+func TestCloseCancelsDetachedBuild(t *testing.T) {
+	eng := builtEngine(t)
+	// Materialize topic 1 with the real backend so the post-Close cache
+	// path has something to hit.
+	if _, err := eng.Summarize(context.Background(), MethodLRW, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	bs := &blockingSummarizer{entered: make(chan struct{})}
+	eng.SetSummarizer(MethodLRW, bs)
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Summarize(context.Background(), MethodLRW, 0)
+		done <- err
+	}()
+	<-bs.entered
+	eng.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("build after Close returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("detached build did not observe engine Close; builds must be bounded by the engine lifecycle")
+	}
+
+	// Already-materialized summaries still serve.
+	if _, err := eng.Summarize(context.Background(), MethodLRW, 1); err != nil {
+		t.Fatalf("cache hit after Close failed: %v", err)
+	}
+	// New builds are refused by the canceled lifecycle.
+	if _, err := eng.Summarize(context.Background(), MethodLRW, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cache miss after Close returned %v, want context.Canceled", err)
+	}
 }
 
 // TestSearchManyMixedErrors: a batch mixing valid and invalid users

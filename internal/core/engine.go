@@ -143,6 +143,12 @@ type Engine struct {
 	ovMu     sync.RWMutex
 	override map[Method]summary.Summarizer // guarded by ovMu
 
+	// life bounds the engine's detached background work (the shared
+	// singleflight builds, via flight.Base). Close cancels it: waiter
+	// cancellation never aborts a shared build, but engine shutdown must.
+	life     context.Context
+	stopLife context.CancelFunc
+
 	cache  sumCache // sharded; internally locked
 	flight singleflight.Group[cacheKey, summary.Summary]
 }
@@ -160,9 +166,20 @@ func New(g *graph.Graph, space *topics.Space, opts Options) (*Engine, error) {
 		opts:     opts,
 		override: map[Method]summary.Summarizer{},
 	}
+	e.life, e.stopLife = context.WithCancel(context.Background())
+	e.flight.Base = e.life
 	e.cache.init()
 	return e, nil
 }
+
+// Close shuts down the engine's background work: it cancels the
+// lifecycle context bounding the shared singleflight summary builds, so
+// detached builds that no waiter can cancel (by design — see Summarize)
+// stop instead of outliving the process's drain period. Close is
+// idempotent and does not invalidate the cache: already-materialized
+// summaries keep serving, but cache misses after Close fail with
+// context.Canceled. Call it after the serving layer has drained.
+func (e *Engine) Close() { e.stopLife() }
 
 // Graph returns the engine's social graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
@@ -250,6 +267,35 @@ func (e *Engine) requireIndexes() error {
 	return nil
 }
 
+// firstError records the first error a worker pool observes. A plain
+// mutex, not an atomic.Value: Value.CompareAndSwap panics when two
+// workers race to store errors of different concrete types (e.g. a
+// *fmt.wrapError from a failed summarization vs context.Canceled), and
+// mixed failure modes are exactly when this type is exercised.
+type firstError struct {
+	mu  sync.Mutex
+	err error
+}
+
+// set records err if no error has been recorded yet. nil is ignored.
+func (f *firstError) set(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+// get returns the recorded error, if any.
+func (f *firstError) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
 // Summarize returns (building and caching on first use) the topic-aware
 // social summarization of t under the given method — the offline stage of
 // Algorithm 5 / Algorithm 9. Cache hits are served even when ctx is
@@ -258,7 +304,9 @@ func (e *Engine) requireIndexes() error {
 // misses on one (method, topic) trigger exactly one summarization, and
 // all N callers receive its result. A waiter whose ctx expires while the
 // shared build runs returns ctx.Err() without aborting the build — the
-// surviving waiters (and the cache) still want it.
+// surviving waiters (and the cache) still want it. The one signal that
+// does cancel a running shared build is engine shutdown: Close cancels
+// the lifecycle context every build is derived from.
 func (e *Engine) Summarize(ctx context.Context, m Method, t topics.TopicID) (summary.Summary, error) {
 	if err := e.requireIndexes(); err != nil {
 		return summary.Summary{}, err
@@ -278,15 +326,20 @@ func (e *Engine) Summarize(ctx context.Context, m Method, t topics.TopicID) (sum
 	}
 	s, err, _ := e.flight.Do(ctx, key, func(ctx context.Context) (summary.Summary, error) {
 		// Re-check under the flight: a racing fill (or preload) may have
-		// landed between our miss and winning the flight slot.
-		if s, ok := e.cache.get(key); ok {
+		// landed between our miss and winning the flight slot. The read
+		// also captures the key's write generation, so an InvalidateTopic
+		// that lands while the build runs makes the store below a no-op —
+		// the waiters still get this result, but the cache won't serve a
+		// pre-invalidation summary afterwards.
+		s, ok, gen := e.cache.getWithGen(key)
+		if ok {
 			return s, nil
 		}
 		s, err := e.summarizeBackend(ctx, m, t)
 		if err != nil {
 			return summary.Summary{}, err
 		}
-		e.cache.put(key, s)
+		e.cache.putIfGen(key, s, gen)
 		return s, nil
 	})
 	return s, err
@@ -349,7 +402,7 @@ func (e *Engine) materializeMany(ctx context.Context, m Method, ts []topics.Topi
 	var (
 		wg       sync.WaitGroup
 		next     atomic.Int64
-		firstErr atomic.Value
+		firstErr firstError
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -357,7 +410,7 @@ func (e *Engine) materializeMany(ctx context.Context, m Method, ts []topics.Topi
 			defer wg.Done()
 			for {
 				if err := ctx.Err(); err != nil {
-					firstErr.CompareAndSwap(nil, err)
+					firstErr.set(err)
 					return
 				}
 				i := int(next.Add(1)) - 1
@@ -366,7 +419,7 @@ func (e *Engine) materializeMany(ctx context.Context, m Method, ts []topics.Topi
 				}
 				s, err := e.Summarize(ctx, m, ts[i])
 				if err != nil {
-					firstErr.CompareAndSwap(nil, err)
+					firstErr.set(err)
 					return
 				}
 				sums[i] = s
@@ -374,7 +427,7 @@ func (e *Engine) materializeMany(ctx context.Context, m Method, ts []topics.Topi
 		}()
 	}
 	wg.Wait()
-	if err, ok := firstErr.Load().(error); ok && err != nil {
+	if err := firstErr.get(); err != nil {
 		return nil, err
 	}
 	return sums, nil
@@ -550,7 +603,7 @@ func (e *Engine) SearchMany(ctx context.Context, m Method, query string, users [
 	var (
 		wg       sync.WaitGroup
 		next     atomic.Int64
-		firstErr atomic.Value
+		firstErr firstError
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -558,7 +611,7 @@ func (e *Engine) SearchMany(ctx context.Context, m Method, query string, users [
 			defer wg.Done()
 			for {
 				if ctx.Err() != nil {
-					firstErr.CompareAndSwap(nil, ctx.Err())
+					firstErr.set(ctx.Err())
 					return
 				}
 				i := int(next.Add(1)) - 1
@@ -566,12 +619,12 @@ func (e *Engine) SearchMany(ctx context.Context, m Method, query string, users [
 					return
 				}
 				if err := e.validateUser(users[i]); err != nil {
-					firstErr.CompareAndSwap(nil, err)
+					firstErr.set(err)
 					return
 				}
 				res, err := e.searcher.TopK(ctx, users[i], sums, k)
 				if err != nil {
-					firstErr.CompareAndSwap(nil, err)
+					firstErr.set(err)
 					return
 				}
 				row := make([]TopicResult, len(res))
@@ -583,7 +636,7 @@ func (e *Engine) SearchMany(ctx context.Context, m Method, query string, users [
 		}()
 	}
 	wg.Wait()
-	if err, ok := firstErr.Load().(error); ok && err != nil {
+	if err := firstErr.get(); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -42,6 +42,14 @@ func shardOf(k cacheKey) uint32 {
 type cacheShard struct {
 	mu sync.RWMutex
 	m  map[cacheKey]summary.Summary
+	// gen is a per-key write generation, bumped by every invalidation
+	// and preload. A summary build captures the generation when it
+	// starts (getWithGen) and stores through putIfGen, which no-ops if
+	// the generation moved meanwhile — so an InvalidateTopic landing
+	// while a build is in flight is never silently overwritten by the
+	// build's stale result. Keys never invalidated or preloaded have no
+	// entry (generation 0); the map is bounded by |methods| × |topics|.
+	gen map[cacheKey]uint64
 }
 
 // sumCache is the sharded (method, topic) → summary map. The zero
@@ -54,6 +62,7 @@ type sumCache struct {
 func (c *sumCache) init() {
 	for i := range c.shards {
 		c.shards[i].m = make(map[cacheKey]summary.Summary)
+		c.shards[i].gen = make(map[cacheKey]uint64)
 	}
 }
 
@@ -67,12 +76,31 @@ func (c *sumCache) get(k cacheKey) (summary.Summary, bool) {
 	return s, ok
 }
 
-// put stores the summary for key, overwriting any previous entry.
-func (c *sumCache) put(k cacheKey, s summary.Summary) {
+// getWithGen is get plus the key's current write generation, read under
+// one lock — the first half of the invalidation-safe build protocol
+// (see cacheShard.gen). Read the generation *before* building; pass it
+// back to putIfGen.
+func (c *sumCache) getWithGen(k cacheKey) (summary.Summary, bool, uint64) {
+	sh := &c.shards[shardOf(k)]
+	sh.mu.RLock()
+	s, ok := sh.m[k]
+	g := sh.gen[k]
+	sh.mu.RUnlock()
+	return s, ok, g
+}
+
+// putIfGen stores the summary for key unless the key's generation has
+// moved past gen — i.e. unless an InvalidateTopic or preload landed
+// after the caller read gen. It reports whether the store happened.
+func (c *sumCache) putIfGen(k cacheKey, s summary.Summary, gen uint64) bool {
 	sh := &c.shards[shardOf(k)]
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.gen[k] != gen {
+		return false
+	}
 	sh.m[k] = s
-	sh.mu.Unlock()
+	return true
 }
 
 // putAll stores a batch (the preload path). Entries are grouped per
@@ -90,7 +118,11 @@ func (c *sumCache) putAll(m Method, sums []summary.Summary) {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		for _, s := range perShard[i] {
-			sh.m[cacheKey{m, s.Topic}] = s
+			k := cacheKey{m, s.Topic}
+			sh.m[k] = s
+			// A preload is authoritative (externally materialized data):
+			// bump the generation so an in-flight build can't clobber it.
+			sh.gen[k]++
 		}
 		sh.mu.Unlock()
 	}
@@ -103,6 +135,7 @@ func (c *sumCache) deleteTopic(t topics.TopicID, methods ...Method) {
 		sh := &c.shards[shardOf(k)]
 		sh.mu.Lock()
 		delete(sh.m, k)
+		sh.gen[k]++ // invalidate any build that started before this point
 		sh.mu.Unlock()
 	}
 }

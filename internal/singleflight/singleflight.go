@@ -7,17 +7,21 @@
 //
 // Unlike golang.org/x/sync/singleflight (not vendored here — the repo
 // builds offline), this implementation is context-aware on the waiter
-// side only: the shared call runs on a context *detached* from every
-// waiter's cancellation, so one canceled request cannot abort a build
-// that other requests — or the cache — still want. A waiter whose own
-// ctx ends before the shared call completes unblocks immediately with
-// ctx.Err(); the call keeps running and its result still reaches the
-// remaining waiters.
+// side: the shared call runs on a context detached from every waiter's
+// cancellation, so one canceled request cannot abort a build that other
+// requests — or the cache — still want. A waiter whose own ctx ends
+// before the shared call completes unblocks immediately with ctx.Err();
+// the call keeps running and its result still reaches the remaining
+// waiters. The call is not immortal, though: a Group may carry a Base
+// lifecycle context, and canceling Base (owner shutdown) cancels every
+// in-flight call — the one cancellation signal that outranks the
+// waiters.
 package singleflight
 
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 )
 
@@ -31,6 +35,16 @@ type call[V any] struct {
 // Group deduplicates concurrent Do calls by key. The zero value is
 // ready to use. A Group must not be copied after first use.
 type Group[K comparable, V any] struct {
+	// Base, when non-nil, bounds the lifetime of every shared call:
+	// the call's context still carries the initiating waiter's values
+	// (trace IDs etc.) and still ignores the waiters' cancellation, but
+	// it is canceled when Base is canceled — the owner-shutdown escape
+	// hatch, without which a burst of distinct-key misses could pile up
+	// unstoppable detached work. Nil means calls are fully detached and
+	// run to completion no matter what. Set Base before the first Do
+	// and do not change it afterwards.
+	Base context.Context
+
 	mu     sync.Mutex
 	flight map[K]*call[V]
 }
@@ -40,12 +54,18 @@ type Group[K comparable, V any] struct {
 // launching their own. shared reports whether the returned value came
 // from a call this goroutine did not itself start.
 //
-// fn runs in its own goroutine on context.WithoutCancel(ctx) — values
-// (trace IDs etc.) flow through, cancellation does not, so a waiter
-// hanging up never kills work other waiters depend on. fn must honor
-// its context's values only; it will never observe a deadline. When the
-// caller's ctx ends before fn completes, Do returns ctx.Err() for that
-// caller while fn keeps running to completion for the others.
+// fn runs in its own goroutine on a context derived from ctx by
+// context.WithoutCancel — values (trace IDs etc.) flow through, the
+// waiters' cancellation does not, so a waiter hanging up never kills
+// work other waiters depend on. The only cancellation fn can observe
+// is the Group's Base lifecycle context (owner shutdown); with a nil
+// Base it never observes a deadline at all. When the caller's ctx ends
+// before fn completes, Do returns ctx.Err() for that caller while fn
+// keeps running to completion for the others.
+//
+// A panic inside fn is recovered and delivered to every waiter as an
+// error carrying the panic value and its stack trace, so the bug is
+// attributable from logs rather than masked as a transient failure.
 //
 // Results are not cached: once fn returns and every waiter is released,
 // the key is forgotten. Pair Do with an external cache checked first
@@ -71,14 +91,22 @@ func (g *Group[K, V]) Do(ctx context.Context, key K, fn func(context.Context) (V
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {
-				c.err = fmt.Errorf("singleflight: call panicked: %v", p)
+				c.err = fmt.Errorf("singleflight: call panicked: %v\n%s", p, debug.Stack())
 			}
 			g.mu.Lock()
 			delete(g.flight, key)
 			g.mu.Unlock()
 			close(c.done)
 		}()
-		c.val, c.err = fn(context.WithoutCancel(ctx))
+		fctx := context.WithoutCancel(ctx) // waiter values, no waiter cancellation
+		if g.Base != nil {
+			var cancel context.CancelFunc
+			fctx, cancel = context.WithCancel(fctx)
+			defer cancel()
+			stop := context.AfterFunc(g.Base, cancel)
+			defer stop()
+		}
+		c.val, c.err = fn(fctx)
 	}()
 
 	select {

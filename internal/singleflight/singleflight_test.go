@@ -201,8 +201,58 @@ func TestDistinctKeysRunIndependently(t *testing.T) {
 	}
 }
 
+// TestBaseCancellationCancelsCall: a Group with a Base lifecycle
+// context keeps ignoring waiter cancellation, but canceling Base (owner
+// shutdown) cancels the in-flight call's context.
+func TestBaseCancellationCancelsCall(t *testing.T) {
+	base, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	var g Group[string, int]
+	g.Base = base
+
+	inFn := make(chan struct{})
+	callErr := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(context.Background(), "k", func(ctx context.Context) (int, error) {
+			close(inFn)
+			<-ctx.Done()
+			return 0, ctx.Err()
+		})
+		callErr <- err
+	}()
+	<-inFn
+
+	// A waiter hanging up still must not cancel the call.
+	wctx, wcancel := context.WithCancel(context.Background())
+	wcancel()
+	if _, err, shared := g.Do(wctx, "k", func(context.Context) (int, error) {
+		t.Error("second fn must not run")
+		return 0, nil
+	}); !errors.Is(err, context.Canceled) || !shared {
+		t.Fatalf("canceled waiter got (err=%v, shared=%v), want (context.Canceled, true)", err, shared)
+	}
+	select {
+	case err := <-callErr:
+		t.Fatalf("call ended after a waiter hung up: %v — only Base may cancel it", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Base cancellation is the one signal that reaches the call.
+	cancelBase()
+	select {
+	case err := <-callErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("call after Base cancellation returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call never observed Base cancellation")
+	}
+}
+
 // TestPanicBecomesError: a panicking fn is converted into an error for
-// every waiter instead of crashing the process or wedging the flight.
+// every waiter instead of crashing the process or wedging the flight,
+// and the error carries the panic's stack trace so the bug stays
+// attributable from logs.
 func TestPanicBecomesError(t *testing.T) {
 	var g Group[string, int]
 	_, err, _ := g.Do(context.Background(), "k", func(context.Context) (int, error) {
@@ -210,6 +260,9 @@ func TestPanicBecomesError(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "kaboom") {
 		t.Fatalf("got %v, want panic error mentioning kaboom", err)
+	}
+	if !strings.Contains(err.Error(), "goroutine") || !strings.Contains(err.Error(), "singleflight") {
+		t.Fatalf("panic error lacks a stack trace: %v", err)
 	}
 	// The key is usable again.
 	v, err, _ := g.Do(context.Background(), "k", func(context.Context) (int, error) { return 5, nil })
