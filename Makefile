@@ -72,10 +72,14 @@ bench:
 # Benchmark smoke: run the data_2k figure benchmarks and the online-path
 # micro-benchmarks exactly once (-benchtime 1x), plus the pitperf smoke
 # config, to prove both harnesses still execute. No timing value — just
-# "does it run".
+# "does it run". The pitserve -smoke run then serves real HTTP on
+# ephemeral ports and fails unless /metrics exposes every instrumented
+# layer's metric families (the obs packages themselves are covered under
+# -race by `make race`, which runs ./...).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig05TimeCostData2k|BenchmarkFig10PrecisionData2k' -benchtime 1x .
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/search/ ./internal/core/
 	$(GO) run ./cmd/pitperf -smoke -out /tmp/pitperf-smoke.json
+	$(GO) run ./cmd/pitserve -smoke
 
 check: build fmt vet lint race bench-smoke vulncheck

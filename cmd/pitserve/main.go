@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	pitserve -preset data_2k -addr :8080
+//	pitserve -preset data_2k -addr :8080 -ops-addr 127.0.0.1:9090
 //	pitserve -graph g.tsv -topics t.tsv -materialize
 //
 // Then:
@@ -13,6 +13,13 @@
 //	curl 'localhost:8080/readyz'        # 503 until indexes are built
 //	curl 'localhost:8080/search?q=tag003&user=42&k=5'
 //	curl 'localhost:8080/stats'
+//	curl 'localhost:9090/metrics'       # Prometheus text exposition
+//	go tool pprof localhost:9090/debug/pprof/profile
+//
+// The operational surface (-ops-addr, disabled when empty) is a second
+// listener isolated from the API: metrics scrapes and pprof captures
+// keep answering while the API sheds load, and the API port never
+// exposes profiling handlers.
 //
 // The process listens immediately; /healthz answers at once while /readyz
 // flips to 200 only after index construction (and materialization, when
@@ -26,16 +33,20 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -46,6 +57,8 @@ type options struct {
 	graphIn        string
 	topicsIn       string
 	addr           string
+	opsAddr        string
+	smoke          bool
 	theta          float64
 	walkL, walkR   int
 	seed           int64
@@ -62,6 +75,7 @@ type app struct {
 	opts options
 	eng  *core.Engine
 	srv  *server.Server
+	reg  *obs.Registry
 }
 
 func main() {
@@ -71,6 +85,8 @@ func main() {
 	flag.StringVar(&o.graphIn, "graph", "", "graph TSV file (with -topics, replaces the preset)")
 	flag.StringVar(&o.topicsIn, "topics", "", "topic-space TSV file")
 	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.opsAddr, "ops-addr", "", "operational listener address for /metrics and /debug/pprof (empty disables)")
+	flag.BoolVar(&o.smoke, "smoke", false, "one-shot smoke run: serve on ephemeral ports, issue searches, verify /metrics, exit")
 	flag.Float64Var(&o.theta, "theta", 0.01, "propagation-index threshold θ")
 	flag.IntVar(&o.walkL, "L", 6, "random-walk length L")
 	flag.IntVar(&o.walkR, "R", 16, "random walks per node R")
@@ -82,6 +98,13 @@ func main() {
 	flag.DurationVar(&o.shutdownGrace, "shutdown-grace", 15*time.Second, "how long a SIGTERM drains in-flight requests before forcing exit")
 	flag.Parse()
 
+	if o.smoke {
+		if err := runSmoke(o); err != nil {
+			fmt.Fprintln(os.Stderr, "pitserve -smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	a, err := buildApp(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pitserve:", err)
@@ -101,7 +124,12 @@ func buildApp(o options) (*app, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := core.New(g, sp, core.Options{WalkL: o.walkL, WalkR: o.walkR, Theta: o.theta, Seed: o.seed})
+	// One registry spans every layer: engine (cache/singleflight/build
+	// durations), search (expansion depth) and HTTP (request counters).
+	// All families register at construction, so a scrape of an idle
+	// process already lists every metric name.
+	reg := obs.NewRegistry()
+	eng, err := core.New(g, sp, core.Options{WalkL: o.walkL, WalkR: o.walkR, Theta: o.theta, Seed: o.seed, Metrics: reg})
 	if err != nil {
 		return nil, err
 	}
@@ -109,11 +137,29 @@ func buildApp(o options) (*app, error) {
 		MaxK:           o.maxK,
 		RequestTimeout: o.requestTimeout,
 		MaxInflight:    o.maxInflight,
+		Registry:       reg,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &app{opts: o, eng: eng, srv: srv}, nil
+	return &app{opts: o, eng: eng, srv: srv, reg: reg}, nil
+}
+
+// opsHandler is the operational surface served on -ops-addr: the
+// Prometheus exposition plus the pprof handlers, kept off the API
+// listener so profiling is never reachable from the public port and
+// scrapes keep answering while the API sheds load.
+func (a *app) opsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", a.reg.Handler())
+	// Explicit registrations instead of net/http/pprof's init side effect
+	// on DefaultServeMux, which this process never serves.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // prepare builds the offline indexes (and optional materialization) and
@@ -165,6 +211,23 @@ func (a *app) run() error {
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
 
+	if a.opts.opsAddr != "" {
+		// No WriteTimeout: /debug/pprof/profile legitimately streams for
+		// its full -seconds window.
+		opsSrv := &http.Server{
+			Addr:              a.opts.opsAddr,
+			Handler:           a.opsHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		defer opsSrv.Close()
+		go func() {
+			log.Printf("ops listener on %s (/metrics, /debug/pprof)", a.opts.opsAddr)
+			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("ops listener: %v", err)
+			}
+		}()
+	}
+
 	prepErr := make(chan error, 1)
 	go func() { prepErr <- a.prepare(ctx) }()
 
@@ -206,5 +269,111 @@ func (a *app) run() error {
 		return err
 	}
 	log.Printf("pitserve exited cleanly")
+	return nil
+}
+
+// smokeMetrics are the families a live process must expose after serving
+// a couple of searches — one name per instrumented layer (HTTP
+// middleware, summary cache, singleflight, build durations, search
+// expansion). The smoke run fails if any is missing, so a refactor that
+// silently unwires a layer's metrics breaks CI instead of production
+// dashboards.
+var smokeMetrics = []string{
+	"pit_http_requests_total",
+	"pit_http_request_duration_seconds",
+	"pit_http_inflight_requests",
+	"pit_http_degraded_total",
+	"pit_summary_cache_hits_total",
+	"pit_summary_cache_misses_total",
+	"pit_summary_builds_total",
+	"pit_summary_build_dedup_waits_total",
+	"pit_summary_build_duration_seconds",
+	"pit_index_build_duration_seconds",
+	"pit_search_expand_depth",
+	"pit_search_frontier_truncations_total",
+}
+
+// runSmoke is the one-shot end-to-end check behind -smoke: build a small
+// engine, serve API and ops listeners on ephemeral ports, issue real
+// searches over HTTP, then scrape /metrics and verify every instrumented
+// layer shows up in the exposition.
+func runSmoke(o options) error {
+	o.scale = 0.1
+	o.walkL, o.walkR = 4, 8
+	a, err := buildApp(o)
+	if err != nil {
+		return err
+	}
+	defer a.eng.Close()
+	if err := a.prepare(context.Background()); err != nil {
+		return err
+	}
+
+	apiLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	opsLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	apiSrv := &http.Server{Handler: a.srv.Handler()}
+	opsSrv := &http.Server{Handler: a.opsHandler()}
+	defer apiSrv.Close()
+	defer opsSrv.Close()
+	go func() { _ = apiSrv.Serve(apiLn) }()
+	go func() { _ = opsSrv.Serve(opsLn) }()
+
+	api := "http://" + apiLn.Addr().String()
+	for _, path := range []string{
+		"/search?q=tag000&user=3&k=3",          // cold: misses + builds
+		"/search?q=tag000&user=3&k=3",          // warm: cache hits
+		"/search?q=tag000&user=3&k=3&lambda=1", // diversified path
+	} {
+		if err := smokeGet(api + path); err != nil {
+			return err
+		}
+	}
+
+	resp, err := http.Get("http://" + opsLn.Addr().String() + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return fmt.Errorf("/metrics Content-Type = %q, want text/plain", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var missing []string
+	for _, name := range smokeMetrics {
+		if !strings.Contains(string(body), name) {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("exposition missing metric families %v", missing)
+	}
+	log.Printf("smoke ok: %d metric families verified on %s", len(smokeMetrics), opsLn.Addr())
+	return nil
+}
+
+func smokeGet(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s = %d, want 200", url, resp.StatusCode)
+	}
 	return nil
 }

@@ -3,8 +3,10 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 )
@@ -148,6 +150,71 @@ func TestPrepareCanceledMidMaterialize(t *testing.T) {
 	}
 	if a.srv.Ready() {
 		t.Error("server marked ready despite aborted prepare")
+	}
+}
+
+// TestOpsHandlerServesMetricsAndPprof: the operational surface exposes
+// the Prometheus exposition (with families from every instrumented
+// layer) and the pprof handlers, and is a separate handler from the API
+// — the API mux must keep answering 404 for /metrics.
+func TestOpsHandlerServesMetricsAndPprof(t *testing.T) {
+	o := testOptions()
+	o.scale = 0.05
+	a, err := buildApp(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.prepare(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ops := httptest.NewServer(a.opsHandler())
+	defer ops.Close()
+
+	resp, err := http.Get(ops.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range smokeMetrics {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+
+	resp2, err := http.Get(ops.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", resp2.StatusCode)
+	}
+
+	api := httptest.NewServer(a.srv.Handler())
+	defer api.Close()
+	resp3, err := http.Get(api.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Errorf("API /metrics = %d, want 404 (ops surface must stay off the API listener)", resp3.StatusCode)
+	}
+}
+
+// TestRunSmoke: the -smoke one-shot passes end to end against a live
+// process on ephemeral ports.
+func TestRunSmoke(t *testing.T) {
+	o := testOptions()
+	if err := runSmoke(o); err != nil {
+		t.Fatal(err)
 	}
 }
 

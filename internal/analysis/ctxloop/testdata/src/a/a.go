@@ -98,3 +98,25 @@ func badFor(ctx context.Context, n int) {
 		sink(i)
 	}
 }
+
+// Exposition-shaped code gets no special pass: a ctx-taking scrape
+// handler sweeping metric families is a heavy loop like any other.
+type metricFamily struct{ name string }
+
+func renderFamily(f metricFamily) {}
+
+func badScrapeSweep(ctx context.Context, fams []metricFamily) {
+	for _, f := range fams { // want "no cancellation check"
+		renderFamily(f)
+	}
+}
+
+func goodScrapeSweep(ctx context.Context, fams []metricFamily) error {
+	for _, f := range fams {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		renderFamily(f)
+	}
+	return nil
+}

@@ -28,6 +28,23 @@ func badClock() *rand.Rand {
 	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from time\.Now`
 }
 
+// Probabilistic metrics sampling is the tempting new offender since the
+// observability layer landed: a coin flip per observation makes scrape
+// values irreproducible across runs. The sanctioned idiom is a
+// deterministic atomic tick (observe every Nth event), as in
+// internal/search's depth sampling.
+func badSampledObserve(observe func(float64), v float64) {
+	if rand.Intn(16) == 0 { // want `global math/rand\.Intn`
+		observe(v)
+	}
+}
+
+// Jittering a scrape/flush interval off the wall clock smuggles
+// time.Now seeding in through a metrics-sounding name.
+func badScrapeJitter() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from time\.Now`
+}
+
 // Explicit generators built from a configured seed are the sanctioned
 // idiom.
 func good(seed int64) int {

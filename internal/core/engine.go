@@ -31,9 +31,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/lrw"
+	"repro/internal/obs"
 	"repro/internal/propidx"
 	"repro/internal/randwalk"
 	"repro/internal/rcl"
@@ -96,6 +98,12 @@ type Options struct {
 	Search search.Options
 	// Seed drives walk sampling and RCL-A randomness.
 	Seed int64
+	// Metrics, when non-nil, is the observability registry the engine
+	// (and its searcher) register their instruments on: summary-cache
+	// hit/miss counters, singleflight build/dedup counters, build and
+	// index durations, search expansion depth. Nil disables
+	// instrumentation at zero cost.
+	Metrics *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -151,6 +159,11 @@ type Engine struct {
 
 	cache  sumCache // sharded; internally locked
 	flight singleflight.Group[cacheKey, summary.Summary]
+
+	// met holds the obs handles when Options.Metrics was set; nil
+	// disables instrumentation (use sites are nil-checked, and the
+	// checks are branch-predictable no-ops in the disabled case).
+	met *engineMetrics
 }
 
 // New returns an Engine over the graph and topic space. Indexes are not
@@ -169,6 +182,12 @@ func New(g *graph.Graph, space *topics.Space, opts Options) (*Engine, error) {
 	e.life, e.stopLife = context.WithCancel(context.Background())
 	e.flight.Base = e.life
 	e.cache.init()
+	if opts.Metrics != nil {
+		e.met = newEngineMetrics(opts.Metrics)
+		// The searcher is constructed in BuildIndexes from e.opts.Search;
+		// planting the handles here instruments it from its first query.
+		e.opts.Search.Metrics = search.NewMetrics(opts.Metrics)
+	}
 	return e, nil
 }
 
@@ -232,6 +251,7 @@ func (e *Engine) BuildIndexes(ctx context.Context) error {
 	if e.ready.Load() {
 		return nil
 	}
+	buildStart := time.Now()
 	walks, err := randwalk.Build(ctx, e.g, randwalk.Options{L: e.opts.WalkL, R: e.opts.WalkR, Seed: e.opts.Seed})
 	if err != nil {
 		return fmt.Errorf("core: walk index: %w", err)
@@ -254,6 +274,9 @@ func (e *Engine) BuildIndexes(ctx context.Context) error {
 	}
 	e.walks, e.prop = walks, prop
 	e.searcher, e.lrwSum, e.rclSum = searcher, lrwSum, rclSum
+	if e.met != nil {
+		e.met.indexDur.Observe(time.Since(buildStart).Seconds())
+	}
 	// The atomic store publishes every field written above: a reader
 	// that observes ready == true also observes the built indexes.
 	e.ready.Store(true)
@@ -319,12 +342,18 @@ func (e *Engine) Summarize(ctx context.Context, m Method, t topics.TopicID) (sum
 	}
 	key := cacheKey{m, t}
 	if s, ok := e.cache.get(key); ok {
+		if e.met != nil {
+			e.met.cacheHits[m].Inc()
+		}
 		return s, nil
+	}
+	if e.met != nil {
+		e.met.cacheMisses[m].Inc()
 	}
 	if err := ctx.Err(); err != nil {
 		return summary.Summary{}, err
 	}
-	s, err, _ := e.flight.Do(ctx, key, func(ctx context.Context) (summary.Summary, error) {
+	s, err, shared := e.flight.Do(ctx, key, func(ctx context.Context) (summary.Summary, error) {
 		// Re-check under the flight: a racing fill (or preload) may have
 		// landed between our miss and winning the flight slot. The read
 		// also captures the key's write generation, so an InvalidateTopic
@@ -335,13 +364,30 @@ func (e *Engine) Summarize(ctx context.Context, m Method, t topics.TopicID) (sum
 		if ok {
 			return s, nil
 		}
+		start := time.Now()
 		s, err := e.summarizeBackend(ctx, m, t)
 		if err != nil {
 			return summary.Summary{}, err
 		}
+		if e.met != nil {
+			e.met.observeBuild(start)
+		}
 		e.cache.putIfGen(key, s, gen)
 		return s, nil
 	})
+	if e.met != nil {
+		if shared {
+			e.met.dedupWaits[m].Inc()
+		} else {
+			e.met.builds[m].Inc()
+		}
+		// A miss racing Engine.Close fails with context.Canceled from the
+		// lifecycle context; distinguish it from a waiter hanging up so
+		// shutdown-vs-client cancellations are attributable in dashboards.
+		if err != nil && errors.Is(err, context.Canceled) && e.life.Err() != nil {
+			e.met.buildsCanceled.Inc()
+		}
+	}
 	return s, err
 }
 
@@ -701,6 +747,68 @@ func (e *Engine) SearchMaterialized(ctx context.Context, m Method, query string,
 	}
 	out := make([]TopicResult, len(res))
 	for i, r := range res {
+		out[i] = TopicResult{Topic: e.space.Topic(r.Topic), Score: r.Score}
+	}
+	return out, complete, nil
+}
+
+// SearchMaterializedDiverse is SearchDiverse restricted to already-
+// cached summaries — the degraded fallback for a diversified query
+// whose deadline expired. The serving layer must not silently drop the
+// requested MMR re-rank when it degrades: the diversification is a
+// cheap post-pass over summaries that are, by construction of this
+// path, all materialized. Candidates are over-fetched like
+// SearchDiverse (3k, clamped to leave the dynamic search something to
+// decide), then greedily re-ranked by representative overlap. The
+// boolean reports completeness exactly as SearchMaterialized does.
+// lambda ≤ 0 degenerates to SearchMaterialized.
+func (e *Engine) SearchMaterializedDiverse(ctx context.Context, m Method, query string, user graph.NodeID, k int, lambda float64) ([]TopicResult, bool, error) {
+	if lambda <= 0 {
+		return e.SearchMaterialized(ctx, m, query, user, k)
+	}
+	if err := e.requireIndexes(); err != nil {
+		return nil, false, err
+	}
+	if !m.valid() {
+		return nil, false, fmt.Errorf("%w: unknown method %v", ErrInvalidArgument, m)
+	}
+	if err := e.validateUser(user); err != nil {
+		return nil, false, err
+	}
+	related := e.space.Related(query)
+	if len(related) == 0 {
+		return nil, true, nil
+	}
+	sums := make([]summary.Summary, 0, len(related))
+	complete := true
+	for _, t := range related {
+		if s, ok := e.cache.get(cacheKey{m, t}); ok {
+			sums = append(sums, s)
+		} else {
+			complete = false
+		}
+	}
+	if len(sums) == 0 {
+		return nil, complete, nil
+	}
+	if k <= 0 || k > len(sums) {
+		k = len(sums)
+	}
+	// Same over-fetch policy as SearchDiverse, over the cached pool.
+	fetch := k * 3
+	if fetch >= len(sums) {
+		fetch = len(sums) - 1
+	}
+	if fetch < k {
+		fetch = k
+	}
+	res, err := e.searcher.TopK(ctx, user, sums, fetch)
+	if err != nil {
+		return nil, complete, err
+	}
+	diversified := search.Diversify(res, sums, lambda, k)
+	out := make([]TopicResult, len(diversified))
+	for i, r := range diversified {
 		out[i] = TopicResult{Topic: e.space.Topic(r.Topic), Score: r.Score}
 	}
 	return out, complete, nil

@@ -1,0 +1,80 @@
+package core
+
+// Engine instrumentation (dependency-free, internal/obs). The engine
+// exports exactly the signals PRs 1–3 were built to improve but could
+// not observe: summary-cache hit rate, singleflight dedup ratio,
+// build/index durations, and builds canceled by Engine.Close. Handles
+// are resolved once at construction — per-method counters live in
+// Method-indexed arrays — so the hot path pays one atomic add per
+// event and never allocates.
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metricLabel is the label value for a method ("lrw" / "rcl").
+func metricLabel(m Method) string {
+	if m == MethodRCL {
+		return "rcl"
+	}
+	return "lrw"
+}
+
+// engineMetrics holds the engine's obs handles; nil disables
+// instrumentation (every use site is nil-checked).
+type engineMetrics struct {
+	// cacheHits/cacheMisses count summary-cache lookups on the online
+	// path, indexed by Method.
+	cacheHits   [2]*obs.Counter
+	cacheMisses [2]*obs.Counter
+	// builds counts singleflight leader executions (this caller ran the
+	// summarization); dedupWaits counts callers deduplicated onto
+	// another caller's in-flight build. dedupWaits/(builds+dedupWaits)
+	// is the thundering-herd collapse ratio.
+	builds     [2]*obs.Counter
+	dedupWaits [2]*obs.Counter
+	// buildsCanceled counts builds that failed because Engine.Close
+	// canceled the lifecycle context (shutdown racing a cache miss).
+	buildsCanceled *obs.Counter
+	// buildDur observes successful summarization durations (the offline
+	// §3–4 work when it leaks onto the online path as a cache miss);
+	// indexDur observes BuildIndexes.
+	buildDur *obs.Histogram
+	indexDur *obs.Histogram
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	hits := reg.CounterVec("pit_summary_cache_hits_total",
+		"Summary-cache hits by summarization method.", "method")
+	misses := reg.CounterVec("pit_summary_cache_misses_total",
+		"Summary-cache misses by summarization method.", "method")
+	builds := reg.CounterVec("pit_summary_builds_total",
+		"Singleflight leader executions: summarizations actually run.", "method")
+	waits := reg.CounterVec("pit_summary_build_dedup_waits_total",
+		"Callers deduplicated onto another caller's in-flight summarization.", "method")
+	m := &engineMetrics{
+		buildsCanceled: reg.Counter("pit_summary_builds_canceled_total",
+			"Summary builds canceled by Engine.Close (shutdown racing a cache miss)."),
+		buildDur: reg.Histogram("pit_summary_build_duration_seconds",
+			"Duration of successful summarizations (cache-miss builds).",
+			obs.DurationBuckets),
+		indexDur: reg.Histogram("pit_index_build_duration_seconds",
+			"Duration of BuildIndexes (walk + propagation index construction).",
+			obs.DurationBuckets),
+	}
+	for _, method := range []Method{MethodLRW, MethodRCL} {
+		l := metricLabel(method)
+		m.cacheHits[method] = hits.With(l)
+		m.cacheMisses[method] = misses.With(l)
+		m.builds[method] = builds.With(l)
+		m.dedupWaits[method] = waits.With(l)
+	}
+	return m
+}
+
+// observeBuild records one successful summarization's duration.
+func (m *engineMetrics) observeBuild(start time.Time) {
+	m.buildDur.Observe(time.Since(start).Seconds())
+}

@@ -1,0 +1,62 @@
+package search
+
+// Search instrumentation. The warm query path is allocation-free except
+// for its result slice (BenchmarkTopKWarm: 1 alloc/op) and must stay
+// that way with metrics enabled, so the hooks are limited to atomic
+// operations on pre-registered obs handles: the frontier-truncation
+// counter is exact (one atomic add per query that truncated), and the
+// expansion-depth histogram — the same per-query depth Trace records —
+// is sampled 1-in-N so even its few atomic bucket updates stay off most
+// queries. Neither path allocates (obs observes are lock-free), which
+// TestSearchTopKInstrumentedAllocs pins.
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// defaultSampleEvery is the depth-histogram sampling interval: 1 in 16
+// queries record their expansion depth.
+const defaultSampleEvery = 16
+
+// Metrics holds the searcher's obs handles. Create with NewMetrics and
+// pass via Options.Metrics; nil disables instrumentation entirely.
+// Safe for concurrent use.
+type Metrics struct {
+	// depth observes the expansion depth (how many EXPAND levels ran,
+	// Algorithm 11) of 1-in-sampleEvery queries.
+	depth *obs.Histogram
+	// truncations counts frontier truncation events: expansion levels
+	// whose frontier exceeded MaxFrontier and was cut best-first. A high
+	// rate means the bound — not the pruning rule — is limiting
+	// exploration, i.e. answers may be cheaper but less exact.
+	truncations *obs.Counter
+	sampleEvery uint64
+	tick        atomic.Uint64
+}
+
+// NewMetrics registers the search metrics on reg and returns the
+// handles.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		depth: reg.Histogram("pit_search_expand_depth",
+			"Expansion depth (EXPAND levels run) of sampled top-k searches.",
+			obs.DepthBuckets),
+		truncations: reg.Counter("pit_search_frontier_truncations_total",
+			"Expansion levels whose frontier exceeded MaxFrontier and was truncated best-first."),
+		sampleEvery: defaultSampleEvery,
+	}
+}
+
+// record is called once per successful query with its final expansion
+// depth and how many levels were truncated. Atomic-only; never
+// allocates.
+func (m *Metrics) record(depth, truncated int) {
+	if truncated > 0 {
+		m.truncations.Add(uint64(truncated))
+	}
+	if m.tick.Add(1)%m.sampleEvery == 0 {
+		m.depth.Observe(float64(depth))
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package search
+
+// raceEnabled reports whether this test binary was built with -race.
+// Under the race detector sync.Pool deliberately drops items (to widen
+// the race window it checks for), so tests that assert on pooled-object
+// identity or allocation counts skip themselves.
+const raceEnabled = true

@@ -52,6 +52,10 @@ type Options struct {
 	// frontier exhaustively; used by tests to verify that pruning never
 	// changes the result set.
 	DisablePruning bool
+	// Metrics, when non-nil, receives per-query depth and truncation
+	// observations (see NewMetrics). The hooks are atomic-only and keep
+	// the warm path allocation-free.
+	Metrics *Metrics
 }
 
 func (o *Options) fill() {
@@ -147,6 +151,18 @@ func (s *Searcher) getScratch(numTopics, totalReps int) *scratch {
 	return sc
 }
 
+// dropRefs clears every topicState before the scratch returns to the
+// pool. The states alias summary rep slices (and consumed sub-slices
+// whose parent is the arena's flat backing); without this a pooled
+// scratch would pin the last query's summaries — including ones since
+// invalidated or replaced — against GC for as long as the arena idles
+// in the pool. Clearing is O(len(states)) stores and never allocates,
+// and every query clears the exact prefix it used, so no stale entry
+// survives in the tail either.
+func (sc *scratch) dropRefs() {
+	clear(sc.states)
+}
+
 // visit marks u as seen this query and reports whether it was new.
 func (sc *scratch) visit(u graph.NodeID) bool {
 	if sc.visited[u] == sc.epoch {
@@ -186,7 +202,10 @@ func (s *Searcher) run(ctx context.Context, user graph.NodeID, summaries []summa
 		totalReps += len(summaries[i].Reps)
 	}
 	sc := s.getScratch(len(summaries), totalReps)
-	defer s.pool.Put(sc)
+	defer func() {
+		sc.dropRefs()
+		s.pool.Put(sc)
+	}()
 
 	states := sc.states
 	off := 0
@@ -232,7 +251,7 @@ func (s *Searcher) run(ctx context.Context, user graph.NodeID, summaries []summa
 	if tr != nil {
 		prunedAt = make([]int, len(states))
 	}
-	depth := 0
+	depth, truncated := 0, 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -257,7 +276,11 @@ func (s *Searcher) run(ctx context.Context, user graph.NodeID, summaries []summa
 		if undecided == 0 || len(cur) == 0 || depth >= s.opts.MaxExpandDepth {
 			break
 		}
+		untruncated := len(cur)
 		cur = s.truncateFrontier(cur)
+		if len(cur) < untruncated {
+			truncated++
+		}
 		if tr != nil {
 			tr.FrontierSizes = append(tr.FrontierSizes, len(cur))
 		}
@@ -272,6 +295,9 @@ func (s *Searcher) run(ctx context.Context, user graph.NodeID, summaries []summa
 	sc.frontier, sc.next = cur[:0], spare[:0]
 
 	results := rank(states, k)
+	if m := s.opts.Metrics; m != nil {
+		m.record(depth, truncated)
+	}
 	if tr != nil {
 		tr.Depth = depth
 		tr.Results = results

@@ -1,0 +1,73 @@
+package server
+
+// HTTP-layer instrumentation (dependency-free, internal/obs). The
+// middleware stack records per-route request counts and latency, the
+// in-flight gauge, and the failure-mode counters the serving path was
+// hardened around in earlier PRs but could not report: shed requests,
+// recovered panics, degraded answers, clients gone before the response.
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// serverMetrics holds the server's obs handles. A Server always has one:
+// New substitutes a private registry when Config.Registry is nil, so the
+// middleware never nil-checks.
+type serverMetrics struct {
+	// requests counts finished requests by route and final status code;
+	// latency observes wall time by route.
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec
+	// inflight tracks requests currently inside the handler stack.
+	inflight *obs.Gauge
+	// shed counts requests rejected 429 by the MaxInflight limiter;
+	// panics counts handler panics isolated into a 500; degraded counts
+	// searches answered from materialized summaries after their deadline
+	// expired; clientClosed counts requests whose client went away (499).
+	shed         *obs.Counter
+	panics       *obs.Counter
+	degraded     *obs.Counter
+	clientClosed *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		requests: reg.CounterVec("pit_http_requests_total",
+			"Finished HTTP requests by route and status code.", "route", "code"),
+		latency: reg.HistogramVec("pit_http_request_duration_seconds",
+			"HTTP request wall time by route.", obs.DurationBuckets, "route"),
+		inflight: reg.Gauge("pit_http_inflight_requests",
+			"Requests currently being served."),
+		shed: reg.Counter("pit_http_shed_total",
+			"Requests shed with 429 by the in-flight limiter."),
+		panics: reg.Counter("pit_http_panics_total",
+			"Handler panics recovered into a 500."),
+		degraded: reg.Counter("pit_http_degraded_total",
+			"Searches answered degraded (materialized summaries only) after the request deadline expired."),
+		clientClosed: reg.Counter("pit_http_client_closed_total",
+			"Requests whose client disconnected before the response (status 499)."),
+	}
+}
+
+// observe records one finished request. Route cardinality is bounded by
+// routeLabel; the status-code label is the final code from the recorder.
+func (m *serverMetrics) observe(route string, status int, seconds float64) {
+	m.requests.With(route, strconv.Itoa(status)).Inc()
+	m.latency.With(route).Observe(seconds)
+	if status == statusClientClosedRequest {
+		m.clientClosed.Inc()
+	}
+}
+
+// routeLabel maps a request path to a bounded label set so arbitrary
+// client paths cannot explode the metric cardinality.
+func routeLabel(path string) string {
+	switch path {
+	case "/search", "/topics", "/stats", "/healthz", "/readyz":
+		return path
+	default:
+		return "other"
+	}
+}

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // statusClientClosedRequest is the de-facto (nginx) status code for a
@@ -107,6 +108,11 @@ type Config struct {
 	// Logger receives access-log, panic and encode-failure lines
 	// (default log.Default()).
 	Logger *log.Logger
+	// Registry receives the server's metrics (request/status counters,
+	// latency histograms, in-flight gauge, shed/panic/degraded/
+	// client-closed counters). Nil means a private registry: the metrics
+	// are still collected, just not exposed anywhere.
+	Registry *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -126,6 +132,7 @@ func (c *Config) fill() {
 type Server struct {
 	eng      *core.Engine
 	cfg      Config
+	met      *serverMetrics
 	ready    atomic.Bool
 	reqSeq   atomic.Uint64
 	inflight chan struct{}
@@ -140,7 +147,11 @@ func New(eng *core.Engine, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: nil engine")
 	}
 	cfg.fill()
-	s := &Server{eng: eng, cfg: cfg}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{eng: eng, cfg: cfg, met: newServerMetrics(reg)}
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
 	}
@@ -224,6 +235,25 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// Unwrap exposes the wrapped writer to http.ResponseController, so
+// Flusher/Hijacker/deadline control reach the real connection through
+// the middleware stack instead of dead-ending at the recorder.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// Flush satisfies http.Flusher for handlers that type-assert instead of
+// using ResponseController. Flushing commits the (implicit 200) status
+// line, so the recorder marks the response started first — otherwise the
+// panic handler could try to write a second status line mid-stream.
+func (r *statusRecorder) Flush() {
+	if !r.wrote {
+		r.status = http.StatusOK
+		r.wrote = true
+	}
+	// ResponseController resolves the underlying Flusher through Unwrap
+	// chains, so this works even when another wrapper sits below.
+	_ = http.NewResponseController(r.ResponseWriter).Flush()
+}
+
 // withRequestID assigns each request a process-unique ID, exposed to
 // handlers via the context and to clients via the X-Request-ID header.
 func (s *Server) withRequestID(next http.Handler) http.Handler {
@@ -235,14 +265,19 @@ func (s *Server) withRequestID(next http.Handler) http.Handler {
 }
 
 // withAccessLog emits one structured line per request with latency and
-// final status.
+// final status, and records the request in the metrics registry
+// (per-route count/latency, in-flight gauge, client-closed counter).
 func (s *Server) withAccessLog(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
+		s.met.inflight.Inc()
 		next.ServeHTTP(rec, r)
+		s.met.inflight.Dec()
+		dur := time.Since(start)
+		s.met.observe(routeLabel(r.URL.Path), rec.status, dur.Seconds())
 		s.cfg.Logger.Printf("%s method=%s path=%s status=%d dur=%s",
-			RequestID(r.Context()), r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+			RequestID(r.Context()), r.Method, r.URL.Path, rec.status, dur.Round(time.Microsecond))
 	})
 }
 
@@ -255,6 +290,7 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 				if p == http.ErrAbortHandler { // net/http's own abort protocol
 					panic(p)
 				}
+				s.met.panics.Inc()
 				s.cfg.Logger.Printf("%s panic serving %s: %v\n%s",
 					RequestID(r.Context()), r.URL.Path, p, debug.Stack())
 				if rec, ok := w.(*statusRecorder); !ok || !rec.wrote {
@@ -279,6 +315,7 @@ func (s *Server) withLimit(next http.Handler) http.Handler {
 			defer func() { <-s.inflight }()
 			next.ServeHTTP(w, r)
 		default:
+			s.met.shed.Inc()
 			w.Header().Set("Retry-After", "1")
 			s.writeErr(w, r, http.StatusTooManyRequests, "server at capacity (%d in-flight requests)", s.cfg.MaxInflight)
 		}
@@ -400,10 +437,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	degraded := false
 	if err != nil {
-		res, degraded, err = s.recoverSearch(w, r, err, method, q, graph.NodeID(user), k)
+		res, degraded, err = s.recoverSearch(w, r, err, method, q, graph.NodeID(user), k, lambda)
 		if err != nil {
 			return // recoverSearch already wrote the error response
 		}
+	}
+	if degraded {
+		s.met.degraded.Inc()
 	}
 	resp := SearchResponse{
 		Query:    q,
@@ -430,8 +470,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // when even that fails, 500 otherwise. It returns (results, true, nil)
 // when the caller should proceed with a degraded 200; any error return
 // means the response was already written.
+//
+// The degraded retry honors the request's lambda: a diversified query
+// degrades to a diversified materialized ranking, not to the plain
+// influence order it never asked for.
 func (s *Server) recoverSearch(w http.ResponseWriter, r *http.Request, err error,
-	method core.Method, q string, user graph.NodeID, k int) ([]core.TopicResult, bool, error) {
+	method core.Method, q string, user graph.NodeID, k int, lambda float64) ([]core.TopicResult, bool, error) {
 
 	switch {
 	case errors.Is(err, core.ErrInvalidArgument):
@@ -454,7 +498,13 @@ func (s *Server) recoverSearch(w http.ResponseWriter, r *http.Request, err error
 		// the request's expired context.
 		fbCtx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), s.cfg.DegradeTimeout)
 		defer cancel()
-		res, _, ferr := s.eng.SearchMaterialized(fbCtx, method, q, user, k)
+		var res []core.TopicResult
+		var ferr error
+		if lambda > 0 {
+			res, _, ferr = s.eng.SearchMaterializedDiverse(fbCtx, method, q, user, k, lambda)
+		} else {
+			res, _, ferr = s.eng.SearchMaterialized(fbCtx, method, q, user, k)
+		}
 		if ferr != nil {
 			s.writeErr(w, r, http.StatusGatewayTimeout, "deadline exceeded and no degraded answer available: %v", ferr)
 			return nil, false, err

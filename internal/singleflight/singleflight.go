@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // call is one in-flight (or completed) execution.
@@ -47,6 +48,38 @@ type Group[K comparable, V any] struct {
 
 	mu     sync.Mutex
 	flight map[K]*call[V]
+
+	// Lifetime counters (atomic; read via Stats). leaders counts Do
+	// calls that launched fn; dedupedWaits counts Do calls that joined
+	// an already-in-flight execution instead — the dedup ratio
+	// dedupedWaits / (leaders + dedupedWaits) is the metric the
+	// observability layer exports. panics counts recovered fn panics.
+	leaders      atomic.Uint64
+	dedupedWaits atomic.Uint64
+	panics       atomic.Uint64
+}
+
+// Stats is a snapshot of a Group's lifetime counters.
+type Stats struct {
+	// Leaders is how many Do calls executed fn themselves.
+	Leaders uint64
+	// DedupedWaits is how many Do calls were deduplicated onto another
+	// caller's in-flight execution.
+	DedupedWaits uint64
+	// Panics is how many fn executions panicked (each was recovered and
+	// delivered to its waiters as an error).
+	Panics uint64
+}
+
+// Stats returns a point-in-time snapshot of the group's counters. The
+// three fields are loaded independently, so a snapshot taken mid-Do may
+// be off by one between them — fine for metrics, not for invariants.
+func (g *Group[K, V]) Stats() Stats {
+	return Stats{
+		Leaders:      g.leaders.Load(),
+		DedupedWaits: g.dedupedWaits.Load(),
+		Panics:       g.panics.Load(),
+	}
 }
 
 // Do executes fn for key, deduplicating concurrent callers: while a
@@ -77,6 +110,7 @@ func (g *Group[K, V]) Do(ctx context.Context, key K, fn func(context.Context) (V
 	}
 	if c, ok := g.flight[key]; ok {
 		g.mu.Unlock()
+		g.dedupedWaits.Add(1)
 		select {
 		case <-c.done:
 			return c.val, c.err, true
@@ -87,10 +121,12 @@ func (g *Group[K, V]) Do(ctx context.Context, key K, fn func(context.Context) (V
 	c := &call[V]{done: make(chan struct{})}
 	g.flight[key] = c
 	g.mu.Unlock()
+	g.leaders.Add(1)
 
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {
+				g.panics.Add(1)
 				c.err = fmt.Errorf("singleflight: call panicked: %v\n%s", p, debug.Stack())
 			}
 			g.mu.Lock()

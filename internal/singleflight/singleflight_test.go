@@ -270,3 +270,66 @@ func TestPanicBecomesError(t *testing.T) {
 		t.Fatalf("post-panic Do got (%d, %v)", v, err)
 	}
 }
+
+// TestStatsCountLeadersAndWaits: the lifetime counters distinguish the
+// caller that executed fn from the callers deduplicated onto it, and
+// count recovered panics — the seam the observability layer exports as
+// the singleflight dedup ratio.
+func TestStatsCountLeadersAndWaits(t *testing.T) {
+	var g Group[string, int]
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			close(leaderIn)
+			<-gate
+			return 1, nil
+		})
+	}()
+	<-leaderIn // fn is running: the flight slot is occupied
+
+	const joiners = 3
+	for w := 0; w < joiners; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, _ = g.Do(context.Background(), "k", func(context.Context) (int, error) {
+				t.Error("joiner executed fn despite an in-flight call")
+				return 0, nil
+			})
+		}()
+	}
+	// Joiners increment dedupedWaits before blocking on the call; poll
+	// until all three have registered, then release the leader.
+	for deadline := time.Now().Add(5 * time.Second); g.Stats().DedupedWaits < joiners; {
+		if time.Now().After(deadline) {
+			t.Fatalf("joiners never registered: %+v", g.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	st := g.Stats()
+	if st.Leaders != 1 || st.DedupedWaits != joiners {
+		t.Errorf("stats = %+v, want 1 leader and %d deduped waits", st, joiners)
+	}
+	if st.Panics != 0 {
+		t.Errorf("panics = %d, want 0", st.Panics)
+	}
+
+	// A panicking call is counted.
+	_, err, _ := g.Do(context.Background(), "p", func(context.Context) (int, error) {
+		panic("boom")
+	})
+	if err == nil {
+		t.Fatal("panicking call returned nil error")
+	}
+	if st := g.Stats(); st.Panics != 1 || st.Leaders != 2 {
+		t.Errorf("stats after panic = %+v, want Panics=1 Leaders=2", st)
+	}
+}
