@@ -6,7 +6,7 @@
 # govulncheck is installed.
 
 GO ?= go
-# Label under which `make bench` records its run in BENCH_PR3.json
+# Label under which `make bench` records its run in BENCH_PR5.json
 # (e.g. `make bench BENCH_LABEL=mybranch` for a comparison run).
 BENCH_LABEL ?= after
 
@@ -22,10 +22,10 @@ help:
 	@echo "make fmt         - fail if any file needs gofmt"
 	@echo "make vet         - go vet"
 	@echo "make lint        - pitlint, the repo's own static-analysis suite"
-	@echo "make bench       - online-path load benchmark (cmd/pitperf); merges a"
-	@echo "                   '$(BENCH_LABEL)' run into BENCH_PR3.json (BENCH_LABEL=...)"
+	@echo "make bench       - online + offline load benchmark (cmd/pitperf); merges a"
+	@echo "                   '$(BENCH_LABEL)' run into BENCH_PR5.json (BENCH_LABEL=...)"
 	@echo "make bench-smoke - one-shot benchmark smoke: figure benchmarks plus the"
-	@echo "                   search/core micro-benchmarks and a pitperf -smoke run"
+	@echo "                   search/core/rcl/lrw micro-benchmarks and a pitperf -smoke run"
 	@echo "make vulncheck   - govulncheck when installed (best-effort)"
 
 build:
@@ -63,11 +63,11 @@ vulncheck:
 race:
 	$(GO) test -race ./...
 
-# Online-path load benchmark (reproducible: fixed seed, fixed dataset
-# shape). Records the run under $(BENCH_LABEL) in BENCH_PR3.json and
-# refuses to merge runs whose dataset configs differ.
+# Online-path and offline-pipeline load benchmark (reproducible: fixed
+# seed, fixed dataset shape). Records the run under $(BENCH_LABEL) in
+# BENCH_PR5.json and refuses to merge runs whose dataset configs differ.
 bench:
-	$(GO) run ./cmd/pitperf -label $(BENCH_LABEL) -out BENCH_PR3.json
+	$(GO) run ./cmd/pitperf -label $(BENCH_LABEL) -out BENCH_PR5.json
 
 # Benchmark smoke: run the data_2k figure benchmarks and the online-path
 # micro-benchmarks exactly once (-benchtime 1x), plus the pitperf smoke
@@ -78,7 +78,7 @@ bench:
 # -race by `make race`, which runs ./...).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig05TimeCostData2k|BenchmarkFig10PrecisionData2k' -benchtime 1x .
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/search/ ./internal/core/
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/search/ ./internal/core/ ./internal/rcl/ ./internal/lrw/
 	$(GO) run ./cmd/pitperf -smoke -out /tmp/pitperf-smoke.json
 	$(GO) run ./cmd/pitserve -smoke
 

@@ -37,7 +37,7 @@ func writeDataset(t *testing.T) (string, string) {
 }
 
 func TestRunWithPreset(t *testing.T) {
-	if err := run("data_2k", 0.1, "", "", "lrw", "tag000", 5, 3, 0.01, 4, 8, 1, true, 0, false); err != nil {
+	if err := run("data_2k", 0.1, "", "", "lrw", "tag000", 5, 3, 0.01, 4, 8, 1, true, 0, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -45,7 +45,7 @@ func TestRunWithPreset(t *testing.T) {
 func TestRunWithFiles(t *testing.T) {
 	gp, tp := writeDataset(t)
 	for _, method := range []string{"lrw", "rcl"} {
-		if err := run("", 1, gp, tp, method, "tag001", 3, 2, 0.01, 4, 8, 1, true, 0.5, true); err != nil {
+		if err := run("", 1, gp, tp, method, "tag001", 3, 2, 0.01, 4, 8, 1, true, 0.5, true, true); err != nil {
 			t.Fatalf("%s: %v", method, err)
 		}
 	}
@@ -57,11 +57,15 @@ func TestRunErrors(t *testing.T) {
 		name string
 		call func() error
 	}{
-		{"bad method", func() error { return run("", 1, gp, tp, "xxx", "tag000", 1, 1, 0.01, 4, 8, 1, true, 0, false) }},
-		{"user out of range", func() error { return run("", 1, gp, tp, "lrw", "tag000", -1, 1, 0.01, 4, 8, 1, true, 0, false) }},
-		{"graph without topics", func() error { return run("", 1, gp, "", "lrw", "tag000", 1, 1, 0.01, 4, 8, 1, true, 0, false) }},
-		{"missing graph file", func() error { return run("", 1, gp+".nope", tp, "lrw", "tag000", 1, 1, 0.01, 4, 8, 1, true, 0, false) }},
-		{"unknown preset", func() error { return run("zzz", 1, "", "", "lrw", "tag000", 1, 1, 0.01, 4, 8, 1, true, 0, false) }},
+		{"bad method", func() error { return run("", 1, gp, tp, "xxx", "tag000", 1, 1, 0.01, 4, 8, 1, true, 0, false, false) }},
+		{"user out of range", func() error { return run("", 1, gp, tp, "lrw", "tag000", -1, 1, 0.01, 4, 8, 1, true, 0, false, false) }},
+		{"graph without topics", func() error { return run("", 1, gp, "", "lrw", "tag000", 1, 1, 0.01, 4, 8, 1, true, 0, false, false) }},
+		{"missing graph file", func() error {
+			return run("", 1, gp+".nope", tp, "lrw", "tag000", 1, 1, 0.01, 4, 8, 1, true, 0, false, false)
+		}},
+		{"unknown preset", func() error {
+			return run("zzz", 1, "", "", "lrw", "tag000", 1, 1, 0.01, 4, 8, 1, true, 0, false, false)
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -74,7 +78,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunUnknownQueryIsGraceful(t *testing.T) {
 	gp, tp := writeDataset(t)
-	if err := run("", 1, gp, tp, "lrw", "not-a-tag", 1, 3, 0.01, 4, 8, 1, true, 0, true); err != nil {
+	if err := run("", 1, gp, tp, "lrw", "not-a-tag", 1, 3, 0.01, 4, 8, 1, true, 0, true, false); err != nil {
 		t.Fatalf("unknown query should not error: %v", err)
 	}
 }

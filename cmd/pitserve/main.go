@@ -64,9 +64,31 @@ type options struct {
 	seed           int64
 	maxK           int
 	materialize    bool
+	warmSummaries  string
+	warmWorkers    int
 	requestTimeout time.Duration
 	maxInflight    int
 	shutdownGrace  time.Duration
+}
+
+// warmMethods resolves the -warm-summaries flag (with -materialize kept
+// as a compatibility alias for "lrw") into the methods to pre-warm.
+func (o options) warmMethods() ([]core.Method, error) {
+	sel := o.warmSummaries
+	if sel == "" && o.materialize {
+		sel = "lrw"
+	}
+	switch sel {
+	case "":
+		return nil, nil
+	case "lrw":
+		return []core.Method{core.MethodLRW}, nil
+	case "rcl":
+		return []core.Method{core.MethodRCL}, nil
+	case "all":
+		return []core.Method{core.MethodLRW, core.MethodRCL}, nil
+	}
+	return nil, fmt.Errorf("-warm-summaries: unknown selection %q (want lrw, rcl or all)", sel)
 }
 
 // app is the wired-but-not-yet-ready server: the dataset is loaded and
@@ -92,7 +114,9 @@ func main() {
 	flag.IntVar(&o.walkR, "R", 16, "random walks per node R")
 	flag.Int64Var(&o.seed, "seed", 1, "RNG seed")
 	flag.IntVar(&o.maxK, "max-k", 100, "maximum k a request may ask for")
-	flag.BoolVar(&o.materialize, "materialize", false, "pre-summarize every topic (LRW-A) before readiness")
+	flag.BoolVar(&o.materialize, "materialize", false, "pre-summarize every topic (LRW-A) before readiness (alias for -warm-summaries lrw)")
+	flag.StringVar(&o.warmSummaries, "warm-summaries", "", "warm the whole summary corpus before /readyz flips: lrw, rcl or all (empty disables)")
+	flag.IntVar(&o.warmWorkers, "warm-workers", 0, "worker pool size for the summary warm-up (≤0: GOMAXPROCS)")
 	flag.DurationVar(&o.requestTimeout, "request-timeout", 10*time.Second, "per-request deadline for API calls (0 disables)")
 	flag.IntVar(&o.maxInflight, "max-inflight", 256, "max concurrently served API requests before shedding with 429 (0 disables)")
 	flag.DurationVar(&o.shutdownGrace, "shutdown-grace", 15*time.Second, "how long a SIGTERM drains in-flight requests before forcing exit")
@@ -120,6 +144,9 @@ func main() {
 // are NOT built yet — call prepare (synchronously in tests, in the
 // background in run) and then the server reports ready.
 func buildApp(o options) (*app, error) {
+	if _, err := o.warmMethods(); err != nil {
+		return nil, err // reject a bad -warm-summaries before loading data
+	}
 	g, sp, err := dataset.LoadPresetOrFiles(o.preset, o.scale, o.graphIn, o.topicsIn)
 	if err != nil {
 		return nil, err
@@ -173,12 +200,29 @@ func (a *app) prepare(ctx context.Context) error {
 	g, sp := a.eng.Graph(), a.eng.Space()
 	log.Printf("indexes built in %v (%d users, %d links, %d topics)",
 		time.Since(start).Round(time.Millisecond), g.NumNodes(), g.NumEdges(), sp.NumTopics())
-	if a.opts.materialize {
+	methods, err := a.opts.warmMethods()
+	if err != nil {
+		return err
+	}
+	for _, m := range methods {
 		start = time.Now()
-		if err := a.eng.MaterializeAll(ctx, core.MethodLRW); err != nil {
-			return err
+		total := sp.NumTopics()
+		stride := total / 10
+		if stride < 1 {
+			stride = 1
 		}
-		log.Printf("materialized %d topic summaries in %v", sp.NumTopics(), time.Since(start).Round(time.Millisecond))
+		err := a.eng.WarmSummaries(ctx, m, core.WarmOptions{
+			Workers: a.opts.warmWorkers,
+			Progress: func(done, total int) {
+				if done%stride == 0 || done == total {
+					log.Printf("warming %s summaries: %d/%d topics", m, done, total)
+				}
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("warm %s summaries: %w", m, err)
+		}
+		log.Printf("warmed %d %s topic summaries in %v", total, m, time.Since(start).Round(time.Millisecond))
 	}
 	a.srv.MarkReady()
 	return nil
@@ -289,6 +333,8 @@ var smokeMetrics = []string{
 	"pit_summary_build_dedup_waits_total",
 	"pit_summary_build_duration_seconds",
 	"pit_index_build_duration_seconds",
+	"pit_warm_topics_total",
+	"pit_warm_duration_seconds",
 	"pit_search_expand_depth",
 	"pit_search_frontier_truncations_total",
 }
@@ -300,6 +346,11 @@ var smokeMetrics = []string{
 func runSmoke(o options) error {
 	o.scale = 0.1
 	o.walkL, o.walkR = 4, 8
+	// Exercise the offline warm pipeline end to end so the smoke fails
+	// if the warm-up path or its instrumentation unwires.
+	if o.warmSummaries == "" {
+		o.warmSummaries = "lrw"
+	}
 	a, err := buildApp(o)
 	if err != nil {
 		return err

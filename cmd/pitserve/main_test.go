@@ -6,9 +6,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"slices"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/core"
 )
 
 func testOptions() options {
@@ -129,6 +132,75 @@ func TestPrepareMaterialize(t *testing.T) {
 	}
 	if stats.CachedLRW != stats.Topics {
 		t.Errorf("materialized %d of %d topics", stats.CachedLRW, stats.Topics)
+	}
+}
+
+// TestWarmMethodsParsing pins the -warm-summaries selector, including
+// -materialize as the legacy alias for "lrw" and rejection of unknown
+// method names before any data loads.
+func TestWarmMethodsParsing(t *testing.T) {
+	cases := []struct {
+		warm        string
+		materialize bool
+		want        []core.Method
+		wantErr     bool
+	}{
+		{warm: "", want: nil},
+		{warm: "", materialize: true, want: []core.Method{core.MethodLRW}},
+		{warm: "lrw", want: []core.Method{core.MethodLRW}},
+		{warm: "rcl", want: []core.Method{core.MethodRCL}},
+		{warm: "all", want: []core.Method{core.MethodLRW, core.MethodRCL}},
+		{warm: "both", wantErr: true},
+		{warm: "LRW", wantErr: true},
+	}
+	for _, tc := range cases {
+		o := options{warmSummaries: tc.warm, materialize: tc.materialize}
+		got, err := o.warmMethods()
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("warmMethods(%q) accepted, want error", tc.warm)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("warmMethods(%q): %v", tc.warm, err)
+			continue
+		}
+		if !slices.Equal(got, tc.want) {
+			t.Errorf("warmMethods(%q, materialize=%v) = %v, want %v", tc.warm, tc.materialize, got, tc.want)
+		}
+	}
+}
+
+// TestBuildAppRejectsBadWarmSelector: a bogus -warm-summaries value fails
+// fast, before dataset generation or index builds.
+func TestBuildAppRejectsBadWarmSelector(t *testing.T) {
+	o := testOptions()
+	o.warmSummaries = "everything"
+	if _, err := buildApp(o); err == nil {
+		t.Fatal("buildApp accepted unknown -warm-summaries value")
+	}
+}
+
+// TestPrepareWarmsBothMethods: -warm-summaries all leaves both caches at
+// corpus size before the server flips ready.
+func TestPrepareWarmsBothMethods(t *testing.T) {
+	o := testOptions()
+	o.scale = 0.05
+	o.walkL, o.walkR = 3, 4
+	o.warmSummaries = "all"
+	a, err := buildApp(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.prepare(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	total := a.eng.Space().NumTopics()
+	for _, m := range []core.Method{core.MethodLRW, core.MethodRCL} {
+		if got := a.eng.CachedSummaries(m); got != total {
+			t.Errorf("method %v: warmed %d of %d topics", m, got, total)
+		}
 	}
 }
 

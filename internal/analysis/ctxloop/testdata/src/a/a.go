@@ -120,3 +120,45 @@ func goodScrapeSweep(ctx context.Context, fams []metricFamily) error {
 	}
 	return nil
 }
+
+// The kernels' stride idiom (PR 5): checking ctx only every N iterations
+// still places ctx.Err() in the loop's subtree, which satisfies the rule.
+func goodStride(ctx context.Context, xs []int) error {
+	for i, x := range xs {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		sink(x)
+	}
+	return nil
+}
+
+// A signature-kernel shape: the outer loop carries the stride check while
+// the nested inner loop is pure arithmetic — light, so exempt on its own.
+func goodSignatureKernel(ctx context.Context, rows [][]uint64) (int, error) {
+	total := 0
+	for i, row := range rows {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		for _, w := range row {
+			total += int(w & 1)
+		}
+	}
+	return total, nil
+}
+
+// A stride guard around anything other than a cancellation check does not
+// count: the loop is heavy (it calls sink) and never consults ctx.
+func badStrideNoCheck(ctx context.Context, xs []int) {
+	for i, x := range xs { // want "no cancellation check"
+		if i%256 == 0 {
+			sink(-x)
+		}
+		sink(x)
+	}
+}

@@ -28,7 +28,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -412,29 +411,23 @@ func (e *Engine) summarizeBackend(ctx context.Context, m Method, t topics.TopicI
 
 // MaterializeAll pre-computes and caches summaries for every topic in the
 // space under the given method — the paper's full offline topic-to-
-// representative index build (reported in Figures 15–16). Topics fan out
-// across GOMAXPROCS workers; ctx is checked per topic, so a shutdown
-// signal aborts a long materialization (already-built summaries stay
-// cached). On failure the first error observed is returned.
+// representative index build (reported in Figures 15–16). It is
+// WarmSummaries with the default pool size and no progress reporting;
+// callers that want bounded workers, progress callbacks or warm metrics
+// use WarmSummaries directly.
 func (e *Engine) MaterializeAll(ctx context.Context, m Method) error {
-	all := make([]topics.TopicID, e.space.NumTopics())
-	for t := range all {
-		all[t] = topics.TopicID(t)
-	}
-	_, err := e.materializeMany(ctx, m, all, runtime.GOMAXPROCS(0))
-	return err
+	return e.WarmSummaries(ctx, m, WarmOptions{})
 }
 
 // materializeMany returns the summaries of the given topics under m,
-// building cache misses across up to `workers` goroutines. Concurrent
-// builds of one topic — within this call or across calls — collapse to
-// one summarization via the singleflight group. The result is indexed
-// like the input; on error the first failure observed is returned.
+// building cache misses across up to `workers` goroutines (≤ 0:
+// GOMAXPROCS, via clampWorkers). Concurrent builds of one topic —
+// within this call or across calls — collapse to one summarization via
+// the singleflight group. The result is indexed like the input; on
+// error the first failure observed is returned.
 func (e *Engine) materializeMany(ctx context.Context, m Method, ts []topics.TopicID, workers int) ([]summary.Summary, error) {
 	sums := make([]summary.Summary, len(ts))
-	if workers > len(ts) {
-		workers = len(ts)
-	}
+	workers = clampWorkers(workers, len(ts))
 	if workers <= 1 {
 		for i, t := range ts {
 			s, err := e.Summarize(ctx, m, t)
@@ -629,23 +622,20 @@ func (e *Engine) SearchMany(ctx context.Context, m Method, query string, users [
 	if err := e.requireIndexes(); err != nil {
 		return nil, err
 	}
-	// Clamp workers before any early return so every exit path — and the
-	// parallel materialization below — sees a sane worker count.
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	related := e.space.Related(query)
 	out := make([][]TopicResult, len(users))
 	if len(related) == 0 || len(users) == 0 {
 		return out, nil
 	}
+	// materializeMany clamps against the topic count itself; the search
+	// fan-out below clamps against the user count. Both pools resolve a
+	// ≤ 0 request to GOMAXPROCS through the shared clampWorkers helper,
+	// so no exit path ever sees an unusable worker count.
 	sums, err := e.materializeMany(ctx, m, related, workers)
 	if err != nil {
 		return nil, err
 	}
-	if workers > len(users) {
-		workers = len(users)
-	}
+	workers = clampWorkers(workers, len(users))
 	var (
 		wg       sync.WaitGroup
 		next     atomic.Int64

@@ -38,6 +38,13 @@ type engineMetrics struct {
 	// buildsCanceled counts builds that failed because Engine.Close
 	// canceled the lifecycle context (shutdown racing a cache miss).
 	buildsCanceled *obs.Counter
+	// warmTopics counts topics completed by WarmSummaries runs, indexed
+	// by Method; warmDur observes the wall time of successful
+	// whole-corpus warms. Per-topic build costs inside a warm reuse
+	// buildDur — a warm build and an online cache-miss build are the
+	// same summarization, observed by the same histogram.
+	warmTopics [2]*obs.Counter
+	warmDur    *obs.Histogram
 	// buildDur observes successful summarization durations (the offline
 	// §3–4 work when it leaks onto the online path as a cache miss);
 	// indexDur observes BuildIndexes.
@@ -54,6 +61,8 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		"Singleflight leader executions: summarizations actually run.", "method")
 	waits := reg.CounterVec("pit_summary_build_dedup_waits_total",
 		"Callers deduplicated onto another caller's in-flight summarization.", "method")
+	warm := reg.CounterVec("pit_warm_topics_total",
+		"Topics completed by WarmSummaries corpus warm-up runs.", "method")
 	m := &engineMetrics{
 		buildsCanceled: reg.Counter("pit_summary_builds_canceled_total",
 			"Summary builds canceled by Engine.Close (shutdown racing a cache miss)."),
@@ -63,6 +72,9 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		indexDur: reg.Histogram("pit_index_build_duration_seconds",
 			"Duration of BuildIndexes (walk + propagation index construction).",
 			obs.DurationBuckets),
+		warmDur: reg.Histogram("pit_warm_duration_seconds",
+			"Wall time of successful whole-corpus WarmSummaries runs.",
+			obs.DurationBuckets),
 	}
 	for _, method := range []Method{MethodLRW, MethodRCL} {
 		l := metricLabel(method)
@@ -70,6 +82,7 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		m.cacheMisses[method] = misses.With(l)
 		m.builds[method] = builds.With(l)
 		m.dedupWaits[method] = waits.With(l)
+		m.warmTopics[method] = warm.With(l)
 	}
 	return m
 }

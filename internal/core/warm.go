@@ -1,0 +1,134 @@
+package core
+
+// The offline warm-up pipeline (PR 5): the paper's summaries are offline
+// artifacts — "the summarization for each topic is computed offline and
+// the online search only consults it" — yet until now the only way to
+// build the whole corpus was MaterializeAll, a bare fan-out with no
+// progress, no instrumentation and no way for a serving process to gate
+// readiness on it. WarmSummaries is the productionized form: a bounded
+// work-stealing pool that drives every topic through the same
+// singleflight/sumcache machinery the online path uses (so a warm racing
+// live misses never duplicates work), with first-error semantics,
+// mid-corpus cancellation, per-run metrics and a progress callback that
+// serving layers turn into readiness logs.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/topics"
+)
+
+// clampWorkers resolves a requested pool size against a work-item count:
+// requested ≤ 0 defaults to GOMAXPROCS, the pool never exceeds the item
+// count, and the result is at least 1 (a degenerate pool runs serially).
+// Every engine fan-out — summary materialization, batch search, corpus
+// warm-up — sizes its pool through this one helper.
+func clampWorkers(requested, items int) int {
+	if requested <= 0 {
+		requested = runtime.GOMAXPROCS(0)
+	}
+	if requested > items {
+		requested = items
+	}
+	if requested < 1 {
+		requested = 1
+	}
+	return requested
+}
+
+// WarmOptions tunes WarmSummaries. The zero value warms with GOMAXPROCS
+// workers and no progress reporting.
+type WarmOptions struct {
+	// Workers bounds the warm pool; ≤ 0 means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, is called after each topic is materialized
+	// with the number of topics completed so far and the corpus size.
+	// Calls are serialized and done is strictly increasing, so the
+	// callback can drive logs or a readiness gauge without its own
+	// locking. It runs on worker goroutines — keep it fast.
+	Progress func(done, total int)
+}
+
+// WarmSummaries materializes the summary of every topic in the space
+// under method m before query traffic needs them — the paper's offline
+// topic-to-representative index build (Figures 15–16), run as fast as
+// the hardware allows. Topics are pulled from a shared atomic cursor by
+// up to opts.Workers goroutines (work stealing: a worker that lands on a
+// cheap topic immediately takes the next one), and every build goes
+// through Summarize, i.e. the singleflight group and the sharded cache:
+// topics already materialized are skipped at cache-hit cost, and a warm
+// racing live cache misses collapses into the same in-flight builds.
+//
+// Cancellation and errors follow the engine's pool conventions: ctx is
+// observed between topics by every worker (and inside the summarizers
+// themselves), a mid-corpus cancellation returns ctx.Err() while every
+// already-completed topic stays cached and valid, and any failure
+// surfaces as the first error observed. A nil return means the whole
+// corpus is hot.
+func (e *Engine) WarmSummaries(ctx context.Context, m Method, opts WarmOptions) error {
+	if err := e.requireIndexes(); err != nil {
+		return err
+	}
+	if !m.valid() {
+		return fmt.Errorf("%w: unknown method %v", ErrInvalidArgument, m)
+	}
+	total := e.space.NumTopics()
+	if total == 0 {
+		return nil
+	}
+	start := time.Now()
+	workers := clampWorkers(opts.Workers, total)
+
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		done     atomic.Int64
+		firstErr firstError
+		progMu   sync.Mutex // serializes opts.Progress calls
+	)
+	report := func() {
+		n := int(done.Add(1))
+		if e.met != nil {
+			e.met.warmTopics[m].Inc()
+		}
+		if opts.Progress != nil {
+			progMu.Lock()
+			opts.Progress(n, total)
+			progMu.Unlock()
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if err := ctx.Err(); err != nil {
+					firstErr.set(err)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				if _, err := e.Summarize(ctx, m, topics.TopicID(i)); err != nil {
+					firstErr.set(err)
+					return
+				}
+				report()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.get(); err != nil {
+		return err
+	}
+	if e.met != nil {
+		e.met.warmDur.Observe(time.Since(start).Seconds())
+	}
+	return nil
+}

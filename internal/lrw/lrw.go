@@ -46,9 +46,14 @@ func (s *Summarizer) Summarize(ctx context.Context, t topics.TopicID) (summary.S
 	if len(vt) == 0 {
 		return summary.New(t, nil), nil
 	}
-	reps, err := repNodesCtx(ctx, s.g, s.walks, vt, s.opts)
+	// One pooled scratch serves both kernels: the reps slice returned by
+	// repNodesInto aliases it, and migrateInto only reads reps while
+	// filling buffers the ranking no longer needs.
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	reps, err := repNodesInto(ctx, s.g, s.walks, vt, s.opts, sc)
 	if err != nil {
 		return summary.Summary{}, err
 	}
-	return migrateInfluenceCtx(ctx, t, s.walks, vt, reps)
+	return migrateInto(ctx, t, s.walks, vt, reps, sc)
 }

@@ -34,24 +34,36 @@ func MigrateInfluence(t topics.TopicID, walks *randwalk.Index, vt, reps []graph.
 // ctx is checked between absorbing-walk rows (one row per topic node /
 // representative, R walks each).
 func migrateInfluenceCtx(ctx context.Context, t topics.TopicID, walks *randwalk.Index, vt, reps []graph.NodeID) (summary.Summary, error) {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	return migrateInto(ctx, t, walks, vt, reps, sc)
+}
+
+// migrateInto is the migration kernel on pooled scratch. The absorbing-
+// state lookups (is this walk node a representative / topic node?) run
+// against epoch-stamped dense-position arrays instead of maps: one array
+// read per walk step, no hashing.
+func migrateInto(ctx context.Context, t topics.TopicID, walks *randwalk.Index, vt, reps []graph.NodeID, sc *scratch) (summary.Summary, error) {
 	if len(vt) == 0 || len(reps) == 0 {
 		return summary.New(t, nil), nil
 	}
 
 	// Dense positions for matrix addressing.
-	topicPos := make(map[graph.NodeID]int, len(vt))
+	sc.ensureNodes(walks.NumNodes())
+	topicEpoch := sc.nextTopicEpoch()
 	for i, v := range vt {
-		topicPos[v] = i
+		sc.topicStamp[v] = topicEpoch
+		sc.topicPos[v] = int32(i)
 	}
-	repPos := make(map[graph.NodeID]int, len(reps))
+	repEpoch := sc.nextRepEpoch()
 	for j, r := range reps {
-		repPos[r] = j
+		sc.repStamp[r] = repEpoch
+		sc.repPos[r] = int32(j)
 	}
 
 	// M(i,j) = max over sampled paths of 1/(D+1), D the hop distance of
 	// the first absorbing state on the path.
-	m := make([]float64, len(vt)*len(reps))
-	at := func(i, j int) *float64 { return &m[i*len(reps)+j] }
+	m, weights := sc.ensureMatrix(len(vt)*len(reps), len(reps))
 
 	// Forward absorption: walks from each topic node, absorbed by the
 	// first representative on the path (Algorithm 8 lines 3–7).
@@ -63,9 +75,10 @@ func migrateInfluenceCtx(ctx context.Context, t topics.TopicID, walks *randwalk.
 		}
 		for s := 0; s < walks.R; s++ {
 			for d, node := range walks.Walk(s, v) {
-				if j, isRep := repPos[node]; isRep {
+				if sc.repStamp[node] == repEpoch {
+					j := int(sc.repPos[node])
 					closeness := 1.0 / float64(d+2) // D = d+1 hops, entry 1/(D+1)
-					if cell := at(i, j); *cell < closeness {
+					if cell := &m[i*len(reps)+j]; *cell < closeness {
 						*cell = closeness
 					}
 					break // absorbing state: the walk cannot leave
@@ -84,9 +97,10 @@ func migrateInfluenceCtx(ctx context.Context, t topics.TopicID, walks *randwalk.
 		}
 		for s := 0; s < walks.R; s++ {
 			for d, node := range walks.Walk(s, r) {
-				if i, isTopic := topicPos[node]; isTopic {
+				if sc.topicStamp[node] == topicEpoch {
+					i := int(sc.topicPos[node])
 					closeness := 1.0 / float64(d+2)
-					if cell := at(i, j); *cell < closeness {
+					if cell := &m[i*len(reps)+j]; *cell < closeness {
 						*cell = closeness
 					}
 					break
@@ -99,7 +113,8 @@ func migrateInfluenceCtx(ctx context.Context, t topics.TopicID, walks *randwalk.
 	// distance zero: the paths above never include their own start, so
 	// make the self-association explicit (D = 0 → closeness 1).
 	for j, r := range reps {
-		if i, isTopic := topicPos[r]; isTopic {
+		if sc.topicStamp[r] == topicEpoch {
+			i := int(sc.topicPos[r])
 			if cell := &m[i*len(reps)+j]; *cell < 1 {
 				*cell = 1
 			}
@@ -108,7 +123,6 @@ func migrateInfluenceCtx(ctx context.Context, t topics.TopicID, walks *randwalk.
 
 	// Row-normalize into M′ (lines 13–18), then aggregate column sums
 	// scaled by the uniform local weight 1/|V_t| (lines 19–22).
-	weights := make([]float64, len(reps))
 	invVt := 1.0 / float64(len(vt))
 	for i := range vt {
 		if i%256 == 0 {

@@ -7,9 +7,10 @@
 package lrw
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/prob"
@@ -64,17 +65,35 @@ func Scores(g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Option
 }
 
 // scoresCtx is Scores with cooperative cancellation: ctx is checked every
-// PageRank iteration and every ctxStride nodes inside the O(n·deg) loops.
+// ctxStride nodes inside the O(n·deg) loops. The returned slice is owned
+// by the caller (the kernel itself runs on pooled scratch).
 func scoresCtx(ctx context.Context, g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Options) ([]float64, error) {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	res, err := scoresInto(ctx, g, walks, vt, opt, sc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(res))
+	copy(out, res)
+	return out, nil
+}
+
+// scoresInto is the PageRank kernel proper. The result aliases sc's
+// ping-pong state and is valid until sc is reused or returned to the
+// pool; callers that outlive the scratch must copy it out.
+func scoresInto(ctx context.Context, g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Options, sc *scratch) ([]float64, error) {
 	opt.fill()
 	n := g.NumNodes()
-	scores := make([]float64, n)
+	sc.ensureNodes(n)
 	if n == 0 || len(vt) == 0 {
-		return scores, nil
+		clear(sc.prev)
+		return sc.prev, nil
 	}
 
 	// PStar: the topic-prior jump distribution, 1/|V_t| on topic nodes.
-	pStar := make([]float64, n)
+	pStar := sc.pStar
+	clear(pStar)
 	prior := 1.0 / float64(len(vt))
 	for _, v := range vt {
 		pStar[v] = prior
@@ -87,29 +106,23 @@ func scoresCtx(ctx context.Context, g *graph.Graph, walks *randwalk.Index, vt []
 	// initialize with the prior itself — the standard personalized-
 	// PageRank start — so the rank vector stays a distribution and the
 	// L-iteration rank is topic-sensitive (see DESIGN.md §4).
-	prev := make([]float64, n)
-	cur := make([]float64, n)
+	//
+	// prev/cur ping-pong: every cur[v] is assigned each iteration, so
+	// neither buffer needs clearing between pooled reuses.
+	prev, cur := sc.prev, sc.cur
 	copy(prev, pStar)
 
-	// d[u] is D_T(u) = Σ_{(u,w)∈E} P0(u,w)·N_T(w), recomputed per
-	// iteration because N_T follows the time-variant H rows.
-	d := make([]float64, n)
+	// d[u] is D_T(u) = Σ_{(u,w)∈E} P0(u,w)·N_T(w) and hPlus is H[i]+hFloor;
+	// both depend on the iteration but not the topic, so they come from the
+	// scratch's per-(graph, walks) cache, built once and shared by every
+	// topic this scratch summarizes.
+	if err := sc.ensureTopicFreeRows(ctx, g, walks); err != nil {
+		return nil, err
+	}
 
 	for i := 1; i <= walks.L; i++ {
-		h := walks.VisitFreqRow(i)
-		for u := 0; u < n; u++ {
-			if u%ctxStride == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			nbrs, ws := g.OutNeighbors(graph.NodeID(u))
-			sum := 0.0
-			for k, w := range nbrs {
-				sum += ws[k] * (h[w] + hFloor)
-			}
-			d[u] = sum
-		}
+		hPlus := sc.hPlusRows[i-1]
+		d := sc.dRows[i-1]
 		for v := 0; v < n; v++ {
 			if v%ctxStride == 0 {
 				if err := ctx.Err(); err != nil {
@@ -117,9 +130,18 @@ func scoresCtx(ctx context.Context, g *graph.Graph, walks *randwalk.Index, vt []
 				}
 			}
 			in, inw := g.InNeighbors(graph.NodeID(v))
-			hv := h[v] + hFloor
+			hv := hPlus[v]
 			acc := 0.0
 			for k, u := range in {
+				if prev[u] == 0 { //pitlint:ignore probinvariant exact +0.0 identity test; an epsilon comparison would skip small nonzero terms and change the sums
+
+					// The skipped term is exactly +0.0: d[u] sums
+					// inw[k]·hPlus over all of u's out-edges including this
+					// one, so inw[k]·hv/d[u] ∈ [0,1] is finite and its
+					// product with prev[u] = 0 is +0.0, the additive
+					// identity for the non-negative acc.
+					continue
+				}
 				if d[u] <= 0 {
 					continue
 				}
@@ -134,8 +156,7 @@ func scoresCtx(ctx context.Context, g *graph.Graph, walks *randwalk.Index, vt []
 		}
 		prev, cur = cur, prev
 	}
-	copy(scores, prev)
-	return scores, nil
+	return prev, nil
 }
 
 // RepNodes is Algorithm 7: rank every node by the diversified PageRank of
@@ -148,13 +169,28 @@ func RepNodes(g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Opti
 }
 
 // repNodesCtx is RepNodes with cooperative cancellation (see scoresCtx).
+// The returned slice is owned by the caller.
 func repNodesCtx(ctx context.Context, g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Options) ([]graph.NodeID, error) {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	reps, err := repNodesInto(ctx, g, walks, vt, opt, sc)
+	if err != nil || reps == nil {
+		return nil, err
+	}
+	out := make([]graph.NodeID, len(reps))
+	copy(out, reps)
+	return out, nil
+}
+
+// repNodesInto ranks on pooled scratch; the returned slice aliases
+// sc.order and is valid until sc is reused or returned to the pool.
+func repNodesInto(ctx context.Context, g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Options, sc *scratch) ([]graph.NodeID, error) {
 	opt.fill()
 	n := g.NumNodes()
 	if n == 0 || len(vt) == 0 {
 		return nil, nil
 	}
-	scores, err := scoresCtx(ctx, g, walks, vt, opt)
+	scores, err := scoresInto(ctx, g, walks, vt, opt, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -170,21 +206,78 @@ func repNodesCtx(ctx context.Context, g *graph.Graph, walks *randwalk.Index, vt 
 		repCount = n
 	}
 
-	order := make([]graph.NodeID, n)
-	for v := range order {
-		order[v] = graph.NodeID(v)
-	}
-	// Highest score first; ties by node ID for determinism.
-	sort.Slice(order, func(a, b int) bool {
-		if scores[order[a]] > scores[order[b]] {
+	// Highest score first; ties by node ID for determinism. The explicit
+	// >/< branches keep the comparator NaN-safe: a NaN score (impossible
+	// after Clamp01, but cheap to defend) falls through to the ID
+	// tiebreak instead of poisoning the order relation. Because the order
+	// is a strict total order (node IDs are unique), the top repCount
+	// prefix is unique — so selecting the best repCount nodes with a
+	// bounded heap and sorting just those yields exactly what sorting all
+	// n nodes would, at O(n + k·log k) comparisons instead of O(n·log n).
+	// worse(a, b) reports a ordering strictly after b.
+	worse := func(a, b graph.NodeID) bool {
+		sa, sb := scores[a], scores[b]
+		switch {
+		case sa < sb:
 			return true
-		}
-		if scores[order[a]] < scores[order[b]] {
+		case sa > sb:
 			return false
 		}
-		return order[a] < order[b]
+		return a > b
+	}
+	// top is a binary max-heap under worse: top[0] is the worst kept node.
+	top := sc.order[:0]
+	for v := 0; v < n; v++ {
+		if v%ctxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		id := graph.NodeID(v)
+		if len(top) < repCount {
+			top = append(top, id)
+			for c := len(top) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !worse(top[c], top[p]) {
+					break
+				}
+				top[p], top[c] = top[c], top[p]
+				c = p
+			}
+			continue
+		}
+		if !worse(top[0], id) {
+			continue
+		}
+		top[0] = id
+		for c := 0; ; {
+			l, r := 2*c+1, 2*c+2
+			w := c
+			if l < repCount && worse(top[l], top[w]) {
+				w = l
+			}
+			if r < repCount && worse(top[r], top[w]) {
+				w = r
+			}
+			if w == c {
+				break
+			}
+			top[c], top[w] = top[w], top[c]
+			c = w
+		}
+	}
+	sc.order = top[:0]
+	slices.SortFunc(top, func(a, b graph.NodeID) int {
+		sa, sb := scores[a], scores[b]
+		switch {
+		case sa > sb:
+			return -1
+		case sa < sb:
+			return 1
+		}
+		return cmp.Compare(a, b)
 	})
-	return order[:repCount], nil
+	return top, nil
 }
 
 func validateInputs(g *graph.Graph, space *topics.Space, walks *randwalk.Index) error {

@@ -1,0 +1,154 @@
+package lrw
+
+// Pooled per-call scratch (PR 5). One LRW summarization needs five
+// n-sized float vectors (PageRank ping-pong state), an n-sized ranking
+// permutation, dense position lookups for the migration matrix, and the
+// matrix itself. Allocating those per topic made the offline warm-up
+// allocation-bound, so they live in a sync.Pool: the Summarizer is
+// documented safe for concurrent use, and a pool gives each in-flight
+// summarization its own buffers while steady state allocates nothing.
+//
+// Position lookups are epoch-stamped: stamp[v] == epoch means v was
+// registered in the current call, so reuse costs O(topic) instead of an
+// O(n) clear or a map rebuild.
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/randwalk"
+)
+
+type scratch struct {
+	// Graph-node-sized vectors for scoresInto.
+	pStar, prev, cur []float64
+	// Topic-independent per-iteration rows for scoresInto: hPlusRows[i-1]
+	// is H[i]+hFloor and dRows[i-1] the matching D_T denominators, both
+	// functions of (graph, walks, i) only. They are built once per
+	// (cacheG, cacheWalks) pair and reused across every topic — holding
+	// the references also keeps the cache keys alive, so pointer equality
+	// can never alias a recycled allocation.
+	hPlusRows, dRows [][]float64
+	cacheG           *graph.Graph
+	cacheWalks       *randwalk.Index
+	// order is the ranking buffer repNodesInto selects into.
+	order []graph.NodeID
+	// Epoch-stamped dense positions for migrateInto. Topic and
+	// representative sets may overlap, so each has its own stamp array.
+	topicStamp, repStamp []uint32
+	topicPos, repPos     []int32
+	topicEpoch, repEpoch uint32
+	// m is the |V_t|×|reps| closeness matrix; weights its column sums.
+	m, weights []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// ensureNodes sizes every graph-node-indexed buffer for n nodes.
+func (sc *scratch) ensureNodes(n int) {
+	if cap(sc.pStar) < n {
+		sc.pStar = make([]float64, n)
+		sc.prev = make([]float64, n)
+		sc.cur = make([]float64, n)
+		sc.order = make([]graph.NodeID, n)
+		sc.topicStamp = make([]uint32, n)
+		sc.repStamp = make([]uint32, n)
+		sc.topicPos = make([]int32, n)
+		sc.repPos = make([]int32, n)
+	}
+	sc.pStar = sc.pStar[:n]
+	sc.prev = sc.prev[:n]
+	sc.cur = sc.cur[:n]
+	sc.order = sc.order[:n]
+	sc.topicStamp = sc.topicStamp[:n]
+	sc.repStamp = sc.repStamp[:n]
+	sc.topicPos = sc.topicPos[:n]
+	sc.repPos = sc.repPos[:n]
+}
+
+// ensureTopicFreeRows builds (or revalidates) the topic-independent
+// per-iteration rows: hPlusRows[i-1][v] = H[i][v] + hFloor and
+// dRows[i-1][u] = Σ_{(u,w)∈E} w(u,w)·hPlusRows[i-1][w]. The loops and
+// accumulation order are exactly those the per-topic kernel used before
+// the cache existed, so the cached values are bit-identical to an inline
+// recomputation. The cache is only marked valid once fully built; a
+// cancellation mid-build leaves it invalid for the next caller.
+func (sc *scratch) ensureTopicFreeRows(ctx context.Context, g *graph.Graph, walks *randwalk.Index) error {
+	if sc.cacheG == g && sc.cacheWalks == walks {
+		return nil
+	}
+	sc.cacheG, sc.cacheWalks = nil, nil
+	n := g.NumNodes()
+	L := walks.L
+	if cap(sc.hPlusRows) < L {
+		sc.hPlusRows = make([][]float64, L)
+		sc.dRows = make([][]float64, L)
+	}
+	sc.hPlusRows = sc.hPlusRows[:L]
+	sc.dRows = sc.dRows[:L]
+	for i := 1; i <= L; i++ {
+		if cap(sc.hPlusRows[i-1]) < n {
+			sc.hPlusRows[i-1] = make([]float64, n)
+			sc.dRows[i-1] = make([]float64, n)
+		}
+		hPlus := sc.hPlusRows[i-1][:n]
+		d := sc.dRows[i-1][:n]
+		sc.hPlusRows[i-1], sc.dRows[i-1] = hPlus, d
+		h := walks.VisitFreqRow(i)
+		for v := 0; v < n; v++ {
+			hPlus[v] = h[v] + hFloor
+		}
+		for u := 0; u < n; u++ {
+			if u%ctxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			nbrs, ws := g.OutNeighbors(graph.NodeID(u))
+			sum := 0.0
+			for k, w := range nbrs {
+				sum += ws[k] * hPlus[w] //pitlint:ignore probinvariant D_T is a normalizing denominator, not a probability; the transition built from it is clamped at use
+			}
+			d[u] = sum
+		}
+	}
+	sc.cacheG, sc.cacheWalks = g, walks
+	return nil
+}
+
+// nextTopicEpoch advances the topic-position epoch, handling uint32
+// wraparound (a stale stamp must never equal a live epoch).
+func (sc *scratch) nextTopicEpoch() uint32 {
+	sc.topicEpoch++
+	if sc.topicEpoch == 0 {
+		clear(sc.topicStamp)
+		sc.topicEpoch = 1
+	}
+	return sc.topicEpoch
+}
+
+func (sc *scratch) nextRepEpoch() uint32 {
+	sc.repEpoch++
+	if sc.repEpoch == 0 {
+		clear(sc.repStamp)
+		sc.repEpoch = 1
+	}
+	return sc.repEpoch
+}
+
+// ensureMatrix sizes the migration matrix (cells) and weights (reps)
+// buffers and returns them zeroed.
+func (sc *scratch) ensureMatrix(cells, reps int) (m, weights []float64) {
+	if cap(sc.m) < cells {
+		sc.m = make([]float64, cells)
+	}
+	if cap(sc.weights) < reps {
+		sc.weights = make([]float64, reps)
+	}
+	sc.m = sc.m[:cells]
+	sc.weights = sc.weights[:reps]
+	clear(sc.m)
+	clear(sc.weights)
+	return sc.m, sc.weights
+}

@@ -1,0 +1,29 @@
+package rcl
+
+// Kernel micro-benchmark over the golden fixture — the per-topic RCL-A
+// cost (clustering + centroid selection) with no cache layers in front.
+// `make bench-smoke` runs this once; cmd/pitperf measures the same shape
+// on the full benchmark dataset.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/topics"
+)
+
+func BenchmarkSummarizeCorpus(b *testing.B) {
+	g, space, walks := goldenWorld(b)
+	s, err := New(g, space, walks, Options{Seed: 13})
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := space.NumTopics()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Summarize(context.Background(), topics.TopicID(i%total)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,7 +8,7 @@ package rcl
 // the group's central node.
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -52,6 +52,49 @@ func Centrality(tr *graph.Traverser, v graph.NodeID, group []graph.NodeID, maxHo
 	return float64(len(group)) / float64(totalDist)
 }
 
+// centrality computes the same closeness centrality as Centrality over
+// the summarizer's scratch arena: the pending set is an epoch-stamped
+// array, so the per-visit membership test is one word read instead of a
+// map probe and nothing is allocated. The distance accumulation order is
+// identical (BFS visit order), so the two always agree exactly — pinned
+// by TestCentralityMatchesArena.
+func (s *Summarizer) centrality(v graph.NodeID, group []graph.NodeID, maxHops int) float64 {
+	if len(group) == 0 {
+		return 0
+	}
+	sc := s.sc
+	sc.ensureNodes(s.g.NumNodes())
+	epoch := sc.nextPendEpoch()
+	remaining := 0
+	for _, m := range group {
+		if sc.pendStamp[m] != epoch {
+			sc.pendStamp[m] = epoch
+			remaining++
+		}
+	}
+	totalDist := 0
+	if sc.pendStamp[v] == epoch {
+		sc.pendStamp[v] = 0 // distance(v, v) = 0 contributes nothing
+		remaining--
+	}
+	if remaining > 0 {
+		tr := s.tr
+		tr.Forward(v, maxHops, func(n graph.NodeID, d int) bool {
+			if sc.pendStamp[n] == epoch {
+				sc.pendStamp[n] = 0
+				totalDist += d
+				remaining--
+			}
+			return remaining > 0
+		})
+	}
+	totalDist += remaining * (maxHops + 1)
+	if totalDist == 0 {
+		return float64(len(group))
+	}
+	return float64(len(group)) / float64(totalDist)
+}
+
 // selectCentral is Algorithm 4: returns the central node of the group, or
 // -1 for an empty group. The walk-index I_L lists supply the voters; the
 // candidate set is every node achieving the maximum vote count. The
@@ -65,35 +108,50 @@ func (s *Summarizer) selectCentral(group []graph.NodeID) graph.NodeID {
 		// A singleton group is ideally represented by itself.
 		return group[0]
 	}
-	votes := map[graph.NodeID]int{}
+	// Tally votes in the epoch-stamped arena: voteNodes records which
+	// entries are live this call, so reuse is O(votes cast).
+	sc := s.sc
+	sc.ensureNodes(s.g.NumNodes())
+	epoch := sc.nextVoteEpoch()
+	voteNodes := sc.voteNodes[:0]
+	cast := func(v graph.NodeID) {
+		if sc.voteStamp[v] != epoch {
+			sc.voteStamp[v] = epoch
+			sc.votes[v] = 0
+			voteNodes = append(voteNodes, v)
+		}
+		sc.votes[v]++
+	}
 	for _, m := range group {
 		// Group members vote for themselves too: a member that reaches
 		// the others is the natural centroid.
-		votes[m]++
+		cast(m)
 		for _, voter := range s.walks.ReachL(m) {
-			votes[voter]++
+			cast(voter)
 		}
 	}
-	maxVotes := 0
-	for _, c := range votes {
-		if c > maxVotes {
-			maxVotes = c
+	sc.voteNodes = voteNodes // keep the grown buffer
+	maxVotes := int32(0)
+	for _, v := range voteNodes {
+		if sc.votes[v] > maxVotes {
+			maxVotes = sc.votes[v]
 		}
 	}
-	var candidates []graph.NodeID
-	for v, c := range votes {
-		if c == maxVotes {
+	candidates := sc.candidates[:0]
+	for _, v := range voteNodes {
+		if sc.votes[v] == maxVotes {
 			candidates = append(candidates, v)
 		}
 	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	sc.candidates = candidates
+	slices.Sort(candidates)
 
 	opts := s.opts
 	opts.fill(s.walks.L, len(group))
 	best := candidates[0]
 	bestScore := -1.0
 	for _, cand := range candidates {
-		score := Centrality(s.tr, cand, group, 2*opts.L)
+		score := s.centrality(cand, group, 2*opts.L)
 		if score > bestScore {
 			best, bestScore = cand, score
 		}
@@ -117,7 +175,7 @@ func (s *Summarizer) refineCentroid(best graph.NodeID, bestScore float64, group 
 		in, _ := s.g.InNeighbors(best)
 		for _, nbrs := range [][]graph.NodeID{out, in} {
 			for _, cand := range nbrs {
-				if score := Centrality(s.tr, cand, group, maxHops); score > bestScore {
+				if score := s.centrality(cand, group, maxHops); score > bestScore {
 					best, bestScore = cand, score
 					improved = true
 				}

@@ -11,11 +11,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/prob"
-	"repro/internal/randwalk"
 	"repro/internal/topics"
 )
 
@@ -87,48 +85,84 @@ func (gr *grouping) set(i, j int, l pairLabel) {
 	gr.labels[j*len(gr.nodes)+i] = l
 }
 
-// sampleNodes draws a degree-proportional sample V′ of about rate·|V| nodes
-// and returns a membership bitmap. Zero-degree nodes are never sampled (they
-// can neither reach nor be reached).
-func sampleNodes(g *graph.Graph, rate float64, rng *rand.Rand) []bool {
-	n := g.NumNodes()
-	member := make([]bool, n)
+// sampleNodes draws a degree-proportional sample V′ of about rate·|V|
+// nodes into the scratch's epoch-stamped membership arrays and returns
+// |V′|. Zero-degree nodes are never sampled (they can neither reach nor
+// be reached). The rng is consulted once per graph node regardless of
+// outcome, so the consumption sequence is independent of the sample.
+func (s *Summarizer) sampleNodes(rate float64, rng *rand.Rand) int {
+	sc := s.sc
+	epoch := sc.nextSampleEpoch()
+	n := s.g.NumNodes()
 	if n == 0 {
-		return member
+		return 0
 	}
-	totalDeg := 0.0
-	for v := 0; v < n; v++ {
-		totalDeg += float64(g.Degree(graph.NodeID(v)))
+	if len(sc.degs) != n {
+		// Degrees and their sum are properties of the immutable graph:
+		// compute them once (same accumulation order as the previous
+		// per-call loop, so totalDeg is the identical float64).
+		sc.degs = make([]float64, n)
+		sc.totalDeg = 0
+		for v := 0; v < n; v++ {
+			sc.degs[v] = float64(s.g.Degree(graph.NodeID(v)))
+			sc.totalDeg += sc.degs[v]
+		}
 	}
+	totalDeg := sc.totalDeg
 	if prob.IsZero(totalDeg) {
-		return member
+		return 0
 	}
 	target := rate * float64(n)
 	// Each node is included independently with probability proportional
 	// to its degree, scaled so the expected sample size is target.
 	scale := target / totalDeg
+	size := 0
 	for v := 0; v < n; v++ {
-		p := scale * float64(g.Degree(graph.NodeID(v)))
+		p := scale * sc.degs[v]
 		if p > 1 {
 			p = 1
 		}
 		if rng.Float64() < p {
-			member[v] = true
+			sc.sampleStamp[v] = epoch
+			sc.sampleIdx[v] = int32(size)
+			size++
 		}
 	}
-	return member
+	return size
 }
 
-// reachWithinSample returns ReachL(u) filtered by the V′ bitmap, sorted.
-func reachWithinSample(ix *randwalk.Index, u graph.NodeID, inSample []bool) []graph.NodeID {
-	full := ix.ReachL(u)
-	out := make([]graph.NodeID, 0, len(full)/4+1)
-	for _, x := range full {
-		if inSample[x] {
-			out = append(out, x)
-		}
+// buildSignatures packs V_{u,L} ∩ V′ for every topic node into word-wide
+// bitsets over the dense sample positions, with popcounts in sc.counts.
+// Returns the signature width in words. The per-node loop checks ctx
+// every 256 nodes (the walk-index lists make it a heavy loop).
+func (s *Summarizer) buildSignatures(ctx context.Context, vt []graph.NodeID, sampleSize int) (int, error) {
+	sc := s.sc
+	words := (sampleSize + 63) / 64
+	sc.ensureSignatures(len(vt), words)
+	if sampleSize == 0 {
+		return 0, nil
 	}
-	return out
+	epoch := sc.sampleEpoch
+	for i, u := range vt {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		sig := sc.sigWords[i*words : (i+1)*words]
+		c := 0
+		for _, x := range s.walks.ReachL(u) {
+			if sc.sampleStamp[x] == epoch {
+				pos := uint32(sc.sampleIdx[x])
+				if sig[pos>>6]&(1<<(pos&63)) == 0 {
+					sig[pos>>6] |= 1 << (pos & 63)
+					c++
+				}
+			}
+		}
+		sc.counts[i] = c
+	}
+	return words, nil
 }
 
 // intersectionSize counts common elements of two sorted slices.
@@ -149,9 +183,42 @@ func intersectionSize(a, b []graph.NodeID) int {
 	return count
 }
 
+// pairDecision applies Rules 1–3 of Algorithm 1 to one topic-node pair:
+// common is |V_{u,L} ∩ V_{v,L} ∩ V′|, sizeI/sizeJ the per-node sample
+// reach sizes, inv = 1/|V′|. The rng is consumed exactly when Rule 3
+// fires, so every grouping implementation replays the same sequence.
+func pairDecision(common, sizeI, sizeJ int, inv float64, rng *rand.Rand) pairLabel {
+	gPlus := float64(common) * inv
+	gMinus := float64(sizeI-common+sizeJ-common) * inv
+	gStar := 1 - gPlus - gMinus
+	switch {
+	// Rule 1: clearly in.
+	case gPlus >= gMinus && gPlus >= gStar:
+		return labelGrouped
+	// Rule 2: clearly out.
+	case gMinus >= gPlus && gMinus >= gStar:
+		return labelSplit
+	// Rule 3: undecided; group with probability GP+/(1−GP−).
+	case gPlus >= gMinus && gPlus < gStar:
+		pr := 0.0
+		if 1-gMinus > 0 {
+			pr = gPlus / (1 - gMinus)
+		}
+		if rng.Float64() <= pr {
+			return labelGrouped
+		}
+		return labelSplit
+	default:
+		// GP* dominates and GP− > GP+: no rule fires; leave unset,
+		// which the tree treats as not groupable.
+		return labelUnset
+	}
+}
+
 // buildGrouping runs Algorithm 1's pair-labeling over the topic nodes.
 // sampleSize is |V′|; reach[i] is V_{u_i,L} ∩ V′ for topic node i. The
-// O(|V_t|²) pair loop checks ctx once per row.
+// O(|V_t|²) pair loop checks ctx once per row. This slice-based variant
+// backs the unit tests; the summarization path uses buildGroupingSig.
 func buildGrouping(ctx context.Context, nodes []graph.NodeID, reach [][]graph.NodeID, sampleSize int, rng *rand.Rand) (*grouping, error) {
 	gr := &grouping{nodes: nodes, labels: make([]pairLabel, len(nodes)*len(nodes))}
 	if sampleSize == 0 {
@@ -164,34 +231,30 @@ func buildGrouping(ctx context.Context, nodes []graph.NodeID, reach [][]graph.No
 		}
 		for j := i + 1; j < len(nodes); j++ {
 			common := intersectionSize(reach[i], reach[j])
-			gPlus := float64(common) * inv
-			gMinus := float64(len(reach[i])-common+len(reach[j])-common) * inv
-			gStar := 1 - gPlus - gMinus
-			var label pairLabel
-			switch {
-			// Rule 1: clearly in.
-			case gPlus >= gMinus && gPlus >= gStar:
-				label = labelGrouped
-			// Rule 2: clearly out.
-			case gMinus >= gPlus && gMinus >= gStar:
-				label = labelSplit
-			// Rule 3: undecided; group with probability GP+/(1−GP−).
-			case gPlus >= gMinus && gPlus < gStar:
-				pr := 0.0
-				if 1-gMinus > 0 {
-					pr = gPlus / (1 - gMinus)
-				}
-				if rng.Float64() <= pr {
-					label = labelGrouped
-				} else {
-					label = labelSplit
-				}
-			default:
-				// GP* dominates and GP− > GP+: no rule fires; leave
-				// unset, which the tree treats as not groupable.
-				label = labelUnset
-			}
-			gr.set(i, j, label)
+			gr.set(i, j, pairDecision(common, len(reach[i]), len(reach[j]), inv, rng))
+		}
+	}
+	return gr, nil
+}
+
+// buildGroupingSig is buildGrouping over the scratch's bitset signatures:
+// the same pair decisions, with each intersection an AND + popcount over
+// `words` machine words instead of a sorted-slice merge.
+func (s *Summarizer) buildGroupingSig(ctx context.Context, nodes []graph.NodeID, sampleSize, words int, rng *rand.Rand) (*grouping, error) {
+	sc := s.sc
+	gr := &grouping{nodes: nodes, labels: sc.ensureLabels(len(nodes))}
+	if sampleSize == 0 {
+		return gr, nil // no evidence: nothing can be grouped
+	}
+	inv := 1.0 / float64(sampleSize)
+	for i := range nodes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sigI := sc.sigWords[i*words : (i+1)*words]
+		for j := i + 1; j < len(nodes); j++ {
+			common := sigCommon(sigI, sc.sigWords[j*words:(j+1)*words])
+			gr.set(i, j, pairDecision(common, sc.counts[i], sc.counts[j], inv, rng))
 		}
 	}
 	return gr, nil
@@ -206,14 +269,20 @@ type nodeSet []int
 // distinguishing element of a right sibling when that element groups
 // (GPLabel = 1) with every member. The total number of materialized sets is
 // capped at maxNodes; enumeration is best-first in input order so the cap
-// degrades gracefully to smaller groups rather than failing.
-func setEnumerationTree(ctx context.Context, gr *grouping, maxNodes int) ([]nodeSet, error) {
+// degrades gracefully to smaller groups rather than failing. A non-nil sc
+// supplies the set backing and header buffers; nil allocates per call.
+func setEnumerationTree(ctx context.Context, gr *grouping, maxNodes int, sc *scratch) ([]nodeSet, error) {
 	n := len(gr.nodes)
-	level := make([]nodeSet, n)
-	for i := 0; i < n; i++ {
-		level[i] = nodeSet{i}
+	var level, nextBuf, all []nodeSet
+	if sc != nil {
+		sc.resetSets()
+		level, nextBuf, all = sc.hdrA[:0], sc.hdrB[:0], sc.sets[:0]
 	}
-	all := make([]nodeSet, 0, n*2)
+	for i := 0; i < n; i++ { //pitlint:ignore ctxloop |V_t|-bounded singleton allocation pass; ctx is checked at the top of every SE-tree level below
+		one := sc.allocSet(1)
+		one[0] = i
+		level = append(level, one)
+	}
 	all = append(all, level...)
 	budget := maxNodes - n
 
@@ -221,7 +290,7 @@ func setEnumerationTree(ctx context.Context, gr *grouping, maxNodes int) ([]node
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		var next []nodeSet
+		next := nextBuf[:0]
 	outer:
 		for xi := 0; xi < len(level) && budget > 0; xi++ {
 			sx := level[xi]
@@ -235,7 +304,7 @@ func setEnumerationTree(ctx context.Context, gr *grouping, maxNodes int) ([]node
 				if !groupsWithAll(gr, sx, add) {
 					continue
 				}
-				merged := make(nodeSet, len(sx)+1)
+				merged := sc.allocSet(len(sx) + 1)
 				copy(merged, sx)
 				merged[len(sx)] = add
 				next = append(next, merged)
@@ -246,7 +315,15 @@ func setEnumerationTree(ctx context.Context, gr *grouping, maxNodes int) ([]node
 				}
 			}
 		}
-		level = next
+		// Ping-pong the header buffers: the finished level's backing
+		// becomes next round's append target.
+		level, nextBuf = next, level[:0]
+	}
+	if sc != nil {
+		// Keep the grown buffers for the next Cluster call. all may have
+		// outgrown sc.sets' backing; the headers are interchangeable.
+		sc.sets = all[:0]
+		sc.hdrA, sc.hdrB = level[:0], nextBuf[:0]
 	}
 	return all, nil
 }
@@ -279,8 +356,11 @@ func groupsWithAll(gr *grouping, s nodeSet, cand int) bool {
 // noOverlapGrouping is Algorithm 3: repeatedly pick the largest enumerated
 // set not exceeding ⌈|V_t|/CSize⌉, commit it as a group, and delete its
 // members from all remaining sets. Leftover nodes become singleton groups
-// (Rule 4: every node appears in exactly one group).
-func noOverlapGrouping(gr *grouping, sets []nodeSet, cSize int) [][]graph.NodeID {
+// (Rule 4: every node appears in exactly one group). The returned groups
+// are caller-owned, carved from one flat backing (Rule 4 means their
+// total length is exactly |V_t|); a non-nil sc supplies the sort and
+// membership scratch.
+func noOverlapGrouping(gr *grouping, sets []nodeSet, cSize int, sc *scratch) [][]graph.NodeID {
 	n := len(gr.nodes)
 	capSize := (n + cSize - 1) / cSize
 	if capSize < 1 {
@@ -288,39 +368,76 @@ func noOverlapGrouping(gr *grouping, sets []nodeSet, cSize int) [][]graph.NodeID
 	}
 
 	// Largest-first, ties broken by enumeration (leftmost) order, which
-	// mirrors the leftmost-child walk of Algorithm 3.
-	order := make([]int, len(sets))
-	for i := range order {
-		order[i] = i
+	// mirrors the leftmost-child walk of Algorithm 3. The key is the set
+	// length alone — ties everywhere — so the order is produced by a
+	// stable counting sort over lengths: the exact permutation a stable
+	// comparison sort would give, with no comparator calls.
+	maxLen := 0
+	for _, s := range sets {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
 	}
-	sort.SliceStable(order, func(a, b int) bool { return len(sets[order[a]]) > len(sets[order[b]]) })
+	var order, buckets []int
+	var taken []bool
+	if sc != nil {
+		if cap(sc.order) < len(sets) {
+			sc.order = make([]int, len(sets))
+		}
+		order = sc.order[:len(sets)]
+		if cap(sc.buckets) < maxLen+1 {
+			sc.buckets = make([]int, maxLen+1)
+		}
+		buckets = sc.buckets[:maxLen+1]
+		clear(buckets)
+		if cap(sc.taken) < n {
+			sc.taken = make([]bool, n)
+		}
+		taken = sc.taken[:n]
+		clear(taken)
+	} else {
+		order = make([]int, len(sets))
+		buckets = make([]int, maxLen+1)
+		taken = make([]bool, n)
+	}
+	for _, s := range sets {
+		buckets[len(s)]++
+	}
+	start := 0
+	for l := maxLen; l >= 0; l-- {
+		c := buckets[l]
+		buckets[l] = start
+		start += c
+	}
+	for i, s := range sets {
+		order[buckets[len(s)]] = i
+		buckets[len(s)]++
+	}
 
-	taken := make([]bool, n)
+	flat := make([]graph.NodeID, 0, n)
 	var groups [][]graph.NodeID
 	for _, si := range order {
 		s := sets[si]
 		if len(s) > capSize {
 			continue // pruned exactly like r.removeNode(s) for oversized sets
 		}
-		var fresh []int
+		start := len(flat)
 		for _, m := range s {
 			if !taken[m] {
-				fresh = append(fresh, m)
+				taken[m] = true
+				flat = append(flat, gr.nodes[m])
 			}
 		}
-		if len(fresh) == 0 {
+		if len(flat) == start {
 			continue
 		}
-		group := make([]graph.NodeID, len(fresh))
-		for i, m := range fresh {
-			taken[m] = true
-			group[i] = gr.nodes[m]
-		}
-		groups = append(groups, group)
+		groups = append(groups, flat[start:len(flat):len(flat)])
 	}
 	for m := 0; m < n; m++ {
 		if !taken[m] {
-			groups = append(groups, []graph.NodeID{gr.nodes[m]})
+			start := len(flat)
+			flat = append(flat, gr.nodes[m])
+			groups = append(groups, flat[start:len(flat):len(flat)])
 		}
 	}
 	return groups
@@ -341,29 +458,19 @@ func (s *Summarizer) Cluster(ctx context.Context, t topics.TopicID) ([][]graph.N
 	opts.fill(s.walks.L, len(vt))
 	rng := rand.New(rand.NewSource(opts.Seed ^ int64(t)*0x9e3779b9))
 
-	inSample := sampleNodes(s.g, opts.SampleRate, rng)
-	sampleSize := 0
-	for _, in := range inSample {
-		if in {
-			sampleSize++
-		}
-	}
-	reach := make([][]graph.NodeID, len(vt))
-	for i, u := range vt {
-		if i%256 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		reach[i] = reachWithinSample(s.walks, u, inSample)
-	}
-	gr, err := buildGrouping(ctx, vt, reach, sampleSize, rng)
+	s.sc.ensureNodes(s.g.NumNodes())
+	sampleSize := s.sampleNodes(opts.SampleRate, rng)
+	words, err := s.buildSignatures(ctx, vt, sampleSize)
 	if err != nil {
 		return nil, err
 	}
-	sets, err := setEnumerationTree(ctx, gr, opts.MaxTreeNodes)
+	gr, err := s.buildGroupingSig(ctx, vt, sampleSize, words, rng)
 	if err != nil {
 		return nil, err
 	}
-	return noOverlapGrouping(gr, sets, opts.CSize), nil
+	sets, err := setEnumerationTree(ctx, gr, opts.MaxTreeNodes, s.sc)
+	if err != nil {
+		return nil, err
+	}
+	return noOverlapGrouping(gr, sets, opts.CSize, s.sc), nil
 }

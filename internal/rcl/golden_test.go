@@ -1,0 +1,96 @@
+package rcl
+
+// Golden tests pinning RCL-A's output byte-for-byte on fixed seeds. The
+// PR-5 kernel work (bitset reachability signatures, the epoch-stamped
+// clustering arena) must be pure performance: identical inputs produce
+// identical summaries down to the last float bit. If an optimization
+// legitimately needs to change results, that is a semantic change — make
+// it explicit by updating these digests in its own commit.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/randwalk"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// goldenWorld is the fixed dataset every golden digest is computed over.
+func goldenWorld(t testing.TB) (*graph.Graph, *topics.Space, *randwalk.Index) {
+	t.Helper()
+	g, err := dataset.GenerateGraph(dataset.GraphConfig{
+		Nodes: 300, MinOutDegree: 2, MaxOutDegree: 6, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := dataset.GenerateTopics(g, dataset.TopicConfig{
+		Tags: 3, TopicsPerTag: 3, MeanTopicNodes: 20, Locality: 0.7, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walks, err := randwalk.Build(context.Background(), g, randwalk.Options{L: 4, R: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, space, walks
+}
+
+// summarizeAll materializes every topic in order and returns the batch.
+func summarizeAll(t testing.TB, s *Summarizer, space *topics.Space) []summary.Summary {
+	t.Helper()
+	out := make([]summary.Summary, space.NumTopics())
+	for i := range out {
+		sum, err := s.Summarize(context.Background(), topics.TopicID(i))
+		if err != nil {
+			t.Fatalf("topic %d: %v", i, err)
+		}
+		if err := sum.Validate(); err != nil {
+			t.Fatalf("topic %d: %v", i, err)
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+func TestGoldenSummaries(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{
+			name: "defaults",
+			opts: Options{Seed: 13},
+			want: "7640de9b24fcc559ba8e2d2fd5bb789fe7baf8923c7536e6e796fa629da9e112",
+		},
+		{
+			name: "clustered_refined",
+			opts: Options{CSize: 4, SampleRate: 0.4, RefineCentroid: true, RepCount: 8, Seed: 29},
+			want: "bb39c3220861dd80118affdcbad02ffe9f13bd947309b9087a25a1f5e0eb7bdd",
+		},
+	}
+	g, space, walks := goldenWorld(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := New(g, space, walks, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Two passes through one summarizer: scratch reuse across
+			// Cluster calls must not leak state between topics or calls.
+			first := summary.Digest(summarizeAll(t, s, space))
+			second := summary.Digest(summarizeAll(t, s, space))
+			if first != second {
+				t.Fatalf("repeat summarization diverged: %s then %s", first, second)
+			}
+			if first != tc.want {
+				t.Fatalf("golden digest mismatch:\n got  %s\n want %s", first, tc.want)
+			}
+		})
+	}
+}

@@ -7,9 +7,10 @@ package rcl
 // PIT-Search (Algorithm 10).
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/randwalk"
@@ -26,6 +27,9 @@ type Summarizer struct {
 	walks *randwalk.Index
 	tr    *graph.Traverser
 	opts  Options
+	// sc is the per-summarizer scratch arena (see scratch.go); it is what
+	// makes the Summarizer single-goroutine, together with tr.
+	sc *scratch
 }
 
 var _ summary.Summarizer = (*Summarizer)(nil)
@@ -39,7 +43,7 @@ func New(g *graph.Graph, space *topics.Space, walks *randwalk.Index, opts Option
 	if walks.NumNodes() != g.NumNodes() {
 		return nil, fmt.Errorf("rcl: walk index built over %d nodes, graph has %d", walks.NumNodes(), g.NumNodes())
 	}
-	return &Summarizer{g: g, space: space, walks: walks, tr: graph.NewTraverser(g), opts: opts}, nil
+	return &Summarizer{g: g, space: space, walks: walks, tr: graph.NewTraverser(g), opts: opts, sc: &scratch{}}, nil
 }
 
 // Summarize runs the offline stage of Algorithm 5 for one topic: it
@@ -73,15 +77,18 @@ func (s *Summarizer) Summarize(ctx context.Context, t topics.TopicID) (summary.S
 	sum := summary.New(t, reps)
 	if s.opts.RepCount > 0 && sum.Len() > s.opts.RepCount {
 		// Keep the heaviest centroids; ties by node ID for determinism.
+		// Explicit >/< branches keep the comparator NaN-safe: a NaN
+		// weight falls through to the ID tiebreak instead of poisoning
+		// the order relation.
 		trimmed := append([]summary.WeightedNode(nil), sum.Reps...)
-		sort.Slice(trimmed, func(a, b int) bool {
-			if trimmed[a].Weight > trimmed[b].Weight {
-				return true
+		slices.SortFunc(trimmed, func(a, b summary.WeightedNode) int {
+			switch {
+			case a.Weight > b.Weight:
+				return -1
+			case a.Weight < b.Weight:
+				return 1
 			}
-			if trimmed[a].Weight < trimmed[b].Weight {
-				return false
-			}
-			return trimmed[a].Node < trimmed[b].Node
+			return cmp.Compare(a.Node, b.Node)
 		})
 		sum = summary.New(t, trimmed[:s.opts.RepCount])
 	}

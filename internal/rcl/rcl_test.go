@@ -349,11 +349,11 @@ func TestSetEnumerationTreeRespectsCap(t *testing.T) {
 			gr.set(i, j, labelGrouped)
 		}
 	}
-	sets, _ := setEnumerationTree(context.Background(), gr, 10)
+	sets, _ := setEnumerationTree(context.Background(), gr, 10, nil)
 	if len(sets) > 10 {
 		t.Errorf("cap violated: %d sets", len(sets))
 	}
-	full, _ := setEnumerationTree(context.Background(), gr, 1000)
+	full, _ := setEnumerationTree(context.Background(), gr, 1000, nil)
 	// All 2^6−1 non-empty subsets are groupable.
 	if len(full) != 63 {
 		t.Errorf("full enumeration produced %d sets, want 63", len(full))
@@ -376,8 +376,8 @@ func TestNoOverlapGroupingPartitions(t *testing.T) {
 				gr.set(i, j, pairLabel(rng.Intn(3)))
 			}
 		}
-		sets, _ := setEnumerationTree(context.Background(), gr, 200)
-		groups := noOverlapGrouping(gr, sets, 1+rng.Intn(4))
+		sets, _ := setEnumerationTree(context.Background(), gr, 200, nil)
+		groups := noOverlapGrouping(gr, sets, 1+rng.Intn(4), nil)
 		seen := map[graph.NodeID]int{}
 		for _, grp := range groups {
 			for _, v := range grp {

@@ -1,0 +1,33 @@
+package summary
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Digest returns a hex SHA-256 over the exact contents of the summaries,
+// in the given order: topic ID, rep count, then every representative's
+// node ID and the raw IEEE-754 bits of its weight. Two digest-equal
+// summary sets are byte-identical — not merely approximately equal — so
+// golden tests can pin a summarizer's output across refactors and perf
+// work, and operational tooling can compare materialized corpora without
+// shipping the summaries themselves.
+func Digest(sums []Summary) string {
+	h := sha256.New()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, s := range sums {
+		word(uint64(int64(s.Topic)))
+		word(uint64(len(s.Reps)))
+		for _, r := range s.Reps {
+			word(uint64(int64(r.Node)))
+			word(math.Float64bits(r.Weight))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

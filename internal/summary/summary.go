@@ -7,8 +7,10 @@
 package summary
 
 import (
+	"cmp"
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/graph"
@@ -31,18 +33,26 @@ type Summary struct {
 }
 
 // New builds a Summary from (possibly unsorted, possibly duplicated)
-// weighted nodes; duplicate nodes have their weights summed.
+// weighted nodes; duplicate nodes have their weights summed. The stable
+// sort keeps duplicates in input order, so their weights accumulate in
+// exactly the sequence the caller produced them — the same float64 sum
+// the per-key accumulation of a map would give.
 func New(t topics.TopicID, reps []WeightedNode) Summary {
-	merged := map[graph.NodeID]float64{}
-	for _, r := range reps {
-		merged[r.Node] += r.Weight
+	out := make([]WeightedNode, len(reps))
+	copy(out, reps)
+	slices.SortStableFunc(out, func(a, b WeightedNode) int { return cmp.Compare(a.Node, b.Node) })
+	w := 0
+	for i := 0; i < len(out); {
+		acc := out[i].Weight
+		j := i + 1
+		for ; j < len(out) && out[j].Node == out[i].Node; j++ {
+			acc += out[j].Weight
+		}
+		out[w] = WeightedNode{Node: out[i].Node, Weight: acc}
+		w++
+		i = j
 	}
-	out := make([]WeightedNode, 0, len(merged))
-	for n, w := range merged {
-		out = append(out, WeightedNode{Node: n, Weight: w})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
-	return Summary{Topic: t, Reps: out}
+	return Summary{Topic: t, Reps: out[:w]}
 }
 
 // Len returns the number of representative nodes.
