@@ -10,7 +10,7 @@ GO ?= go
 # (e.g. `make bench BENCH_LABEL=mybranch` for a comparison run).
 BENCH_LABEL ?= after
 
-.PHONY: all help build test check fmt vet lint vulncheck race bench bench-smoke
+.PHONY: all help build test check fmt vet lint vulncheck race bench bench-smoke chaos
 
 all: check
 
@@ -26,6 +26,8 @@ help:
 	@echo "                   '$(BENCH_LABEL)' run into BENCH_PR5.json (BENCH_LABEL=...)"
 	@echo "make bench-smoke - one-shot benchmark smoke: figure benchmarks plus the"
 	@echo "                   search/core/rcl/lrw micro-benchmarks and a pitperf -smoke run"
+	@echo "make chaos       - fault-injection suite under -race: internal/chaos plus the"
+	@echo "                   planner/breaker chaos tests in core and server"
 	@echo "make vulncheck   - govulncheck when installed (best-effort)"
 
 build:
@@ -62,6 +64,15 @@ vulncheck:
 
 race:
 	$(GO) test -race ./...
+
+# Chaos: the fault-injection harness (internal/chaos) and the end-to-end
+# fidelity-ladder proofs that use it — breaker trip/recovery, zero
+# unplanned 5xx under injected failure, goroutine hygiene on shutdown —
+# always under the race detector, since the interesting bugs here are
+# races between degradation, revalidation and close.
+chaos:
+	$(GO) test -race ./internal/chaos/
+	$(GO) test -race -run 'Chaos|Breaker|Planned|Stale|Reval' ./internal/plan/ ./internal/core/ ./internal/server/
 
 # Online-path and offline-pipeline load benchmark (reproducible: fixed
 # seed, fixed dataset shape). Records the run under $(BENCH_LABEL) in

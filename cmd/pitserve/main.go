@@ -25,7 +25,14 @@
 // flips to 200 only after index construction (and materialization, when
 // requested) completes. SIGINT/SIGTERM triggers a graceful shutdown that
 // stops accepting connections, drains in-flight requests for up to
-// -shutdown-grace, then exits.
+// -shutdown-timeout, force-closes any straggler, then exits.
+//
+// Searches are served through the engine's fidelity planner: -tier-policy
+// pins the degradation policy (auto / full / materialized), -stale-ttl
+// bounds the last-known-good answer cache, and the -breaker-* flags
+// configure the circuit breaker around summary builds. Every /search
+// response carries its serving tier in the X-Pit-Tier header (see
+// DESIGN.md §13).
 package main
 
 import (
@@ -47,28 +54,57 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/server"
 )
 
 // options carries every flag so the whole app is buildable from tests.
 type options struct {
-	preset         string
-	scale          float64
-	graphIn        string
-	topicsIn       string
-	addr           string
-	opsAddr        string
-	smoke          bool
-	theta          float64
-	walkL, walkR   int
-	seed           int64
-	maxK           int
-	materialize    bool
-	warmSummaries  string
-	warmWorkers    int
-	requestTimeout time.Duration
-	maxInflight    int
-	shutdownGrace  time.Duration
+	preset             string
+	scale              float64
+	graphIn            string
+	topicsIn           string
+	addr               string
+	opsAddr            string
+	smoke              bool
+	theta              float64
+	walkL, walkR       int
+	seed               int64
+	maxK               int
+	materialize        bool
+	warmSummaries      string
+	warmWorkers        int
+	requestTimeout     time.Duration
+	maxInflight        int
+	shutdownTimeout    time.Duration
+	tierPolicy         string
+	staleTTL           time.Duration
+	breakerThreshold   int
+	breakerCooldown    time.Duration
+	breakerMaxCooldown time.Duration
+}
+
+// planConfig resolves the planner flags into the engine's plan.Config.
+// A zero -stale-ttl disables the stale tier outright (plan.Config treats
+// zero as "use the default", so the disable is mapped to negative here).
+func (o options) planConfig() (plan.Config, error) {
+	policy, err := plan.ParsePolicy(o.tierPolicy)
+	if err != nil {
+		return plan.Config{}, fmt.Errorf("-tier-policy: %w", err)
+	}
+	ttl := o.staleTTL
+	if ttl == 0 {
+		ttl = -1
+	}
+	return plan.Config{
+		Policy:   policy,
+		StaleTTL: ttl,
+		Breaker: plan.BreakerConfig{
+			Threshold:   o.breakerThreshold,
+			Cooldown:    o.breakerCooldown,
+			MaxCooldown: o.breakerMaxCooldown,
+		},
+	}, nil
 }
 
 // warmMethods resolves the -warm-summaries flag (with -materialize kept
@@ -119,7 +155,13 @@ func main() {
 	flag.IntVar(&o.warmWorkers, "warm-workers", 0, "worker pool size for the summary warm-up (≤0: GOMAXPROCS)")
 	flag.DurationVar(&o.requestTimeout, "request-timeout", 10*time.Second, "per-request deadline for API calls (0 disables)")
 	flag.IntVar(&o.maxInflight, "max-inflight", 256, "max concurrently served API requests before shedding with 429 (0 disables)")
-	flag.DurationVar(&o.shutdownGrace, "shutdown-grace", 15*time.Second, "how long a SIGTERM drains in-flight requests before forcing exit")
+	flag.DurationVar(&o.shutdownTimeout, "shutdown-timeout", 15*time.Second, "how long a SIGTERM drains in-flight requests before stragglers are force-closed")
+	flag.DurationVar(&o.shutdownTimeout, "shutdown-grace", 15*time.Second, "deprecated alias for -shutdown-timeout")
+	flag.StringVar(&o.tierPolicy, "tier-policy", "auto", "fidelity degradation policy: auto (planner decides), full (never degrade) or materialized (never build on the query path)")
+	flag.DurationVar(&o.staleTTL, "stale-ttl", 5*time.Minute, "how long a last-known-good answer may be served stale when fresher tiers fail (0 disables the stale tier)")
+	flag.IntVar(&o.breakerThreshold, "breaker-threshold", 5, "consecutive summary-build failures before the circuit breaker suspends builds (0 disables the breaker)")
+	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", time.Second, "initial breaker cooldown before a half-open probe (doubles per failed probe)")
+	flag.DurationVar(&o.breakerMaxCooldown, "breaker-max-cooldown", 30*time.Second, "upper bound on the breaker's exponential cooldown")
 	flag.Parse()
 
 	if o.smoke {
@@ -147,6 +189,10 @@ func buildApp(o options) (*app, error) {
 	if _, err := o.warmMethods(); err != nil {
 		return nil, err // reject a bad -warm-summaries before loading data
 	}
+	pcfg, err := o.planConfig()
+	if err != nil {
+		return nil, err // reject a bad -tier-policy before loading data
+	}
 	g, sp, err := dataset.LoadPresetOrFiles(o.preset, o.scale, o.graphIn, o.topicsIn)
 	if err != nil {
 		return nil, err
@@ -156,7 +202,7 @@ func buildApp(o options) (*app, error) {
 	// All families register at construction, so a scrape of an idle
 	// process already lists every metric name.
 	reg := obs.NewRegistry()
-	eng, err := core.New(g, sp, core.Options{WalkL: o.walkL, WalkR: o.walkR, Theta: o.theta, Seed: o.seed, Metrics: reg})
+	eng, err := core.New(g, sp, core.Options{WalkL: o.walkL, WalkR: o.walkR, Theta: o.theta, Seed: o.seed, Metrics: reg, Plan: pcfg})
 	if err != nil {
 		return nil, err
 	}
@@ -300,11 +346,9 @@ func (a *app) run() error {
 	case <-ctx.Done():
 	}
 
-	log.Printf("signal received; draining in-flight requests (grace %v)", a.opts.shutdownGrace)
-	shutCtx, cancel := context.WithTimeout(context.Background(), a.opts.shutdownGrace)
-	defer cancel()
-	err := httpSrv.Shutdown(shutCtx)
-	cancelBase()  // grace is over: stop engine work for any straggler
+	log.Printf("signal received; draining in-flight requests (timeout %v)", a.opts.shutdownTimeout)
+	err := drainAndStop(httpSrv, a.opts.shutdownTimeout)
+	cancelBase()  // drain is over: stop engine work for any straggler
 	a.eng.Close() // and stop detached builds no request context reaches
 	if err != nil {
 		return fmt.Errorf("shutdown: %w", err)
@@ -314,6 +358,21 @@ func (a *app) run() error {
 	}
 	log.Printf("pitserve exited cleanly")
 	return nil
+}
+
+// drainAndStop bounds the graceful drain: Shutdown stops the listener
+// and waits up to timeout for in-flight requests to finish; if any
+// straggler is still running when the timeout expires, the server is
+// force-closed so a stuck handler can never hang process exit. Returns
+// Shutdown's error (nil on a clean drain).
+func drainAndStop(hs *http.Server, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := hs.Shutdown(ctx)
+	if err != nil {
+		hs.Close() // cut connections the drain could not reclaim
+	}
+	return err
 }
 
 // smokeMetrics are the families a live process must expose after serving
@@ -337,6 +396,11 @@ var smokeMetrics = []string{
 	"pit_warm_duration_seconds",
 	"pit_search_expand_depth",
 	"pit_search_frontier_truncations_total",
+	"pit_search_topk_duration_seconds",
+	"pit_search_tier_total",
+	"pit_breaker_state",
+	"pit_materialized_skipped_topics_total",
+	"pit_stale_serves_total",
 }
 
 // runSmoke is the one-shot end-to-end check behind -smoke: build a small

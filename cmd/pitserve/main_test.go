@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"slices"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/plan"
 )
 
 func testOptions() options {
@@ -19,7 +21,7 @@ func testOptions() options {
 		preset: "data_2k", scale: 0.1,
 		theta: 0.01, walkL: 4, walkR: 8, seed: 1, maxK: 20,
 		requestTimeout: 5 * time.Second, maxInflight: 16,
-		shutdownGrace: time.Second,
+		shutdownTimeout: time.Second,
 	}
 }
 
@@ -287,6 +289,137 @@ func TestRunSmoke(t *testing.T) {
 	o := testOptions()
 	if err := runSmoke(o); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPlanConfigParsing pins the planner-flag resolution: policy names,
+// the 0-means-disabled mapping of -stale-ttl, and breaker passthrough.
+func TestPlanConfigParsing(t *testing.T) {
+	o := testOptions()
+	o.tierPolicy = "materialized"
+	o.staleTTL = 2 * time.Minute
+	o.breakerThreshold = 7
+	o.breakerCooldown = 3 * time.Second
+	o.breakerMaxCooldown = 90 * time.Second
+	pcfg, err := o.planConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcfg.Policy != plan.PolicyMaterialized || pcfg.StaleTTL != 2*time.Minute {
+		t.Errorf("planConfig = %+v", pcfg)
+	}
+	if pcfg.Breaker.Threshold != 7 || pcfg.Breaker.Cooldown != 3*time.Second || pcfg.Breaker.MaxCooldown != 90*time.Second {
+		t.Errorf("breaker config not forwarded: %+v", pcfg.Breaker)
+	}
+
+	o = testOptions() // zero tierPolicy means auto, zero staleTTL disables
+	pcfg, err = o.planConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcfg.Policy != plan.PolicyAuto {
+		t.Errorf("empty -tier-policy = %v, want auto", pcfg.Policy)
+	}
+	if pcfg.StaleTTL >= 0 {
+		t.Errorf("-stale-ttl 0 should disable the stale tier, got %v", pcfg.StaleTTL)
+	}
+
+	o = testOptions()
+	o.tierPolicy = "bogus"
+	if _, err := o.planConfig(); err == nil {
+		t.Error("unknown -tier-policy accepted")
+	}
+}
+
+// TestBuildAppRejectsBadTierPolicy: a bogus -tier-policy fails fast,
+// before dataset generation.
+func TestBuildAppRejectsBadTierPolicy(t *testing.T) {
+	o := testOptions()
+	o.tierPolicy = "degrade-maybe"
+	if _, err := buildApp(o); err == nil {
+		t.Fatal("buildApp accepted unknown -tier-policy value")
+	}
+}
+
+// drainServer starts a real http.Server around handler and returns its
+// base URL plus the server, for the shutdown-bounding tests.
+func drainServer(t *testing.T, handler http.Handler) (string, *http.Server) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: handler}
+	go func() { _ = hs.Serve(ln) }()
+	return "http://" + ln.Addr().String(), hs
+}
+
+// TestDrainAndStopFinishesInflight: a request doing slow-but-finite work
+// completes with 200 during the drain and drainAndStop reports a clean
+// shutdown.
+func TestDrainAndStopFinishesInflight(t *testing.T) {
+	started := make(chan struct{})
+	url, hs := drainServer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		time.Sleep(150 * time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	got := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(url)
+		if err != nil {
+			got <- -1
+			return
+		}
+		resp.Body.Close()
+		got <- resp.StatusCode
+	}()
+	<-started
+	if err := drainAndStop(hs, 2*time.Second); err != nil {
+		t.Errorf("drainAndStop with finite in-flight work = %v, want nil", err)
+	}
+	if code := <-got; code != http.StatusOK {
+		t.Errorf("in-flight request during drain = %d, want 200", code)
+	}
+}
+
+// TestDrainAndStopCutsStragglers: a handler stuck forever (ignoring
+// every cancellation signal) must not hang shutdown — drainAndStop
+// returns the deadline error after the timeout and force-closes the
+// connection, so the client sees a failed request, not a hang.
+func TestDrainAndStopCutsStragglers(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	url, hs := drainServer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release // stuck: ignores r.Context() and the drain entirely
+	}))
+
+	clientErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+		}
+		clientErr <- err
+	}()
+	<-started
+	start := time.Now()
+	if err := drainAndStop(hs, 100*time.Millisecond); err == nil {
+		t.Error("drainAndStop with a stuck handler = nil, want deadline error")
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Errorf("drainAndStop took %v, want ~100ms (stuck handler must not extend the drain)", waited)
+	}
+	select {
+	case err := <-clientErr:
+		if err == nil {
+			t.Error("straggler client got a response, want a cut connection")
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("straggler client still hanging after force-close")
 	}
 }
 

@@ -162,3 +162,30 @@ func badStrideNoCheck(ctx context.Context, xs []int) {
 		sink(x)
 	}
 }
+
+// The chaos-wrapper shape (internal/chaos): a fault injector adding
+// per-call latency inside a loop must still observe cancellation. A bare
+// sleep per iteration never consults ctx — a stuck regime would ignore
+// shutdown — so the rule fires.
+func sleep(d int) {}
+
+func badChaosLatencyLoop(ctx context.Context, topicIDs []int, latency int) {
+	for _, id := range topicIDs { // want "no cancellation check"
+		sleep(latency)
+		sink(id)
+	}
+}
+
+// Racing the injected delay against ctx.Done() — the shape
+// chaos.Summarizer uses — satisfies the rule.
+func goodChaosLatencyLoop(ctx context.Context, topicIDs []int, tick <-chan int) error {
+	for _, id := range topicIDs {
+		select {
+		case <-tick: // injected latency elapsed
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		sink(id)
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// okInner is a summarizer that always succeeds with a one-rep summary.
+func okInner() SummarizeFunc {
+	return func(_ context.Context, t topics.TopicID) (summary.Summary, error) {
+		return summary.New(t, []summary.WeightedNode{{Node: 1, Weight: 0.5}}), nil
+	}
+}
+
+func TestTransparentWrapper(t *testing.T) {
+	w := Wrap(okInner(), Config{})
+	for i := 0; i < 50; i++ {
+		sum, err := w.Summarize(context.Background(), topics.TopicID(i))
+		if err != nil {
+			t.Fatalf("zero config injected a fault: %v", err)
+		}
+		if sum.Topic != topics.TopicID(i) {
+			t.Fatalf("summary topic = %d, want %d", sum.Topic, i)
+		}
+	}
+	st := w.Stats()
+	if st.Calls != 50 || st.Failures != 0 || st.Panics != 0 || st.Delays != 0 {
+		t.Fatalf("stats = %+v, want 50 clean calls", st)
+	}
+}
+
+func TestFailRateIsDeterministicAndRoughlyCalibrated(t *testing.T) {
+	const n = 1000
+	run := func() (int64, []bool) {
+		w := Wrap(okInner(), Config{Seed: 42, FailRate: 0.3})
+		outcomes := make([]bool, n)
+		for i := 0; i < n; i++ {
+			_, err := w.Summarize(context.Background(), topics.TopicID(i))
+			if err != nil && !errors.Is(err, ErrTransient) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			outcomes[i] = err != nil
+		}
+		return w.Stats().Failures, outcomes
+	}
+	f1, o1 := run()
+	f2, o2 := run()
+	if f1 != f2 {
+		t.Fatalf("same seed, different failure counts: %d vs %d", f1, f2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	// 30% ± 5 points over 1000 draws.
+	if f1 < 250 || f1 > 350 {
+		t.Fatalf("failure count %d out of calibration band for rate 0.3 over %d calls", f1, n)
+	}
+}
+
+func TestPermanentOutageAndHeal(t *testing.T) {
+	w := Wrap(okInner(), Config{PermanentOutage: true})
+	for i := 0; i < 5; i++ {
+		if _, err := w.Summarize(context.Background(), 0); !errors.Is(err, ErrPermanent) {
+			t.Fatalf("outage call %d: err = %v, want ErrPermanent", i, err)
+		}
+	}
+	w.SetConfig(Config{})
+	if _, err := w.Summarize(context.Background(), 0); err != nil {
+		t.Fatalf("healed wrapper still failing: %v", err)
+	}
+	if st := w.Stats(); st.Failures != 5 {
+		t.Fatalf("failures = %d, want 5", st.Failures)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	w := Wrap(okInner(), Config{Seed: 7, PanicRate: 1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PanicRate 1 did not panic")
+			}
+		}()
+		w.Summarize(context.Background(), 3)
+	}()
+	if st := w.Stats(); st.Panics != 1 {
+		t.Fatalf("panics = %d, want 1", st.Panics)
+	}
+}
+
+func TestTargetScopesInjection(t *testing.T) {
+	w := Wrap(okInner(), Config{
+		PermanentOutage: true,
+		Target:          func(id topics.TopicID) bool { return id >= 10 },
+	})
+	if _, err := w.Summarize(context.Background(), 5); err != nil {
+		t.Fatalf("untargeted topic failed: %v", err)
+	}
+	if _, err := w.Summarize(context.Background(), 10); !errors.Is(err, ErrPermanent) {
+		t.Fatalf("targeted topic err = %v, want ErrPermanent", err)
+	}
+	st := w.Stats()
+	if st.Calls != 2 || st.Injected != 1 || st.Failures != 1 {
+		t.Fatalf("stats = %+v, want 2 calls / 1 injected / 1 failure", st)
+	}
+}
+
+func TestLatencyObservesCancellation(t *testing.T) {
+	w := Wrap(okInner(), Config{Latency: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Summarize(ctx, 0)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("injected latency ignored cancellation")
+	}
+}
+
+func TestLatencyElapses(t *testing.T) {
+	w := Wrap(okInner(), Config{Latency: 5 * time.Millisecond})
+	start := time.Now()
+	if _, err := w.Summarize(context.Background(), 0); err != nil {
+		t.Fatalf("latency-only config failed: %v", err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("call returned in %v, before the injected 5ms", d)
+	}
+	if st := w.Stats(); st.Delays != 1 {
+		t.Fatalf("delays = %d, want 1", st.Delays)
+	}
+}
+
+func TestConcurrentSetConfig(t *testing.T) {
+	// Race-detector exercise: concurrent calls and regime swaps.
+	w := Wrap(okInner(), Config{FailRate: 0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w.Summarize(context.Background(), topics.TopicID(i%8))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			w.SetConfig(Config{FailRate: float64(i%2) * 0.5, Seed: uint64(i + 1)})
+		}
+	}()
+	wg.Wait()
+	if st := w.Stats(); st.Calls != 800 {
+		t.Fatalf("calls = %d, want 800", st.Calls)
+	}
+}

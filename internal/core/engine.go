@@ -35,6 +35,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/lrw"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/propidx"
 	"repro/internal/randwalk"
 	"repro/internal/rcl"
@@ -55,6 +56,16 @@ var (
 	// ErrNotReady tags use-before-BuildIndexes: the engine exists but its
 	// offline indexes are not built yet. An HTTP server should answer 503.
 	ErrNotReady = errors.New("core: engine not ready")
+	// ErrBuildsSuspended tags summary builds refused because the method's
+	// circuit breaker is open: the kernel is failing and the planner is
+	// shedding build load while it backs off. The fidelity ladder absorbs
+	// it (degrade to materialized); direct Summarize callers see it as a
+	// retryable condition.
+	ErrBuildsSuspended = errors.New("core: summary builds suspended")
+	// ErrUnavailable tags a planned request no tier could answer: full
+	// and materialized failed and nothing (or nothing fresh enough) was
+	// in the stale cache. An HTTP server should answer 503 + Retry-After.
+	ErrUnavailable = errors.New("core: no fidelity tier available")
 )
 
 // Method selects which social summarization backs a search.
@@ -103,6 +114,11 @@ type Options struct {
 	// index durations, search expansion depth. Nil disables
 	// instrumentation at zero cost.
 	Metrics *obs.Registry
+	// Plan configures the fidelity planner behind SearchPlanned: the
+	// degradation policy, stale-answer cache, per-method build circuit
+	// breaker and cost model. The zero value enables the full ladder
+	// with the breaker disabled (see plan.Config).
+	Plan plan.Config
 }
 
 func (o *Options) fill() {
@@ -163,6 +179,18 @@ type Engine struct {
 	// disables instrumentation (use sites are nil-checked, and the
 	// checks are branch-predictable no-ops in the disabled case).
 	met *engineMetrics
+
+	// Fidelity-planner state (planned.go): the filled plan config, one
+	// build breaker per method (nil when disabled), the bounded
+	// last-known-good answer cache (nil when the stale tier is off), the
+	// full-tier cost model, and the detached-revalidation bookkeeping.
+	planCfg  plan.Config
+	breakers [2]*plan.Breaker
+	stale    *plan.Cache[resultKey, []TopicResult]
+	cost     *plan.CostModel
+	revalMu  sync.Mutex
+	revaling map[resultKey]struct{} // guarded by revalMu
+	revalWG  sync.WaitGroup
 }
 
 // New returns an Engine over the graph and topic space. Indexes are not
@@ -177,6 +205,7 @@ func New(g *graph.Graph, space *topics.Space, opts Options) (*Engine, error) {
 		space:    space,
 		opts:     opts,
 		override: map[Method]summary.Summarizer{},
+		revaling: map[resultKey]struct{}{},
 	}
 	e.life, e.stopLife = context.WithCancel(context.Background())
 	e.flight.Base = e.life
@@ -187,17 +216,38 @@ func New(g *graph.Graph, space *topics.Space, opts Options) (*Engine, error) {
 		// planting the handles here instruments it from its first query.
 		e.opts.Search.Metrics = search.NewMetrics(opts.Metrics)
 	}
+	e.planCfg = opts.Plan
+	e.planCfg.Fill()
+	for _, m := range []Method{MethodLRW, MethodRCL} {
+		bcfg := e.planCfg.Breaker
+		method := m
+		bcfg.OnStateChange = func(from, to plan.State) { e.noteBreaker(method, from, to) }
+		e.breakers[m] = plan.NewBreaker(bcfg)
+	}
+	if e.planCfg.StaleEnabled() {
+		e.stale = plan.NewCache[resultKey, []TopicResult](e.planCfg.StaleCapacity, e.planCfg.StaleTTL, nil)
+	}
+	var buildSrc plan.DurationSource
+	if e.met != nil {
+		buildSrc = e.met.buildDur
+	}
+	e.cost = plan.NewCostModel(e.planCfg.Cost, buildSrc)
 	return e, nil
 }
 
 // Close shuts down the engine's background work: it cancels the
-// lifecycle context bounding the shared singleflight summary builds, so
-// detached builds that no waiter can cancel (by design — see Summarize)
-// stop instead of outliving the process's drain period. Close is
-// idempotent and does not invalidate the cache: already-materialized
-// summaries keep serving, but cache misses after Close fail with
+// lifecycle context bounding the shared singleflight summary builds and
+// the detached stale revalidations, so background work that no waiter
+// can cancel (by design — see Summarize) stops instead of outliving the
+// process's drain period, then waits for in-flight revalidation
+// goroutines to observe the cancellation and exit. Close is idempotent
+// and does not invalidate the cache: already-materialized summaries
+// keep serving, but cache misses after Close fail with
 // context.Canceled. Call it after the serving layer has drained.
-func (e *Engine) Close() { e.stopLife() }
+func (e *Engine) Close() {
+	e.stopLife()
+	e.revalWG.Wait()
+}
 
 // Graph returns the engine's social graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
@@ -363,8 +413,18 @@ func (e *Engine) Summarize(ctx context.Context, m Method, t topics.TopicID) (sum
 		if ok {
 			return s, nil
 		}
+		// Consult the breaker only here — after the cache recheck, leader
+		// only — so a half-open probe slot is consumed exclusively by a
+		// call that will actually run a build and report its outcome.
+		br := e.breakers[m]
+		if !br.Allow() {
+			if e.met != nil {
+				e.met.buildsSuspended[m].Inc()
+			}
+			return summary.Summary{}, fmt.Errorf("%w: %v build breaker open", ErrBuildsSuspended, m)
+		}
 		start := time.Now()
-		s, err := e.summarizeBackend(ctx, m, t)
+		s, err := e.buildRecorded(ctx, m, t, br)
 		if err != nil {
 			return summary.Summary{}, err
 		}
@@ -388,6 +448,55 @@ func (e *Engine) Summarize(ctx context.Context, m Method, t topics.TopicID) (sum
 		}
 	}
 	return s, err
+}
+
+// buildRecorded runs one summarizer build and reports its outcome to
+// the method's breaker — exactly once, panic included: Allow consumed a
+// probe slot the breaker gets back only through OnSuccess/OnFailure, so
+// a panicking kernel must count as a failure before the panic continues
+// up into the singleflight recovery. Cancellations caused by engine
+// shutdown are neutral: a drained process says nothing about kernel
+// health.
+func (e *Engine) buildRecorded(ctx context.Context, m Method, t topics.TopicID, br *plan.Breaker) (summary.Summary, error) {
+	finished := false
+	defer func() {
+		if !finished {
+			br.OnFailure()
+		}
+	}()
+	s, err := e.summarizeBackend(ctx, m, t)
+	finished = true
+	switch {
+	case err == nil:
+		br.OnSuccess()
+	case errors.Is(err, context.Canceled) && e.life.Err() != nil:
+		// Shutdown, not a kernel fault: leave the breaker untouched.
+	default:
+		br.OnFailure()
+	}
+	return s, err
+}
+
+// noteBreaker is the per-method breaker's OnStateChange hook: it keeps
+// the state gauge current and counts trips. Called with the breaker's
+// lock held; metric updates only.
+func (e *Engine) noteBreaker(m Method, _, to plan.State) {
+	if e.met == nil {
+		return
+	}
+	e.met.breakerState[m].Set(int64(to))
+	if to == plan.Open {
+		e.met.breakerTrips[m].Inc()
+	}
+}
+
+// BreakerState returns the current build-breaker state for m (Closed
+// when the breaker is disabled).
+func (e *Engine) BreakerState(m Method) plan.State {
+	if !m.valid() {
+		return plan.Closed
+	}
+	return e.breakers[m].State()
 }
 
 // summarizeBackend dispatches a cache-miss build to the override seam
@@ -726,6 +835,9 @@ func (e *Engine) SearchMaterialized(ctx context.Context, m Method, query string,
 			sums = append(sums, s)
 		} else {
 			complete = false
+			if e.met != nil {
+				e.met.materializedSkipped[m].Inc()
+			}
 		}
 	}
 	if len(sums) == 0 {
@@ -776,6 +888,9 @@ func (e *Engine) SearchMaterializedDiverse(ctx context.Context, m Method, query 
 			sums = append(sums, s)
 		} else {
 			complete = false
+			if e.met != nil {
+				e.met.materializedSkipped[m].Inc()
+			}
 		}
 	}
 	if len(sums) == 0 {

@@ -47,9 +47,26 @@ type engineMetrics struct {
 	warmDur    *obs.Histogram
 	// buildDur observes successful summarization durations (the offline
 	// §3–4 work when it leaks onto the online path as a cache miss);
-	// indexDur observes BuildIndexes.
+	// indexDur observes BuildIndexes. buildDur doubles as the live
+	// calibration source for the fidelity planner's cost model.
 	buildDur *obs.Histogram
 	indexDur *obs.Histogram
+	// materializedSkipped counts q-related topics skipped by the
+	// materialized-only search paths because no summary was cached —
+	// the per-topic visibility of partial (degraded) answers.
+	materializedSkipped [2]*obs.Counter
+	// buildsSuspended counts builds refused because the method's circuit
+	// breaker was open; breakerTrips counts closed→open transitions;
+	// breakerState exposes the current state (0 closed, 1 half-open,
+	// 2 open) as a gauge.
+	buildsSuspended [2]*obs.Counter
+	breakerTrips    [2]*obs.Counter
+	breakerState    [2]*obs.Gauge
+	// staleServes counts requests answered from the stale-answer cache;
+	// revalOK/revalErr count detached stale revalidation outcomes.
+	staleServes [2]*obs.Counter
+	revalOK     *obs.Counter
+	revalErr    *obs.Counter
 }
 
 func newEngineMetrics(reg *obs.Registry) *engineMetrics {
@@ -63,6 +80,18 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		"Callers deduplicated onto another caller's in-flight summarization.", "method")
 	warm := reg.CounterVec("pit_warm_topics_total",
 		"Topics completed by WarmSummaries corpus warm-up runs.", "method")
+	skipped := reg.CounterVec("pit_materialized_skipped_topics_total",
+		"Q-related topics skipped by materialized-only searches because no summary was cached.", "method")
+	suspended := reg.CounterVec("pit_summary_builds_suspended_total",
+		"Summary builds refused because the method's circuit breaker was open.", "method")
+	trips := reg.CounterVec("pit_breaker_trips_total",
+		"Build circuit-breaker trips (closed/half-open to open transitions).", "method")
+	state := reg.GaugeVec("pit_breaker_state",
+		"Build circuit-breaker state: 0 closed, 1 half-open, 2 open.", "method")
+	staleServes := reg.CounterVec("pit_stale_serves_total",
+		"Requests answered from the stale last-known-good cache.", "method")
+	reval := reg.CounterVec("pit_revalidations_total",
+		"Detached stale-answer revalidation rebuilds by outcome.", "result")
 	m := &engineMetrics{
 		buildsCanceled: reg.Counter("pit_summary_builds_canceled_total",
 			"Summary builds canceled by Engine.Close (shutdown racing a cache miss)."),
@@ -75,6 +104,8 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		warmDur: reg.Histogram("pit_warm_duration_seconds",
 			"Wall time of successful whole-corpus WarmSummaries runs.",
 			obs.DurationBuckets),
+		revalOK:  reval.With("ok"),
+		revalErr: reval.With("err"),
 	}
 	for _, method := range []Method{MethodLRW, MethodRCL} {
 		l := metricLabel(method)
@@ -83,6 +114,11 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		m.builds[method] = builds.With(l)
 		m.dedupWaits[method] = waits.With(l)
 		m.warmTopics[method] = warm.With(l)
+		m.materializedSkipped[method] = skipped.With(l)
+		m.buildsSuspended[method] = suspended.With(l)
+		m.breakerTrips[method] = trips.With(l)
+		m.breakerState[method] = state.With(l)
+		m.staleServes[method] = staleServes.With(l)
 	}
 	return m
 }

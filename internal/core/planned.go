@@ -1,0 +1,216 @@
+package core
+
+// The fidelity ladder (internal/plan, DESIGN.md §13). SearchPlanned is
+// the planner-aware front door the serving layer calls instead of
+// Search/SearchDiverse: it picks a starting tier from the request's
+// remaining budget, the build breaker and the operator policy, then
+// walks down the ladder on failure — full → materialized → stale →
+// ErrUnavailable — so a broken or slow summarizer degrades answer
+// fidelity instead of turning into 5xx storms.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/topics"
+)
+
+// resultKey identifies one exact planned request — the stale cache
+// granularity. lambda participates because a diversified ranking is not
+// interchangeable with a plain one.
+type resultKey struct {
+	m      Method
+	query  string
+	user   graph.NodeID
+	k      int
+	lambda float64
+}
+
+// PlanOutcome reports how a planned request was served.
+type PlanOutcome struct {
+	// Tier is the fidelity tier that produced the answer (or
+	// TierUnavailable alongside ErrUnavailable).
+	Tier plan.Tier
+	// Reason is the planner's starting-tier rationale ("ok", "policy",
+	// "breaker", "budget") — bounded label values safe for metrics.
+	Reason string
+	// Complete reports whether every q-related topic contributed
+	// (always true for full and stale answers; a materialized answer
+	// may be partial).
+	Complete bool
+	// StaleAge is the served answer's age when Tier == TierStale.
+	StaleAge time.Duration
+}
+
+// SearchPlanned answers a keyword query through the fidelity ladder.
+// lambda > 0 requests diversified ranking (SearchDiverse semantics);
+// lambda <= 0 plain ranking. The outcome's Tier is authoritative: the
+// serving layer annotates the response with it and must not guess.
+//
+// Error contract: request-level mistakes (ErrInvalidArgument,
+// ErrNotReady) and client disconnects surface immediately — degrading
+// a bad request would mask bugs, and nobody is listening for a hung-up
+// one. Under PolicyFull every full-tier failure surfaces. Otherwise an
+// error return means the whole ladder was exhausted and is always
+// ErrUnavailable-wrapped.
+func (e *Engine) SearchPlanned(ctx context.Context, m Method, query string, user graph.NodeID, k int, lambda float64) ([]TopicResult, PlanOutcome, error) {
+	none := PlanOutcome{Tier: plan.TierUnavailable}
+	if err := e.requireIndexes(); err != nil {
+		return nil, none, err
+	}
+	if !m.valid() {
+		return nil, none, fmt.Errorf("%w: unknown method %v", ErrInvalidArgument, m)
+	}
+	if err := e.validateUser(user); err != nil {
+		return nil, none, err
+	}
+	related := e.space.Related(query)
+	if len(related) == 0 {
+		// An empty topic set is a complete full-fidelity answer — there is
+		// nothing to degrade.
+		return nil, PlanOutcome{Tier: plan.TierFull, Reason: "empty", Complete: true}, nil
+	}
+
+	key := resultKey{m: m, query: query, user: user, k: k, lambda: lambda}
+	decision := e.planStart(ctx, m, related)
+
+	if decision.Start == plan.TierFull {
+		res, err := e.searchFull(ctx, m, query, user, k, lambda)
+		if err == nil {
+			e.storeGood(key, res)
+			return res, PlanOutcome{Tier: plan.TierFull, Reason: decision.Reason, Complete: true}, nil
+		}
+		if errors.Is(err, ErrInvalidArgument) || errors.Is(err, ErrNotReady) {
+			return nil, none, err
+		}
+		if e.planCfg.Policy == plan.PolicyFull {
+			return nil, none, err
+		}
+		// The client hanging up is not a degradation trigger: serve nobody.
+		// (Engine shutdown also surfaces Canceled from the lifecycle
+		// context, but then the request ctx itself is still live.)
+		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+			return nil, none, err
+		}
+	}
+
+	// Materialized tier. The request's own deadline may already be blown
+	// — that is exactly when this tier earns its keep — so it runs on a
+	// fresh, bounded budget detached from the request's cancellation.
+	mctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), e.planCfg.MaterializedTimeout)
+	res, complete, err := e.SearchMaterializedDiverse(mctx, m, query, user, k, lambda)
+	cancel()
+	if err == nil && (complete || len(res) > 0) {
+		if complete {
+			// All q-related summaries were cached: this answer equals the
+			// full tier's and refreshes the last-known-good entry.
+			e.storeGood(key, res)
+		}
+		return res, PlanOutcome{Tier: plan.TierMaterialized, Reason: decision.Reason, Complete: complete}, nil
+	}
+
+	// Stale tier: last-known-good answer for this exact request, plus a
+	// detached revalidation so repeated stale hits converge back to
+	// fresh answers once the fault clears.
+	if e.stale != nil {
+		if cached, age, ok := e.stale.Get(key); ok {
+			if e.met != nil {
+				e.met.staleServes[m].Inc()
+			}
+			e.revalidate(key)
+			out := make([]TopicResult, len(cached))
+			copy(out, cached)
+			return out, PlanOutcome{Tier: plan.TierStale, Reason: decision.Reason, Complete: true, StaleAge: age}, nil
+		}
+	}
+
+	return nil, PlanOutcome{Tier: plan.TierUnavailable, Reason: decision.Reason},
+		fmt.Errorf("%w: query %q has no materialized or stale answer", ErrUnavailable, query)
+}
+
+// planStart runs the planner for one request: breaker readiness, the
+// remaining deadline and the cost model's full-tier estimate over the
+// not-yet-cached q-related topics.
+func (e *Engine) planStart(ctx context.Context, m Method, related []topics.TopicID) plan.Decision {
+	in := plan.Inputs{
+		Policy:       e.planCfg.Policy,
+		BreakerReady: e.breakers[m].Ready(),
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		in.HaveDeadline = true
+		in.Budget = time.Until(deadline)
+	}
+	uncached := 0
+	for _, t := range related {
+		if _, ok := e.cache.get(cacheKey{m, t}); !ok {
+			uncached++
+		}
+	}
+	in.Estimate, in.Calibrated = e.cost.EstimateFull(uncached)
+	return plan.Decide(in)
+}
+
+// searchFull runs the full-fidelity tier: plain or diversified ranking
+// with on-demand summarization.
+func (e *Engine) searchFull(ctx context.Context, m Method, query string, user graph.NodeID, k int, lambda float64) ([]TopicResult, error) {
+	if lambda > 0 {
+		return e.SearchDiverse(ctx, m, query, user, k, lambda)
+	}
+	return e.Search(ctx, m, query, user, k)
+}
+
+// storeGood records a full-fidelity (or provably equivalent) answer as
+// the last-known-good result for its exact request. The slice is copied
+// both ways (here and on the stale serve) so cached entries never alias
+// caller-visible memory.
+func (e *Engine) storeGood(key resultKey, res []TopicResult) {
+	if e.stale == nil {
+		return
+	}
+	cp := make([]TopicResult, len(res))
+	copy(cp, res)
+	e.stale.Put(key, cp)
+}
+
+// revalidate kicks one detached rebuild of the stale entry for key,
+// deduplicated per key: a burst of stale hits on the same request funds
+// exactly one background rebuild. The rebuild runs on the engine
+// lifecycle (not the request) with its own timeout, goes through the
+// normal full-search path — singleflight-deduplicated builds, breaker
+// checks included — and refreshes the stale entry on success. Close
+// cancels the lifecycle and waits for these goroutines.
+func (e *Engine) revalidate(key resultKey) {
+	e.revalMu.Lock()
+	if _, inflight := e.revaling[key]; inflight {
+		e.revalMu.Unlock()
+		return
+	}
+	e.revaling[key] = struct{}{}
+	e.revalWG.Add(1)
+	e.revalMu.Unlock()
+	go func() {
+		defer func() {
+			e.revalMu.Lock()
+			delete(e.revaling, key)
+			e.revalMu.Unlock()
+			e.revalWG.Done()
+		}()
+		ctx, cancel := context.WithTimeout(e.life, e.planCfg.RevalidateTimeout)
+		defer cancel()
+		res, err := e.searchFull(ctx, key.m, key.query, key.user, key.k, key.lambda)
+		if err == nil {
+			e.storeGood(key, res)
+		}
+		if e.met != nil {
+			if err == nil {
+				e.met.revalOK.Inc()
+			} else {
+				e.met.revalErr.Inc()
+			}
+		}
+	}()
+}

@@ -1,0 +1,359 @@
+package core
+
+// Fidelity-ladder tests (planned.go): tier selection under budgets and
+// breakers, degradation on build failure, stale-while-revalidate
+// convergence, the ErrUnavailable floor, operator policies, and the
+// per-topic skipped-materialization counter (satellite regression).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// dummySum is a minimal valid summary for cache-filling test doubles.
+func dummySum(t topics.TopicID) summary.Summary {
+	return summary.New(t, []summary.WeightedNode{{Node: 1, Weight: 0.5}})
+}
+
+// okSummarizer always succeeds instantly.
+func okSummarizer() summarizeFunc {
+	return func(_ context.Context, t topics.TopicID) (summary.Summary, error) {
+		return dummySum(t), nil
+	}
+}
+
+// failSummarizer always fails.
+func failSummarizer(err error) summarizeFunc {
+	return func(context.Context, topics.TopicID) (summary.Summary, error) {
+		return summary.Summary{}, err
+	}
+}
+
+// plannedEngine builds an engine over the shared smallWorld dataset
+// with a metrics registry and the given plan config.
+func plannedEngine(t *testing.T, pcfg plan.Config) (*Engine, *obs.Registry) {
+	t.Helper()
+	g, space := smallWorld()
+	reg := obs.NewRegistry()
+	eng, err := New(g, space, Options{WalkL: 4, WalkR: 8, Theta: 0.02, Seed: 7, Metrics: reg, Plan: pcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BuildIndexes(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	return eng, reg
+}
+
+func TestSearchPlannedFullTier(t *testing.T) {
+	eng, _ := plannedEngine(t, plan.Config{})
+	eng.SetSummarizer(MethodLRW, okSummarizer())
+	res, out, err := eng.SearchPlanned(context.Background(), MethodLRW, "tag000", 3, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tier != plan.TierFull || !out.Complete || out.Reason != "ok" {
+		t.Fatalf("outcome = %+v, want full/ok/complete", out)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2", len(res))
+	}
+	// Unknown query: a complete, empty full answer — nothing to degrade.
+	res, out, err = eng.SearchPlanned(context.Background(), MethodLRW, "no-such-tag", 3, 2, 0)
+	if err != nil || len(res) != 0 || out.Tier != plan.TierFull || !out.Complete {
+		t.Fatalf("empty query: res=%v out=%+v err=%v, want empty full answer", res, out, err)
+	}
+}
+
+func TestSearchPlannedValidation(t *testing.T) {
+	eng, _ := plannedEngine(t, plan.Config{})
+	if _, _, err := eng.SearchPlanned(context.Background(), Method(9), "tag000", 3, 2, 0); !errors.Is(err, ErrInvalidArgument) {
+		t.Errorf("bogus method: %v, want ErrInvalidArgument", err)
+	}
+	if _, _, err := eng.SearchPlanned(context.Background(), MethodLRW, "tag000", -5, 2, 0); !errors.Is(err, ErrInvalidArgument) {
+		t.Errorf("bogus user: %v, want ErrInvalidArgument", err)
+	}
+	g, space := smallWorld()
+	cold, err := New(g, space, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cold.SearchPlanned(context.Background(), MethodLRW, "tag000", 3, 2, 0); !errors.Is(err, ErrNotReady) {
+		t.Errorf("unbuilt engine: %v, want ErrNotReady", err)
+	}
+}
+
+// TestSearchPlannedDegradesToMaterialized: a failing summarizer with a
+// partially warmed cache degrades to a partial materialized answer
+// instead of erroring, and the skipped-topic counter sees the gap.
+func TestSearchPlannedDegradesToMaterialized(t *testing.T) {
+	eng, _ := plannedEngine(t, plan.Config{})
+	related := eng.Space().Related("tag000")
+	if len(related) < 2 {
+		t.Fatalf("scenario too small: %d related topics", len(related))
+	}
+	eng.SetSummarizer(MethodLRW, okSummarizer())
+	if err := eng.MaterializeAll(context.Background(), MethodLRW); err != nil {
+		t.Fatal(err)
+	}
+	eng.InvalidateTopic(related[0])
+	eng.SetSummarizer(MethodLRW, failSummarizer(fmt.Errorf("kernel down")))
+
+	res, out, err := eng.SearchPlanned(context.Background(), MethodLRW, "tag000", 3, len(related), 0)
+	if err != nil {
+		t.Fatalf("planned search errored instead of degrading: %v", err)
+	}
+	if out.Tier != plan.TierMaterialized || out.Complete {
+		t.Fatalf("outcome = %+v, want partial materialized", out)
+	}
+	if len(res) != len(related)-1 {
+		t.Fatalf("got %d results, want %d (one topic uncached)", len(res), len(related)-1)
+	}
+	if got := eng.met.materializedSkipped[MethodLRW].Value(); got != 1 {
+		t.Errorf("skipped counter = %d, want 1", got)
+	}
+}
+
+// TestMaterializedSkippedCounterPinned is the satellite regression test:
+// every skipped topic of a materialized-only search increments
+// pit_materialized_skipped_topics_total exactly once.
+func TestMaterializedSkippedCounterPinned(t *testing.T) {
+	eng, _ := plannedEngine(t, plan.Config{})
+	related := eng.Space().Related("tag000")
+	if _, err := eng.Summarize(context.Background(), MethodLRW, related[0]); err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(len(related) - 1)
+
+	if _, complete, err := eng.SearchMaterialized(context.Background(), MethodLRW, "tag000", 3, 2); err != nil || complete {
+		t.Fatalf("materialized search: complete=%v err=%v, want partial", complete, err)
+	}
+	if got := eng.met.materializedSkipped[MethodLRW].Value(); got != want {
+		t.Fatalf("skipped counter after SearchMaterialized = %d, want %d", got, want)
+	}
+	// The diverse variant counts through the same handle.
+	if _, _, err := eng.SearchMaterializedDiverse(context.Background(), MethodLRW, "tag000", 3, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.met.materializedSkipped[MethodLRW].Value(); got != 2*want {
+		t.Fatalf("skipped counter after diverse = %d, want %d", got, 2*want)
+	}
+}
+
+// TestSearchPlannedStaleWhileRevalidate: a budget-degraded request with
+// an empty summary cache serves the last-known-good answer, and the
+// detached revalidation restores full fidelity.
+func TestSearchPlannedStaleWhileRevalidate(t *testing.T) {
+	eng, _ := plannedEngine(t, plan.Config{})
+	related := eng.Space().Related("tag000")
+	eng.SetSummarizer(MethodLRW, okSummarizer())
+
+	fresh, out, err := eng.SearchPlanned(context.Background(), MethodLRW, "tag000", 3, 2, 0)
+	if err != nil || out.Tier != plan.TierFull {
+		t.Fatalf("seed search: out=%+v err=%v, want full", out, err)
+	}
+
+	// Blow the cache away and calibrate the cost model to "builds are
+	// expensive": the planner must now skip the full tier under a tight
+	// deadline, find nothing materialized, and fall back to stale.
+	for _, id := range related {
+		eng.InvalidateTopic(id)
+	}
+	for i := 0; i < 10; i++ {
+		eng.met.buildDur.Observe(1.0)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	res, out, err := eng.SearchPlanned(ctx, MethodLRW, "tag000", 3, 2, 0)
+	if err != nil {
+		t.Fatalf("stale path errored: %v", err)
+	}
+	if out.Tier != plan.TierStale || !out.Complete || out.Reason != "budget" {
+		t.Fatalf("outcome = %+v, want stale/budget/complete", out)
+	}
+	if len(res) != len(fresh) {
+		t.Fatalf("stale answer has %d results, want %d", len(res), len(fresh))
+	}
+	for i := range res {
+		if res[i].Topic.ID != fresh[i].Topic.ID {
+			t.Fatalf("stale answer diverged at %d: %v vs %v", i, res[i], fresh[i])
+		}
+	}
+
+	// The stale serve kicked exactly one detached revalidation; it runs
+	// with the healthy summarizer and must repopulate the summary cache.
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.met.revalOK.Value()+eng.met.revalErr.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("revalidation never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if eng.met.revalOK.Value() != 1 || eng.met.revalErr.Value() != 0 {
+		t.Fatalf("revalidations ok=%d err=%d, want exactly one success",
+			eng.met.revalOK.Value(), eng.met.revalErr.Value())
+	}
+	if got := eng.CachedSummaries(MethodLRW); got < len(related) {
+		t.Fatalf("revalidation cached %d summaries, want >= %d", got, len(related))
+	}
+	if got := eng.met.staleServes[MethodLRW].Value(); got != 1 {
+		t.Errorf("stale serves = %d, want 1", got)
+	}
+}
+
+// TestSearchPlannedUnavailable: nothing cached at any fidelity is an
+// explicit ErrUnavailable, not a 500-shaped error.
+func TestSearchPlannedUnavailable(t *testing.T) {
+	eng, _ := plannedEngine(t, plan.Config{})
+	eng.SetSummarizer(MethodLRW, failSummarizer(fmt.Errorf("kernel down")))
+	_, out, err := eng.SearchPlanned(context.Background(), MethodLRW, "tag000", 3, 2, 0)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if out.Tier != plan.TierUnavailable {
+		t.Fatalf("tier = %v, want unavailable", out.Tier)
+	}
+}
+
+// TestSearchPlannedPolicies: PolicyFull surfaces build failures,
+// PolicyMaterialized never builds.
+func TestSearchPlannedPolicies(t *testing.T) {
+	injected := fmt.Errorf("kernel down")
+	eng, _ := plannedEngine(t, plan.Config{Policy: plan.PolicyFull})
+	eng.SetSummarizer(MethodLRW, failSummarizer(injected))
+	if _, _, err := eng.SearchPlanned(context.Background(), MethodLRW, "tag000", 3, 2, 0); !errors.Is(err, injected) {
+		t.Fatalf("PolicyFull err = %v, want the build failure to surface", err)
+	}
+
+	eng2, _ := plannedEngine(t, plan.Config{Policy: plan.PolicyMaterialized})
+	var calls atomic.Int32
+	eng2.SetSummarizer(MethodLRW, summarizeFunc(func(_ context.Context, id topics.TopicID) (summary.Summary, error) {
+		calls.Add(1)
+		return dummySum(id), nil
+	}))
+	if err := eng2.MaterializeAll(context.Background(), MethodLRW); err != nil {
+		t.Fatal(err)
+	}
+	warmCalls := calls.Load()
+	res, out, err := eng2.SearchPlanned(context.Background(), MethodLRW, "tag000", 3, 2, 0)
+	if err != nil || out.Tier != plan.TierMaterialized || !out.Complete {
+		t.Fatalf("PolicyMaterialized: out=%+v err=%v, want complete materialized", out, err)
+	}
+	if len(res) == 0 {
+		t.Fatal("PolicyMaterialized returned no results from a warm cache")
+	}
+	if got := calls.Load(); got != warmCalls {
+		t.Fatalf("PolicyMaterialized ran %d builds on the query path", got-warmCalls)
+	}
+	if out.Reason != "policy" {
+		t.Fatalf("reason = %q, want policy", out.Reason)
+	}
+}
+
+// TestSearchPlannedClientCancelSurfaces: a hung-up client gets its
+// cancellation back, not a degraded answer nobody will read.
+func TestSearchPlannedClientCancelSurfaces(t *testing.T) {
+	eng, _ := plannedEngine(t, plan.Config{})
+	eng.SetSummarizer(MethodLRW, summarizeFunc(func(ctx context.Context, id topics.TopicID) (summary.Summary, error) {
+		<-ctx.Done()
+		return summary.Summary{}, ctx.Err()
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := eng.SearchPlanned(ctx, MethodLRW, "tag000", 3, 2, 0)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("planned search did not observe client cancellation")
+	}
+	// The detached build is still pending; Close must cancel and reap it.
+	eng.Close()
+}
+
+// TestBreakerTripsSuspendsAndRecovers: consecutive build failures trip
+// the breaker (suspending further builds with ErrBuildsSuspended and
+// steering the planner to the materialized tier), and a successful
+// half-open probe closes it again.
+func TestBreakerTripsSuspendsAndRecovers(t *testing.T) {
+	eng, _ := plannedEngine(t, plan.Config{
+		Breaker: plan.BreakerConfig{Threshold: 2, Cooldown: 20 * time.Millisecond, MaxCooldown: 40 * time.Millisecond, Jitter: 0.01},
+	})
+	related := eng.Space().Related("tag000")
+	injected := fmt.Errorf("kernel down")
+	eng.SetSummarizer(MethodLRW, failSummarizer(injected))
+
+	// Two distinct-topic failures reach the threshold.
+	for i := 0; i < 2; i++ {
+		if _, err := eng.Summarize(context.Background(), MethodLRW, related[i%len(related)]); !errors.Is(err, injected) {
+			t.Fatalf("failure %d: %v", i, err)
+		}
+	}
+	if st := eng.BreakerState(MethodLRW); st != plan.Open {
+		t.Fatalf("state after threshold = %v, want open", st)
+	}
+	if _, err := eng.Summarize(context.Background(), MethodLRW, related[0]); !errors.Is(err, ErrBuildsSuspended) {
+		t.Fatalf("open-breaker build err = %v, want ErrBuildsSuspended", err)
+	}
+	if eng.met.breakerTrips[MethodLRW].Value() != 1 {
+		t.Fatalf("trips = %d, want 1", eng.met.breakerTrips[MethodLRW].Value())
+	}
+	if eng.met.buildsSuspended[MethodLRW].Value() != 1 {
+		t.Fatalf("suspended = %d, want 1", eng.met.buildsSuspended[MethodLRW].Value())
+	}
+
+	// While open, the planner routes around the full tier.
+	_, out, err := eng.SearchPlanned(context.Background(), MethodLRW, "tag000", 3, 2, 0)
+	if !errors.Is(err, ErrUnavailable) || out.Reason != "breaker" {
+		t.Fatalf("open-breaker plan: out=%+v err=%v, want unavailable via breaker", out, err)
+	}
+
+	// Heal the kernel, wait out the cooldown: the half-open probe closes
+	// the breaker and full fidelity returns.
+	eng.SetSummarizer(MethodLRW, okSummarizer())
+	time.Sleep(50 * time.Millisecond)
+	if st := eng.BreakerState(MethodLRW); st != plan.HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", st)
+	}
+	res, out, err := eng.SearchPlanned(context.Background(), MethodLRW, "tag000", 3, 2, 0)
+	if err != nil || out.Tier != plan.TierFull {
+		t.Fatalf("post-heal plan: out=%+v err=%v, want full", out, err)
+	}
+	if len(res) == 0 {
+		t.Fatal("post-heal plan returned no results")
+	}
+	if st := eng.BreakerState(MethodLRW); st != plan.Closed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+}
+
+// TestSearchPlannedBudgetSkipUncalibrated: without calibration the
+// planner stays optimistic — a tight deadline does not skip the full
+// tier when no cost data exists.
+func TestSearchPlannedBudgetSkipUncalibrated(t *testing.T) {
+	eng, _ := plannedEngine(t, plan.Config{})
+	eng.SetSummarizer(MethodLRW, okSummarizer())
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, out, err := eng.SearchPlanned(ctx, MethodLRW, "tag000", 3, 2, 0)
+	if err != nil || out.Tier != plan.TierFull || out.Reason != "ok" {
+		t.Fatalf("uncalibrated tight-deadline plan: out=%+v err=%v, want optimistic full", out, err)
+	}
+}

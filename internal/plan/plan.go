@@ -1,0 +1,224 @@
+// Package plan is the per-request fidelity planner behind the serving
+// stack's graceful degradation. The paper's whole premise is that
+// summaries trade a bounded amount of precision for large latency wins;
+// this package generalizes the single degradation step of the earlier
+// serving work (deadline → materialized-only) into a staged ladder that
+// *plans* which fidelity to serve under the request's remaining budget
+// instead of failing (cf. "Topic-Based Influence Computation in Social
+// Networks under Resource Constraints", arXiv 1801.02198):
+//
+//	full         — on-demand summarization + top-k search, the paper's
+//	               exact online algorithm (Algorithms 10–11)
+//	materialized — already-cached summaries only: partial but cheap
+//	               (pure Γ lookups), the PR-4 fallback
+//	stale        — the last-known-good answer for this exact request
+//	               from a bounded TTL cache, served while a detached
+//	               revalidation rebuilds it (stale-while-revalidate)
+//	unavailable  — nothing cached at any fidelity: an explicit
+//	               503 + Retry-After, the only planned "no answer"
+//
+// Three signals drive the choice of the starting tier:
+//
+//   - the request's remaining deadline versus a per-tier cost model
+//     calibrated from the live internal/obs duration histograms
+//     (cost.go) — a request that cannot afford the uncached builds
+//     skips straight to materialized instead of burning its budget;
+//   - a circuit breaker around summarizer builds (breaker.go) — a
+//     broken kernel degrades the tier instead of stalling every query
+//     on singleflight;
+//   - the operator policy (PolicyAuto / PolicyFull / PolicyMaterialized).
+//
+// The ladder itself — attempt a tier, degrade on failure — is executed
+// by core.Engine.SearchPlanned; this package owns the decision inputs
+// and the supporting state machines so they are unit-testable without
+// an engine.
+package plan
+
+import (
+	"fmt"
+	"time"
+)
+
+// Tier is one rung of the fidelity ladder, ordered from highest
+// fidelity (TierFull) to no answer at all (TierUnavailable).
+type Tier int
+
+const (
+	// TierFull is the exact online search with on-demand summarization.
+	TierFull Tier = iota
+	// TierMaterialized restricts the search to already-cached summaries.
+	TierMaterialized
+	// TierStale serves the last-known-good cached answer for the exact
+	// (method, query, user, k, lambda) request while a detached
+	// revalidation refreshes it.
+	TierStale
+	// TierUnavailable means no tier could produce an answer; the serving
+	// layer maps it to 503 + Retry-After.
+	TierUnavailable
+)
+
+// Tiers lists every tier in ladder order — handy for pre-registering
+// metric children so tier counters expose before first use.
+var Tiers = []Tier{TierFull, TierMaterialized, TierStale, TierUnavailable}
+
+// String returns the tier's wire name (the X-Pit-Tier header value and
+// the pit_search_tier_total label).
+func (t Tier) String() string {
+	switch t {
+	case TierFull:
+		return "full"
+	case TierMaterialized:
+		return "materialized"
+	case TierStale:
+		return "stale"
+	case TierUnavailable:
+		return "unavailable"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// Policy is the operator-level degradation stance.
+type Policy int
+
+const (
+	// PolicyAuto runs the full ladder: start at the highest tier the
+	// budget/breaker allow, degrade on failure, 503 only when nothing
+	// cached exists.
+	PolicyAuto Policy = iota
+	// PolicyFull never degrades: every request attempts the exact
+	// search and failures surface as errors (the pre-planner contract,
+	// for deployments that prefer hard failures over partial answers).
+	PolicyFull
+	// PolicyMaterialized never builds on the query path: every request
+	// starts at the materialized tier (for deployments that pre-warm the
+	// corpus and want the query path strictly allocation- and
+	// build-free).
+	PolicyMaterialized
+)
+
+// String returns the policy's flag spelling.
+func (p Policy) String() string {
+	switch p {
+	case PolicyFull:
+		return "full"
+	case PolicyMaterialized:
+		return "materialized"
+	default:
+		return "auto"
+	}
+}
+
+// ParsePolicy parses a -tier-policy flag value.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "auto":
+		return PolicyAuto, nil
+	case "full":
+		return PolicyFull, nil
+	case "materialized":
+		return PolicyMaterialized, nil
+	}
+	return PolicyAuto, fmt.Errorf("plan: unknown tier policy %q (want auto, full or materialized)", s)
+}
+
+// Inputs are the signals Decide weighs when choosing the starting tier
+// for one request.
+type Inputs struct {
+	// Policy is the operator stance.
+	Policy Policy
+	// BreakerReady reports whether the method's build breaker would
+	// admit a build right now (closed, or open with an expired cooldown
+	// ready for a half-open probe). False skips the full tier entirely.
+	BreakerReady bool
+	// HaveDeadline reports whether the request carries a deadline;
+	// Budget is the time remaining until it. Without a deadline the
+	// budget check is skipped (nothing to protect).
+	HaveDeadline bool
+	Budget       time.Duration
+	// Estimate is the cost model's prediction for the full tier
+	// (uncached builds + search); Calibrated reports whether it is
+	// backed by enough live observations to be trusted. An uncalibrated
+	// model never skips the full tier — optimism plus the mid-flight
+	// degradation path beats guessing from made-up priors.
+	Estimate   time.Duration
+	Calibrated bool
+}
+
+// Decision is the planner's starting point for one request: the first
+// tier to attempt and the reason it was chosen (a bounded label:
+// "policy", "breaker", "budget" or "ok").
+type Decision struct {
+	Start  Tier
+	Reason string
+}
+
+// Decide picks the starting tier. It is a pure function of its inputs:
+// the ladder's *execution* (attempt, degrade, attempt lower) lives in
+// the engine, which re-plans nothing — one decision per request, then
+// failures walk down the ladder.
+func Decide(in Inputs) Decision {
+	switch in.Policy {
+	case PolicyFull:
+		return Decision{Start: TierFull, Reason: "policy"}
+	case PolicyMaterialized:
+		return Decision{Start: TierMaterialized, Reason: "policy"}
+	}
+	if !in.BreakerReady {
+		return Decision{Start: TierMaterialized, Reason: "breaker"}
+	}
+	if in.HaveDeadline && in.Calibrated && in.Estimate > in.Budget {
+		return Decision{Start: TierMaterialized, Reason: "budget"}
+	}
+	return Decision{Start: TierFull, Reason: "ok"}
+}
+
+// Config tunes the planner machinery an engine owns. The zero value
+// enables the ladder with a 5-minute stale TTL, a 4096-entry stale
+// cache, a 2-second materialized-tier budget and the breaker disabled;
+// Fill resolves the defaults in place.
+type Config struct {
+	// Policy is the degradation stance (default PolicyAuto).
+	Policy Policy
+	// StaleTTL bounds how old a last-known-good answer may be and still
+	// serve on the stale tier. 0 means the 5-minute default; negative
+	// disables the stale tier entirely.
+	StaleTTL time.Duration
+	// StaleCapacity bounds the stale-answer cache entry count (LRU
+	// eviction). 0 means the 4096 default; negative disables the tier.
+	StaleCapacity int
+	// MaterializedTimeout bounds the materialized-tier search that runs
+	// after the request's own deadline already expired (default 2s).
+	MaterializedTimeout time.Duration
+	// RevalidateTimeout bounds one detached stale-revalidation rebuild
+	// (default 30s).
+	RevalidateTimeout time.Duration
+	// Breaker configures the per-method build circuit breaker;
+	// Breaker.Threshold <= 0 leaves the breaker disabled.
+	Breaker BreakerConfig
+	// Cost tunes the full-tier cost model.
+	Cost CostConfig
+}
+
+// Fill resolves zero values to documented defaults.
+func (c *Config) Fill() {
+	if c.StaleTTL == 0 {
+		c.StaleTTL = 5 * time.Minute
+	}
+	if c.StaleCapacity == 0 {
+		c.StaleCapacity = 4096
+	}
+	if c.MaterializedTimeout <= 0 {
+		c.MaterializedTimeout = 2 * time.Second
+	}
+	if c.RevalidateTimeout <= 0 {
+		c.RevalidateTimeout = 30 * time.Second
+	}
+	c.Cost.fill()
+}
+
+// StaleEnabled reports whether the stale tier is configured on (call
+// after Fill).
+func (c *Config) StaleEnabled() bool {
+	return c.StaleTTL > 0 && c.StaleCapacity > 0
+}

@@ -1,0 +1,99 @@
+package plan
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Cache is a bounded last-known-good answer cache: TTL-bounded entries
+// with LRU eviction under a capacity cap. It backs the stale tier — one
+// entry per exact (method, query, user, k, lambda) request, refreshed
+// on every full-fidelity success and consulted only after the higher
+// tiers failed.
+//
+// The zero Cache is unusable; construct with NewCache. All methods are
+// safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	mu  sync.Mutex
+	ttl time.Duration
+	cap int
+	now func() time.Time
+	lru *list.List // front = most recent; values are *entry[K, V]
+	m   map[K]*list.Element
+}
+
+type entry[K comparable, V any] struct {
+	key      K
+	val      V
+	storedAt time.Time
+}
+
+// NewCache builds a cache holding at most capacity entries, each valid
+// for ttl after its Put. now overrides the clock for tests (nil means
+// time.Now).
+func NewCache[K comparable, V any](capacity int, ttl time.Duration, now func() time.Time) *Cache[K, V] {
+	if now == nil {
+		now = time.Now
+	}
+	return &Cache[K, V]{
+		ttl: ttl,
+		cap: capacity,
+		now: now,
+		lru: list.New(),
+		m:   make(map[K]*list.Element),
+	}
+}
+
+// Get returns the cached value and its age. Expired entries are deleted
+// and reported as misses; hits refresh LRU position but not the TTL.
+func (c *Cache[K, V]) Get(key K) (val V, age time.Duration, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, hit := c.m[key]
+	if !hit {
+		return val, 0, false
+	}
+	e := el.Value.(*entry[K, V])
+	age = c.now().Sub(e.storedAt)
+	if age > c.ttl {
+		c.removeLocked(el)
+		var zero V
+		return zero, 0, false
+	}
+	c.lru.MoveToFront(el)
+	return e.val, age, true
+}
+
+// Put stores (or refreshes) the value for key, evicting the least
+// recently used entry when over capacity.
+func (c *Cache[K, V]) Put(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, hit := c.m[key]; hit {
+		e := el.Value.(*entry[K, V])
+		e.val = val
+		e.storedAt = c.now()
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&entry[K, V]{key: key, val: val, storedAt: c.now()})
+	c.m[key] = el
+	for c.lru.Len() > c.cap {
+		c.removeLocked(c.lru.Back())
+	}
+}
+
+// Len returns the live entry count (expired entries linger until read
+// or evicted; the capacity bound still holds).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+func (c *Cache[K, V]) removeLocked(el *list.Element) {
+	e := el.Value.(*entry[K, V])
+	delete(c.m, e.key)
+	c.lru.Remove(el)
+}

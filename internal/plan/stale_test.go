@@ -1,0 +1,87 @@
+package plan
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCacheGetPutTTL(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	c := NewCache[string, int](4, time.Minute, clk.now)
+
+	if _, _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", 1)
+	v, age, ok := c.Get("a")
+	if !ok || v != 1 || age != 0 {
+		t.Fatalf("Get(a) = %d, %v, %v; want 1, 0, true", v, age, ok)
+	}
+
+	clk.advance(30 * time.Second)
+	if v, age, ok := c.Get("a"); !ok || v != 1 || age != 30*time.Second {
+		t.Fatalf("Get(a) after 30s = %d, %v, %v", v, age, ok)
+	}
+
+	// Past TTL: miss, and the entry is gone.
+	clk.advance(31 * time.Second)
+	if _, _, ok := c.Get("a"); ok {
+		t.Fatal("expired entry served")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len after expiry read = %d, want 0", c.Len())
+	}
+
+	// A Put refreshes the TTL.
+	c.Put("b", 2)
+	clk.advance(45 * time.Second)
+	c.Put("b", 3)
+	clk.advance(45 * time.Second)
+	if v, age, ok := c.Get("b"); !ok || v != 3 || age != 45*time.Second {
+		t.Fatalf("refreshed Get(b) = %d, %v, %v; want 3, 45s, true", v, age, ok)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	c := NewCache[int, string](3, time.Hour, clk.now)
+	c.Put(1, "one")
+	c.Put(2, "two")
+	c.Put(3, "three")
+	// Touch 1 so 2 becomes least recent.
+	if _, _, ok := c.Get(1); !ok {
+		t.Fatal("lost entry 1")
+	}
+	c.Put(4, "four")
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if _, _, ok := c.Get(2); ok {
+		t.Fatal("LRU entry 2 survived eviction")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %d evicted, want kept", k)
+		}
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache[int, int](64, time.Hour, nil)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				c.Put((g*31+i)%128, i)
+				c.Get(i % 128)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if n := c.Len(); n > 64 {
+		t.Fatalf("Len = %d exceeds capacity 64", n)
+	}
+}

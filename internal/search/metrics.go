@@ -12,6 +12,7 @@ package search
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -32,8 +33,14 @@ type Metrics struct {
 	// rate means the bound — not the pruning rule — is limiting
 	// exploration, i.e. answers may be cheaper but less exact.
 	truncations *obs.Counter
+	// duration observes the wall time of 1-in-sampleEvery top-k
+	// searches. The fidelity planner's cost model reads it (via
+	// TopKDuration) as the live source for the search-overhead term once
+	// enough samples accumulate.
+	duration    *obs.Histogram
 	sampleEvery uint64
 	tick        atomic.Uint64
+	durTick     atomic.Uint64
 }
 
 // NewMetrics registers the search metrics on reg and returns the
@@ -45,7 +52,37 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			obs.DepthBuckets),
 		truncations: reg.Counter("pit_search_frontier_truncations_total",
 			"Expansion levels whose frontier exceeded MaxFrontier and was truncated best-first."),
+		duration: reg.Histogram("pit_search_topk_duration_seconds",
+			"Wall time of sampled top-k searches (the search term of the fidelity cost model).",
+			obs.DurationBuckets),
 		sampleEvery: defaultSampleEvery,
+	}
+}
+
+// TopKDuration returns the sampled search-duration histogram — the
+// planner wires it into its cost model as a DurationSource.
+func (m *Metrics) TopKDuration() *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.duration
+}
+
+// maybeStart opens a duration sample for 1-in-sampleEvery queries; the
+// zero time means "not sampled". Reading the clock only on sampled
+// queries keeps the warm path to two atomic ops.
+func (m *Metrics) maybeStart() time.Time {
+	if m.durTick.Add(1)%m.sampleEvery == 0 {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// observeDuration closes a sample opened by maybeStart (no-op for the
+// zero time).
+func (m *Metrics) observeDuration(start time.Time) {
+	if !start.IsZero() {
+		m.duration.Observe(time.Since(start).Seconds())
 	}
 }
 

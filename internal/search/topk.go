@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/prob"
@@ -196,6 +197,10 @@ func (s *Searcher) run(ctx context.Context, user graph.NodeID, summaries []summa
 	if k <= 0 || k > len(summaries) {
 		k = len(summaries)
 	}
+	var sampleStart time.Time
+	if m := s.opts.Metrics; m != nil {
+		sampleStart = m.maybeStart()
+	}
 
 	totalReps := 0
 	for i := range summaries {
@@ -297,6 +302,7 @@ func (s *Searcher) run(ctx context.Context, user graph.NodeID, summaries []summa
 	results := rank(states, k)
 	if m := s.opts.Metrics; m != nil {
 		m.record(depth, truncated)
+		m.observeDuration(sampleStart)
 	}
 	if tr != nil {
 		tr.Depth = depth

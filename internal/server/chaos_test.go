@@ -1,0 +1,310 @@
+package server
+
+// Chaos suite (run under -race via `make chaos`): drives the full HTTP
+// stack against an internal/chaos summarizer and checks the fidelity
+// planner's headline claims end to end —
+//
+//   - under sustained 30% injected build failure every request is
+//     answered 200 from some tier, with zero unplanned 5xx;
+//   - the advertised tier (X-Pit-Tier header and body field) always
+//     matches the tier counter the server recorded;
+//   - a permanent outage trips the build breaker, breaker-open requests
+//     never reach the summarizer, and after the outage heals a half-open
+//     probe closes the breaker and full fidelity returns;
+//   - closing the engine after a chaotic run leaks no goroutines.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// chaosHarness builds an instrumented engine + server pair whose
+// summarizer is a chaos wrapper around the topic summaries the real
+// LRW-A backend produced. All topics start warm; tests invalidate what
+// they want rebuilt through the fault regime.
+func chaosHarness(t *testing.T, pcfg plan.Config, ccfg chaos.Config) (*Server, *core.Engine, *chaos.Summarizer, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	g, err := dataset.GenerateGraph(dataset.GraphConfig{
+		Nodes: 200, MinOutDegree: 2, MaxOutDegree: 6, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := dataset.GenerateTopics(g, dataset.TopicConfig{
+		Tags: 1, TopicsPerTag: faultTopics, MeanTopicNodes: 12, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(g, space, core.Options{
+		WalkL: 3, WalkR: 4, Seed: 7, Metrics: reg, Plan: pcfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BuildIndexes(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+
+	// Materialize every topic once through the real backend and keep the
+	// results: the chaos wrapper's inner summarizer replays them, so a
+	// surviving call always yields a correct summary.
+	real := make(map[topics.TopicID]summary.Summary, faultTopics)
+	for i := 0; i < faultTopics; i++ {
+		s, err := eng.Summarize(context.Background(), core.MethodLRW, topics.TopicID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		real[topics.TopicID(i)] = s
+	}
+	cs := chaos.Wrap(chaos.SummarizeFunc(func(_ context.Context, id topics.TopicID) (summary.Summary, error) {
+		return real[id], nil
+	}), ccfg)
+	eng.SetSummarizer(core.MethodLRW, cs)
+
+	srv, err := New(eng, Config{Logger: testLogger(t), Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, eng, cs, reg
+}
+
+// chaosGet performs one /search and returns status, advertised tier
+// (header) and decoded body.
+func chaosGet(t *testing.T, srv *Server, target string) (int, string, SearchResponse) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+	var resp SearchResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decode %s: %v: %s", target, err, rec.Body)
+		}
+	}
+	return rec.Code, rec.Header().Get(tierHeader), resp
+}
+
+// TestChaosSteadyServiceUnderTransientFailure: 300 requests against a
+// summarizer failing 30% of injected builds. Topics 0..2 stay warm
+// (injection targets only 3..5, which are invalidated before every
+// request so each request really rebuilds through the fault regime).
+// Every request must be answered 200 from the full or materialized tier,
+// the advertised tier must match the body, the per-tier counters must
+// account for every request, and no 5xx of any kind may be recorded.
+func TestChaosSteadyServiceUnderTransientFailure(t *testing.T) {
+	srv, eng, cs, _ := chaosHarness(t, plan.Config{}, chaos.Config{
+		FailRate: 0.3,
+		Target:   func(id topics.TopicID) bool { return id >= 3 },
+	})
+
+	const requests = 300
+	served := map[string]int{}
+	for i := 0; i < requests; i++ {
+		for id := topics.TopicID(3); id < faultTopics; id++ {
+			eng.InvalidateTopic(id)
+		}
+		code, headerTier, resp := chaosGet(t, srv, "/search?q=tag000&user=3&k=6")
+		if code != http.StatusOK {
+			t.Fatalf("request %d = %d, want 200 (unplanned non-200 under transient chaos)", i, code)
+		}
+		if headerTier != resp.Tier {
+			t.Fatalf("request %d: X-Pit-Tier %q != body tier %q", i, headerTier, resp.Tier)
+		}
+		if resp.Tier != "full" && resp.Tier != "materialized" {
+			t.Fatalf("request %d served from unexpected tier %q", i, resp.Tier)
+		}
+		if resp.Tier == "materialized" && !resp.Degraded {
+			t.Fatalf("request %d: materialized answer not marked degraded", i)
+		}
+		served[resp.Tier]++
+	}
+
+	if served["full"] == 0 || served["materialized"] == 0 {
+		t.Errorf("tier mix = %v, want both full and materialized exercised", served)
+	}
+	st := cs.Stats()
+	if st.Failures == 0 {
+		t.Error("chaos injected no failures — the sweep proved nothing")
+	}
+	// The server's tier counters must account for exactly the planned
+	// requests, and agree with what the client saw.
+	var sum uint64
+	for _, tier := range plan.Tiers {
+		sum += srv.met.tiers[tier].Value()
+	}
+	if sum != requests {
+		t.Errorf("tier counters sum = %d, want %d", sum, requests)
+	}
+	if got := srv.met.tiers[plan.TierFull].Value(); got != uint64(served["full"]) {
+		t.Errorf("full-tier counter = %d, client saw %d", got, served["full"])
+	}
+	for _, code := range []string{"500", "502", "503", "504"} {
+		if got := srv.met.requests.With("/search", code).Value(); got != 0 {
+			t.Errorf(`requests{route="/search",code=%q} = %d, want 0`, code, got)
+		}
+	}
+	if got := srv.met.panics.Value(); got != 0 {
+		t.Errorf("handler panic counter = %d, want 0", got)
+	}
+}
+
+// TestChaosBreakerTripsAndRecovers: a permanent outage with nothing
+// cached trips the per-method breaker; while open, planned requests are
+// refused without touching the summarizer (no hammering a dead backend);
+// after the outage heals, a half-open probe closes the breaker and full
+// fidelity returns.
+func TestChaosBreakerTripsAndRecovers(t *testing.T) {
+	srv, eng, cs, reg := chaosHarness(t, plan.Config{
+		Breaker: plan.BreakerConfig{
+			Threshold:   2,
+			Cooldown:    20 * time.Millisecond,
+			MaxCooldown: 40 * time.Millisecond,
+			Jitter:      0.01,
+		},
+	}, chaos.Config{PermanentOutage: true})
+
+	for i := 0; i < faultTopics; i++ {
+		eng.InvalidateTopic(topics.TopicID(i))
+	}
+
+	// Drive requests until the outage has tripped the breaker. Each
+	// request's build fan-out records failures, so this takes one or two.
+	deadline := time.Now().Add(2 * time.Second)
+	for eng.BreakerState(core.MethodLRW) != plan.Open {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never opened; state = %v", eng.BreakerState(core.MethodLRW))
+		}
+		code, headerTier, _ := chaosGet(t, srv, "/search?q=tag000&user=3&k=6")
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("outage request = %d, want 503", code)
+		}
+		if headerTier != "unavailable" {
+			t.Fatalf("outage X-Pit-Tier = %q, want unavailable", headerTier)
+		}
+	}
+
+	// Breaker open: planned requests stop at the materialized tier and
+	// must not reach the (dead) summarizer at all.
+	callsWhenOpen := cs.Stats().Calls
+	if code, _, _ := chaosGet(t, srv, "/search?q=tag000&user=3&k=6"); code != http.StatusServiceUnavailable {
+		t.Fatalf("breaker-open request = %d, want 503", code)
+	}
+	if got := cs.Stats().Calls; got != callsWhenOpen {
+		t.Errorf("breaker-open request reached the summarizer (%d calls, was %d)", got, callsWhenOpen)
+	}
+
+	// Heal the outage; after the cooldown a half-open probe build succeeds,
+	// the breaker closes, and the ladder serves full fidelity again.
+	cs.SetConfig(chaos.Config{})
+	deadline = time.Now().Add(2 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		code, _, resp := chaosGet(t, srv, "/search?q=tag000&user=3&k=6")
+		if code == http.StatusOK && resp.Tier == "full" {
+			recovered = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("service never recovered to full tier after outage healed")
+	}
+	if got := eng.BreakerState(core.MethodLRW); got != plan.Closed {
+		t.Errorf("breaker state after recovery = %v, want closed", got)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	exp := b.String()
+	for _, family := range []string{
+		"pit_breaker_trips_total", "pit_breaker_state",
+		"pit_summary_builds_suspended_total", "pit_search_tier_total",
+	} {
+		if !strings.Contains(exp, family) {
+			t.Errorf("exposition missing %s", family)
+		}
+	}
+	if !strings.Contains(exp, `pit_breaker_state{method="lrw"} 0`) {
+		t.Errorf("breaker gauge not back to closed (0) in exposition:\n%s",
+			grepLines(exp, "pit_breaker_state"))
+	}
+}
+
+// TestChaosShutdownNoGoroutineLeak: a chaotic run that exercises the
+// detached paths (stale serves with background revalidation, injected
+// latency raced against deadlines) must not leak goroutines once the
+// engine is closed — Close cancels the lifecycle and waits for every
+// revalidation worker.
+func TestChaosShutdownNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	srv, eng, cs, _ := chaosHarness(t, plan.Config{}, chaos.Config{})
+
+	// Seed the stale cache with a last-known-good answer via a clean
+	// full-tier request, then break every rebuild.
+	if code, _, resp := chaosGet(t, srv, "/search?q=tag000&user=3&k=6"); code != http.StatusOK || resp.Tier != "full" {
+		t.Fatalf("seed request = %d tier %q, want 200 full", code, resp.Tier)
+	}
+	cs.SetConfig(chaos.Config{PermanentOutage: true, Latency: 2 * time.Millisecond})
+
+	for i := 0; i < 50; i++ {
+		for id := topics.TopicID(0); id < faultTopics; id++ {
+			eng.InvalidateTopic(id)
+		}
+		code, headerTier, resp := chaosGet(t, srv, "/search?q=tag000&user=3&k=6")
+		if code != http.StatusOK || resp.Tier != "stale" {
+			t.Fatalf("request %d under outage = %d tier %q, want 200 stale", i, code, resp.Tier)
+		}
+		if headerTier != resp.Tier {
+			t.Fatalf("request %d: X-Pit-Tier %q != body tier %q", i, headerTier, resp.Tier)
+		}
+	}
+	if got := srv.met.degraded.Value(); got == 0 {
+		t.Error("stale serves did not count as degraded")
+	}
+
+	eng.Close() // idempotent with the t.Cleanup close
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines after Close = %d, baseline %d; dump:\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// grepLines returns the lines of s containing substr, for focused test
+// failure output.
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

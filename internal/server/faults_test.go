@@ -4,9 +4,11 @@ package server
 // scriptable summarizer is installed at the engine's SetSummarizer seam so
 // each test can make summarization slow, panicking, erroring or blocking,
 // and then assert the HTTP layer's contract: cancellation stops engine
-// work early (499), saturation sheds load (429), panics are isolated into
-// a single 500, shutdown drains in-flight requests, and expired deadlines
-// degrade to cached summaries (200 + "degraded": true) instead of failing.
+// work early (499), saturation sheds load (429), shutdown drains
+// in-flight requests, and summarizer faults walk the fidelity ladder —
+// expired deadlines degrade to cached summaries (200 + "degraded": true,
+// X-Pit-Tier: materialized) and only a request no tier can answer gets
+// the planner's explicit 503 + Retry-After (X-Pit-Tier: unavailable).
 
 import (
 	"context"
@@ -23,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/plan"
 	"repro/internal/summary"
 	"repro/internal/topics"
 )
@@ -44,6 +47,13 @@ const faultTopics = 6
 // so injected faults and poisoned caches cannot leak across tests.
 func faultEngine(t *testing.T) *core.Engine {
 	t.Helper()
+	return faultEnginePlanned(t, plan.Config{})
+}
+
+// faultEnginePlanned is faultEngine with an explicit planner config, for
+// tests that pin a policy or enable the breaker.
+func faultEnginePlanned(t *testing.T, pcfg plan.Config) *core.Engine {
+	t.Helper()
 	g, err := dataset.GenerateGraph(dataset.GraphConfig{
 		Nodes: 200, MinOutDegree: 2, MaxOutDegree: 6, Seed: 7,
 	})
@@ -56,7 +66,7 @@ func faultEngine(t *testing.T) *core.Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := core.New(g, space, core.Options{WalkL: 3, WalkR: 4, Seed: 7})
+	eng, err := core.New(g, space, core.Options{WalkL: 3, WalkR: 4, Seed: 7, Plan: pcfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,8 +189,11 @@ func TestLoadSheddingReturns429(t *testing.T) {
 }
 
 // TestPanickingSummarizerIsolated: a panic inside the engine call tree
-// turns into a single 500 carrying the request ID; the server — and even
-// the same endpoint once the fault is removed — keeps serving.
+// is recovered (singleflight turns it into a build error), the planner
+// exhausts the ladder — nothing is cached — and the response is the
+// planner's explicit 503, not a process crash and not an opaque 500.
+// The server — and even the same endpoint once the fault is removed —
+// keeps serving.
 func TestPanickingSummarizerIsolated(t *testing.T) {
 	eng := faultEngine(t)
 	srv := faultServer(t, eng, Config{})
@@ -192,12 +205,15 @@ func TestPanickingSummarizerIsolated(t *testing.T) {
 
 	rec := httptest.NewRecorder()
 	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search?q=tag000&user=3&k=3", nil))
-	if rec.Code != http.StatusInternalServerError {
-		t.Fatalf("panicking search = %d, want 500: %s", rec.Code, rec.Body)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("panicking search = %d, want 503: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get(tierHeader); got != "unavailable" {
+		t.Errorf("X-Pit-Tier = %q, want unavailable", got)
 	}
 	var e errorResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" || e.RequestID == "" {
-		t.Errorf("500 body missing error/request id: %s", rec.Body)
+		t.Errorf("503 body missing error/request id: %s", rec.Body)
 	}
 
 	// Other endpoints are unaffected while the fault is still installed.
@@ -213,21 +229,47 @@ func TestPanickingSummarizerIsolated(t *testing.T) {
 	}
 }
 
-// TestErroringSummarizerIs500: a plain (non-sentinel) engine failure maps
-// to 500, not a crash and not a misleading 4xx.
-func TestErroringSummarizerIs500(t *testing.T) {
-	eng := faultEngine(t)
-	srv := faultServer(t, eng, Config{})
-	erroring := &fakeSummarizer{fn: func(int32, context.Context, topics.TopicID) (summary.Summary, error) {
-		return summary.Summary{}, errInjected
-	}}
-	eng.SetSummarizer(core.MethodLRW, erroring)
-
-	rec := httptest.NewRecorder()
-	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search?q=tag000&user=3&k=3", nil))
-	if rec.Code != http.StatusInternalServerError {
-		t.Errorf("erroring search = %d, want 500: %s", rec.Code, rec.Body)
+// TestErroringSummarizerWalksLadder: under the default auto policy a
+// plain build failure is not a 500 — the planner walks the ladder, finds
+// nothing cached, and answers with its explicit 503 + Retry-After. Under
+// PolicyFull the same fault surfaces raw as a 500, because the operator
+// asked for full fidelity or an honest error.
+func TestErroringSummarizerWalksLadder(t *testing.T) {
+	erroring := func() *fakeSummarizer {
+		return &fakeSummarizer{fn: func(int32, context.Context, topics.TopicID) (summary.Summary, error) {
+			return summary.Summary{}, errInjected
+		}}
 	}
+
+	t.Run("auto policy answers 503", func(t *testing.T) {
+		eng := faultEngine(t)
+		srv := faultServer(t, eng, Config{})
+		eng.SetSummarizer(core.MethodLRW, erroring())
+
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search?q=tag000&user=3&k=3", nil))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("erroring search = %d, want 503: %s", rec.Code, rec.Body)
+		}
+		if got := rec.Header().Get("Retry-After"); got == "" {
+			t.Error("503 missing Retry-After header")
+		}
+		if got := rec.Header().Get(tierHeader); got != "unavailable" {
+			t.Errorf("X-Pit-Tier = %q, want unavailable", got)
+		}
+	})
+
+	t.Run("policy full surfaces 500", func(t *testing.T) {
+		eng := faultEnginePlanned(t, plan.Config{Policy: plan.PolicyFull})
+		srv := faultServer(t, eng, Config{})
+		eng.SetSummarizer(core.MethodLRW, erroring())
+
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search?q=tag000&user=3&k=3", nil))
+		if rec.Code != http.StatusInternalServerError {
+			t.Errorf("erroring search under PolicyFull = %d, want 500: %s", rec.Code, rec.Body)
+		}
+	})
 }
 
 // TestGracefulShutdownDrainsInflight: a real http.Server with a slow
@@ -288,13 +330,11 @@ func TestGracefulShutdownDrainsInflight(t *testing.T) {
 // TestDeadlineDegradesToMaterialized: some topics are pre-materialized,
 // the rest hit a summarizer that blocks until the request deadline. The
 // response must be a partial 200 with "degraded": true built from the
-// cached summaries only — graceful degradation instead of a 504.
+// cached summaries only — graceful degradation instead of a 504 — and
+// the advertised tier (header and body) must say "materialized".
 func TestDeadlineDegradesToMaterialized(t *testing.T) {
 	eng := faultEngine(t)
-	srv := faultServer(t, eng, Config{
-		RequestTimeout: 100 * time.Millisecond,
-		DegradeTimeout: 2 * time.Second,
-	})
+	srv := faultServer(t, eng, Config{RequestTimeout: 100 * time.Millisecond})
 
 	// Materialize half the topic space with the real LRW-A summarizer.
 	const cached = faultTopics / 2
@@ -323,6 +363,12 @@ func TestDeadlineDegradesToMaterialized(t *testing.T) {
 	if !resp.Degraded {
 		t.Error("response not marked degraded")
 	}
+	if resp.Tier != "materialized" {
+		t.Errorf("body tier = %q, want materialized", resp.Tier)
+	}
+	if got := rec.Header().Get(tierHeader); got != "materialized" {
+		t.Errorf("X-Pit-Tier = %q, want materialized", got)
+	}
 	if len(resp.Results) == 0 || len(resp.Results) > cached {
 		t.Errorf("degraded results = %d, want 1..%d (cached summaries only)", len(resp.Results), cached)
 	}
@@ -331,12 +377,12 @@ func TestDeadlineDegradesToMaterialized(t *testing.T) {
 	}
 }
 
-// TestDeadlineWithNothingCachedIsDegradedEmpty: when the deadline expires
-// and no summaries are materialized at all, SearchMaterialized still
-// answers (empty, incomplete) rather than erroring, so the contract is a
-// degraded empty 200 — the client learns "try again later" from the flag,
-// and the 504 path stays reserved for fallback failures.
-func TestDeadlineWithNothingCachedIsDegradedEmpty(t *testing.T) {
+// TestDeadlineWithNothingCachedIsUnavailable: when the deadline expires
+// and no summaries are materialized at all, every rung of the ladder
+// comes up empty — the honest answer is the planner's explicit 503 with
+// Retry-After and X-Pit-Tier: unavailable, not an empty 200 pretending
+// a degraded answer exists.
+func TestDeadlineWithNothingCachedIsUnavailable(t *testing.T) {
 	eng := faultEngine(t)
 	srv := faultServer(t, eng, Config{RequestTimeout: 50 * time.Millisecond})
 	fake := &fakeSummarizer{fn: func(_ int32, ctx context.Context, _ topics.TopicID) (summary.Summary, error) {
@@ -347,14 +393,59 @@ func TestDeadlineWithNothingCachedIsDegradedEmpty(t *testing.T) {
 
 	rec := httptest.NewRecorder()
 	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search?q=tag000&user=3&k=3", nil))
-	if rec.Code != http.StatusOK {
-		t.Fatalf("fully-uncached degraded search = %d, want 200: %s", rec.Code, rec.Body)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("fully-uncached search = %d, want 503: %s", rec.Code, rec.Body)
 	}
-	var resp SearchResponse
-	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
-		t.Fatal(err)
+	if got := rec.Header().Get("Retry-After"); got == "" {
+		t.Error("503 missing Retry-After header")
 	}
-	if !resp.Degraded || len(resp.Results) != 0 {
-		t.Errorf("want degraded empty response, got degraded=%v results=%d", resp.Degraded, len(resp.Results))
+	if got := rec.Header().Get(tierHeader); got != "unavailable" {
+		t.Errorf("X-Pit-Tier = %q, want unavailable", got)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" || e.RequestID == "" {
+		t.Errorf("503 body missing error/request id: %s", rec.Body)
+	}
+}
+
+// TestWarmPathErrorsDontPoisonCache: WarmSummaries hitting an erroring
+// summarizer part-way through must keep the summaries that already
+// succeeded — a failed warm reports the error but never invalidates or
+// re-builds prior work, so a retry after the fault clears only builds
+// the missing topics.
+func TestWarmPathErrorsDontPoisonCache(t *testing.T) {
+	eng := faultEngine(t)
+
+	// First three calls succeed, everything after errors. One worker makes
+	// the topic order deterministic (0,1,2 cached, 3 fails, 4,5 unreached).
+	const good = 3
+	flaky := &fakeSummarizer{fn: func(n int32, _ context.Context, id topics.TopicID) (summary.Summary, error) {
+		if n <= good {
+			return dummySummary(id), nil
+		}
+		return summary.Summary{}, errInjected
+	}}
+	eng.SetSummarizer(core.MethodLRW, flaky)
+	err := eng.WarmSummaries(context.Background(), core.MethodLRW, core.WarmOptions{Workers: 1})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("warm with erroring summarizer = %v, want errInjected", err)
+	}
+	if got := eng.CachedSummaries(core.MethodLRW); got != good {
+		t.Fatalf("cached after failed warm = %d, want %d (succeeded topics must survive)", got, good)
+	}
+
+	// Heal the summarizer and retry: only the missing topics are built.
+	healed := &fakeSummarizer{fn: func(_ int32, _ context.Context, id topics.TopicID) (summary.Summary, error) {
+		return dummySummary(id), nil
+	}}
+	eng.SetSummarizer(core.MethodLRW, healed)
+	if err := eng.WarmSummaries(context.Background(), core.MethodLRW, core.WarmOptions{Workers: 1}); err != nil {
+		t.Fatalf("warm retry after heal: %v", err)
+	}
+	if got := eng.CachedSummaries(core.MethodLRW); got != faultTopics {
+		t.Errorf("cached after retry = %d, want %d", got, faultTopics)
+	}
+	if got := healed.calls.Load(); got != faultTopics-good {
+		t.Errorf("retry built %d topics, want %d (cached ones must not be re-summarized)", got, faultTopics-good)
 	}
 }

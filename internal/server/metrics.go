@@ -10,6 +10,7 @@ import (
 	"strconv"
 
 	"repro/internal/obs"
+	"repro/internal/plan"
 )
 
 // serverMetrics holds the server's obs handles. A Server always has one:
@@ -24,16 +25,22 @@ type serverMetrics struct {
 	inflight *obs.Gauge
 	// shed counts requests rejected 429 by the MaxInflight limiter;
 	// panics counts handler panics isolated into a 500; degraded counts
-	// searches answered from materialized summaries after their deadline
-	// expired; clientClosed counts requests whose client went away (499).
+	// searches answered below full fidelity (materialized or stale
+	// tier); clientClosed counts requests whose client went away (499).
 	shed         *obs.Counter
 	panics       *obs.Counter
 	degraded     *obs.Counter
 	clientClosed *obs.Counter
+	// tiers counts /search outcomes by the fidelity tier that served
+	// (or, for "unavailable", refused) them. Children are resolved
+	// eagerly per tier: the hot path is one atomic add, and every tier
+	// exposes from the first scrape. Summing the children equals the
+	// number of planned /search requests that got past validation.
+	tiers [4]*obs.Counter // indexed by plan.Tier
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
-	return &serverMetrics{
+	m := &serverMetrics{
 		requests: reg.CounterVec("pit_http_requests_total",
 			"Finished HTTP requests by route and status code.", "route", "code"),
 		latency: reg.HistogramVec("pit_http_request_duration_seconds",
@@ -49,7 +56,16 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		clientClosed: reg.Counter("pit_http_client_closed_total",
 			"Requests whose client disconnected before the response (status 499)."),
 	}
+	tiers := reg.CounterVec("pit_search_tier_total",
+		"Planned /search requests by the fidelity tier that served (or refused) them.", "tier")
+	for _, t := range plan.Tiers {
+		m.tiers[t] = tiers.With(t.String())
+	}
+	return m
 }
+
+// tierServed records one planned search outcome.
+func (m *serverMetrics) tierServed(t plan.Tier) { m.tiers[t].Inc() }
 
 // observe records one finished request. Route cardinality is bounded by
 // routeLabel; the status-code label is the final code from the recorder.

@@ -204,10 +204,17 @@ func TestPanicCounter(t *testing.T) {
 
 // TestDegradedAndClientClosedCounters: a deadline-degraded search bumps
 // the degraded counter; a client disconnect bumps client-closed and is
-// recorded with status 499.
+// recorded with status 499. Some topics are pre-materialized so the
+// ladder has a materialized answer to degrade to (with nothing cached it
+// would be the planner's 503 instead — see faults_test.go).
 func TestDegradedAndClientClosedCounters(t *testing.T) {
 	eng := faultEngine(t)
 	srv, _ := obsServer(t, eng, Config{RequestTimeout: 50 * time.Millisecond})
+	for i := 0; i < faultTopics/2; i++ {
+		if _, err := eng.Summarize(context.Background(), core.MethodLRW, topics.TopicID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
 	fake := &fakeSummarizer{fn: func(_ int32, ctx context.Context, _ topics.TopicID) (summary.Summary, error) {
 		<-ctx.Done()
 		return summary.Summary{}, ctx.Err()
@@ -241,9 +248,10 @@ func TestDegradedAndClientClosedCounters(t *testing.T) {
 // TestDegradedDiversifiedKeepsLambda is the regression test for the
 // lambda-dropping degradation bug: a lambda > 0 search whose deadline
 // expires must degrade to a *diversified* materialized ranking. Before
-// the fix, recoverSearch called SearchMaterialized unconditionally and
-// the degraded answer silently lost the MMR re-rank the client asked
-// for.
+// the fix, the server's degradation path called SearchMaterialized
+// unconditionally and the degraded answer silently lost the MMR re-rank
+// the client asked for; the planner's materialized tier now threads
+// lambda through.
 //
 // The preloaded summaries are crafted (from the user's actual Γ
 // propagation values) so the plain and diversified top-2 provably
@@ -251,10 +259,7 @@ func TestDegradedAndClientClosedCounters(t *testing.T) {
 // overlaps topic 0 — while topic 2 rides b.
 func TestDegradedDiversifiedKeepsLambda(t *testing.T) {
 	eng := faultEngine(t)
-	srv, _ := obsServer(t, eng, Config{
-		RequestTimeout: 50 * time.Millisecond,
-		DegradeTimeout: 2 * time.Second,
-	})
+	srv, _ := obsServer(t, eng, Config{RequestTimeout: 50 * time.Millisecond})
 
 	user := graph.NodeID(-1)
 	var a, b graph.NodeID

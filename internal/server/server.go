@@ -13,10 +13,14 @@
 // an access-log line; panics in a handler are isolated into a single 500;
 // a per-request deadline (Config.RequestTimeout) is threaded through the
 // engine as a context so expired requests stop burning CPU; a semaphore
-// (Config.MaxInflight) sheds excess load with 429 + Retry-After; and a
-// search whose deadline expires mid-summarization degrades to the
-// already-materialized summaries and answers 200 with "degraded": true
-// instead of failing.
+// (Config.MaxInflight) sheds excess load with 429 + Retry-After; and
+// /search runs through the engine's fidelity planner
+// (core.SearchPlanned, DESIGN.md §13): a search that cannot afford or
+// cannot complete full-fidelity summarization degrades down the tier
+// ladder — materialized summaries only, then the last-known-good stale
+// answer — and answers 200 with "degraded": true and the serving tier
+// in the "tier" field and X-Pit-Tier header; only a request nothing
+// cached can answer gets 503 + Retry-After.
 //
 // All handlers are read-only against the engine and safe for concurrent
 // use. The engine's indexes may be built after New: until MarkReady is
@@ -39,11 +43,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/plan"
 )
 
 // statusClientClosedRequest is the de-facto (nginx) status code for a
 // request abandoned by the client before the response was written.
 const statusClientClosedRequest = 499
+
+// tierHeader is the response header carrying the fidelity tier that
+// served (or refused) a /search request.
+const tierHeader = "X-Pit-Tier"
 
 // SearchResult is one JSON row of a /search response.
 type SearchResult struct {
@@ -60,10 +69,14 @@ type SearchResponse struct {
 	Method  string         `json:"method"`
 	K       int            `json:"k"`
 	Results []SearchResult `json:"results"`
-	// Degraded is set when the request deadline expired mid-search and the
-	// results were served from already-materialized summaries only — a
-	// partial, cheaper answer instead of an error (resource-constrained
-	// graceful degradation).
+	// Tier is the fidelity tier that served the answer ("full",
+	// "materialized" or "stale") — always present and always matching
+	// the X-Pit-Tier response header.
+	Tier string `json:"tier"`
+	// Degraded is set when the answer was served below full fidelity
+	// (tier != "full"): materialized summaries only, or a stale
+	// last-known-good result — a partial or older answer instead of an
+	// error (resource-constrained graceful degradation).
 	Degraded bool `json:"degraded,omitempty"`
 }
 
@@ -101,10 +114,11 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxInflight bounds concurrently served API requests; excess requests
 	// are shed immediately with 429 + Retry-After. Zero disables shedding.
+	// Degradation budgets (the materialized-tier timeout that replaced
+	// the old DegradeTimeout, the stale TTL, the breaker) live in the
+	// engine's plan.Config — the planner owns the ladder; the server
+	// only annotates what it served.
 	MaxInflight int
-	// DegradeTimeout bounds the cached-summaries fallback search that runs
-	// after the main deadline expired (default 2s).
-	DegradeTimeout time.Duration
 	// Logger receives access-log, panic and encode-failure lines
 	// (default log.Default()).
 	Logger *log.Logger
@@ -118,9 +132,6 @@ type Config struct {
 func (c *Config) fill() {
 	if c.MaxK <= 0 {
 		c.MaxK = 100
-	}
-	if c.DegradeTimeout <= 0 {
-		c.DegradeTimeout = 2 * time.Second
 	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
@@ -428,20 +439,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	ctx := r.Context()
-	var res []core.TopicResult
-	if lambda > 0 {
-		res, err = s.eng.SearchDiverse(ctx, method, q, graph.NodeID(user), k, lambda)
-	} else {
-		res, err = s.eng.Search(ctx, method, q, graph.NodeID(user), k)
-	}
-	degraded := false
+	// The fidelity planner owns the degradation ladder: full search,
+	// then materialized-only, then the stale last-known-good answer,
+	// then an explicit 503. The server's job is only to annotate what
+	// actually served the response.
+	res, outcome, err := s.eng.SearchPlanned(r.Context(), method, q, graph.NodeID(user), k, lambda)
 	if err != nil {
-		res, degraded, err = s.recoverSearch(w, r, err, method, q, graph.NodeID(user), k, lambda)
-		if err != nil {
-			return // recoverSearch already wrote the error response
-		}
+		s.failSearch(w, r, err)
+		return
 	}
+	tier := outcome.Tier.String()
+	w.Header().Set(tierHeader, tier)
+	s.met.tierServed(outcome.Tier)
+	degraded := outcome.Tier != plan.TierFull
 	if degraded {
 		s.met.degraded.Inc()
 	}
@@ -451,6 +461,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Method:   method.String(),
 		K:        k,
 		Results:  make([]SearchResult, 0, len(res)),
+		Tier:     tier,
 		Degraded: degraded,
 	}
 	for i, tr := range res {
@@ -464,58 +475,33 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
-// recoverSearch maps a failed engine search to a response: 400 for
-// invalid arguments, 499 for a client that went away, 503 while not
-// ready, a degraded cached-summaries retry for an expired deadline, 504
-// when even that fails, 500 otherwise. It returns (results, true, nil)
-// when the caller should proceed with a degraded 200; any error return
-// means the response was already written.
-//
-// The degraded retry honors the request's lambda: a diversified query
-// degrades to a diversified materialized ranking, not to the plain
-// influence order it never asked for.
-func (s *Server) recoverSearch(w http.ResponseWriter, r *http.Request, err error,
-	method core.Method, q string, user graph.NodeID, k int, lambda float64) ([]core.TopicResult, bool, error) {
-
+// failSearch maps a failed planned search to a response: 400 for
+// invalid arguments, 499 for a client that went away, 503 while
+// indexes build, 503 + Retry-After when the whole fidelity ladder is
+// exhausted (ErrUnavailable — the planner's explicit "nothing cached
+// can answer"), 504 for a surfaced deadline (PolicyFull deployments),
+// 500 otherwise.
+func (s *Server) failSearch(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, core.ErrInvalidArgument):
 		s.writeErr(w, r, http.StatusBadRequest, "bad request: %v", err)
-		return nil, false, err
 	case errors.Is(err, core.ErrNotReady):
 		w.Header().Set("Retry-After", "5")
 		s.writeErr(w, r, http.StatusServiceUnavailable, "indexes are still building")
-		return nil, false, err
+	case errors.Is(err, core.ErrUnavailable):
+		// The one planned 5xx: no tier — not even stale — could answer.
+		w.Header().Set(tierHeader, plan.TierUnavailable.String())
+		w.Header().Set("Retry-After", "1")
+		s.met.tierServed(plan.TierUnavailable)
+		s.writeErr(w, r, http.StatusServiceUnavailable, "no fidelity tier can answer: %v", err)
 	case errors.Is(err, context.Canceled):
 		// The client disconnected; nobody is reading the body, but the
 		// status still lands in the access log.
 		s.writeErr(w, r, statusClientClosedRequest, "client closed request")
-		return nil, false, err
 	case errors.Is(err, context.DeadlineExceeded):
-		// Resource-constrained graceful degradation: the deadline expired
-		// mid-search (typically inside an uncached summarization). Retry
-		// against already-materialized summaries only — pure Γ lookups,
-		// no summary builds — on a fresh, short deadline detached from
-		// the request's expired context.
-		fbCtx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), s.cfg.DegradeTimeout)
-		defer cancel()
-		var res []core.TopicResult
-		var ferr error
-		if lambda > 0 {
-			res, _, ferr = s.eng.SearchMaterializedDiverse(fbCtx, method, q, user, k, lambda)
-		} else {
-			res, _, ferr = s.eng.SearchMaterialized(fbCtx, method, q, user, k)
-		}
-		if ferr != nil {
-			s.writeErr(w, r, http.StatusGatewayTimeout, "deadline exceeded and no degraded answer available: %v", ferr)
-			return nil, false, err
-		}
-		if res == nil {
-			res = []core.TopicResult{}
-		}
-		return res, true, nil
+		s.writeErr(w, r, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
 	default:
 		s.writeErr(w, r, http.StatusInternalServerError, "search failed: %v", err)
-		return nil, false, err
 	}
 }
 
