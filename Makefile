@@ -10,18 +10,20 @@ GO ?= go
 # (e.g. `make bench BENCH_LABEL=mybranch` for a comparison run).
 BENCH_LABEL ?= after
 
-.PHONY: all help build test check fmt vet lint vulncheck race bench bench-smoke chaos
+.PHONY: all help build test check fmt vet lint lint-audit lint-self vulncheck race bench bench-smoke chaos
 
 all: check
 
 help:
-	@echo "make check       - full pre-merge gate (build fmt vet lint race bench-smoke vulncheck)"
+	@echo "make check       - full pre-merge gate (build fmt vet lint lint-self lint-audit race bench-smoke vulncheck)"
 	@echo "make build       - compile all packages"
 	@echo "make test        - run the test suite"
 	@echo "make race        - run the test suite under the race detector"
 	@echo "make fmt         - fail if any file needs gofmt"
 	@echo "make vet         - go vet"
 	@echo "make lint        - pitlint, the repo's own static-analysis suite"
+	@echo "make lint-audit  - list every active //pitlint:ignore with its justification"
+	@echo "make lint-self   - run pitlint over its own analyzers and driver"
 	@echo "make bench       - online + offline load benchmark (cmd/pitperf); merges a"
 	@echo "                   '$(BENCH_LABEL)' run into BENCH_PR5.json (BENCH_LABEL=...)"
 	@echo "make bench-smoke - one-shot benchmark smoke: figure benchmarks plus the"
@@ -46,11 +48,22 @@ vet:
 	$(GO) vet ./...
 
 # pitlint: the repo's domain-specific analyzers (cancellation,
-# determinism, probability hygiene, error wrapping, lock safety),
-# run through the standard vet driver. See README "Static analysis".
+# determinism, probability hygiene, error wrapping, lock safety,
+# goroutine lifecycle, pool/atomic/metric/timer hygiene), run through
+# the standard vet driver. See README "Static analysis".
 lint:
 	$(GO) build -o bin/pitlint ./cmd/pitlint
 	$(GO) vet -vettool=$(CURDIR)/bin/pitlint ./...
+
+# Suppression audit: every active //pitlint:ignore with its file:line,
+# analyzer list, and justification. Fails on malformed directives.
+lint-audit:
+	$(GO) run ./cmd/pitlint -why .
+
+# Self-lint: the analyzers and their driver held to their own rules.
+lint-self:
+	$(GO) build -o bin/pitlint ./cmd/pitlint
+	$(GO) vet -vettool=$(CURDIR)/bin/pitlint ./internal/analysis/... ./cmd/pitlint
 
 # vulncheck is best-effort: govulncheck needs network access for its
 # vulnerability database, so skip (without failing the gate) when the
@@ -93,4 +106,4 @@ bench-smoke:
 	$(GO) run ./cmd/pitperf -smoke -out /tmp/pitperf-smoke.json
 	$(GO) run ./cmd/pitserve -smoke
 
-check: build fmt vet lint race bench-smoke vulncheck
+check: build fmt vet lint lint-self lint-audit race bench-smoke vulncheck

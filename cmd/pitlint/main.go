@@ -5,21 +5,33 @@
 //	go vet -vettool=bin/pitlint ./...
 //
 // It speaks the cmd/go vet protocol — responding to -V=full (tool build
-// ID for the build cache), -flags (supported flags as JSON), and
-// otherwise a single *.cfg argument describing one type-checked
-// package — and runs the five pitlint analyzers over it:
+// ID for the build cache, mixed with the cross-package fact schema so a
+// fact-shape change invalidates cached .vetx files), -flags (supported
+// flags as JSON), and otherwise a single *.cfg argument describing one
+// type-checked package — and runs the ten pitlint analyzers over it:
 //
 //	ctxloop        heavy kernel loops must observe ctx cancellation
 //	norandglobal   no global math/rand state, no wall-clock seeding
 //	probinvariant  no raw float ==/!=, no unchecked probability products
 //	errsentinel    errors crossing core.Engine must wrap with %w
 //	locksafe       no same-receiver call that re-acquires a held mutex
+//	goroutinelife  goroutines must be waitable (WaitGroup) or ctx-bounded
+//	poolsafe       sync.Pool objects must drop object references before Put
+//	atomicstore    one concrete type per atomic.Value; no mixed atomic/plain access
+//	metrichygiene  metrics register at wiring time; label values from const sets
+//	timerleak      no time.After in loops, no time.Tick on production paths
+//
+// Analyzers may exchange cross-package facts (goroutinelife's Bounded
+// set): facts ride the .vetx files cmd/go threads between invocations,
+// gob-encoded, with module-internal dependency packages analyzed in
+// facts-only mode when cmd/go asks for VetxOnly.
 //
 // Findings print to stderr as file:line:col: [analyzer] message and the
 // tool exits 2, which go vet surfaces as a failure. Intentional
 // exceptions are suppressed with `//pitlint:ignore <analyzer> <reason>`
-// (see internal/analysis/ignore). The implementation is standard
-// library only; the repo builds offline.
+// (see internal/analysis/ignore); `pitlint -why [dirs...]` lists every
+// active suppression with its justification for review. The
+// implementation is standard library only; the repo builds offline.
 package main
 
 import (
@@ -35,30 +47,43 @@ import (
 	"go/types"
 	"go/version"
 	"io"
+	"io/fs"
 	"log"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicstore"
 	"repro/internal/analysis/ctxloop"
 	"repro/internal/analysis/errsentinel"
+	"repro/internal/analysis/goroutinelife"
+	"repro/internal/analysis/ignore"
 	"repro/internal/analysis/locksafe"
+	"repro/internal/analysis/metrichygiene"
 	"repro/internal/analysis/norandglobal"
+	"repro/internal/analysis/poolsafe"
 	"repro/internal/analysis/probinvariant"
+	"repro/internal/analysis/timerleak"
 )
 
 var analyzers = []*analysis.Analyzer{
+	atomicstore.Analyzer,
 	ctxloop.Analyzer,
 	errsentinel.Analyzer,
+	goroutinelife.Analyzer,
 	locksafe.Analyzer,
+	metrichygiene.Analyzer,
 	norandglobal.Analyzer,
+	poolsafe.Analyzer,
 	probinvariant.Analyzer,
+	timerleak.Analyzer,
 }
 
 var (
 	jsonFlag = flag.Bool("json", false, "emit diagnostics as JSON on stdout instead of text on stderr")
 	listFlag = flag.Bool("list", false, "list the analyzers and exit")
+	whyFlag  = flag.Bool("why", false, "audit mode: list every active //pitlint:ignore directive with its justification")
 )
 
 func main() {
@@ -84,6 +109,14 @@ func main() {
 			fmt.Printf("%-14s %s\n", a.Name, strings.TrimPrefix(doc, a.Name+": "))
 		}
 		return
+	}
+
+	if *whyFlag {
+		dirs := flag.Args()
+		if len(dirs) == 0 {
+			dirs = []string{"."}
+		}
+		os.Exit(auditIgnores(dirs))
 	}
 
 	args := flag.Args()
@@ -113,7 +146,10 @@ pitlint is a go vet analysis tool; run it via:
 }
 
 // printVersion implements -V=full: cmd/go keys the build cache on this
-// line, so it must change whenever the executable does — hash ourselves.
+// line, so it must change whenever the executable does — hash ourselves
+// — and whenever the cross-package fact schema does: cached .vetx files
+// hold gob-encoded facts, and a fact-shape change must invalidate them
+// even if (hypothetically) the binary hash were unchanged.
 func printVersion() {
 	exe, err := os.Executable()
 	if err != nil {
@@ -128,6 +164,7 @@ func printVersion() {
 	if _, err := io.Copy(h, f); err != nil {
 		log.Fatal(err)
 	}
+	io.WriteString(h, analysis.FactSchema(analyzers))
 	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
 		filepath.Base(os.Args[0]), h.Sum(nil))
 }
@@ -156,6 +193,56 @@ func printFlags() {
 	os.Stdout.Write(data)
 }
 
+// auditIgnores implements -why: walk the given directories, parse every
+// .go file's comments, and list each active //pitlint:ignore directive
+// with its file:line, analyzer list, and justification — the review
+// surface for intentional exceptions. Fixture trees (testdata), hidden
+// directories, vendored code, and build output (bin) are skipped.
+// Returns the process exit code: nonzero when any directive is
+// malformed, so the audit doubles as a syntax gate.
+func auditIgnores(dirs []string) int {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if path != dir && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor" || name == "bin") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			files = append(files, f)
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	ix, bad := ignore.Build(fset, files)
+	exit := 0
+	for _, m := range bad {
+		fmt.Fprintf(os.Stderr, "%s: [ignore] %s\n", fset.Position(m.Pos), m.Message)
+		exit = 1
+	}
+	ds := ix.Directives()
+	for _, d := range ds {
+		fmt.Printf("%s:%d: [%s] %s\n", d.File, d.Line, strings.Join(d.Analyzers, ","), d.Reason)
+	}
+	fmt.Printf("%d active suppression(s)\n", len(ds))
+	return exit
+}
+
 // config mirrors the JSON cmd/go writes to vet.cfg (see
 // cmd/go/internal/work.vetConfig); fields this tool does not consume are
 // omitted.
@@ -175,6 +262,16 @@ type config struct {
 }
 
 // run executes the suite over the package described by cfgPath.
+//
+// Facts: dependency .vetx files named in cfg.PackageVetx are decoded
+// into one FactSet, the analyzers run with it (exporting this package's
+// facts into the same set), and the merged set is gob-encoded to
+// cfg.VetxOutput for importing packages — transitive facts re-export,
+// matching how cmd/go threads vetx files. VetxOnly invocations exist
+// solely to produce that file: module-internal packages still
+// type-check and run the fact-typed analyzers (diagnostics discarded);
+// packages outside the module can hold no pitlint facts, so their run
+// just forwards what it imported.
 func run(cfgPath string) ([]analysis.Diagnostic, *token.FileSet, error) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -185,16 +282,42 @@ func run(cfgPath string) ([]analysis.Diagnostic, *token.FileSet, error) {
 		return nil, nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
 	}
 
-	// Every invocation must leave a facts file for the build cache,
-	// even though pitlint's analyzers exchange no facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return nil, nil, err
+	analysis.RegisterFactTypes(analyzers)
+
+	facts := analysis.NewFactSet()
+	for path, file := range cfg.PackageVetx {
+		b, err := os.ReadFile(file)
+		if err != nil {
+			// A vetx cmd/go promised but did not produce; treat as
+			// fact-free rather than failing the whole package.
+			continue
+		}
+		if err := facts.DecodeFacts(b); err != nil {
+			return nil, nil, fmt.Errorf("facts of %s (%s): %w", path, file, err)
 		}
 	}
-	// Dependency-only invocations exist to produce facts; done.
-	if cfg.VetxOnly {
-		return nil, token.NewFileSet(), nil
+	// writeFacts leaves the (possibly grown) set for importers. Every
+	// invocation must write VetxOutput, or cmd/go fails the build.
+	writeFacts := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		out, err := facts.EncodeFacts()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(cfg.VetxOutput, out, 0o666)
+	}
+
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i] // "pkg [pkg.test]" variant
+	}
+	// Only module-internal packages can export pitlint facts; skip
+	// type-checking the standard library on fact-only runs.
+	inModule := importPath == "repro" || strings.HasPrefix(importPath, "repro/")
+	if cfg.VetxOnly && !inModule {
+		return nil, token.NewFileSet(), writeFacts()
 	}
 
 	fset := token.NewFileSet()
@@ -203,7 +326,7 @@ func run(cfgPath string) ([]analysis.Diagnostic, *token.FileSet, error) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, fset, nil
+				return nil, fset, writeFacts()
 			}
 			return nil, nil, err
 		}
@@ -231,26 +354,40 @@ func run(cfgPath string) ([]analysis.Diagnostic, *token.FileSet, error) {
 		Error:     func(error) {},
 	}
 	info := analysis.NewInfo()
-	importPath := cfg.ImportPath
-	if i := strings.Index(importPath, " ["); i >= 0 {
-		importPath = importPath[:i] // "pkg [pkg.test]" variant
-	}
 	tpkg, err := tcfg.Check(importPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, fset, nil
+			return nil, fset, writeFacts()
 		}
 		return nil, nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
 	}
 
+	toRun := analyzers
+	if cfg.VetxOnly {
+		// Fact production only: analyzers with no fact types cannot
+		// contribute anything an importer could see.
+		toRun = nil
+		for _, a := range analyzers {
+			if len(a.FactTypes) > 0 {
+				toRun = append(toRun, a)
+			}
+		}
+	}
 	diags, err := analysis.Run(&analysis.Package{
 		Fset:      fset,
 		Files:     files,
 		Pkg:       tpkg,
 		TypesInfo: info,
-	}, analyzers)
+		Facts:     facts,
+	}, toRun)
 	if err != nil {
 		return nil, nil, err
+	}
+	if err := writeFacts(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, fset, nil // dependency run: facts matter, findings do not
 	}
 	return diags, fset, nil
 }

@@ -1,0 +1,235 @@
+// Package atomicstore guards the two atomic-misuse patterns this repo
+// has already paid for. First, the PR-3 panic class: atomic.Value
+// requires every Store/Swap/CompareAndSwap on the same slot to use one
+// consistent concrete type — mixing them panics at runtime
+// ("inconsistently typed value"), and the panic arrives on whichever
+// goroutine stores second, far from the bug. Second, the mixed-access
+// race: a field read/written through sync/atomic functions in one place
+// and with plain loads/stores in another has no happens-before
+// relationship at the plain sites; the race detector only catches the
+// interleavings a test happens to produce.
+//
+// The first check records, per atomic.Value slot (package-level var or
+// struct field), the concrete types stored into it anywhere in the
+// package; two distinct types flag every store site. The second records
+// fields/vars whose address is passed to a sync/atomic function and then
+// flags every plain (non-atomic) use of the same object. The sanctioned
+// fix for both is the typed wrappers (atomic.Int64, atomic.Pointer[T],
+// atomic.Value behind one concrete holder type), which make the
+// invariants structural.
+package atomicstore
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// scopeDirs: module-wide. Atomics appear in obs, core, plan and
+// singleflight today; the invariant is global.
+var scopeDirs = []string{"internal", "cmd"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicstore",
+	Doc: "atomicstore: consistent concrete types in atomic.Value; no mixed atomic/plain field access\n\n" +
+		"Flags atomic.Value slots that store two different concrete types (Store panics\n" +
+		"at runtime on the second type) and fields accessed both through sync/atomic\n" +
+		"functions and directly (a data race the typed atomic wrappers make impossible).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), scopeDirs...) {
+		return nil
+	}
+	checkValueStores(pass)
+	checkMixedAccess(pass)
+	return nil
+}
+
+// isAtomicValue reports whether t is sync/atomic.Value.
+func isAtomicValue(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Value"
+}
+
+// slotOf identifies the atomic.Value slot behind recv: the types.Var of
+// the field or variable the method is called on. Chained selectors
+// resolve to the final field; unresolvable receivers (map index, call
+// result) return nil and are skipped.
+func slotOf(info *types.Info, recv ast.Expr) *types.Var {
+	switch recv := ast.Unparen(recv).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[recv].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[recv.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// storeSite is one Store/Swap/CompareAndSwap argument with its resolved
+// concrete type.
+type storeSite struct {
+	pos  ast.Expr
+	typ  types.Type
+	name string
+}
+
+// checkValueStores flags atomic.Value slots storing differing concrete
+// types.
+func checkValueStores(pass *analysis.Pass) {
+	slots := map[*types.Var][]storeSite{}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !isAtomicValue(pass.TypesInfo.TypeOf(sel.X)) {
+				return true
+			}
+			var stored []ast.Expr
+			switch sel.Sel.Name {
+			case "Store", "Swap":
+				if len(call.Args) == 1 {
+					stored = call.Args[:1]
+				}
+			case "CompareAndSwap":
+				if len(call.Args) == 2 {
+					stored = call.Args // old and new must both be consistent
+				}
+			default:
+				return true
+			}
+			slot := slotOf(pass.TypesInfo, sel.X)
+			if slot == nil {
+				return true
+			}
+			for _, arg := range stored {
+				t := pass.TypesInfo.TypeOf(arg)
+				if t == nil || isUntypedNil(t) {
+					continue
+				}
+				if _, isIface := t.Underlying().(*types.Interface); isIface {
+					continue // dynamic type unknown; out of lexical reach
+				}
+				slots[slot] = append(slots[slot], storeSite{pos: arg, typ: t, name: t.String()})
+			}
+			return true
+		})
+	}
+	for slot, sites := range slots {
+		names := map[string]bool{}
+		for _, s := range sites {
+			names[s.name] = true
+		}
+		if len(names) < 2 {
+			continue
+		}
+		all := make([]string, 0, len(names))
+		for n := range names {
+			all = append(all, n)
+		}
+		sort.Strings(all)
+		for _, s := range sites {
+			pass.Reportf(s.pos.Pos(),
+				"atomic.Value %s stores inconsistent concrete types (%s); Store panics at runtime on the mismatch — store one concrete holder type instead",
+				slot.Name(), joinTypes(all))
+		}
+	}
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func joinTypes(names []string) string {
+	s := names[0]
+	for _, n := range names[1:] {
+		s += " vs " + n
+	}
+	return s
+}
+
+// checkMixedAccess flags vars whose address feeds sync/atomic functions
+// while other sites access them directly.
+func checkMixedAccess(pass *analysis.Pass) {
+	// Pass 1: vars accessed atomically, and the idents already inside
+	// sanctioned &x arguments.
+	atomicVars := map[*types.Var]bool{}
+	sanctioned := map[*ast.Ident]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				var id *ast.Ident
+				switch x := ast.Unparen(un.X).(type) {
+				case *ast.Ident:
+					id = x
+				case *ast.SelectorExpr:
+					id = x.Sel
+				default:
+					continue
+				}
+				if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+					atomicVars[v] = true
+					sanctioned[id] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+	// Pass 2: any other use of those vars is a plain access.
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok || !atomicVars[v] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"%s is accessed atomically elsewhere (sync/atomic) but directly here; mixed access races — use the typed atomic wrappers or atomic ops everywhere",
+				id.Name)
+			return true
+		})
+	}
+}

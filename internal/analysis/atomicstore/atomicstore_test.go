@@ -1,0 +1,12 @@
+package atomicstore_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicstore"
+)
+
+func TestAtomicstore(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicstore.Analyzer, "a")
+}

@@ -1,0 +1,86 @@
+package a
+
+import "sync/atomic"
+
+type cfgA struct{ n int }
+type cfgB struct{ s string }
+
+type goodHolder struct {
+	v atomic.Value
+}
+
+// One consistent concrete type per slot: fine.
+func goodConsistent(h *goodHolder) {
+	h.v.Store(&cfgA{n: 1})
+	old := h.v.Swap(&cfgA{n: 2})
+	_ = old
+}
+
+type badHolder struct {
+	v atomic.Value
+}
+
+// Two concrete types through the same slot panic at runtime.
+func badMixedTypes(h *badHolder) {
+	h.v.Store(cfgA{n: 1})   // want `atomic.Value v stores inconsistent concrete types`
+	h.v.Store(cfgB{s: "x"}) // want `atomic.Value v stores inconsistent concrete types`
+}
+
+var global atomic.Value
+
+// CompareAndSwap's old and new participate like stores.
+func badGlobalCAS() {
+	global.Store(&cfgA{})                   // want `atomic.Value global stores inconsistent concrete types`
+	global.CompareAndSwap(&cfgA{}, &cfgB{}) // want `atomic.Value global stores inconsistent concrete types` `atomic.Value global stores inconsistent concrete types`
+}
+
+type dynHolder struct {
+	v atomic.Value
+}
+
+// Interface-typed arguments have no lexically known concrete type and
+// are skipped rather than guessed at.
+func goodDynamic(h *dynHolder, x any) {
+	h.v.Store(x)
+}
+
+// --- mixed atomic/plain access ---
+
+type counterHolder struct {
+	n     int64
+	clean atomic.Int64
+}
+
+func badMixedField(c *counterHolder) {
+	atomic.AddInt64(&c.n, 1)
+	c.n++ // want `n is accessed atomically elsewhere`
+}
+
+var hits int64
+
+func badMixedGlobal() int64 {
+	atomic.AddInt64(&hits, 1)
+	return hits // want `hits is accessed atomically elsewhere`
+}
+
+var clean2 int64
+
+// All-atomic access is fine.
+func goodAtomicOnly() int64 {
+	atomic.AddInt64(&clean2, 1)
+	return atomic.LoadInt64(&clean2)
+}
+
+// The typed wrappers make the invariant structural: never flagged.
+func goodTyped(c *counterHolder) int64 {
+	c.clean.Add(1)
+	return c.clean.Load()
+}
+
+var seq int64
+
+// Init-before-publication is the classic intentional exception.
+func suppressedInit() {
+	seq = 0 //pitlint:ignore atomicstore initialized before any goroutine can observe it
+	atomic.AddInt64(&seq, 1)
+}

@@ -1,0 +1,151 @@
+// Cross-package facts. An analyzer that needs to see beyond the package
+// under analysis (goroutinelife resolving `go pkg.Worker()` into another
+// package's function body) exports a Fact while analyzing the defining
+// package and imports it while analyzing the spawning one. Facts are
+// keyed by (package path, concrete fact type) — package-level facts
+// only; pitlint has no use for per-object fact granularity and the
+// simpler key keeps the vet wire format small.
+//
+// In-process drivers (analysistest) share a FactSet across packages
+// directly. The vet driver (cmd/pitlint) serializes the set with
+// encoding/gob into the .vetx file cmd/go threads between vet
+// invocations; see EncodeFacts/DecodeFacts. Fact types must therefore
+// be pointers to gob-encodable structs, registered via
+// Analyzer.FactTypes. For build-cache hygiene fact types should avoid
+// maps (gob map ordering is nondeterministic); use sorted slices.
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// Fact is a datum one package's analysis exports for importing
+// packages. Implementations are pointers to gob-encodable structs; the
+// AFact marker keeps arbitrary types from sneaking into the fact graph.
+type Fact interface{ AFact() }
+
+// factKey identifies one stored fact: package path + concrete type.
+type factKey struct {
+	path string
+	typ  reflect.Type
+}
+
+// FactSet holds every package fact visible to one analysis run: facts
+// imported from dependencies plus facts exported while running. The
+// zero value is not usable; call NewFactSet.
+type FactSet struct {
+	m map[factKey]Fact
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet { return &FactSet{m: map[factKey]Fact{}} }
+
+// export stores fact for the package at path, replacing any previous
+// fact of the same concrete type.
+func (s *FactSet) export(path string, fact Fact) {
+	s.m[factKey{path, reflect.TypeOf(fact)}] = fact
+}
+
+// get copies the stored fact of *fact's concrete type for the package
+// at path into fact, reporting whether one was present. fact must be a
+// non-nil pointer.
+func (s *FactSet) get(path string, fact Fact) bool {
+	got, ok := s.m[factKey{path, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// Len reports the number of stored facts.
+func (s *FactSet) Len() int { return len(s.m) }
+
+// factRecord is the gob wire form of one fact. The concrete Fact type
+// travels as a gob interface value, so every fact type must be
+// registered (RegisterFactTypes) before encoding or decoding.
+type factRecord struct {
+	Path string
+	Fact Fact
+}
+
+// RegisterFactTypes registers the fact prototypes of every analyzer
+// with encoding/gob. Drivers call it once before touching the wire
+// format; registering the same type twice is harmless.
+func RegisterFactTypes(analyzers []*Analyzer) {
+	seen := map[reflect.Type]bool{}
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			t := reflect.TypeOf(f)
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			gob.Register(f)
+		}
+	}
+}
+
+// FactSchema returns a deterministic description of the fact types the
+// analyzers exchange, for mixing into the driver's -V=full build-cache
+// key: when a fact's shape changes, cached .vetx files written by the
+// previous schema must not be reused.
+func FactSchema(analyzers []*Analyzer) string {
+	var parts []string
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			t := reflect.TypeOf(f).Elem()
+			desc := fmt.Sprintf("%s=%s{", a.Name, t.String())
+			for i := 0; i < t.NumField(); i++ {
+				desc += t.Field(i).Name + " " + t.Field(i).Type.String() + ";"
+			}
+			parts = append(parts, desc+"}")
+		}
+	}
+	sort.Strings(parts)
+	return "facts:" + fmt.Sprint(parts)
+}
+
+// EncodeFacts serializes every fact in s, sorted by (path, type name)
+// so identical sets encode to identical bytes.
+func (s *FactSet) EncodeFacts() ([]byte, error) {
+	records := make([]factRecord, 0, len(s.m))
+	for k, f := range s.m {
+		records = append(records, factRecord{Path: k.path, Fact: f})
+	}
+	sort.Slice(records, func(i, j int) bool {
+		if records[i].Path != records[j].Path {
+			return records[i].Path < records[j].Path
+		}
+		return reflect.TypeOf(records[i].Fact).String() < reflect.TypeOf(records[j].Fact).String()
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(records); err != nil {
+		return nil, fmt.Errorf("encoding facts: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFacts merges the facts serialized in data into s. An empty
+// input is a valid empty set (the pre-facts driver wrote zero-byte
+// .vetx files, and fact-free dependencies still do).
+func (s *FactSet) DecodeFacts(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var records []factRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&records); err != nil {
+		return fmt.Errorf("decoding facts: %w", err)
+	}
+	for _, r := range records {
+		if r.Fact == nil {
+			continue
+		}
+		s.export(r.Path, r.Fact)
+	}
+	return nil
+}

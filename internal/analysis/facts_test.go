@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+type testFact struct{ Names []string }
+
+func (*testFact) AFact() {}
+
+type otherFact struct{ N int }
+
+func (*otherFact) AFact() {}
+
+func init() {
+	gob.Register(&testFact{})
+	gob.Register(&otherFact{})
+}
+
+func TestFactSetExportGet(t *testing.T) {
+	s := NewFactSet()
+	if got := new(testFact); s.get("p", got) {
+		t.Fatal("get on empty set reported a fact")
+	}
+	s.export("p", &testFact{Names: []string{"a", "b"}})
+	s.export("p", &otherFact{N: 7}) // different type, same path: distinct slot
+	s.export("q", &testFact{Names: []string{"c"}})
+
+	var got testFact
+	if !s.get("p", &got) || len(got.Names) != 2 || got.Names[0] != "a" {
+		t.Fatalf("get(p, testFact) = %v, %+v", true, got)
+	}
+	var oth otherFact
+	if !s.get("p", &oth) || oth.N != 7 {
+		t.Fatalf("get(p, otherFact) = %+v", oth)
+	}
+	if !s.get("q", &got) || len(got.Names) != 1 {
+		t.Fatalf("get(q, testFact) = %+v", got)
+	}
+	if s.get("r", &got) {
+		t.Fatal("get for unknown path reported a fact")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+
+	// Re-export of the same (path, type) replaces.
+	s.export("p", &testFact{Names: []string{"z"}})
+	if s.Len() != 3 {
+		t.Fatalf("Len after replace = %d, want 3", s.Len())
+	}
+	s.get("p", &got)
+	if len(got.Names) != 1 || got.Names[0] != "z" {
+		t.Fatalf("replaced fact = %+v", got)
+	}
+}
+
+// get copies the struct (shallow — fact contents are immutable by
+// convention): reassigning the returned value's fields must not change
+// the stored fact, since in-process drivers share one set across
+// packages.
+func TestFactSetGetCopies(t *testing.T) {
+	s := NewFactSet()
+	s.export("p", &testFact{Names: []string{"a"}})
+	var got testFact
+	s.get("p", &got)
+	got.Names = []string{"x", "y"}
+	var again testFact
+	s.get("p", &again)
+	if len(again.Names) != 1 || again.Names[0] != "a" {
+		t.Fatalf("stored fact mutated through get result: %+v", again)
+	}
+}
+
+func TestFactsEncodeDecodeRoundTrip(t *testing.T) {
+	s := NewFactSet()
+	s.export("repro/internal/core", &testFact{Names: []string{"Worker", "Watcher"}})
+	s.export("repro/internal/plan", &testFact{Names: nil})
+	s.export("repro/internal/core", &otherFact{N: 3})
+
+	data, err := s.EncodeFacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Determinism: identical sets built in a different order encode to
+	// identical bytes (the build cache hashes vetx contents).
+	s2 := NewFactSet()
+	s2.export("repro/internal/core", &otherFact{N: 3})
+	s2.export("repro/internal/plan", &testFact{Names: nil})
+	s2.export("repro/internal/core", &testFact{Names: []string{"Worker", "Watcher"}})
+	data2, err := s2.EncodeFacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("insertion order changed the encoded bytes")
+	}
+
+	dec := NewFactSet()
+	if err := dec.DecodeFacts(data); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != 3 {
+		t.Fatalf("decoded Len = %d, want 3", dec.Len())
+	}
+	var got testFact
+	if !dec.get("repro/internal/core", &got) || len(got.Names) != 2 || got.Names[1] != "Watcher" {
+		t.Fatalf("decoded fact = %+v", got)
+	}
+}
+
+// The pre-facts driver wrote zero-byte vetx files, and fact-free
+// dependencies still do: empty input is a valid empty set.
+func TestDecodeFactsEmpty(t *testing.T) {
+	s := NewFactSet()
+	if err := s.DecodeFacts(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DecodeFacts([]byte{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+	if err := s.DecodeFacts([]byte("not gob")); err == nil {
+		t.Fatal("DecodeFacts accepted garbage")
+	}
+}
+
+func TestFactSchemaDeterministic(t *testing.T) {
+	a := &Analyzer{Name: "x", FactTypes: []Fact{(*testFact)(nil)}}
+	b := &Analyzer{Name: "y", FactTypes: []Fact{(*otherFact)(nil)}}
+	s1 := FactSchema([]*Analyzer{a, b})
+	s2 := FactSchema([]*Analyzer{b, a})
+	if s1 != s2 {
+		t.Fatalf("schema depends on analyzer order:\n%s\n%s", s1, s2)
+	}
+	if s1 == FactSchema([]*Analyzer{a}) {
+		t.Fatal("dropping a fact type did not change the schema")
+	}
+}

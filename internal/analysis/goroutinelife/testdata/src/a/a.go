@@ -1,0 +1,97 @@
+package a
+
+import (
+	"context"
+	"sync"
+
+	"b"
+)
+
+type Engine struct {
+	wg   sync.WaitGroup
+	life context.Context
+}
+
+// Literal goroutine completing a receiver WaitGroup the method Adds.
+func (e *Engine) goodLiteral() {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+	}()
+}
+
+// Done inside a nested (deferred) literal still completes the group.
+func goodDeferredDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer func() { wg.Done() }()
+	}()
+}
+
+// Observing the context bounds the goroutine to the lifecycle.
+func goodCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Cross-package spawn resolved through b's Bounded fact.
+func goodCrossPackage(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go b.Worker(wg)
+}
+
+func goodCrossPackageCtx(ctx context.Context) {
+	go b.Watcher(ctx)
+}
+
+// Same-package named callee resolved from its body.
+func localWorker(wg *sync.WaitGroup) { defer wg.Done() }
+
+func goodSamePackage(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go localWorker(wg)
+}
+
+// Delegating to a same-package context-observing helper counts.
+func goodDelegates(ctx context.Context) {
+	go func() {
+		helper(ctx)
+	}()
+}
+
+func helper(ctx context.Context) {
+	if ctx.Err() != nil {
+		return
+	}
+}
+
+func badDetached() {
+	go func() { // want `detached from the engine lifecycle`
+		println("fire and forget")
+	}()
+}
+
+// Done without a matching Add in the spawner is its own finding: the
+// group underflows or, worse, was never something Close waits on.
+func badNoAdd(wg *sync.WaitGroup) {
+	go func() { // want `never calls Add`
+		defer wg.Done()
+	}()
+}
+
+func badCrossPackage() {
+	go b.Leak() // want `detached from the engine lifecycle`
+}
+
+func fireAndForget() { println("x") }
+
+func badSamePackageNamed() {
+	go fireAndForget() // want `detached from the engine lifecycle`
+}
+
+// An explicit, justified suppression keeps a deliberate daemon.
+func suppressedDaemon() {
+	//pitlint:ignore goroutinelife process-lifetime daemon by design, reaped at exit
+	go func() { println("daemon") }()
+}

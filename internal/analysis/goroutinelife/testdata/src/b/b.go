@@ -1,0 +1,31 @@
+// Dependency fixture: a worker package analyzed before "a" so its
+// Bounded fact is available at a's spawn sites.
+package b
+
+import (
+	"context"
+	"sync"
+)
+
+// Worker completes the caller's WaitGroup: exported as bounded.
+func Worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+// Watcher observes its context: exported as bounded.
+func Watcher(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// Leak neither completes a group nor observes a context; spawning it is
+// a finding at the spawn site (not here — defining a function is fine,
+// detaching it is not).
+func Leak() {
+	for {
+		println("busy")
+	}
+}

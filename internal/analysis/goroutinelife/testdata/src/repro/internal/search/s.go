@@ -1,0 +1,8 @@
+// Module-path fixture outside goroutinelife's scope: the compute
+// kernels manage their own worker pools, so nothing here is reported
+// even though the goroutine is detached.
+package search
+
+func Detached() {
+	go func() { println("kernel-local") }()
+}

@@ -14,6 +14,7 @@ package ignore
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -98,6 +99,24 @@ func parse(rest string) (Directive, string) {
 		names = append(names, n)
 	}
 	return Directive{Analyzers: names, Reason: strings.Join(fields[1:], " ")}, ""
+}
+
+// Directives returns every well-formed directive in the index, sorted
+// by file then line, for audit tooling (pitlint -why).
+func (ix *Index) Directives() []Directive {
+	var out []Directive
+	for _, lines := range ix.byFileLine {
+		for _, ds := range lines {
+			out = append(out, ds...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
 }
 
 // Suppressed reports whether a diagnostic from analyzer at posn is

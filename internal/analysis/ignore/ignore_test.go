@@ -66,6 +66,84 @@ var x = 1
 	}
 }
 
+// A single trailing directive naming several analyzers suppresses each
+// of them on that line — and nothing else.
+func TestMultiAnalyzerSameLine(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //pitlint:ignore poolsafe,timerleak pool entry holds a timer by design
+}
+`
+	ix, bad, _ := buildFrom(t, src)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", bad)
+	}
+	pos := token.Position{Filename: "x.go", Line: 4}
+	if !ix.Suppressed(pos, "poolsafe") || !ix.Suppressed(pos, "timerleak") {
+		t.Error("multi-analyzer directive should suppress every listed analyzer on its line")
+	}
+	if ix.Suppressed(pos, "atomicstore") {
+		t.Error("multi-analyzer directive must not suppress an unlisted analyzer")
+	}
+}
+
+// Directives enumerates what -why audits: every well-formed directive,
+// sorted by file then line; malformed ones never make the list.
+func TestDirectivesEnumeration(t *testing.T) {
+	fset := token.NewFileSet()
+	var files []*goast.File
+	for name, src := range map[string]string{
+		"b.go": `package p
+
+var y = 2 //pitlint:ignore locksafe second file
+`,
+		"a.go": `package p
+
+var x = 1 //pitlint:ignore ctxloop first file
+
+//pitlint:ignore probinvariant,norandglobal later line
+var z = 3
+
+//pitlint:ignore ctxloop
+var w = 4
+`,
+	} {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	ix, bad := Build(fset, files)
+	if len(bad) != 1 {
+		t.Fatalf("want 1 malformed directive, got %d: %v", len(bad), bad)
+	}
+	ds := ix.Directives()
+	if len(ds) != 3 {
+		t.Fatalf("want 3 directives, got %d: %v", len(ds), ds)
+	}
+	wantOrder := []struct {
+		file   string
+		line   int
+		reason string
+	}{
+		{"a.go", 3, "first file"},
+		{"a.go", 5, "later line"},
+		{"b.go", 3, "second file"},
+	}
+	for i, w := range wantOrder {
+		d := ds[i]
+		if d.File != w.file || d.Line != w.line || d.Reason != w.reason {
+			t.Errorf("Directives()[%d] = %s:%d %q, want %s:%d %q",
+				i, d.File, d.Line, d.Reason, w.file, w.line, w.reason)
+		}
+	}
+	if len(ds[1].Analyzers) != 2 || ds[1].Analyzers[0] != "probinvariant" {
+		t.Errorf("Directives()[1].Analyzers = %v, want both listed analyzers", ds[1].Analyzers)
+	}
+}
+
 func TestMalformedDirectives(t *testing.T) {
 	src := `package p
 

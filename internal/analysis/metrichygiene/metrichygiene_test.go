@@ -1,0 +1,12 @@
+package metrichygiene_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/metrichygiene"
+)
+
+func TestMetrichygiene(t *testing.T) {
+	analysistest.Run(t, "testdata", metrichygiene.Analyzer, "a")
+}

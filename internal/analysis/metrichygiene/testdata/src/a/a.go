@@ -1,0 +1,84 @@
+package a
+
+import (
+	"strconv"
+
+	"obs"
+)
+
+type Method int
+
+const (
+	MLRW Method = iota
+	MRCL
+)
+
+// String is an enum stringer: bounded by the type's value set.
+func (m Method) String() string {
+	if m == MRCL {
+		return "rcl"
+	}
+	return "lrw"
+}
+
+// metricLabel returns only constants: the sanctioned label helper.
+func metricLabel(m Method) string {
+	if m == MRCL {
+		return "rcl"
+	}
+	return "lrw"
+}
+
+// unboundedLabel forwards its argument: not a const set.
+func unboundedLabel(s string) string {
+	return s
+}
+
+type metrics struct {
+	hits *obs.CounterVec
+	reqs *obs.CounterVec
+}
+
+// Registration in a new* constructor is the wiring idiom.
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		hits: reg.CounterVec("hits_total", "h", "method"),
+		reqs: reg.CounterVec("reqs_total", "r", "route"),
+	}
+}
+
+// Package-level var initializers are wiring by definition.
+var defaultReg = &obs.Registry{}
+var bootCounter = defaultReg.Counter("boot_total", "b")
+
+// Registration on a non-wiring path re-locks the registry per call.
+func (m *metrics) observe(reg *obs.Registry) {
+	c := reg.Counter("lazy_total", "l") // want `metric Counter registered inside observe`
+	c.Inc()
+}
+
+func goodLabels(m *metrics, method Method) {
+	m.hits.With("lrw").Inc()               // constant
+	m.hits.With(metricLabel(method)).Inc() // const-returning helper
+	m.hits.With(method.String()).Inc()     // enum stringer
+	l := metricLabel(method)
+	m.hits.With(l).Inc() // local assigned only bounded values
+}
+
+func badLabels(m *metrics, route string, status int) {
+	m.reqs.With(route).Inc()                // want `label value is not provably bounded`
+	m.reqs.With(strconv.Itoa(status)).Inc() // want `label value is not provably bounded`
+	m.reqs.With(unboundedLabel("x")).Inc()  // want `label value is not provably bounded`
+}
+
+// A rebind to request data poisons the local.
+func badReassigned(m *metrics, q string) {
+	l := "const"
+	l = q
+	m.hits.With(l).Inc() // want `label value is not provably bounded`
+}
+
+// Bounded in fact but not provably — the documented escape hatch.
+func suppressedRoute(m *metrics, route string) {
+	m.reqs.With(route).Inc() //pitlint:ignore metrichygiene route prefiltered by routeLabel to a closed set
+}

@@ -1,0 +1,391 @@
+// Package poolsafe catches the sync.Pool GC-pinning class fixed in
+// PR 4: a pooled scratch object that still references other objects
+// when it returns to the pool keeps those objects reachable for as
+// long as the pool holds the scratch — summaries, graphs and walk
+// indexes pinned long after the request that used them. The fix was a
+// dropRefs() that clears the aliasing fields before Put; this analyzer
+// makes that discipline mechanical.
+//
+// For every p.Put(x) where p is a sync.Pool, the concrete pooled type
+// is inspected for fields that can hold references to other objects:
+// pointers, maps, channels, funcs, interfaces, and slices/arrays whose
+// element type itself holds references or is a named struct from
+// another package (a foreign-struct slice in a scratch arena is almost
+// always an alias into data owned elsewhere — exactly how the search
+// scratch pinned the summary corpus). Owned flat buffers ([]float64,
+// []bool, [][]float64, slices of local plain structs) are the point of
+// pooling and pass untouched.
+//
+// A risky field passes when the function containing the Put — or a
+// same-package method it calls on the pooled value, resolved
+// transitively (the dropRefs idiom) — clears it: assigns nil, assigns
+// a fresh empty value, or calls clear() on it. The check is lexical
+// and flow-insensitive, like the rest of the suite; a deliberate
+// cross-call cache living in a pooled object documents itself with a
+// //pitlint:ignore and a justification.
+package poolsafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// scopeDirs: everything in the module. Pools appear today in
+// internal/{search,lrw}; the rule is cheap and the bug class is
+// repo-wide, so new pools are covered wherever they land.
+var scopeDirs = []string{"internal", "cmd"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolsafe",
+	Doc: "poolsafe: objects returned to a sync.Pool must not retain references to other objects\n\n" +
+		"Flags pool.Put(x) when x's type holds pointer/map/interface fields or\n" +
+		"foreign-struct slices that no dropRefs-style clear releases first; the pool\n" +
+		"pins whatever the scratch still references (the PR-4 GC leak class).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), scopeDirs...) {
+		return nil
+	}
+	c := &checker{
+		pass:    pass,
+		methods: map[methodKey]*ast.FuncDecl{},
+		cleared: map[methodKey]map[string]bool{},
+		busy:    map[methodKey]bool{},
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv != nil && fd.Body != nil {
+				if tn := recvTypeName(pass.TypesInfo, fd); tn != nil {
+					c.methods[methodKey{tn, fd.Name.Name}] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+type methodKey struct {
+	recv *types.TypeName
+	name string
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	methods map[methodKey]*ast.FuncDecl
+	// cleared memoizes, per method, the receiver fields it clears
+	// (directly or through same-receiver calls).
+	cleared map[methodKey]map[string]bool
+	busy    map[methodKey]bool
+}
+
+// recvTypeName resolves fd's receiver base named type.
+func recvTypeName(info *types.Info, fd *ast.FuncDecl) *types.TypeName {
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// isSyncPool reports whether t is sync.Pool, unwrapping one pointer.
+func isSyncPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+// holdsRefs reports whether a value of type t can reference another
+// object the GC would otherwise free. home is the package owning the
+// pooled type: slices of named structs from *other* packages count as
+// aliases (see package doc). seen breaks recursive types.
+func holdsRefs(t types.Type, home *types.Package, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Named:
+		if _, isStruct := t.Underlying().(*types.Struct); isStruct {
+			if t.Obj().Pkg() != nil && t.Obj().Pkg() != home {
+				return true // foreign named struct: alias risk
+			}
+		}
+		return holdsRefs(t.Underlying(), home, seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if holdsRefs(t.Field(i).Type(), home, seen) {
+				return true
+			}
+		}
+		return false
+	case *types.Slice:
+		return holdsRefs(t.Elem(), home, seen)
+	case *types.Array:
+		return holdsRefs(t.Elem(), home, seen)
+	}
+	// Basic types (strings included — pinning an immutable string is
+	// benign) and everything else: no object references.
+	return false
+}
+
+// riskyFields returns the names of st's fields that can hold object
+// references.
+func riskyFields(st *types.Struct, home *types.Package) []string {
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if holdsRefs(f.Type(), home, map[types.Type]bool{}) {
+			out = append(out, f.Name())
+		}
+	}
+	return out
+}
+
+// checkFunc scans fd for sync.Pool Put calls and verifies each one.
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 {
+			return true
+		}
+		if !isSyncPool(c.pass.TypesInfo.TypeOf(sel.X)) {
+			return true
+		}
+		c.checkPut(fd, call)
+		return true
+	})
+}
+
+// checkPut validates one pool.Put(arg).
+func (c *checker) checkPut(fd *ast.FuncDecl, call *ast.CallExpr) {
+	arg := ast.Unparen(call.Args[0])
+	t := c.pass.TypesInfo.TypeOf(arg)
+	if t == nil {
+		return
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	risky := riskyFields(st, named.Obj().Pkg())
+	if len(risky) == 0 {
+		return
+	}
+
+	// Which fields does the enclosing function clear, directly or via
+	// method calls on the pooled value?
+	var argObj types.Object
+	if id, isIdent := arg.(*ast.Ident); isIdent {
+		argObj = c.pass.TypesInfo.Uses[id]
+	}
+	clearedHere := c.clearedInFunc(fd.Body, argObj, named.Obj())
+
+	var leaked []string
+	for _, f := range risky {
+		if !clearedHere[f] {
+			leaked = append(leaked, f)
+		}
+	}
+	if len(leaked) == 0 {
+		return
+	}
+	c.pass.Reportf(call.Pos(),
+		"%s returned to sync.Pool still references other objects through %s; the pool pins whatever they point at — clear them (dropRefs-style) before Put",
+		named.Obj().Name(), joinFields(leaked))
+}
+
+func joinFields(fs []string) string {
+	switch len(fs) {
+	case 1:
+		return "field " + fs[0]
+	default:
+		s := "fields " + fs[0]
+		for _, f := range fs[1:] {
+			s += ", " + f
+		}
+		return s
+	}
+}
+
+// clearedInFunc collects fields of val (an object of pooled type tn)
+// cleared anywhere in body: val.f = nil, val.f = T{} / empty literal,
+// clear(val.f), or a method call val.m() whose body clears (resolved
+// transitively).
+func (c *checker) clearedInFunc(body ast.Node, val types.Object, tn *types.TypeName) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if f, ok := fieldOf(c.pass.TypesInfo, lhs, val); ok && i < len(n.Rhs) && isClearingValue(n.Rhs[i]) {
+					out[f] = true
+				}
+			}
+		case *ast.CallExpr:
+			if f, ok := clearArg(c.pass.TypesInfo, n, val); ok {
+				out[f] = true
+			}
+			if name, ok := methodCallOn(c.pass.TypesInfo, n, val); ok {
+				for f := range c.methodClears(methodKey{tn, name}) {
+					out[f] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// fieldOf decodes expr as val.f (possibly indexed: val.f[i] does not
+// count — overwriting one element clears nothing) and returns f.
+func fieldOf(info *types.Info, expr ast.Expr, val types.Object) (string, bool) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok || val == nil {
+		return "", false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || info.Uses[id] != val {
+		return "", false
+	}
+	if _, isField := info.Uses[sel.Sel].(*types.Var); !isField {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isClearingValue reports whether rhs releases references: nil or an
+// empty composite literal.
+func isClearingValue(rhs ast.Expr) bool {
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.Ident:
+		return rhs.Name == "nil"
+	case *ast.CompositeLit:
+		return len(rhs.Elts) == 0
+	}
+	return false
+}
+
+// clearArg decodes clear(val.f) and returns f.
+func clearArg(info *types.Info, call *ast.CallExpr, val types.Object) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "clear" || len(call.Args) != 1 {
+		return "", false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return "", false
+	}
+	return fieldOf(info, call.Args[0], val)
+}
+
+// methodCallOn decodes val.m(...) and returns m.
+func methodCallOn(info *types.Info, call *ast.CallExpr, val types.Object) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || val == nil {
+		return "", false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || info.Uses[id] != val {
+		return "", false
+	}
+	if _, isFn := info.Uses[sel.Sel].(*types.Func); !isFn {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// methodClears returns the receiver fields key's method clears,
+// transitively through same-receiver calls (memoized; cycles
+// contribute nothing).
+func (c *checker) methodClears(key methodKey) map[string]bool {
+	if got, ok := c.cleared[key]; ok {
+		return got
+	}
+	if c.busy[key] {
+		return nil
+	}
+	fd, ok := c.methods[key]
+	if !ok {
+		return nil
+	}
+	c.busy[key] = true
+	var recv types.Object
+	if len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		recv = c.pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+	}
+	out := map[string]bool{}
+	if recv != nil {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if f, ok := fieldOf(c.pass.TypesInfo, lhs, recv); ok && i < len(n.Rhs) && isClearingValue(n.Rhs[i]) {
+						out[f] = true
+					}
+				}
+			case *ast.CallExpr:
+				if f, ok := clearArg(c.pass.TypesInfo, n, recv); ok {
+					out[f] = true
+				}
+				if name, ok := methodCallOn(c.pass.TypesInfo, n, recv); ok {
+					for f := range c.methodClears(methodKey{key.recv, name}) {
+						out[f] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	c.busy[key] = false
+	c.cleared[key] = out
+	return out
+}

@@ -1,0 +1,12 @@
+package poolsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poolsafe"
+)
+
+func TestPoolsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", poolsafe.Analyzer, "a")
+}

@@ -1,0 +1,110 @@
+package a
+
+import (
+	"sync"
+
+	"b"
+)
+
+type graphLike struct{ n int }
+
+// scratch mixes owned flat buffers (fine to keep) with reference-holding
+// fields (must be cleared before Put).
+type scratch struct {
+	buf     []float64  // owned buffer: never flagged
+	grid    [][]byte   // nested flat buffer: never flagged
+	flags   []bool     // owned buffer: never flagged
+	cache   *graphLike // pointer: must clear
+	items   []b.Item   // foreign-struct slice: alias risk, must clear
+	lookups map[int]int
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// dropRefs is the sanctioned idiom.
+func (s *scratch) dropRefs() {
+	s.cache = nil
+	s.items = nil
+	clear(s.lookups)
+}
+
+// reset delegates to dropRefs; transitive resolution must see through.
+func (s *scratch) reset() {
+	s.buf = s.buf[:0]
+	s.dropRefs()
+}
+
+func goodDirectClear() {
+	s := pool.Get().(*scratch)
+	s.cache = nil
+	s.items = nil
+	s.lookups = nil
+	pool.Put(s)
+}
+
+func goodDropRefs() {
+	s := pool.Get().(*scratch)
+	defer func() {
+		s.dropRefs()
+		pool.Put(s)
+	}()
+	_ = s.buf
+}
+
+func goodTransitive() {
+	s := pool.Get().(*scratch)
+	s.reset()
+	pool.Put(s)
+}
+
+func badNoClear() {
+	s := pool.Get().(*scratch)
+	pool.Put(s) // want `still references other objects through fields cache, items, lookups`
+}
+
+func badPartialClear() {
+	s := pool.Get().(*scratch)
+	s.cache = nil
+	pool.Put(s) // want `still references other objects through fields items, lookups`
+}
+
+// Truncating keeps the backing array (and everything it points at)
+// alive: not a clear.
+func badTruncate() {
+	s := pool.Get().(*scratch)
+	s.items = s.items[:0]
+	s.cache = nil
+	s.lookups = nil
+	pool.Put(s) // want `still references other objects through field items`
+}
+
+// flat holds only owned buffers; Put needs no ceremony.
+type flat struct {
+	xs []float64
+	ys []int32
+	m  []uint32
+}
+
+var flatPool = sync.Pool{New: func() any { return new(flat) }}
+
+func goodFlat() {
+	f := flatPool.Get().(*flat)
+	flatPool.Put(f)
+}
+
+// A deliberate cross-call cache suppresses with a justification.
+func suppressedCache() {
+	s := pool.Get().(*scratch)
+	s.items = nil
+	s.lookups = nil
+	pool.Put(s) //pitlint:ignore poolsafe cache deliberately retained across calls; keys keep the allocation alive by design
+}
+
+// Non-pool Put methods are not confused with sync.Pool.
+type store struct{}
+
+func (store) Put(k int, v *scratch) {}
+
+func goodOtherPut(st store, s *scratch) {
+	st.Put(1, s)
+}

@@ -1,0 +1,8 @@
+// Foreign package providing a named struct: slices of it inside a
+// pooled scratch are treated as aliases into b-owned data.
+package b
+
+type Item struct {
+	ID     int
+	Weight float64
+}

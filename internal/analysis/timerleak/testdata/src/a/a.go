@@ -1,0 +1,85 @@
+package a
+
+import (
+	"context"
+	"time"
+)
+
+// One-shot time.After outside a loop is the documented convenient form.
+func goodOneShot(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(time.Second):
+		return true
+	}
+}
+
+// The classic poll loop: one leaked timer per iteration.
+func badAfterLoop(ctx context.Context, poll func() bool) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(50 * time.Millisecond): // want `time.After inside a loop`
+			if poll() {
+				return
+			}
+		}
+	}
+}
+
+func badAfterRange(xs []int) {
+	for range xs {
+		<-time.After(time.Millisecond) // want `time.After inside a loop`
+	}
+}
+
+// A literal defined inside the loop body runs per iteration.
+func badAfterInLoopLiteral(n int) {
+	for i := 0; i < n; i++ {
+		f := func() <-chan time.Time {
+			return time.After(time.Second) // want `time.After inside a loop`
+		}
+		<-f()
+	}
+}
+
+// The hoisted-timer idiom the analyzer points at.
+func goodHoistedTimer(ctx context.Context, poll func() bool) {
+	t := time.NewTimer(50 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if poll() {
+				return
+			}
+			t.Reset(50 * time.Millisecond)
+		}
+	}
+}
+
+// time.Tick can never be stopped: flagged everywhere.
+func badTick() <-chan time.Time {
+	return time.Tick(time.Second) // want `time.Tick leaks its ticker`
+}
+
+func goodTicker(ctx context.Context) {
+	tk := time.NewTicker(time.Second)
+	defer tk.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tk.C:
+		}
+	}
+}
+
+// Process-lifetime wiring documents itself.
+func suppressedTick() <-chan time.Time {
+	return time.Tick(time.Minute) //pitlint:ignore timerleak process-lifetime heartbeat wired once in main
+}

@@ -1,0 +1,92 @@
+// Package timerleak flags the timer-allocation patterns that leak under
+// sustained load. time.After allocates a timer that is not collected
+// until it fires: inside a loop — the shape every retry/poll/heartbeat
+// loop in a server converges on — each iteration leaks one timer for
+// the full duration, and a tight loop with a long timeout holds
+// thousands of live timers (before Go 1.23 this was unbounded heap
+// growth; after, it is still per-iteration alloc and runtime timer
+// churn on paths the serving stack runs millions of times). time.Tick
+// is worse: the returned ticker can never be stopped, so each call
+// commits a runtime timer for the rest of the process — acceptable only
+// in main-adjacent wiring, which can say so with an ignore directive.
+//
+// The fix is mechanical and the analyzer names it: hoist a
+// time.NewTimer before the loop and Stop/Reset it per iteration, or use
+// time.NewTicker with defer Stop. Function literals inside a loop body
+// count as inside the loop (they typically run per iteration); test
+// files are exempt as everywhere in the suite.
+package timerleak
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// scopeDirs: module-wide; the pattern is wrong on any production path.
+var scopeDirs = []string{"internal", "cmd"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "timerleak",
+	Doc: "timerleak: no time.After in loops, no time.Tick anywhere on production paths\n\n" +
+		"Flags time.After inside for/range loops (one leaked timer per iteration until\n" +
+		"it fires) and every time.Tick (the ticker can never be stopped); use\n" +
+		"time.NewTimer/NewTicker with Stop.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), scopeDirs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		checkNode(pass, f, 0)
+	}
+	return nil
+}
+
+// checkNode walks n tracking loop depth. A nested function literal
+// keeps the depth of its definition site: a literal inside a loop body
+// generally executes per iteration, and a loop inside a literal is a
+// loop regardless.
+func checkNode(pass *analysis.Pass, n ast.Node, loopDepth int) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.ForStmt:
+			if m.Init != nil {
+				checkNode(pass, m.Init, loopDepth)
+			}
+			if m.Cond != nil {
+				checkNode(pass, m.Cond, loopDepth+1) // evaluated per iteration
+			}
+			if m.Post != nil {
+				checkNode(pass, m.Post, loopDepth+1)
+			}
+			checkNode(pass, m.Body, loopDepth+1)
+			return false
+		case *ast.RangeStmt:
+			checkNode(pass, m.X, loopDepth)
+			checkNode(pass, m.Body, loopDepth+1)
+			return false
+		case *ast.CallExpr:
+			fn := analysis.Callee(pass.TypesInfo, m)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			switch fn.Name() {
+			case "Tick":
+				pass.Reportf(m.Pos(),
+					"time.Tick leaks its ticker — it can never be stopped; use time.NewTicker and defer t.Stop()")
+			case "After":
+				if loopDepth > 0 {
+					pass.Reportf(m.Pos(),
+						"time.After inside a loop allocates a timer per iteration that lives until it fires; hoist a time.NewTimer before the loop and Stop/Reset it")
+				}
+			}
+		}
+		return true
+	})
+}

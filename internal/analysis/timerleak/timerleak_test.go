@@ -1,0 +1,12 @@
+package timerleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/timerleak"
+)
+
+func TestTimerleak(t *testing.T) {
+	analysistest.Run(t, "testdata", timerleak.Analyzer, "a")
+}

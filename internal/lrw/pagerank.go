@@ -69,7 +69,7 @@ func Scores(g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Option
 // by the caller (the kernel itself runs on pooled scratch).
 func scoresCtx(ctx context.Context, g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Options) ([]float64, error) {
 	sc := scratchPool.Get().(*scratch)
-	defer scratchPool.Put(sc)
+	defer scratchPool.Put(sc) //pitlint:ignore poolsafe cacheG/cacheWalks deliberately persist across Put as the per-(graph,walks) row-cache key; see scratch.go
 	res, err := scoresInto(ctx, g, walks, vt, opt, sc)
 	if err != nil {
 		return nil, err
@@ -172,7 +172,7 @@ func RepNodes(g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Opti
 // The returned slice is owned by the caller.
 func repNodesCtx(ctx context.Context, g *graph.Graph, walks *randwalk.Index, vt []graph.NodeID, opt Options) ([]graph.NodeID, error) {
 	sc := scratchPool.Get().(*scratch)
-	defer scratchPool.Put(sc)
+	defer scratchPool.Put(sc) //pitlint:ignore poolsafe cacheG/cacheWalks deliberately persist across Put as the per-(graph,walks) row-cache key; see scratch.go
 	reps, err := repNodesInto(ctx, g, walks, vt, opt, sc)
 	if err != nil || reps == nil {
 		return nil, err
