@@ -10,7 +10,7 @@ GO ?= go
 # (e.g. `make bench BENCH_LABEL=mybranch` for a comparison run).
 BENCH_LABEL ?= after
 
-.PHONY: all help build test check fmt vet lint lint-audit lint-self vulncheck race bench bench-smoke chaos
+.PHONY: all help build test check fmt vet lint lint-audit lint-self vulncheck race bench bench-smoke chaos fuzz
 
 all: check
 
@@ -26,8 +26,11 @@ help:
 	@echo "make lint-self   - run pitlint over its own analyzers and driver"
 	@echo "make bench       - online + offline load benchmark (cmd/pitperf); merges a"
 	@echo "                   '$(BENCH_LABEL)' run into BENCH_PR5.json (BENCH_LABEL=...)"
+	@echo "                   and a cold-start run into BENCH_PR8.json"
 	@echo "make bench-smoke - one-shot benchmark smoke: figure benchmarks plus the"
-	@echo "                   search/core/rcl/lrw micro-benchmarks and a pitperf -smoke run"
+	@echo "                   search/core/rcl/lrw micro-benchmarks, a pitperf -smoke run,"
+	@echo "                   and a save/mmap-load/query cold-start round trip"
+	@echo "make fuzz        - storage artifact-parser fuzzers for 10s per target"
 	@echo "make chaos       - fault-injection suite under -race: internal/chaos plus the"
 	@echo "                   planner/breaker chaos tests in core and server"
 	@echo "make vulncheck   - govulncheck when installed (best-effort)"
@@ -89,14 +92,18 @@ chaos:
 
 # Online-path and offline-pipeline load benchmark (reproducible: fixed
 # seed, fixed dataset shape). Records the run under $(BENCH_LABEL) in
-# BENCH_PR5.json and refuses to merge runs whose dataset configs differ.
+# BENCH_PR5.json / BENCH_PR8.json and refuses to merge runs whose
+# dataset configs differ.
 bench:
 	$(GO) run ./cmd/pitperf -label $(BENCH_LABEL) -out BENCH_PR5.json
+	$(GO) run ./cmd/pitperf -cold -label $(BENCH_LABEL) -out BENCH_PR8.json
 
 # Benchmark smoke: run the data_2k figure benchmarks and the online-path
 # micro-benchmarks exactly once (-benchtime 1x), plus the pitperf smoke
 # config, to prove both harnesses still execute. No timing value — just
-# "does it run". The pitserve -smoke run then serves real HTTP on
+# "does it run". The pitperf -cold -smoke run exercises the artifact
+# round trip end to end: build → save both formats → mmap-load → query
+# through the mapping. The pitserve -smoke run then serves real HTTP on
 # ephemeral ports and fails unless /metrics exposes every instrumented
 # layer's metric families (the obs packages themselves are covered under
 # -race by `make race`, which runs ./...).
@@ -104,6 +111,14 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig05TimeCostData2k|BenchmarkFig10PrecisionData2k' -benchtime 1x .
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/search/ ./internal/core/ ./internal/rcl/ ./internal/lrw/
 	$(GO) run ./cmd/pitperf -smoke -out /tmp/pitperf-smoke.json
+	$(GO) run ./cmd/pitperf -cold -smoke -out /tmp/pitperf-cold-smoke.json
 	$(GO) run ./cmd/pitserve -smoke
+
+# Fuzz the artifact parsers: hostile bytes through both the gob and v2
+# load paths must produce wrapped `storage:` errors, never a panic or an
+# unbounded allocation. CI runs this budget on every push; longer local
+# sessions just raise -fuzztime.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 10s ./internal/storage/
 
 check: build fmt vet lint lint-self lint-audit race bench-smoke vulncheck

@@ -3,19 +3,31 @@
 // paper-mirroring presets (data_2k, data_350k, data_1.2m, data_3m; see
 // §6.1 and DESIGN.md §3) or from explicit size parameters.
 //
+// With -index-dir it additionally acts as the offline index builder:
+// after writing the dataset it builds the random-walk and propagation
+// indexes (and, with -warm, every topic summary) and persists them as a
+// versioned artifact directory that pitserve/pitsearch cold-start from.
+//
 // Usage:
 //
 //	datagen -preset data_2k -graph graph.tsv -topics topics.tsv
 //	datagen -nodes 5000 -min-deg 2 -max-deg 12 -tags 20 -graph g.tsv -topics t.tsv
+//	datagen -preset data_350k -index-dir idx/ -warm lrw -index-format v2
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"strings"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/graph"
+	"repro/internal/storage"
 	"repro/internal/topics"
 )
 
@@ -35,6 +47,12 @@ func main() {
 		graphOut  = flag.String("graph", "graph.tsv", "output path for the graph")
 		topicsOut = flag.String("topics", "topics.tsv", "output path for the topic space")
 		stats     = flag.Bool("stats", false, "print structural statistics of the generated graph")
+		indexDir  = flag.String("index-dir", "", "also build the offline indexes and save them as an artifact directory")
+		indexFmt  = flag.String("index-format", "v2", "artifact format for -index-dir: v2 (flat binary, mmap) or gob")
+		theta     = flag.Float64("theta", 0.01, "propagation-index threshold θ (with -index-dir)")
+		walkL     = flag.Int("L", 6, "random-walk length L (with -index-dir)")
+		walkR     = flag.Int("R", 16, "random walks per node R (with -index-dir)")
+		warm      = flag.String("warm", "", "comma-separated summary methods to materialize into the artifacts: lrw, rcl (with -index-dir)")
 	)
 	flag.Parse()
 
@@ -44,17 +62,57 @@ func main() {
 	}, dataset.TopicConfig{
 		Tags: *tags, TopicsPerTag: *perTag, MeanTopicNodes: *topicSize,
 		Locality: *locality, Seed: *seed + 1,
-	}, *graphOut, *topicsOut, *stats); err != nil {
+	}, *graphOut, *topicsOut, *stats, indexConfig{
+		dir: *indexDir, format: *indexFmt, theta: *theta,
+		walkL: *walkL, walkR: *walkR, seed: *seed, warm: *warm,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(preset string, scale float64, gcfg dataset.GraphConfig, tcfg dataset.TopicConfig, graphOut, topicsOut string, printStats bool) error {
+// indexConfig carries the optional offline-index-build step's parameters.
+type indexConfig struct {
+	dir    string
+	format string
+	theta  float64
+	walkL  int
+	walkR  int
+	seed   int64
+	warm   string
+}
+
+// warmMethods parses the -warm list into engine methods.
+func (c indexConfig) warmMethods() ([]core.Method, error) {
+	if c.warm == "" {
+		return nil, nil
+	}
+	var ms []core.Method
+	for _, name := range strings.Split(c.warm, ",") {
+		switch strings.TrimSpace(name) {
+		case "lrw":
+			ms = append(ms, core.MethodLRW)
+		case "rcl":
+			ms = append(ms, core.MethodRCL)
+		default:
+			return nil, fmt.Errorf("-warm: unknown method %q (want lrw or rcl)", name)
+		}
+	}
+	return ms, nil
+}
+
+func run(preset string, scale float64, gcfg dataset.GraphConfig, tcfg dataset.TopicConfig, graphOut, topicsOut string, printStats bool, icfg indexConfig) error {
+	format, err := storage.ParseFormat(icfg.format)
+	if err != nil {
+		return fmt.Errorf("-index-format: %w", err)
+	}
+	warmMs, err := icfg.warmMethods()
+	if err != nil {
+		return err
+	}
 	var (
-		g   *graph.Graph
-		sp  *topics.Space
-		err error
+		g  *graph.Graph
+		sp *topics.Space
 	)
 	if preset != "" {
 		p, perr := dataset.PresetByName(preset)
@@ -97,5 +155,43 @@ func run(preset string, scale float64, gcfg dataset.GraphConfig, tcfg dataset.To
 		fmt.Println(graph.ComputeStats(g))
 		fmt.Println("out-degree histogram (power-of-two buckets):", graph.DegreeHistogram(g))
 	}
+	if icfg.dir != "" {
+		if err := buildArtifacts(g, sp, icfg, format, warmMs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildArtifacts runs the offline pipeline — walk index, propagation
+// index, optional full-corpus summary materialization — and persists the
+// result so serving processes cold-start instead of rebuilding.
+func buildArtifacts(g *graph.Graph, sp *topics.Space, icfg indexConfig, format storage.Format, warmMs []core.Method) error {
+	eng, err := core.New(g, sp, core.Options{
+		WalkL: icfg.walkL, WalkR: icfg.walkR, Theta: icfg.theta, Seed: icfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	start := time.Now()
+	if err := eng.BuildIndexes(context.Background()); err != nil {
+		return err
+	}
+	log.Printf("indexes built in %v (L=%d R=%d θ=%g)",
+		time.Since(start).Round(time.Millisecond), icfg.walkL, icfg.walkR, icfg.theta)
+	for _, m := range warmMs {
+		start = time.Now()
+		if err := eng.WarmSummaries(context.Background(), m, core.WarmOptions{}); err != nil {
+			return err
+		}
+		log.Printf("warmed %d %s topic summaries in %v",
+			sp.NumTopics(), m, time.Since(start).Round(time.Millisecond))
+	}
+	start = time.Now()
+	if err := eng.SaveArtifacts(icfg.dir, format); err != nil {
+		return fmt.Errorf("save artifacts to %s: %w", icfg.dir, err)
+	}
+	fmt.Printf("saved %s artifacts to %s in %v\n", format, icfg.dir, time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -5,10 +5,16 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/graph"
 	"repro/internal/topics"
 )
+
+// testIdx is the no-persistence index config most tests use.
+func testIdx() indexConfig {
+	return indexConfig{format: "v2", theta: 0.01, walkL: 4, walkR: 8, seed: 1}
+}
 
 func TestRunWithExplicitConfig(t *testing.T) {
 	dir := t.TempDir()
@@ -16,7 +22,7 @@ func TestRunWithExplicitConfig(t *testing.T) {
 	tp := filepath.Join(dir, "t.tsv")
 	gcfg := dataset.GraphConfig{Nodes: 200, MinOutDegree: 2, MaxOutDegree: 5, Seed: 1}
 	tcfg := dataset.TopicConfig{Tags: 3, TopicsPerTag: 2, MeanTopicNodes: 8, Seed: 2}
-	if err := run("", 1, gcfg, tcfg, gp, tp, true); err != nil {
+	if err := run("", 1, gcfg, tcfg, gp, tp, true, testIdx()); err != nil {
 		t.Fatal(err)
 	}
 	gf, err := os.Open(gp)
@@ -49,7 +55,7 @@ func TestRunWithPreset(t *testing.T) {
 	dir := t.TempDir()
 	gp := filepath.Join(dir, "g.tsv")
 	tp := filepath.Join(dir, "t.tsv")
-	if err := run("data_2k", 0.1, dataset.GraphConfig{}, dataset.TopicConfig{}, gp, tp, false); err != nil {
+	if err := run("data_2k", 0.1, dataset.GraphConfig{}, dataset.TopicConfig{}, gp, tp, false, testIdx()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(gp); err != nil {
@@ -61,15 +67,50 @@ func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	gp := filepath.Join(dir, "g.tsv")
 	tp := filepath.Join(dir, "t.tsv")
-	if err := run("no-such-preset", 1, dataset.GraphConfig{}, dataset.TopicConfig{}, gp, tp, false); err == nil {
+	if err := run("no-such-preset", 1, dataset.GraphConfig{}, dataset.TopicConfig{}, gp, tp, false, testIdx()); err == nil {
 		t.Error("unknown preset accepted")
 	}
 	bad := dataset.GraphConfig{Nodes: 0}
-	if err := run("", 1, bad, dataset.TopicConfig{Tags: 1, TopicsPerTag: 1}, gp, tp, false); err == nil {
+	if err := run("", 1, bad, dataset.TopicConfig{Tags: 1, TopicsPerTag: 1}, gp, tp, false, testIdx()); err == nil {
 		t.Error("invalid graph config accepted")
 	}
 	good := dataset.GraphConfig{Nodes: 50, MinOutDegree: 1, MaxOutDegree: 3, Seed: 1}
-	if err := run("", 1, good, dataset.TopicConfig{Tags: 1, TopicsPerTag: 1, MeanTopicNodes: 4}, filepath.Join(dir, "nope", "g.tsv"), tp, false); err == nil {
+	if err := run("", 1, good, dataset.TopicConfig{Tags: 1, TopicsPerTag: 1, MeanTopicNodes: 4}, filepath.Join(dir, "nope", "g.tsv"), tp, false, testIdx()); err == nil {
 		t.Error("unwritable graph path accepted")
+	}
+	badFmt := testIdx()
+	badFmt.format = "xml"
+	if err := run("", 1, good, dataset.TopicConfig{Tags: 1, TopicsPerTag: 1, MeanTopicNodes: 4}, gp, tp, false, badFmt); err == nil {
+		t.Error("invalid index format accepted")
+	}
+	badWarm := testIdx()
+	badWarm.warm = "lrw,zzz"
+	if err := run("", 1, good, dataset.TopicConfig{Tags: 1, TopicsPerTag: 1, MeanTopicNodes: 4}, gp, tp, false, badWarm); err == nil {
+		t.Error("invalid warm method accepted")
+	}
+}
+
+// TestRunBuildsArtifacts exercises the offline-builder role: one datagen
+// invocation writes the dataset AND a warmed artifact directory that the
+// serving engines can cold-start from.
+func TestRunBuildsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "g.tsv")
+	tp := filepath.Join(dir, "t.tsv")
+	icfg := testIdx()
+	icfg.dir = filepath.Join(dir, "idx")
+	icfg.warm = "lrw,rcl"
+	gcfg := dataset.GraphConfig{Nodes: 200, MinOutDegree: 2, MaxOutDegree: 5, Seed: 1}
+	tcfg := dataset.TopicConfig{Tags: 3, TopicsPerTag: 2, MeanTopicNodes: 8, Seed: 2}
+	if err := run("", 1, gcfg, tcfg, gp, tp, false, icfg); err != nil {
+		t.Fatal(err)
+	}
+	if !core.ArtifactsExist(icfg.dir) {
+		t.Fatal("artifact directory not populated")
+	}
+	for _, name := range []string{"walks.pit", "prop.pit", "summaries_lrw.pit", "summaries_rcl.pit"} {
+		if _, err := os.Stat(filepath.Join(icfg.dir, name)); err != nil {
+			t.Errorf("artifact %s missing: %v", name, err)
+		}
 	}
 }

@@ -8,7 +8,7 @@
 // ID for the build cache, mixed with the cross-package fact schema so a
 // fact-shape change invalidates cached .vetx files), -flags (supported
 // flags as JSON), and otherwise a single *.cfg argument describing one
-// type-checked package — and runs the ten pitlint analyzers over it:
+// type-checked package — and runs the eleven pitlint analyzers over it:
 //
 //	ctxloop        heavy kernel loops must observe ctx cancellation
 //	norandglobal   no global math/rand state, no wall-clock seeding
@@ -20,6 +20,7 @@
 //	atomicstore    one concrete type per atomic.Value; no mixed atomic/plain access
 //	metrichygiene  metrics register at wiring time; label values from const sets
 //	timerleak      no time.After in loops, no time.Tick on production paths
+//	unsafeslice    unsafe and syscall.Mmap only inside internal/storage
 //
 // Analyzers may exchange cross-package facts (goroutinelife's Bounded
 // set): facts ride the .vetx files cmd/go threads between invocations,
@@ -65,6 +66,7 @@ import (
 	"repro/internal/analysis/poolsafe"
 	"repro/internal/analysis/probinvariant"
 	"repro/internal/analysis/timerleak"
+	"repro/internal/analysis/unsafeslice"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -78,6 +80,7 @@ var analyzers = []*analysis.Analyzer{
 	poolsafe.Analyzer,
 	probinvariant.Analyzer,
 	timerleak.Analyzer,
+	unsafeslice.Analyzer,
 }
 
 var (

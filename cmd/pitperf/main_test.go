@@ -1,6 +1,7 @@
 package main
 
 import (
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,10 +17,10 @@ func TestMergeInto(t *testing.T) {
 	rec := runRecord{Date: "2026-01-01T00:00:00Z", GoMaxProcs: 1,
 		Results: map[string]metric{"search_warm": {Iters: 10, NsPerOp: 100}}}
 
-	if err := mergeInto(path, cfg, "before", rec); err != nil {
+	if err := mergeInto(path, onlineHarness, cfg, "before", rec); err != nil {
 		t.Fatal(err)
 	}
-	if err := mergeInto(path, cfg, "after", rec); err != nil {
+	if err := mergeInto(path, onlineHarness, cfg, "after", rec); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)
@@ -33,8 +34,36 @@ func TestMergeInto(t *testing.T) {
 	}
 	other := cfg
 	other.Nodes++
-	if err := mergeInto(path, other, "again", rec); err == nil {
+	if err := mergeInto(path, onlineHarness, other, "again", rec); err == nil {
 		t.Error("config mismatch accepted")
+	}
+}
+
+// TestRunColdSmoke drives the whole cold-start suite at smoke scale:
+// build, warm, save both formats, reload both formats, query through the
+// loaded (for v2: mapped) indexes, and merge a well-formed record.
+func TestRunColdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs benchmarks")
+	}
+	old := flag.Lookup("test.benchtime").Value.String()
+	if err := flag.Set("test.benchtime", "1x"); err != nil {
+		t.Fatal(err)
+	}
+	defer flag.Set("test.benchtime", old)
+
+	out := filepath.Join(t.TempDir(), "cold.json")
+	if err := runCold(smokeConfig(1), "smoke", out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"load_v2"`, `"load_gob"`, `"save_v2"`, `"search_loaded_v2"`, `"build_indexes"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("cold record missing %s", want)
+		}
 	}
 }
 

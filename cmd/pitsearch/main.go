@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/graph"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -39,11 +40,14 @@ func main() {
 		diversity = flag.Float64("diversity", 0, "diversification strength λ ∈ [0,1] (0 = plain ranking)")
 		trace     = flag.Bool("trace", false, "print search diagnostics (pruning, expansion, rep consumption)")
 		warm      = flag.Bool("warm", false, "warm every topic summary before searching (batch/eval runs)")
+		indexDir  = flag.String("index-dir", "", "artifact directory: load prebuilt indexes from it when populated, save freshly built ones into it otherwise")
+		indexFmt  = flag.String("index-format", "v2", "artifact format for -index-dir saves: v2 (flat binary, mmap) or gob")
 	)
 	flag.Parse()
 
 	if err := run(*preset, *scale, *graphIn, *topicsIn, *method, *query, *user, *k,
-		*theta, *walkL, *walkR, *seed, *quietFlag, *diversity, *trace, *warm); err != nil {
+		*theta, *walkL, *walkR, *seed, *quietFlag, *diversity, *trace, *warm,
+		*indexDir, *indexFmt); err != nil {
 		fmt.Fprintln(os.Stderr, "pitsearch:", err)
 		os.Exit(1)
 	}
@@ -51,8 +55,12 @@ func main() {
 
 func run(preset string, scale float64, graphIn, topicsIn, method, query string,
 	user, k int, theta float64, walkL, walkR int, seed int64, quiet bool,
-	diversity float64, trace, warm bool) error {
+	diversity float64, trace, warm bool, indexDir, indexFmt string) error {
 
+	format, err := storage.ParseFormat(indexFmt)
+	if err != nil {
+		return fmt.Errorf("-index-format: %w", err)
+	}
 	g, sp, err := dataset.LoadPresetOrFiles(preset, scale, graphIn, topicsIn)
 	if err != nil {
 		return err
@@ -76,10 +84,20 @@ func run(preset string, scale float64, graphIn, topicsIn, method, query string,
 	if err != nil {
 		return err
 	}
+	// Cold-start from the artifact directory when it holds a snapshot;
+	// otherwise build from scratch (and persist below, after the optional
+	// warm, so saved artifacts include the materialized summaries).
+	loaded := false
 	start := time.Now()
-	if err := eng.BuildIndexes(context.Background()); err != nil {
+	if indexDir != "" && core.ArtifactsExist(indexDir) {
+		if err := eng.LoadArtifacts(indexDir); err != nil {
+			return fmt.Errorf("load artifacts from %s: %w", indexDir, err)
+		}
+		loaded = true
+	} else if err := eng.BuildIndexes(context.Background()); err != nil {
 		return err
 	}
+	defer eng.Close()
 	buildTime := time.Since(start)
 
 	// -warm materializes the whole corpus up front — the batch/eval
@@ -92,6 +110,12 @@ func run(preset string, scale float64, graphIn, topicsIn, method, query string,
 			return err
 		}
 		warmTime = time.Since(start)
+	}
+
+	if indexDir != "" && !loaded {
+		if err := eng.SaveArtifacts(indexDir, format); err != nil {
+			return fmt.Errorf("save artifacts to %s: %w", indexDir, err)
+		}
 	}
 
 	start = time.Now()
@@ -111,8 +135,12 @@ func run(preset string, scale float64, graphIn, topicsIn, method, query string,
 		if warm {
 			fmt.Printf("warmed %d topic summaries in %v\n", sp.NumTopics(), warmTime.Round(time.Millisecond))
 		}
-		fmt.Printf("indexes built in %v; %s search for %q (user %d) in %v\n",
-			buildTime.Round(time.Millisecond), m, query, user, searchTime.Round(time.Microsecond))
+		how := "built"
+		if loaded {
+			how = "loaded from " + indexDir
+		}
+		fmt.Printf("indexes %s in %v; %s search for %q (user %d) in %v\n",
+			how, buildTime.Round(time.Millisecond), m, query, user, searchTime.Round(time.Microsecond))
 	}
 	if len(res) == 0 {
 		fmt.Println("no topics match the query")

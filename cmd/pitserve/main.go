@@ -56,6 +56,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/server"
+	"repro/internal/storage"
 )
 
 // options carries every flag so the whole app is buildable from tests.
@@ -82,11 +83,27 @@ type options struct {
 	breakerThreshold   int
 	breakerCooldown    time.Duration
 	breakerMaxCooldown time.Duration
+	indexDir           string
+	indexFormat        string
 }
 
 // planConfig resolves the planner flags into the engine's plan.Config.
 // A zero -stale-ttl disables the stale tier outright (plan.Config treats
 // zero as "use the default", so the disable is mapped to negative here).
+// saveFormat resolves the -index-format flag; an unset value (tests
+// constructing options directly) defaults to the v2 binary format, like
+// the flag itself.
+func (o options) saveFormat() (storage.Format, error) {
+	if o.indexFormat == "" {
+		return storage.FormatV2, nil
+	}
+	f, err := storage.ParseFormat(o.indexFormat)
+	if err != nil {
+		return "", fmt.Errorf("-index-format: %w", err)
+	}
+	return f, nil
+}
+
 func (o options) planConfig() (plan.Config, error) {
 	policy, err := plan.ParsePolicy(o.tierPolicy)
 	if err != nil {
@@ -162,6 +179,8 @@ func main() {
 	flag.IntVar(&o.breakerThreshold, "breaker-threshold", 5, "consecutive summary-build failures before the circuit breaker suspends builds (0 disables the breaker)")
 	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", time.Second, "initial breaker cooldown before a half-open probe (doubles per failed probe)")
 	flag.DurationVar(&o.breakerMaxCooldown, "breaker-max-cooldown", 30*time.Second, "upper bound on the breaker's exponential cooldown")
+	flag.StringVar(&o.indexDir, "index-dir", "", "artifact directory: cold-start from it when populated, save freshly built indexes into it otherwise (empty disables persistence)")
+	flag.StringVar(&o.indexFormat, "index-format", "v2", "artifact format for -index-dir saves: v2 (flat binary, mmap cold start) or gob")
 	flag.Parse()
 
 	if o.smoke {
@@ -188,6 +207,9 @@ func main() {
 func buildApp(o options) (*app, error) {
 	if _, err := o.warmMethods(); err != nil {
 		return nil, err // reject a bad -warm-summaries before loading data
+	}
+	if _, err := o.saveFormat(); err != nil {
+		return nil, err // reject a bad -index-format before loading data
 	}
 	pcfg, err := o.planConfig()
 	if err != nil {
@@ -235,17 +257,29 @@ func (a *app) opsHandler() http.Handler {
 	return mux
 }
 
-// prepare builds the offline indexes (and optional materialization) and
-// flips the server to ready. ctx cancellation (e.g. SIGTERM during a long
-// materialization) aborts it.
+// prepare makes the engine ready — cold-starting from the -index-dir
+// artifacts when they exist (summaries included, so the warm-up below
+// is a cache-hit sweep), building from scratch otherwise — and flips
+// the server to ready. Freshly built indexes (and warmed summaries) are
+// saved back to -index-dir so the next start is a cold start. ctx
+// cancellation (e.g. SIGTERM during a long materialization) aborts it.
 func (a *app) prepare(ctx context.Context) error {
 	start := time.Now()
-	if err := a.eng.BuildIndexes(ctx); err != nil {
+	loaded := false
+	if a.opts.indexDir != "" && core.ArtifactsExist(a.opts.indexDir) {
+		if err := a.eng.LoadArtifacts(a.opts.indexDir); err != nil {
+			return fmt.Errorf("load artifacts from %s: %w", a.opts.indexDir, err)
+		}
+		loaded = true
+		log.Printf("indexes loaded from %s in %v", a.opts.indexDir, time.Since(start).Round(time.Millisecond))
+	} else if err := a.eng.BuildIndexes(ctx); err != nil {
 		return err
 	}
 	g, sp := a.eng.Graph(), a.eng.Space()
-	log.Printf("indexes built in %v (%d users, %d links, %d topics)",
-		time.Since(start).Round(time.Millisecond), g.NumNodes(), g.NumEdges(), sp.NumTopics())
+	if !loaded {
+		log.Printf("indexes built in %v (%d users, %d links, %d topics)",
+			time.Since(start).Round(time.Millisecond), g.NumNodes(), g.NumEdges(), sp.NumTopics())
+	}
 	methods, err := a.opts.warmMethods()
 	if err != nil {
 		return err
@@ -269,6 +303,17 @@ func (a *app) prepare(ctx context.Context) error {
 			return fmt.Errorf("warm %s summaries: %w", m, err)
 		}
 		log.Printf("warmed %d %s topic summaries in %v", total, m, time.Since(start).Round(time.Millisecond))
+	}
+	if a.opts.indexDir != "" && !loaded {
+		format, err := a.opts.saveFormat()
+		if err != nil {
+			return err
+		}
+		saveStart := time.Now()
+		if err := a.eng.SaveArtifacts(a.opts.indexDir, format); err != nil {
+			return fmt.Errorf("save artifacts to %s: %w", a.opts.indexDir, err)
+		}
+		log.Printf("artifacts saved to %s (%s) in %v", a.opts.indexDir, format, time.Since(saveStart).Round(time.Millisecond))
 	}
 	a.srv.MarkReady()
 	return nil

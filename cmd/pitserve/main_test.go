@@ -285,6 +285,62 @@ func TestOpsHandlerServesMetricsAndPprof(t *testing.T) {
 
 // TestRunSmoke: the -smoke one-shot passes end to end against a live
 // process on ephemeral ports.
+// TestPrepareColdStartsFromArtifacts: the first prepare builds, warms
+// and saves artifacts; a second app pointed at the same directory loads
+// them instead of rebuilding and serves identical search results.
+func TestPrepareColdStartsFromArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	o := testOptions()
+	o.scale = 0.05
+	o.walkL, o.walkR = 3, 4
+	o.materialize = true
+	o.indexDir = dir
+	o.indexFormat = "v2"
+
+	search := func(a *app) string {
+		ts := httptest.NewServer(a.srv.Handler())
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + "/search?q=tag000&user=3&k=5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/search = %d", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	first, err := buildApp(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.prepare(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !core.ArtifactsExist(dir) {
+		t.Fatal("prepare did not save artifacts")
+	}
+	want := search(first)
+	first.eng.Close()
+
+	second, err := buildApp(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.prepare(context.Background()); err != nil {
+		t.Fatalf("cold start from artifacts: %v", err)
+	}
+	defer second.eng.Close()
+	if got := search(second); got != want {
+		t.Errorf("cold-started answer differs:\n got %s\nwant %s", got, want)
+	}
+}
+
 func TestRunSmoke(t *testing.T) {
 	o := testOptions()
 	if err := runSmoke(o); err != nil {

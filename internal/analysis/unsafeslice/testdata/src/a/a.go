@@ -1,0 +1,27 @@
+package a
+
+import (
+	"syscall"
+	"unsafe" // want `import of unsafe outside internal/storage`
+)
+
+// Reinterpreting bytes by hand outside the storage views: the classic
+// shape the analyzer exists to catch.
+func badView(b []byte) []int32 {
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// A private mapping created outside the storage layer is never tied to
+// the engine's drain-and-unmap lifecycle.
+func badMap(fd int, size int) ([]byte, error) {
+	return syscall.Mmap(fd, 0, size, syscall.PROT_READ, syscall.MAP_SHARED) // want `syscall.Mmap outside internal/storage`
+}
+
+func badUnmap(data []byte) error {
+	return syscall.Munmap(data) // want `syscall.Munmap outside internal/storage`
+}
+
+// Other syscall use is not this analyzer's business.
+func goodOtherSyscall() (int, error) {
+	return syscall.Getpid(), nil
+}

@@ -1,0 +1,24 @@
+// Fixture standing in for the real repro/internal/storage: the one
+// package where unsafe reinterpretation and raw mappings are allowed,
+// so none of these produce diagnostics.
+package storage
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+func viewInt32(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func mapFile(fd int, size int) ([]byte, error) {
+	return syscall.Mmap(fd, 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmap(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,12 @@
+package unsafeslice_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/unsafeslice"
+)
+
+func TestUnsafeslice(t *testing.T) {
+	analysistest.Run(t, "testdata", unsafeslice.Analyzer, "a", "repro/internal/storage")
+}

@@ -1,0 +1,197 @@
+package core
+
+// Artifact persistence for the engine: SaveArtifacts writes the built
+// offline indexes (and any materialized summary batches) to a
+// directory, LoadArtifacts restores them — the deployment shape the
+// paper's §6.6 amortization argument assumes, where the ~7-hour index
+// build happens once per dataset snapshot and every serving process
+// cold-starts from the artifact directory.
+//
+// With storage.FormatV2 the restored indexes are zero-copy views into
+// read-only file mappings, which changes the engine's shutdown
+// contract: Close must drain in-flight queries through the query gate
+// (gate.go) before releasing the mappings, and queries arriving after
+// Close fail with ErrNotReady instead of reading unmapped memory.
+// Gob-restored and freshly built engines keep the original Close
+// semantics (the cache keeps serving).
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/lrw"
+	"repro/internal/rcl"
+	"repro/internal/search"
+	"repro/internal/storage"
+)
+
+// Artifact file names inside an artifact directory.
+const (
+	// WalkArtifact holds the random-walk index (required).
+	WalkArtifact = "walks.pit"
+	// PropArtifact holds the propagation index (required).
+	PropArtifact = "prop.pit"
+)
+
+// SummaryArtifact returns the file name of method m's materialized
+// summary batch (optional in an artifact directory).
+func SummaryArtifact(m Method) string {
+	switch m {
+	case MethodLRW:
+		return "summaries_lrw.pit"
+	case MethodRCL:
+		return "summaries_rcl.pit"
+	}
+	return fmt.Sprintf("summaries_%d.pit", int(m))
+}
+
+// ArtifactsExist reports whether dir holds both required index
+// artifacts — the cheap "can I cold-start from here?" probe the CLIs
+// use to choose between loading and building.
+func ArtifactsExist(dir string) bool {
+	for _, name := range []string{WalkArtifact, PropArtifact} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// SaveArtifacts persists the engine's built indexes, plus the cached
+// summary batch of each method that has one, into dir in the given
+// format. Every file is written atomically (temp + rename), so a crash
+// mid-save never corrupts an existing artifact directory. The engine
+// must be ready.
+func (e *Engine) SaveArtifacts(dir string, format storage.Format) error {
+	if err := e.requireIndexes(); err != nil {
+		return err
+	}
+	if format != storage.FormatGob && format != storage.FormatV2 {
+		return fmt.Errorf("%w: unknown artifact format %q", ErrInvalidArgument, format)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: artifact dir: %w", err)
+	}
+	if format == storage.FormatV2 {
+		if err := storage.SaveWalkIndexV2(filepath.Join(dir, WalkArtifact), e.walks); err != nil {
+			return err
+		}
+		if err := storage.SavePropIndexV2(filepath.Join(dir, PropArtifact), e.prop); err != nil {
+			return err
+		}
+	} else {
+		if err := storage.SaveWalkIndex(filepath.Join(dir, WalkArtifact), e.walks); err != nil {
+			return err
+		}
+		if err := storage.SavePropIndex(filepath.Join(dir, PropArtifact), e.prop); err != nil {
+			return err
+		}
+	}
+	for _, m := range []Method{MethodLRW, MethodRCL} {
+		sums := e.cache.snapshotMethod(m)
+		if len(sums) == 0 {
+			continue
+		}
+		path := filepath.Join(dir, SummaryArtifact(m))
+		var err error
+		if format == storage.FormatV2 {
+			err = storage.SaveSummariesV2(path, sums)
+		} else {
+			err = storage.SaveSummaries(path, sums)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadArtifacts restores the offline indexes from dir (format
+// auto-detected per file), making the engine ready without running the
+// index builds. Summary batches present in dir are preloaded into the
+// cache. The artifacts must match the engine's graph — node counts are
+// validated so an artifact from a different dataset snapshot fails
+// loudly here instead of answering garbage.
+//
+// When the artifacts are v2 files, the indexes are zero-copy views into
+// read-only mappings owned by the engine; Close drains in-flight
+// queries and then releases the mappings, and later queries fail with
+// ErrNotReady.
+func (e *Engine) LoadArtifacts(dir string) (retErr error) {
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	if e.ready.Load() {
+		return fmt.Errorf("core: indexes already built; LoadArtifacts must run first")
+	}
+	loadStart := time.Now()
+	var handles []*storage.Handle
+	defer func() {
+		if retErr != nil {
+			for _, h := range handles {
+				h.Close()
+			}
+		}
+	}()
+	walks, h, err := storage.OpenWalkIndex(filepath.Join(dir, WalkArtifact))
+	if err != nil {
+		return fmt.Errorf("core: walk artifact: %w", err)
+	}
+	handles = append(handles, h)
+	if walks.NumNodes() != e.g.NumNodes() {
+		return fmt.Errorf("core: walk artifact covers %d nodes, graph has %d — artifact from a different snapshot?",
+			walks.NumNodes(), e.g.NumNodes())
+	}
+	prop, h, err := storage.OpenPropIndex(filepath.Join(dir, PropArtifact))
+	if err != nil {
+		return fmt.Errorf("core: propagation artifact: %w", err)
+	}
+	handles = append(handles, h)
+	if prop.NumNodes() != e.g.NumNodes() {
+		return fmt.Errorf("core: propagation artifact covers %d nodes, graph has %d — artifact from a different snapshot?",
+			prop.NumNodes(), e.g.NumNodes())
+	}
+	searcher, err := search.New(prop, e.opts.Search)
+	if err != nil {
+		return fmt.Errorf("core: searcher: %w", err)
+	}
+	lrwSum, err := lrw.New(e.g, e.space, walks, e.opts.LRW)
+	if err != nil {
+		return fmt.Errorf("core: lrw summarizer: %w", err)
+	}
+	rclSum, err := rcl.New(e.g, e.space, walks, e.opts.RCL)
+	if err != nil {
+		return fmt.Errorf("core: rcl summarizer: %w", err)
+	}
+	for _, m := range []Method{MethodLRW, MethodRCL} {
+		sums, hs, err := storage.OpenSummaries(filepath.Join(dir, SummaryArtifact(m)))
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("core: %s summaries artifact: %w", m, err)
+		}
+		handles = append(handles, hs)
+		if err := e.PreloadSummaries(m, sums); err != nil {
+			return fmt.Errorf("core: %s summaries artifact: %w", m, err)
+		}
+	}
+	e.walks, e.prop = walks, prop
+	e.searcher, e.lrwSum, e.rclSum = searcher, lrwSum, rclSum
+	e.handles = handles
+	for _, h := range handles {
+		if h.Mapped() > 0 {
+			e.mapped = true
+		}
+	}
+	if e.met != nil {
+		e.met.indexDur.Observe(time.Since(loadStart).Seconds())
+	}
+	// The atomic store publishes every field written above, exactly as
+	// in BuildIndexes.
+	e.ready.Store(true)
+	return nil
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/rcl"
 	"repro/internal/search"
 	"repro/internal/singleflight"
+	"repro/internal/storage"
 	"repro/internal/summary"
 	"repro/internal/topics"
 )
@@ -191,6 +192,18 @@ type Engine struct {
 	revalMu  sync.Mutex
 	revaling map[resultKey]struct{} // guarded by revalMu
 	revalWG  sync.WaitGroup
+
+	// Artifact-backed state (artifacts.go). handles own the file
+	// mappings behind LoadArtifacts-restored indexes; mapped is true
+	// when any of them is a real mapping, in which case every online
+	// entry point holds the query gate so Close can drain in-flight
+	// queries before releasing the mappings. Both are written before
+	// ready is published and immutable afterwards. unmapOnce makes the
+	// release idempotent across concurrent Close calls.
+	handles   []*storage.Handle
+	mapped    bool
+	gate      queryGate
+	unmapOnce sync.Once
 }
 
 // New returns an Engine over the graph and topic space. Indexes are not
@@ -244,9 +257,25 @@ func New(g *graph.Graph, space *topics.Space, opts Options) (*Engine, error) {
 // and does not invalidate the cache: already-materialized summaries
 // keep serving, but cache misses after Close fail with
 // context.Canceled. Call it after the serving layer has drained.
+//
+// Engines restored from mapped artifacts (LoadArtifacts over v2 files)
+// additionally drain: Close blocks until in-flight queries finish, then
+// releases the file mappings; queries arriving after that fail with
+// ErrNotReady instead of faulting on unmapped memory. Built and
+// gob-restored engines are unaffected.
 func (e *Engine) Close() {
 	e.stopLife()
 	e.revalWG.Wait()
+	if e.mapped {
+		// Order matters: the revalidation goroutines above acquire the
+		// gate too, so they must be fully drained before the gate closes.
+		e.gate.closeAndDrain()
+		e.unmapOnce.Do(func() {
+			for _, h := range e.handles {
+				h.Close()
+			}
+		})
+	}
 }
 
 // Graph returns the engine's social graph.
@@ -339,6 +368,36 @@ func (e *Engine) requireIndexes() error {
 	return nil
 }
 
+// gateTokenKey marks a context as already holding the query gate, so
+// nested entry points (Search → SearchTopics → Summarize all receive
+// the same ctx) piggyback on the outer acquisition instead of
+// re-acquiring — see queryGate.
+type gateTokenKey struct{}
+
+// acquire is the entry gate of every online query path: it checks
+// readiness and, when the indexes are views into file mappings,
+// registers the query with the gate so Close cannot unmap under it.
+// Callers must thread the returned context into nested work and call
+// release when the query finishes (it is never nil on success). Engines
+// with heap-owned indexes skip the gate entirely, preserving the
+// original lock-free entry.
+func (e *Engine) acquire(ctx context.Context) (context.Context, func(), error) {
+	if err := e.requireIndexes(); err != nil {
+		return ctx, nil, err
+	}
+	if !e.mapped {
+		return ctx, func() {}, nil
+	}
+	if ctx.Value(gateTokenKey{}) != nil {
+		return ctx, func() {}, nil // nested within a held gate
+	}
+	release, ok := e.gate.acquire()
+	if !ok {
+		return ctx, nil, fmt.Errorf("%w: engine closed", ErrNotReady)
+	}
+	return context.WithValue(ctx, gateTokenKey{}, gateTokenKey{}), release, nil
+}
+
 // firstError records the first error a worker pool observes. A plain
 // mutex, not an atomic.Value: Value.CompareAndSwap panics when two
 // workers race to store errors of different concrete types (e.g. a
@@ -380,9 +439,11 @@ func (f *firstError) get() error {
 // does cancel a running shared build is engine shutdown: Close cancels
 // the lifecycle context every build is derived from.
 func (e *Engine) Summarize(ctx context.Context, m Method, t topics.TopicID) (summary.Summary, error) {
-	if err := e.requireIndexes(); err != nil {
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
 		return summary.Summary{}, err
 	}
+	defer release()
 	if !m.valid() {
 		return summary.Summary{}, fmt.Errorf("%w: unknown method %v", ErrInvalidArgument, m)
 	}
@@ -628,9 +689,11 @@ func (e *Engine) validateUser(user graph.NodeID) error {
 // SearchTopics runs the online top-k PIT-Search (Algorithm 10) over an
 // explicit q-related topic set.
 func (e *Engine) SearchTopics(ctx context.Context, m Method, related []topics.TopicID, user graph.NodeID, k int) ([]search.Result, error) {
-	if err := e.requireIndexes(); err != nil {
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
 		return nil, err
 	}
+	defer release()
 	if err := e.validateUser(user); err != nil {
 		return nil, err
 	}
@@ -650,9 +713,11 @@ func (e *Engine) SearchTopics(ctx context.Context, m Method, related []topics.To
 // expansion frontier evolution (see search.Trace). Intended for operators
 // tuning θ, the expansion budget or the representative counts.
 func (e *Engine) SearchTrace(ctx context.Context, m Method, related []topics.TopicID, user graph.NodeID, k int) (*search.Trace, error) {
-	if err := e.requireIndexes(); err != nil {
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
 		return nil, err
 	}
+	defer release()
 	if err := e.validateUser(user); err != nil {
 		return nil, err
 	}
@@ -728,9 +793,11 @@ func (e *Engine) SearchDiverse(ctx context.Context, m Method, query string, user
 // aggregate. A batch mixing valid and invalid users therefore returns
 // (nil, err), never partial results.
 func (e *Engine) SearchMany(ctx context.Context, m Method, query string, users []graph.NodeID, k, workers int) ([][]TopicResult, error) {
-	if err := e.requireIndexes(); err != nil {
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
 		return nil, err
 	}
+	defer release()
 	related := e.space.Related(query)
 	out := make([][]TopicResult, len(users))
 	if len(related) == 0 || len(users) == 0 {
@@ -815,9 +882,11 @@ func (e *Engine) Search(ctx context.Context, m Method, query string, user graph.
 // still runs the full Algorithm 10 machinery and is cheap (Γ lookups
 // only), but honors ctx like everything else.
 func (e *Engine) SearchMaterialized(ctx context.Context, m Method, query string, user graph.NodeID, k int) ([]TopicResult, bool, error) {
-	if err := e.requireIndexes(); err != nil {
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
 		return nil, false, err
 	}
+	defer release()
 	if !m.valid() {
 		return nil, false, fmt.Errorf("%w: unknown method %v", ErrInvalidArgument, m)
 	}
@@ -868,9 +937,11 @@ func (e *Engine) SearchMaterializedDiverse(ctx context.Context, m Method, query 
 	if lambda <= 0 {
 		return e.SearchMaterialized(ctx, m, query, user, k)
 	}
-	if err := e.requireIndexes(); err != nil {
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
 		return nil, false, err
 	}
+	defer release()
 	if !m.valid() {
 		return nil, false, fmt.Errorf("%w: unknown method %v", ErrInvalidArgument, m)
 	}

@@ -1,0 +1,67 @@
+package core
+
+// queryGate drains in-flight queries before the engine unmaps
+// artifact-backed indexes. When an engine's indexes are views into a
+// read-only file mapping (LoadArtifacts over a v2 artifact), Close must
+// not munmap while a query still dereferences them — the reader would
+// fault. Every online entry point acquires the gate for its duration;
+// Close flips it closed and blocks until the in-flight count drains.
+//
+// Engine entry points nest (Search → SearchTopics → Summarize), so the
+// gate is acquired only at the outermost boundary: Engine.acquire tags
+// the request context with a token, and nested entries that see the
+// token piggyback on the already-held gate instead of re-acquiring.
+// That makes closing strict — it refuses every new top-level query —
+// while letting in-flight queries (and everything they nest) run to
+// completion, so the in-flight count decreases monotonically once
+// closing is set and the drain always converges, even under a steady
+// stream of new arrivals (they are all refused).
+
+import "sync"
+
+type queryGate struct {
+	mu      sync.Mutex
+	n       int           // in-flight top-level queries
+	closing bool          // set by closeAndDrain; refuses new acquires
+	idle    chan struct{} // closed when n hits 0 while closing
+}
+
+// acquire registers an in-flight top-level query; it fails once the
+// gate is closing. On success the caller must call the returned release
+// exactly once.
+func (g *queryGate) acquire() (release func(), ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closing {
+		return nil, false
+	}
+	g.n++
+	return g.release, true
+}
+
+func (g *queryGate) release() {
+	g.mu.Lock()
+	g.n--
+	if g.n == 0 && g.closing && g.idle != nil {
+		close(g.idle)
+		g.idle = nil
+	}
+	g.mu.Unlock()
+}
+
+// closeAndDrain marks the gate closing and blocks until no query is in
+// flight. Idempotent; concurrent calls all block until idle.
+func (g *queryGate) closeAndDrain() {
+	g.mu.Lock()
+	g.closing = true
+	if g.n == 0 {
+		g.mu.Unlock()
+		return
+	}
+	if g.idle == nil {
+		g.idle = make(chan struct{})
+	}
+	ch := g.idle
+	g.mu.Unlock()
+	<-ch
+}

@@ -59,9 +59,11 @@ type PlanOutcome struct {
 // ErrUnavailable-wrapped.
 func (e *Engine) SearchPlanned(ctx context.Context, m Method, query string, user graph.NodeID, k int, lambda float64) ([]TopicResult, PlanOutcome, error) {
 	none := PlanOutcome{Tier: plan.TierUnavailable}
-	if err := e.requireIndexes(); err != nil {
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
 		return nil, none, err
 	}
+	defer release()
 	if !m.valid() {
 		return nil, none, fmt.Errorf("%w: unknown method %v", ErrInvalidArgument, m)
 	}

@@ -11,6 +11,7 @@ package core
 // shard.
 
 import (
+	"slices"
 	"sync"
 
 	"repro/internal/summary"
@@ -138,6 +139,25 @@ func (c *sumCache) deleteTopic(t topics.TopicID, methods ...Method) {
 		sh.gen[k]++ // invalidate any build that started before this point
 		sh.mu.Unlock()
 	}
+}
+
+// snapshotMethod returns the summaries cached under m, sorted by topic
+// so persisted artifacts are deterministic. The summaries themselves
+// are immutable once cached, so sharing them with the caller is safe.
+func (c *sumCache) snapshotMethod(m Method) []summary.Summary {
+	var out []summary.Summary
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for k, s := range sh.m {
+			if k.m == m {
+				out = append(out, s)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	slices.SortFunc(out, func(a, b summary.Summary) int { return int(a.Topic) - int(b.Topic) })
+	return out
 }
 
 // countMethod returns how many summaries are cached under m — a stats

@@ -71,9 +71,11 @@ type WarmOptions struct {
 // surfaces as the first error observed. A nil return means the whole
 // corpus is hot.
 func (e *Engine) WarmSummaries(ctx context.Context, m Method, opts WarmOptions) error {
-	if err := e.requireIndexes(); err != nil {
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
 		return err
 	}
+	defer release()
 	if !m.valid() {
 		return fmt.Errorf("%w: unknown method %v", ErrInvalidArgument, m)
 	}

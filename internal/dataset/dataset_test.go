@@ -259,6 +259,32 @@ func TestPresets(t *testing.T) {
 	}
 }
 
+// TestPaper3MPreset: the full-scale preset is reachable by name, carries
+// the paper's original node count, and stays out of the experiment set
+// (Presets()) that the evaluation harness builds wholesale.
+func TestPaper3MPreset(t *testing.T) {
+	p, err := PresetByName("paper3m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Graph.Nodes != 3_000_000 || p.PaperNodes != 3_000_000 {
+		t.Errorf("paper3m sizes = %d/%d, want 3M/3M", p.Graph.Nodes, p.PaperNodes)
+	}
+	for _, q := range Presets() {
+		if q.Name == p.Name {
+			t.Error("paper3m must not be in Presets()")
+		}
+	}
+	// A tiny scale of it must build — the affordable-machine escape hatch.
+	built, err := p.Scale(0.0001).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Graph.NumNodes() < 64 {
+		t.Errorf("scaled paper3m nodes = %d", built.Graph.NumNodes())
+	}
+}
+
 func TestPresetScaleAndBuild(t *testing.T) {
 	p, err := PresetByName("data_2k")
 	if err != nil {

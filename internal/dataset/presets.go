@@ -88,12 +88,57 @@ func Presets() []Preset {
 	}
 }
 
-// PresetByName returns the preset with the given name.
+// Paper3M is the full-scale counterpart of data_3m: the paper's largest
+// dataset at its ORIGINAL size — 3,000,000 users — not the laptop-scale
+// compression the experiment presets use. It exists for the offline
+// artifact builder and the cold-start benchmarks, where the point is the
+// paper-scale footprint itself, and is therefore reachable only by name
+// ("paper3m"): it is deliberately NOT in Presets(), which the evaluation
+// harness builds wholesale.
+//
+// Expected memory footprint at the default engine parameters
+// (L=6, R=16, θ=0.01), dominated by the random-walk index:
+//
+//	walks        N·R·L int32   = 3M·16·6·4 B ≈ 1.15 GB
+//	h            L·N  float64  = 6·3M·8 B    ≈ 144 MB
+//	reachStarts  ≤ N·R·L int32 (dedup'd)     ≈ 0.3–1.1 GB
+//	propagation  |Γ| entries at θ=0.01       ≈ hundreds of MB
+//
+// so plan for roughly 2–3 GB of index resident set plus transient build
+// memory, and v2 artifact files of about the same total size. Scale it
+// down (e.g. `-preset paper3m -scale 0.1`) on smaller machines.
+func Paper3M() Preset {
+	return Preset{
+		Name:       "paper3m",
+		PaperNodes: 3_000_000,
+		Graph: GraphConfig{
+			Nodes:        3_000_000,
+			MinOutDegree: 1, MaxOutDegree: 120, // heavy tail like the full crawl
+			PreferentialBias: 0.85,
+			Seed:             401,
+		},
+		Topics: TopicConfig{
+			// The paper's topics average ~20k users; 1200 topics of that
+			// size would dwarf the graph in generation time, so the full-
+			// scale preset keeps the 1200-topic fan-out with communities
+			// of 2k — large enough that summarization cost is real, small
+			// enough that warm-up stays in minutes.
+			Tags: 10, TopicsPerTag: 120, MeanTopicNodes: 2_000,
+			Locality: 0.7, Seed: 402,
+		},
+	}
+}
+
+// PresetByName returns the preset with the given name, including the
+// by-name-only full-scale presets (paper3m).
 func PresetByName(name string) (Preset, error) {
 	for _, p := range Presets() {
 		if p.Name == name {
 			return p, nil
 		}
+	}
+	if p := Paper3M(); p.Name == name {
+		return p, nil
 	}
 	return Preset{}, fmt.Errorf("dataset: unknown preset %q", name)
 }

@@ -33,22 +33,17 @@ func (ix *Index) GobEncode() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// GobDecode implements gob.GobDecoder.
+// GobDecode implements gob.GobDecoder. Validation is shared with the
+// flat binary format by routing through Adopt.
 func (ix *Index) GobDecode(data []byte) error {
 	var w indexWire
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
 		return fmt.Errorf("propidx: decode: %w", err)
 	}
-	if w.Theta <= 0 || w.Theta >= 1 {
-		return fmt.Errorf("propidx: decode: corrupt theta %v", w.Theta)
+	adopted, err := Adopt(w.Theta, w.Off, w.Src, w.Prop, w.Potential)
+	if err != nil {
+		return fmt.Errorf("propidx: decode: %w", err)
 	}
-	if len(w.Off) < 1 {
-		return fmt.Errorf("propidx: decode: missing offsets")
-	}
-	n := len(w.Src)
-	if len(w.Prop) != n || len(w.Potential) != n || int(w.Off[len(w.Off)-1]) != n {
-		return fmt.Errorf("propidx: decode: inconsistent array sizes")
-	}
-	ix.theta, ix.off, ix.src, ix.prop, ix.potential = w.Theta, w.Off, w.Src, w.Prop, w.Potential
+	*ix = *adopted
 	return nil
 }

@@ -1,0 +1,76 @@
+package propidx
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func buildSmall(t *testing.T) *Index {
+	t.Helper()
+	b := graph.NewBuilder(8)
+	for i := 0; i < 8; i++ {
+		b.MustAddEdge(graph.NodeID(i), graph.NodeID((i+1)%8), 0.6)
+		b.MustAddEdge(graph.NodeID(i), graph.NodeID((i+3)%8), 0.4)
+	}
+	ix, err := Build(context.Background(), b.Build(), Options{Theta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestAdoptRoundTrip(t *testing.T) {
+	ix := buildSmall(t)
+	theta, off, src, prop, potential := ix.Raw()
+	got, err := Adopt(theta, off, src, prop, potential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Theta() != ix.Theta() || got.Size() != ix.Size() || got.NumNodes() != ix.NumNodes() {
+		t.Fatal("header mismatch")
+	}
+	for v := 0; v < ix.NumNodes(); v++ {
+		s1, p1, m1 := ix.Gamma(graph.NodeID(v))
+		s2, p2, m2 := got.Gamma(graph.NodeID(v))
+		if len(s1) != len(s2) {
+			t.Fatalf("Gamma(%d) length differs", v)
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] || p1[i] != p2[i] || m1[i] != m2[i] {
+				t.Fatalf("Gamma(%d)[%d] differs", v, i)
+			}
+		}
+	}
+}
+
+func TestAdoptRejectsCorruptArrays(t *testing.T) {
+	ix := buildSmall(t)
+	theta, off, src, prop, potential := ix.Raw()
+
+	if _, err := Adopt(0, off, src, prop, potential); err == nil {
+		t.Error("theta 0 accepted")
+	}
+	if _, err := Adopt(theta, nil, src, prop, potential); err == nil {
+		t.Error("missing offsets accepted")
+	}
+	if _, err := Adopt(theta, off, src, prop[:len(prop)-1], potential); err == nil {
+		t.Error("short prop array accepted")
+	}
+	if _, err := Adopt(theta, off, src[:len(src)-1], prop[:len(prop)-1], potential[:len(potential)-1]); err == nil {
+		t.Error("CSR end mismatch accepted")
+	}
+	badStart := append([]int32{}, off...)
+	badStart[0] = 1
+	if _, err := Adopt(theta, badStart, src, prop, potential); err == nil {
+		t.Error("nonzero first offset accepted")
+	}
+	if len(off) > 2 {
+		dec := append([]int32{}, off...)
+		dec[1] = off[len(off)-1] + 1
+		if _, err := Adopt(theta, dec, src, prop, potential); err == nil {
+			t.Error("decreasing offsets accepted")
+		}
+	}
+}

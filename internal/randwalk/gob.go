@@ -35,23 +35,24 @@ func (ix *Index) GobEncode() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// GobDecode implements gob.GobDecoder.
+// GobDecode implements gob.GobDecoder. Validation is shared with the
+// flat binary format by routing through Adopt.
 func (ix *Index) GobDecode(data []byte) error {
 	var w indexWire
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
 		return fmt.Errorf("randwalk: decode: %w", err)
 	}
-	if w.L < 1 || w.R < 1 || w.N < 0 {
-		return fmt.Errorf("randwalk: decode: corrupt header L=%d R=%d N=%d", w.L, w.R, w.N)
+	// gob encodes an empty slice as nil; Adopt's H-row checks want
+	// per-row slices of length N, which nil rows satisfy only at N = 0.
+	for j := range w.H {
+		if w.H[j] == nil && w.N == 0 {
+			w.H[j] = []float64{}
+		}
 	}
-	if len(w.Walks) != w.N*w.R*w.L {
-		return fmt.Errorf("randwalk: decode: walk array size %d, want %d", len(w.Walks), w.N*w.R*w.L)
+	adopted, err := Adopt(w.L, w.R, w.N, w.Walks, w.H, w.ReachOff, w.ReachStarts)
+	if err != nil {
+		return fmt.Errorf("randwalk: decode: %w", err)
 	}
-	if len(w.ReachOff) != w.N+1 {
-		return fmt.Errorf("randwalk: decode: reach offsets size %d, want %d", len(w.ReachOff), w.N+1)
-	}
-	ix.L, ix.R, ix.n = w.L, w.R, w.N
-	ix.walks, ix.h = w.Walks, w.H
-	ix.reachOff, ix.reachStarts = w.ReachOff, w.ReachStarts
+	*ix = *adopted
 	return nil
 }

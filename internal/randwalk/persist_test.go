@@ -1,0 +1,117 @@
+package randwalk
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func buildSmall(t *testing.T) *Index {
+	t.Helper()
+	b := graph.NewBuilder(8)
+	for i := 0; i < 8; i++ {
+		b.MustAddEdge(graph.NodeID(i), graph.NodeID((i+1)%8), 0.5)
+		b.MustAddEdge(graph.NodeID(i), graph.NodeID((i+3)%8), 0.5)
+	}
+	ix, err := Build(context.Background(), b.Build(), Options{L: 3, R: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// Adopt over Raw's arrays must reproduce the index exactly, without
+// copying: the adopted index answers every accessor identically.
+func TestAdoptRoundTrip(t *testing.T) {
+	ix := buildSmall(t)
+	l, r, n, walks, h, reachOff, reachStarts := ix.Raw()
+	got, err := Adopt(l, r, n, walks, h, reachOff, reachStarts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.L != ix.L || got.R != ix.R || got.NumNodes() != ix.NumNodes() {
+		t.Fatalf("header mismatch")
+	}
+	for w := 0; w < n; w++ {
+		for i := 0; i < r; i++ {
+			a, b := ix.Walk(i, graph.NodeID(w)), got.Walk(i, graph.NodeID(w))
+			if len(a) != len(b) {
+				t.Fatalf("walk(%d,%d) differs", i, w)
+			}
+		}
+		if len(ix.ReachL(graph.NodeID(w))) != len(got.ReachL(graph.NodeID(w))) {
+			t.Fatalf("ReachL(%d) differs", w)
+		}
+	}
+	for j := 1; j <= l; j++ {
+		for v := 0; v < n; v++ {
+			if ix.VisitFreq(j, graph.NodeID(v)) != got.VisitFreq(j, graph.NodeID(v)) {
+				t.Fatalf("H[%d][%d] differs", j, v)
+			}
+		}
+	}
+}
+
+func TestAdoptRejectsCorruptArrays(t *testing.T) {
+	ix := buildSmall(t)
+	l, r, n, walks, h, reachOff, reachStarts := ix.Raw()
+
+	cases := []struct {
+		name string
+		run  func() error
+		want string
+	}{
+		{"bad header", func() error {
+			_, err := Adopt(0, r, n, walks, h, reachOff, reachStarts)
+			return err
+		}, "corrupt header"},
+		{"short walks", func() error {
+			_, err := Adopt(l, r, n, walks[:len(walks)-1], h, reachOff, reachStarts)
+			return err
+		}, "walk array size"},
+		{"missing H row", func() error {
+			_, err := Adopt(l, r, n, walks, h[:l-1], reachOff, reachStarts)
+			return err
+		}, "H rows"},
+		{"short H row", func() error {
+			bad := append([][]float64{}, h...)
+			bad[0] = bad[0][:n-1]
+			_, err := Adopt(l, r, n, walks, bad, reachOff, reachStarts)
+			return err
+		}, "entries"},
+		{"short offsets", func() error {
+			_, err := Adopt(l, r, n, walks, h, reachOff[:n], reachStarts)
+			return err
+		}, "reach offsets size"},
+		{"nonzero first offset", func() error {
+			bad := append([]int32{}, reachOff...)
+			bad[0] = 1
+			_, err := Adopt(l, r, n, walks, h, bad, reachStarts)
+			return err
+		}, "start at"},
+		{"decreasing offsets", func() error {
+			bad := append([]int32{}, reachOff...)
+			bad[n] = 0
+			bad[1] = 5 // force a decrease somewhere in the run
+			_, err := Adopt(l, r, n, walks, h, bad, reachStarts)
+			return err
+		}, ""},
+		{"CSR end mismatch", func() error {
+			_, err := Adopt(l, r, n, walks, h, reachOff, reachStarts[:len(reachStarts)-1])
+			return err
+		}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatal("corrupt arrays accepted")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

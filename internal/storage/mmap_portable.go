@@ -1,0 +1,31 @@
+//go:build !linux
+
+package storage
+
+// Portable fallback for hosts without the Linux mmap backend: the file
+// is read into an ordinary heap slice. Loads still benefit from the
+// flat format's zero-parse views — only demand paging and the
+// write-fault guarantee are lost (mmapIsReadOnly is false, so the
+// fault-behavior tests skip here).
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+const mmapIsReadOnly = false
+
+// mapFile reads size bytes of f into memory. The closer is a no-op
+// (the heap slice is garbage-collected).
+func mapFile(f *os.File, size int64) (data []byte, closer func() error, err error) {
+	if size < 0 || size > math.MaxInt {
+		return nil, nil, fmt.Errorf("storage: cannot load %d-byte file", size)
+	}
+	data = make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, fmt.Errorf("storage: read: %w", err)
+	}
+	return data, func() error { return nil }, nil
+}

@@ -3,6 +3,21 @@
 // personalized propagation index (Section 5.1) and materialized topic
 // summaries — so a deployment builds them once per dataset snapshot and
 // reloads them at startup, exactly the amortization argument of §6.6.
+//
+// Two on-disk formats coexist:
+//
+//   - gob (v1, "pitsearch-index-v1"): a gob stream; portable and simple,
+//     but loading decodes every element and allocates the full index.
+//   - flat binary (v2, "pitsearch-index-v2"): the indexes' backing
+//     arrays as little-endian machine words behind a checksummed
+//     section TOC (binary.go). The read path maps the file and
+//     reinterprets sections in place (view.go), so cold start costs
+//     page-table setup instead of a full decode.
+//
+// The Open* functions auto-detect the format and return a Handle that
+// owns the mapping; Save* writes gob, Save*V2 writes flat binary. All
+// writes go through a temp file plus atomic rename, so a crash mid-save
+// never corrupts an existing artifact.
 package storage
 
 import (
@@ -11,14 +26,131 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sync"
 
 	"repro/internal/propidx"
 	"repro/internal/randwalk"
 	"repro/internal/summary"
 )
 
-// magic versions the on-disk envelope so stale files fail loudly.
-const magic = "pitsearch-index-v1"
+// magicV1 versions the gob envelope so stale files fail loudly.
+const magicV1 = "pitsearch-index-v1"
+
+// Artifact kinds. The v2 header's kind field is 8 bytes, so summaries
+// are "sums" there; the gob envelope keeps its historical "summaries".
+const (
+	kindWalks        = "walks"
+	kindProp         = "prop"
+	kindSums         = "sums"
+	kindSummariesGob = "summaries"
+)
+
+// Format names an on-disk index format.
+type Format string
+
+const (
+	// FormatGob is the v1 gob stream.
+	FormatGob Format = "gob"
+	// FormatV2 is the flat binary mmap-able format.
+	FormatV2 Format = "v2"
+)
+
+// ParseFormat parses a user-supplied format name (CLI flag values).
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatGob, FormatV2:
+		return Format(s), nil
+	}
+	return "", fmt.Errorf("storage: unknown format %q (want %q or %q)", s, FormatGob, FormatV2)
+}
+
+// DetectFormat sniffs the format of an existing artifact from its
+// leading bytes. Anything that is not a v2 header is presumed gob — the
+// gob loader then reports its own envelope error for garbage files.
+func DetectFormat(path string) (Format, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	var head [24]byte
+	n, err := io.ReadFull(f, head[:])
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return "", fmt.Errorf("storage: %w", err)
+	}
+	if isV2Magic(head[:n]) {
+		return FormatV2, nil
+	}
+	return FormatGob, nil
+}
+
+// Handle owns the resources behind a loaded artifact — the file mapping
+// on the v2 path, nothing on the gob path. Close is idempotent; after
+// it returns, slices adopted from a mapped artifact must no longer be
+// accessed (on Linux, access faults). The zero value is a valid no-op
+// handle, so gob and v2 loads are interchangeable to callers.
+type Handle struct {
+	once    sync.Once
+	closeFn func() error
+	err     error
+	mapped  int64
+}
+
+// Close releases the mapping (first call only; later calls return the
+// first result).
+func (h *Handle) Close() error {
+	h.once.Do(func() {
+		if h.closeFn != nil {
+			h.err = h.closeFn()
+		}
+	})
+	return h.err
+}
+
+// Mapped returns the number of artifact bytes backing this handle's
+// index (0 for gob loads, which copy into the heap).
+func (h *Handle) Mapped() int64 { return h.mapped }
+
+// atomicWriteFile writes via a temp file in path's directory and
+// renames it into place, so a crash or failed write leaves any existing
+// artifact untouched and never exposes a partially written file.
+func atomicWriteFile(path string, write func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if err := write(bw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("storage: flush: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("storage: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("storage: close: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("storage: rename: %w", err)
+	}
+	return nil
+}
 
 type envelope struct {
 	Magic string
@@ -26,23 +158,16 @@ type envelope struct {
 }
 
 func writeFile(path, kind string, payload interface{}) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("storage: %w", err)
-	}
-	defer f.Close()
-	bw := bufio.NewWriter(f)
-	enc := gob.NewEncoder(bw)
-	if err := enc.Encode(envelope{Magic: magic, Kind: kind}); err != nil {
-		return fmt.Errorf("storage: encode envelope: %w", err)
-	}
-	if err := enc.Encode(payload); err != nil {
-		return fmt.Errorf("storage: encode %s: %w", kind, err)
-	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("storage: flush: %w", err)
-	}
-	return f.Sync()
+	return atomicWriteFile(path, func(w io.Writer) error {
+		enc := gob.NewEncoder(w)
+		if err := enc.Encode(envelope{Magic: magicV1, Kind: kind}); err != nil {
+			return fmt.Errorf("storage: encode envelope: %w", err)
+		}
+		if err := enc.Encode(payload); err != nil {
+			return fmt.Errorf("storage: encode %s: %w", kind, err)
+		}
+		return nil
+	})
 }
 
 func readFile(path, kind string, payload interface{}) error {
@@ -51,7 +176,14 @@ func readFile(path, kind string, payload interface{}) error {
 		return fmt.Errorf("storage: %w", err)
 	}
 	defer f.Close()
-	return read(bufio.NewReader(f), kind, payload)
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	// Bound the decoder to the file's stated size so a growing or
+	// special file cannot feed gob an unbounded stream.
+	lr := &io.LimitedReader{R: bufio.NewReader(f), N: st.Size()}
+	return read(lr, kind, payload)
 }
 
 func read(r io.Reader, kind string, payload interface{}) error {
@@ -60,7 +192,7 @@ func read(r io.Reader, kind string, payload interface{}) error {
 	if err := dec.Decode(&env); err != nil {
 		return fmt.Errorf("storage: decode envelope: %w", err)
 	}
-	if env.Magic != magic {
+	if env.Magic != magicV1 {
 		return fmt.Errorf("storage: not a pitsearch index file (magic %q)", env.Magic)
 	}
 	if env.Kind != kind {
@@ -72,51 +204,181 @@ func read(r io.Reader, kind string, payload interface{}) error {
 	return nil
 }
 
-// SaveWalkIndex persists a walk index to path.
+// openV2 maps path and parses its envelope. On success the Handle owns
+// the mapping; on any error the mapping is released before returning.
+func openV2(path, kind string) (*v2File, *Handle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close() // the mapping outlives the descriptor
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: %w", err)
+	}
+	data, closer, err := mapFile(f, st.Size())
+	if err != nil {
+		return nil, nil, err
+	}
+	vf, err := parseV2(data, kind)
+	if err != nil {
+		closer()
+		return nil, nil, err
+	}
+	return vf, &Handle{closeFn: closer, mapped: int64(len(data))}, nil
+}
+
+// SaveWalkIndex persists a walk index to path in gob (v1) format.
 func SaveWalkIndex(path string, ix *randwalk.Index) error {
 	if ix == nil {
 		return fmt.Errorf("storage: nil walk index")
 	}
-	return writeFile(path, "walks", ix)
+	return writeFile(path, kindWalks, ix)
 }
 
-// LoadWalkIndex reads a walk index from path.
+// SaveWalkIndexV2 persists a walk index to path in flat binary (v2)
+// format, the mmap-able cold-start fast path.
+func SaveWalkIndexV2(path string, ix *randwalk.Index) error {
+	if ix == nil {
+		return fmt.Errorf("storage: nil walk index")
+	}
+	w := encodeWalksV2(ix)
+	return atomicWriteFile(path, w.writeTo)
+}
+
+// LoadWalkIndex reads a gob-format walk index from path.
 func LoadWalkIndex(path string) (*randwalk.Index, error) {
 	ix := new(randwalk.Index)
-	if err := readFile(path, "walks", ix); err != nil {
+	if err := readFile(path, kindWalks, ix); err != nil {
 		return nil, err
 	}
 	return ix, nil
 }
 
-// SavePropIndex persists a propagation index to path.
+// OpenWalkIndex reads a walk index from path, auto-detecting the
+// format. For v2 files the index's backing arrays are views into the
+// returned Handle's mapping: treat them as immutable and keep the
+// Handle open for the index's lifetime.
+func OpenWalkIndex(path string) (*randwalk.Index, *Handle, error) {
+	format, err := DetectFormat(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if format == FormatGob {
+		ix, err := LoadWalkIndex(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ix, &Handle{}, nil
+	}
+	vf, h, err := openV2(path, kindWalks)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix, err := decodeWalksV2(vf)
+	if err != nil {
+		h.Close()
+		return nil, nil, err
+	}
+	return ix, h, nil
+}
+
+// SavePropIndex persists a propagation index to path in gob (v1) format.
 func SavePropIndex(path string, ix *propidx.Index) error {
 	if ix == nil {
 		return fmt.Errorf("storage: nil propagation index")
 	}
-	return writeFile(path, "prop", ix)
+	return writeFile(path, kindProp, ix)
 }
 
-// LoadPropIndex reads a propagation index from path.
+// SavePropIndexV2 persists a propagation index to path in flat binary
+// (v2) format.
+func SavePropIndexV2(path string, ix *propidx.Index) error {
+	if ix == nil {
+		return fmt.Errorf("storage: nil propagation index")
+	}
+	w := encodePropV2(ix)
+	return atomicWriteFile(path, w.writeTo)
+}
+
+// LoadPropIndex reads a gob-format propagation index from path.
 func LoadPropIndex(path string) (*propidx.Index, error) {
 	ix := new(propidx.Index)
-	if err := readFile(path, "prop", ix); err != nil {
+	if err := readFile(path, kindProp, ix); err != nil {
 		return nil, err
 	}
 	return ix, nil
 }
 
-// SaveSummaries persists a batch of materialized topic summaries (the
-// topic-to-representative index of Figures 15–16).
-func SaveSummaries(path string, sums []summary.Summary) error {
-	return writeFile(path, "summaries", sums)
+// OpenPropIndex reads a propagation index from path, auto-detecting the
+// format; see OpenWalkIndex for the Handle contract.
+func OpenPropIndex(path string) (*propidx.Index, *Handle, error) {
+	format, err := DetectFormat(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if format == FormatGob {
+		ix, err := LoadPropIndex(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ix, &Handle{}, nil
+	}
+	vf, h, err := openV2(path, kindProp)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix, err := decodePropV2(vf)
+	if err != nil {
+		h.Close()
+		return nil, nil, err
+	}
+	return ix, h, nil
 }
 
-// LoadSummaries reads a summary batch from path.
+// SaveSummaries persists a batch of materialized topic summaries (the
+// topic-to-representative index of Figures 15–16) in gob (v1) format.
+func SaveSummaries(path string, sums []summary.Summary) error {
+	return writeFile(path, kindSummariesGob, sums)
+}
+
+// SaveSummariesV2 persists a summary batch in flat binary (v2) format.
+func SaveSummariesV2(path string, sums []summary.Summary) error {
+	w := encodeSumsV2(sums)
+	return atomicWriteFile(path, w.writeTo)
+}
+
+// LoadSummaries reads a gob-format summary batch from path.
 func LoadSummaries(path string) ([]summary.Summary, error) {
 	var sums []summary.Summary
-	if err := readFile(path, "summaries", &sums); err != nil {
+	if err := readFile(path, kindSummariesGob, &sums); err != nil {
 		return nil, err
 	}
 	return sums, nil
+}
+
+// OpenSummaries reads a summary batch from path, auto-detecting the
+// format; see OpenWalkIndex for the Handle contract.
+func OpenSummaries(path string) ([]summary.Summary, *Handle, error) {
+	format, err := DetectFormat(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if format == FormatGob {
+		sums, err := LoadSummaries(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sums, &Handle{}, nil
+	}
+	vf, h, err := openV2(path, kindSums)
+	if err != nil {
+		return nil, nil, err
+	}
+	sums, err := decodeSumsV2(vf)
+	if err != nil {
+		h.Close()
+		return nil, nil, err
+	}
+	return sums, h, nil
 }

@@ -55,6 +55,19 @@ func New(t topics.TopicID, reps []WeightedNode) Summary {
 	return Summary{Topic: t, Reps: out[:w]}
 }
 
+// Adopt wraps externally owned representative storage as a Summary
+// without copying or re-normalizing it — the zero-copy load seam used
+// by internal/storage, where reps is a view into a read-only file
+// mapping. The caller guarantees what New establishes (reps sorted by
+// node ID, unique, weights the caller stands behind) and transfers
+// ownership: the slice must stay live and unmodified for the summary's
+// lifetime, and writing through it may fault. Callers that cannot
+// guarantee the invariants should run Validate on the result, as
+// core.Engine.PreloadSummaries does.
+func Adopt(t topics.TopicID, reps []WeightedNode) Summary {
+	return Summary{Topic: t, Reps: reps}
+}
+
 // Len returns the number of representative nodes.
 func (s Summary) Len() int { return len(s.Reps) }
 
