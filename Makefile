@@ -32,7 +32,8 @@ help:
 	@echo "                   and a save/mmap-load/query cold-start round trip"
 	@echo "make fuzz        - storage artifact-parser fuzzers for 10s per target"
 	@echo "make chaos       - fault-injection suite under -race: internal/chaos plus the"
-	@echo "                   planner/breaker chaos tests in core and server"
+	@echo "                   planner/breaker chaos tests in core and server and the"
+	@echo "                   streaming churn/soak tests in internal/stream"
 	@echo "make vulncheck   - govulncheck when installed (best-effort)"
 
 build:
@@ -83,12 +84,14 @@ race:
 
 # Chaos: the fault-injection harness (internal/chaos) and the end-to-end
 # fidelity-ladder proofs that use it — breaker trip/recovery, zero
-# unplanned 5xx under injected failure, goroutine hygiene on shutdown —
-# always under the race detector, since the interesting bugs here are
-# races between degradation, revalidation and close.
+# unplanned 5xx under injected failure, goroutine hygiene on shutdown,
+# and the streaming soak (a fault-injected summarizer on every swapped-in
+# engine must never poison carried summaries) — always under the race
+# detector, since the interesting bugs here are races between
+# degradation, revalidation, swap and close.
 chaos:
 	$(GO) test -race ./internal/chaos/
-	$(GO) test -race -run 'Chaos|Breaker|Planned|Stale|Reval' ./internal/plan/ ./internal/core/ ./internal/server/
+	$(GO) test -race -run 'Chaos|Breaker|Planned|Stale|Reval|Soak|Churn' ./internal/plan/ ./internal/core/ ./internal/server/ ./internal/stream/
 
 # Online-path and offline-pipeline load benchmark (reproducible: fixed
 # seed, fixed dataset shape). Records the run under $(BENCH_LABEL) in

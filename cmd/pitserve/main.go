@@ -33,9 +33,18 @@
 // configure the circuit breaker around summary builds. Every /search
 // response carries its serving tier in the X-Pit-Tier header (see
 // DESIGN.md §13).
+//
+// -stream-batch > 0 turns the static-index server into a continuously
+// updating one (DESIGN.md §15): POST /updates feeds edge events into a
+// batching pipeline (-stream-batch events or -stream-max-age, whichever
+// first) that incrementally refreshes and hot-swaps the engine, and
+// POST /subscribe registers standing queries pushed over SSE when an
+// applied batch changes their top-k. -decay-halflife fades queued
+// event weights by age before application.
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -57,6 +66,8 @@ import (
 	"repro/internal/plan"
 	"repro/internal/server"
 	"repro/internal/storage"
+	"repro/internal/stream"
+	"repro/internal/subscribe"
 )
 
 // options carries every flag so the whole app is buildable from tests.
@@ -85,6 +96,9 @@ type options struct {
 	breakerMaxCooldown time.Duration
 	indexDir           string
 	indexFormat        string
+	streamBatch        int
+	streamMaxAge       time.Duration
+	decayHalfLife      time.Duration
 }
 
 // planConfig resolves the planner flags into the engine's plan.Config.
@@ -148,9 +162,30 @@ func (o options) warmMethods() ([]core.Method, error) {
 // the HTTP surface exists, but the indexes build in prepare.
 type app struct {
 	opts options
-	eng  *core.Engine
+	eng  *core.Engine // initial engine; under streaming, engine() follows swaps
 	srv  *server.Server
 	reg  *obs.Registry
+	pipe *stream.Pipeline
+	subs *subscribe.Registry
+}
+
+// engine resolves the engine currently serving: the streaming
+// pipeline's pointer when streaming is on, the initial engine otherwise.
+func (a *app) engine() *core.Engine {
+	if a.pipe != nil {
+		return a.pipe.Engine()
+	}
+	return a.eng
+}
+
+// closeEngine stops the streaming pipeline (if any) and closes the
+// engine currently serving; engines superseded earlier were already
+// retired at their swap. Safe to call more than once.
+func (a *app) closeEngine() {
+	if a.pipe != nil {
+		a.pipe.Stop()
+	}
+	a.engine().Close()
 }
 
 func main() {
@@ -181,6 +216,9 @@ func main() {
 	flag.DurationVar(&o.breakerMaxCooldown, "breaker-max-cooldown", 30*time.Second, "upper bound on the breaker's exponential cooldown")
 	flag.StringVar(&o.indexDir, "index-dir", "", "artifact directory: cold-start from it when populated, save freshly built indexes into it otherwise (empty disables persistence)")
 	flag.StringVar(&o.indexFormat, "index-format", "v2", "artifact format for -index-dir saves: v2 (flat binary, mmap cold start) or gob")
+	flag.IntVar(&o.streamBatch, "stream-batch", 0, "streaming updates: apply a batch once this many events are pending (0 disables streaming; enables POST /updates and /subscribe)")
+	flag.DurationVar(&o.streamMaxAge, "stream-max-age", time.Second, "streaming updates: apply a smaller batch once its oldest event is this old")
+	flag.DurationVar(&o.decayHalfLife, "decay-halflife", 0, "halve a queued event's edge weight per this much age at application time (0 disables decay)")
 	flag.Parse()
 
 	if o.smoke {
@@ -228,16 +266,36 @@ func buildApp(o options) (*app, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv, err := server.New(eng, server.Config{
+	a := &app{opts: o, eng: eng, reg: reg}
+	srvCfg := server.Config{
 		MaxK:           o.maxK,
 		RequestTimeout: o.requestTimeout,
 		MaxInflight:    o.maxInflight,
 		Registry:       reg,
-	})
+	}
+	if o.streamBatch > 0 {
+		a.subs = subscribe.NewRegistry(reg)
+		a.pipe, err = stream.New(eng, stream.Config{
+			BatchSize:     o.streamBatch,
+			MaxAge:        o.streamMaxAge,
+			DecayHalfLife: o.decayHalfLife,
+			Metrics:       reg,
+			OnApply: func(ctx context.Context, r stream.ApplyResult) {
+				a.subs.Dispatch(ctx, r.Engine, r.Stats.Affected, r.Seq)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		srvCfg.Stream = a.pipe
+		srvCfg.Subscriptions = a.subs
+	}
+	srv, err := server.New(eng, srvCfg)
 	if err != nil {
 		return nil, err
 	}
-	return &app{opts: o, eng: eng, srv: srv, reg: reg}, nil
+	a.srv = srv
+	return a, nil
 }
 
 // opsHandler is the operational surface served on -ops-addr: the
@@ -316,6 +374,12 @@ func (a *app) prepare(ctx context.Context) error {
 		log.Printf("artifacts saved to %s (%s) in %v", a.opts.indexDir, format, time.Since(saveStart).Round(time.Millisecond))
 	}
 	a.srv.MarkReady()
+	if a.pipe != nil {
+		// Started only after the initial indexes exist: the first applied
+		// batch refreshes from a fully built engine.
+		a.pipe.Start()
+		log.Printf("streaming pipeline started (batch %d, max age %v)", a.opts.streamBatch, a.opts.streamMaxAge)
+	}
 	return nil
 }
 
@@ -333,8 +397,10 @@ func (a *app) run() error {
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
 	// Engine shutdown stops detached summary builds (waiters can't cancel
-	// them by design); deferred so error-path returns also clean up.
-	defer a.eng.Close()
+	// them by design); deferred so error-path returns also clean up. Under
+	// streaming this also stops the pipeline and closes whichever engine
+	// the last swap installed.
+	defer a.closeEngine()
 
 	httpSrv := &http.Server{
 		Addr:              a.opts.addr,
@@ -393,8 +459,8 @@ func (a *app) run() error {
 
 	log.Printf("signal received; draining in-flight requests (timeout %v)", a.opts.shutdownTimeout)
 	err := drainAndStop(httpSrv, a.opts.shutdownTimeout)
-	cancelBase()  // drain is over: stop engine work for any straggler
-	a.eng.Close() // and stop detached builds no request context reaches
+	cancelBase()    // drain is over: stop engine work for any straggler
+	a.closeEngine() // and stop the pipeline + detached builds no request context reaches
 	if err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
@@ -446,6 +512,15 @@ var smokeMetrics = []string{
 	"pit_breaker_state",
 	"pit_materialized_skipped_topics_total",
 	"pit_stale_serves_total",
+	"pit_stream_events_submitted_total",
+	"pit_stream_events_applied_total",
+	"pit_stream_batches_applied_total",
+	"pit_stream_engine_swaps_total",
+	"pit_stream_rebuild_lag_seconds",
+	"pit_stream_pending_events",
+	"pit_subscribe_active",
+	"pit_subscribe_evals_total",
+	"pit_subscribe_pushes_total",
 }
 
 // runSmoke is the one-shot end-to-end check behind -smoke: build a small
@@ -460,11 +535,17 @@ func runSmoke(o options) error {
 	if o.warmSummaries == "" {
 		o.warmSummaries = "lrw"
 	}
+	// Always stream in the smoke: the /updates → batch → swap path and
+	// its metric families are part of the verified surface.
+	if o.streamBatch <= 0 {
+		o.streamBatch = 4
+	}
+	o.streamMaxAge = 100 * time.Millisecond
 	a, err := buildApp(o)
 	if err != nil {
 		return err
 	}
-	defer a.eng.Close()
+	defer a.closeEngine()
 	if err := a.prepare(context.Background()); err != nil {
 		return err
 	}
@@ -494,6 +575,9 @@ func runSmoke(o options) error {
 			return err
 		}
 	}
+	if err := smokeStream(a, api); err != nil {
+		return err
+	}
 
 	resp, err := http.Get("http://" + opsLn.Addr().String() + "/metrics")
 	if err != nil {
@@ -521,6 +605,54 @@ func runSmoke(o options) error {
 	}
 	log.Printf("smoke ok: %d metric families verified on %s", len(smokeMetrics), opsLn.Addr())
 	return nil
+}
+
+// smokeStream exercises the streaming surface end to end: open an SSE
+// subscription and read its initial push, feed an edge batch through
+// POST /updates, wait for the engine swap, and confirm the swapped
+// engine still answers searches.
+func smokeStream(a *app, api string) error {
+	subCtx, cancelSub := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelSub()
+	subReq, err := http.NewRequestWithContext(subCtx, http.MethodPost, api+"/subscribe?q=tag000&user=3&k=3", nil)
+	if err != nil {
+		return err
+	}
+	subResp, err := http.DefaultClient.Do(subReq)
+	if err != nil {
+		return fmt.Errorf("POST /subscribe: %w", err)
+	}
+	defer subResp.Body.Close()
+	if subResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /subscribe = %d, want 200", subResp.StatusCode)
+	}
+	line, err := bufio.NewReader(subResp.Body).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("read initial SSE push: %w", err)
+	}
+	if !strings.HasPrefix(line, "event: topk") {
+		return fmt.Errorf("initial SSE line = %q, want event: topk", line)
+	}
+
+	body := `{"updates":[{"from":1,"to":2,"weight":0.5},{"from":2,"to":3,"weight":0.4},{"from":3,"to":4,"weight":0.3},{"from":1,"to":2,"weight":0.9}]}`
+	upResp, err := http.Post(api+"/updates", "application/json", strings.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("POST /updates: %w", err)
+	}
+	io.Copy(io.Discard, upResp.Body) //nolint:errcheck
+	upResp.Body.Close()
+	if upResp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("POST /updates = %d, want 202", upResp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for a.pipe.Swaps() == 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no engine swap %v after accepted update batch", 10*time.Second)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The swapped-in engine must serve exactly like the original.
+	return smokeGet(api + "/search?q=tag000&user=3&k=3")
 }
 
 func smokeGet(url string) error {

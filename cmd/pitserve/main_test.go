@@ -234,6 +234,7 @@ func TestPrepareCanceledMidMaterialize(t *testing.T) {
 func TestOpsHandlerServesMetricsAndPprof(t *testing.T) {
 	o := testOptions()
 	o.scale = 0.05
+	o.streamBatch = 8 // register the streaming/subscription families too
 	a, err := buildApp(o)
 	if err != nil {
 		t.Fatal(err)
@@ -241,6 +242,7 @@ func TestOpsHandlerServesMetricsAndPprof(t *testing.T) {
 	if err := a.prepare(context.Background()); err != nil {
 		t.Fatal(err)
 	}
+	defer a.closeEngine()
 	ops := httptest.NewServer(a.opsHandler())
 	defer ops.Close()
 

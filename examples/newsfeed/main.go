@@ -70,12 +70,12 @@ func main() {
 	}
 	burst := space.Related(query)[0]
 	updated := adoptTopic(g, space, burst, userA, 50)
-	eng2, carried, err := dynamic.Refresh(context.Background(), eng, updated, dynamic.Batch{}, 2)
+	eng2, st, err := dynamic.Refresh(context.Background(), eng, updated, dynamic.Batch{}, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("incremental refresh carried %d of %d summaries; only changed topics recompute\n\n",
-		carried[core.MethodLRW], space.NumTopics())
+		st.Carried[core.MethodLRW], space.NumTopics())
 	res, err := eng2.Search(context.Background(), core.MethodLRW, query, userA, 3)
 	if err != nil {
 		log.Fatal(err)

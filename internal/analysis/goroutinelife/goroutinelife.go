@@ -37,6 +37,8 @@ var scopeDirs = []string{
 	"internal/plan",
 	"internal/server",
 	"internal/chaos",
+	"internal/stream",
+	"internal/subscribe",
 }
 
 // Bounded is the package fact goroutinelife exports: the declared

@@ -95,3 +95,40 @@ func suppressedDaemon() {
 	//pitlint:ignore goroutinelife process-lifetime daemon by design, reaped at exit
 	go func() { println("daemon") }()
 }
+
+// Streaming-dispatcher shape (stream.Pipeline.Start, the subscription
+// dispatch loop): the spawn completes the receiver's WaitGroup and
+// delegates to a loop that selects on the lifecycle context, so Stop
+// (cancel + Wait) reaps it deterministically.
+type dispatcher struct {
+	wg   sync.WaitGroup
+	life context.Context
+	kick chan struct{}
+}
+
+func (d *dispatcher) loop() {
+	for {
+		select {
+		case <-d.life.Done():
+			return
+		case <-d.kick:
+		}
+	}
+}
+
+func (d *dispatcher) goodStart() {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		d.loop()
+	}()
+}
+
+// The same loop spawned bare is a leak: nothing Adds, nothing observes
+// the lifecycle, Stop has nothing to wait on.
+func (d *dispatcher) badStart() {
+	go func() { // want `detached from the engine lifecycle`
+		for range d.kick {
+		}
+	}()
+}

@@ -83,3 +83,16 @@ func goodTicker(ctx context.Context) {
 func suppressedTick() <-chan time.Time {
 	return time.Tick(time.Minute) //pitlint:ignore timerleak process-lifetime heartbeat wired once in main
 }
+
+// time.Time.After is the deadline comparison, not the timer allocator —
+// a polling loop against a wall-clock deadline allocates nothing.
+func goodDeadlinePoll(done func() bool) bool {
+	deadline := time.Now().Add(time.Second)
+	for !done() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}

@@ -19,6 +19,7 @@ package timerleak
 
 import (
 	"go/ast"
+	"go/types"
 
 	"repro/internal/analysis"
 )
@@ -74,6 +75,12 @@ func checkNode(pass *analysis.Pass, n ast.Node, loopDepth int) {
 		case *ast.CallExpr:
 			fn := analysis.Callee(pass.TypesInfo, m)
 			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			// Only the package-level functions allocate timers; methods
+			// that share their names (time.Time.After, the deadline
+			// comparison) are plain value operations.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
 				return true
 			}
 			switch fn.Name() {

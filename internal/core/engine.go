@@ -202,6 +202,7 @@ type Engine struct {
 	// release idempotent across concurrent Close calls.
 	handles   []*storage.Handle
 	mapped    bool
+	gated     bool
 	gate      queryGate
 	unmapOnce sync.Once
 }
@@ -276,6 +277,50 @@ func (e *Engine) Close() {
 			}
 		})
 	}
+}
+
+// EnableDrainGate routes every online entry point through the query
+// gate even when the indexes are heap-owned (mapped engines always
+// gate). The streaming pipeline calls it on each engine before
+// publishing it, so Retire can refuse new queries and drain in-flight
+// ones during an engine swap. The flag is read without synchronization
+// once the engine serves traffic, so it must be set before the engine
+// is shared; publication through an atomic pointer (the swap) provides
+// the necessary happens-before edge.
+func (e *Engine) EnableDrainGate() { e.gated = true }
+
+// Retire shuts down an engine that has been replaced by a newer one in
+// an engine swap. Unlike Close, it drains FIRST and cancels the
+// lifecycle after: queries that were admitted before the swap finish at
+// full fidelity (their cache-miss builds still run under a live
+// lifecycle context) instead of failing mid-flight with a canceled
+// build. New top-level queries racing the retirement get ErrNotReady;
+// the caller routes them to the replacement engine. Idempotent, like
+// Close, and safe to follow with Close.
+func (e *Engine) Retire() {
+	if e.mapped || e.gated {
+		e.gate.closeAndDrain()
+	}
+	e.stopLife()
+	e.revalWG.Wait()
+	if e.mapped {
+		e.unmapOnce.Do(func() {
+			for _, h := range e.handles {
+				h.Close()
+			}
+		})
+	}
+}
+
+// Hold registers a top-level read against the engine's query gate and
+// returns a release func. Handlers that read index state outside the
+// query entry points (e.g. /stats sizing a mapped index) hold the gate
+// so a concurrent Retire/Close cannot unmap under the read. On engines
+// that neither map files nor gate (EnableDrainGate), it is free. The
+// returned context carries the gate token, so nested query calls do not
+// re-acquire.
+func (e *Engine) Hold(ctx context.Context) (context.Context, func(), error) {
+	return e.acquire(ctx)
 }
 
 // Graph returns the engine's social graph.
@@ -385,7 +430,7 @@ func (e *Engine) acquire(ctx context.Context) (context.Context, func(), error) {
 	if err := e.requireIndexes(); err != nil {
 		return ctx, nil, err
 	}
-	if !e.mapped {
+	if !e.mapped && !e.gated {
 		return ctx, func() {}, nil
 	}
 	if ctx.Value(gateTokenKey{}) != nil {

@@ -23,6 +23,7 @@ package dynamic
 import (
 	"context"
 	"fmt"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -45,7 +46,12 @@ type Batch struct {
 }
 
 // Apply returns a new graph with the batch applied. Updates referencing
-// nodes outside the grown node range fail.
+// nodes outside the grown node range fail. Updates replay strictly in
+// slice order, so duplicates of the same edge within one batch resolve
+// last-write-wins: upsert→delete deletes, delete→upsert keeps the final
+// weight, double-upsert keeps the second weight. Deleting an edge the
+// graph does not have is a deterministic no-op, not an error — streams
+// retry and reorder, so deletes are idempotent.
 func Apply(g *graph.Graph, batch Batch) (*graph.Graph, error) {
 	if g == nil {
 		return nil, fmt.Errorf("dynamic: nil graph")
@@ -55,20 +61,14 @@ func Apply(g *graph.Graph, batch Batch) (*graph.Graph, error) {
 	}
 	n := g.NumNodes() + batch.NewNodes
 
-	deleted := map[[2]graph.NodeID]bool{}
-	upserted := map[[2]graph.NodeID]float64{}
+	// One overlay, replayed sequentially: the last update for a key is
+	// the one that sticks. Weight 0 in the overlay means "deleted".
+	overlay := make(map[[2]graph.NodeID]float64, len(batch.Updates))
 	for _, u := range batch.Updates {
 		if int(u.From) >= n || int(u.To) >= n || u.From < 0 || u.To < 0 {
 			return nil, fmt.Errorf("dynamic: update %d→%d outside grown graph (%d nodes)", u.From, u.To, n)
 		}
-		key := [2]graph.NodeID{u.From, u.To}
-		if u.Weight == 0 {
-			deleted[key] = true
-			delete(upserted, key)
-		} else {
-			upserted[key] = u.Weight
-			delete(deleted, key)
-		}
+		overlay[[2]graph.NodeID{u.From, u.To}] = u.Weight
 	}
 
 	b := graph.NewBuilder(n)
@@ -76,20 +76,25 @@ func Apply(g *graph.Graph, batch Batch) (*graph.Graph, error) {
 		nbrs, ws := g.OutNeighbors(graph.NodeID(u))
 		for i, v := range nbrs {
 			key := [2]graph.NodeID{graph.NodeID(u), v}
-			if deleted[key] {
-				continue
-			}
 			w := ws[i]
-			if nw, ok := upserted[key]; ok {
-				w = nw
-				delete(upserted, key)
+			if ow, ok := overlay[key]; ok {
+				delete(overlay, key)
+				if ow == 0 {
+					continue
+				}
+				w = ow
 			}
 			if err := b.AddEdge(graph.NodeID(u), v, w); err != nil {
 				return nil, err
 			}
 		}
 	}
-	for key, w := range upserted {
+	// Leftovers are edges the old graph did not have: inserts, plus
+	// deletes of edges that never existed (skipped — idempotent).
+	for key, w := range overlay {
+		if w == 0 {
+			continue
+		}
 		if err := b.AddEdge(key[0], key[1], w); err != nil {
 			return nil, err
 		}
@@ -98,41 +103,61 @@ func Apply(g *graph.Graph, batch Batch) (*graph.Graph, error) {
 }
 
 // AffectedTopics returns the sorted topic IDs whose node sets come within
-// `radius` undirected hops (on the updated graph) of any changed endpoint.
-// radius 0 means: only topics containing a changed endpoint itself.
-func AffectedTopics(g *graph.Graph, space *topics.Space, batch Batch, radius int) []topics.TopicID {
-	if g == nil || space == nil {
+// `radius` undirected hops of any changed endpoint, expanding over the
+// UNION of the pre-update and post-update adjacency. Deletion makes the
+// union necessary by construction: a deleted edge's old neighborhood is
+// invisible on the updated graph alone, so expanding only there would
+// leave the invalidation correct solely because both endpoints of every
+// changed edge seed the BFS — a theorem about the seed set, not a
+// property of the expansion. Walking both graphs makes the blast region
+// structurally independent of who seeds it.
+//
+// old may be nil (no pre-update graph available): expansion then runs on
+// the updated graph only. radius 0 means: only topics containing a
+// changed endpoint itself.
+func AffectedTopics(old, updated *graph.Graph, space *topics.Space, batch Batch, radius int) []topics.TopicID {
+	if updated == nil || space == nil {
 		return nil
 	}
 	// Collect the changed endpoints (including new nodes: they have no
 	// topics yet, but their neighbors' regions changed).
 	endpoints := map[graph.NodeID]bool{}
 	for _, u := range batch.Updates {
-		if g.Valid(u.From) {
+		if updated.Valid(u.From) {
 			endpoints[u.From] = true
 		}
-		if g.Valid(u.To) {
+		if updated.Valid(u.To) {
 			endpoints[u.To] = true
 		}
 	}
 	// Expand the blast region by radius hops, ignoring direction
-	// (influence structure changes propagate both ways).
+	// (influence structure changes propagate both ways) and ignoring
+	// which of the two graphs supplies an edge.
 	region := map[graph.NodeID]bool{}
 	frontier := make([]graph.NodeID, 0, len(endpoints))
 	for v := range endpoints {
 		region[v] = true
 		frontier = append(frontier, v)
 	}
+	graphs := []*graph.Graph{updated}
+	if old != nil {
+		graphs = append(graphs, old)
+	}
 	for hop := 0; hop < radius; hop++ {
 		var next []graph.NodeID
 		for _, v := range frontier {
-			out, _ := g.OutNeighbors(v)
-			in, _ := g.InNeighbors(v)
-			for _, lists := range [][]graph.NodeID{out, in} {
-				for _, w := range lists {
-					if !region[w] {
-						region[w] = true
-						next = append(next, w)
+			for _, g := range graphs {
+				if !g.Valid(v) {
+					continue
+				}
+				out, _ := g.OutNeighbors(v)
+				in, _ := g.InNeighbors(v)
+				for _, lists := range [][]graph.NodeID{out, in} {
+					for _, w := range lists {
+						if !region[w] {
+							region[w] = true
+							next = append(next, w)
+						}
 					}
 				}
 			}
@@ -150,46 +175,51 @@ func AffectedTopics(g *graph.Graph, space *topics.Space, batch Batch, radius int
 	for t := range affected {
 		out = append(out, t)
 	}
-	sortTopicIDs(out)
+	slices.Sort(out)
 	return out
 }
 
-func sortTopicIDs(ids []topics.TopicID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+// RefreshStats reports what a Refresh invalidated and what it reused.
+type RefreshStats struct {
+	// Affected is the sorted set of topic IDs whose summaries the batch
+	// invalidated: the blast region of AffectedTopics plus every topic
+	// whose node set changed between the old and new space.
+	Affected []topics.TopicID
+	// Carried counts, per method, the unaffected summaries copied from
+	// the old engine's cache into the new one.
+	Carried map[core.Method]int
 }
 
 // Refresh applies the batch, builds a new engine with the old engine's
 // options over the updated graph and topic space, and carries over the
-// cached summaries of every topic NOT affected within `radius` hops.
-// It returns the new engine and how many summaries were carried per
-// method. The topic space may itself be updated (e.g. new adopters); it
-// defaults to the old engine's space when nil. ctx bounds the index
-// rebuild: a canceled context aborts it and the old engine stays usable.
-func Refresh(ctx context.Context, old *core.Engine, space *topics.Space, batch Batch, radius int) (*core.Engine, map[core.Method]int, error) {
+// cached summaries of every topic NOT affected within `radius` hops
+// (expanded over both the old and the updated graph). It returns the new
+// engine plus stats on what was invalidated and carried. The topic space
+// may itself be updated (e.g. new adopters); it defaults to the old
+// engine's space when nil. ctx bounds the index rebuild: a canceled
+// context aborts it and the old engine stays usable.
+func Refresh(ctx context.Context, old *core.Engine, space *topics.Space, batch Batch, radius int) (*core.Engine, RefreshStats, error) {
+	var stats RefreshStats
 	if old == nil {
-		return nil, nil, fmt.Errorf("dynamic: nil engine")
+		return nil, stats, fmt.Errorf("dynamic: nil engine")
 	}
 	if space == nil {
 		space = old.Space()
 	}
 	g, err := Apply(old.Graph(), batch)
 	if err != nil {
-		return nil, nil, err
+		return nil, stats, err
 	}
 	eng, err := core.New(g, space, old.Options())
 	if err != nil {
-		return nil, nil, err
+		return nil, stats, err
 	}
 	if err := eng.BuildIndexes(ctx); err != nil {
-		return nil, nil, err
+		return nil, stats, err
 	}
 
 	affected := map[topics.TopicID]bool{}
-	for _, t := range AffectedTopics(g, space, batch, radius) {
+	for _, t := range AffectedTopics(old.Graph(), g, space, batch, radius) {
 		affected[t] = true
 	}
 	// Topic-space churn also invalidates: a topic whose node set changed
@@ -206,7 +236,13 @@ func Refresh(ctx context.Context, old *core.Engine, space *topics.Space, batch B
 			affected[t] = true
 		}
 	}
-	carried := map[core.Method]int{}
+	stats.Affected = make([]topics.TopicID, 0, len(affected))
+	for t := range affected {
+		stats.Affected = append(stats.Affected, t)
+	}
+	slices.Sort(stats.Affected)
+
+	stats.Carried = map[core.Method]int{}
 	for _, m := range []core.Method{core.MethodLRW, core.MethodRCL} {
 		var keep []summary.Summary
 		for ti := 0; ti < space.NumTopics(); ti++ {
@@ -220,12 +256,12 @@ func Refresh(ctx context.Context, old *core.Engine, space *topics.Space, batch B
 		}
 		if len(keep) > 0 {
 			if err := eng.PreloadSummaries(m, keep); err != nil {
-				return nil, nil, err
+				return nil, stats, err
 			}
 		}
-		carried[m] = len(keep)
+		stats.Carried[m] = len(keep)
 	}
-	return eng, carried, nil
+	return eng, stats, nil
 }
 
 // sameNodeSet compares two sorted node slices.

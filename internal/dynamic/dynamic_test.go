@@ -2,6 +2,8 @@ package dynamic
 
 import (
 	"context"
+	"math/rand"
+	"slices"
 	"testing"
 
 	"repro/internal/core"
@@ -81,27 +83,70 @@ func TestApplyErrors(t *testing.T) {
 	}
 }
 
-func TestApplyUpsertThenDeleteLastWins(t *testing.T) {
-	g := baseGraph(t)
-	updated, err := Apply(g, Batch{Updates: []EdgeUpdate{
-		{From: 0, To: 1, Weight: 0.9},
-		{From: 0, To: 1, Weight: 0}, // delete wins
-	}})
-	if err != nil {
-		t.Fatal(err)
+// Duplicate updates of the same edge within one batch resolve strictly
+// last-write-wins in slice order — not by map iteration order, and a
+// delete of an edge the graph never had is a silent no-op.
+func TestApplySequentialLastWriteWins(t *testing.T) {
+	cases := []struct {
+		name    string
+		updates []EdgeUpdate
+		has     bool
+		weight  float64
+	}{
+		{"upsert then delete", []EdgeUpdate{
+			{From: 0, To: 1, Weight: 0.9},
+			{From: 0, To: 1, Weight: 0},
+		}, false, 0},
+		{"delete then upsert", []EdgeUpdate{
+			{From: 0, To: 1, Weight: 0},
+			{From: 0, To: 1, Weight: 0.8},
+		}, true, 0.8},
+		{"double upsert keeps the second", []EdgeUpdate{
+			{From: 0, To: 1, Weight: 0.2},
+			{From: 0, To: 1, Weight: 0.7},
+		}, true, 0.7},
+		{"double upsert of a fresh edge keeps the second", []EdgeUpdate{
+			{From: 3, To: 5, Weight: 0.2},
+			{From: 3, To: 5, Weight: 0.6},
+		}, true, 0.6},
+		{"delete of a nonexistent edge is a no-op", []EdgeUpdate{
+			{From: 3, To: 5, Weight: 0},
+		}, false, 0},
+		{"upsert, delete, upsert again", []EdgeUpdate{
+			{From: 0, To: 1, Weight: 0.9},
+			{From: 0, To: 1, Weight: 0},
+			{From: 0, To: 1, Weight: 0.3},
+		}, true, 0.3},
 	}
-	if updated.HasEdge(0, 1) {
-		t.Error("delete after upsert did not win")
-	}
-	updated2, err := Apply(g, Batch{Updates: []EdgeUpdate{
-		{From: 0, To: 1, Weight: 0},
-		{From: 0, To: 1, Weight: 0.8}, // upsert wins
-	}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if w, _ := updated2.EdgeWeight(0, 1); w != 0.8 {
-		t.Errorf("upsert after delete = %v, want 0.8", w)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := baseGraph(t)
+			from, to := tc.updates[0].From, tc.updates[0].To
+			updated, err := Apply(g, Batch{Updates: tc.updates})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if updated.HasEdge(from, to) != tc.has {
+				t.Fatalf("HasEdge(%d,%d) = %v, want %v", from, to, !tc.has, tc.has)
+			}
+			if tc.has {
+				if w, _ := updated.EdgeWeight(from, to); w != tc.weight {
+					t.Errorf("weight = %v, want %v", w, tc.weight)
+				}
+			}
+			// Edge count follows from the final overlay state, never
+			// from how many updates mentioned the edge.
+			want := g.NumEdges()
+			if tc.has && !g.HasEdge(from, to) {
+				want++
+			}
+			if !tc.has && g.HasEdge(from, to) {
+				want--
+			}
+			if updated.NumEdges() != want {
+				t.Errorf("edges = %d, want %d", updated.NumEdges(), want)
+			}
+		})
 	}
 }
 
@@ -122,23 +167,177 @@ func TestAffectedTopicsRadius(t *testing.T) {
 	batch := Batch{Updates: []EdgeUpdate{{From: 2, To: 3, Weight: 0.9}}}
 
 	// radius 0: endpoints 2, 3 carry no topics.
-	if got := AffectedTopics(g, space, batch, 0); len(got) != 0 {
+	if got := AffectedTopics(g, g, space, batch, 0); len(got) != 0 {
 		t.Errorf("radius 0 affected %v, want none", got)
 	}
 	// radius 1: node 1 (in-neighbor of 2) is a topic-a node.
-	got := AffectedTopics(g, space, batch, 1)
+	got := AffectedTopics(g, g, space, batch, 1)
 	if len(got) != 1 || got[0] != 0 {
 		t.Errorf("radius 1 affected %v, want [0]", got)
 	}
 	// radius 3 still excludes the disconnected topic b.
-	got = AffectedTopics(g, space, batch, 3)
+	got = AffectedTopics(g, g, space, batch, 3)
 	for _, id := range got {
 		if id == 1 {
 			t.Error("disconnected topic b marked affected")
 		}
 	}
-	if AffectedTopics(nil, space, batch, 1) != nil {
-		t.Error("nil graph should yield nil")
+	if AffectedTopics(g, nil, space, batch, 1) != nil {
+		t.Error("nil updated graph should yield nil")
+	}
+	// nil old graph: expansion falls back to the updated graph only.
+	if got := AffectedTopics(nil, g, space, batch, 1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("nil-old fallback affected %v, want [0]", got)
+	}
+}
+
+// Regression for the deletion blast region: deleting a bridge edge must
+// invalidate the topic on the far side of the bridge at radius ≥ 1. The
+// far side is only adjacent to the deleted edge's endpoints, so a blast
+// expansion that forgot deleted adjacency (or seeded only surviving
+// edges' endpoints) would carry the far topic's stale summary over.
+func TestAffectedTopicsDeletedBridge(t *testing.T) {
+	// 0→1→2 ══bridge══ 3→4, topic "far" on node 4, topic "near" on 0.
+	b := graph.NewBuilder(5)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(1, 2, 0.5)
+	b.MustAddEdge(2, 3, 0.5) // the bridge
+	b.MustAddEdge(3, 4, 0.5)
+	old := b.Build()
+
+	sb := topics.NewSpaceBuilder()
+	near, _ := sb.AddTopic("x", "near")
+	far, _ := sb.AddTopic("x", "far")
+	_ = sb.AddNode(near, 0)
+	_ = sb.AddNode(far, 4)
+	space := sb.Build()
+
+	batch := Batch{Updates: []EdgeUpdate{{From: 2, To: 3, Weight: 0}}}
+	updated, err := Apply(old, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated.HasEdge(2, 3) {
+		t.Fatal("bridge not deleted")
+	}
+	got := AffectedTopics(old, updated, space, batch, 1)
+	if !slices.Contains(got, far) {
+		t.Fatalf("far-side topic not invalidated by bridge deletion: affected %v", got)
+	}
+	if slices.Contains(got, near) {
+		t.Errorf("near topic at distance 2 invalidated at radius 1: %v", got)
+	}
+	// At radius 2 both ends of the bridge's neighborhood are in.
+	got = AffectedTopics(old, updated, space, batch, 2)
+	if !slices.Contains(got, near) || !slices.Contains(got, far) {
+		t.Errorf("radius 2 affected %v, want both topics", got)
+	}
+}
+
+// The expansion must traverse PRE-update adjacency, not just the updated
+// graph: when the old graph holds an edge the updated graph lacks and
+// that edge's far endpoint is not itself a batch endpoint, only the
+// union walk reaches it. The pre-fix single-graph signature could not
+// even express this case.
+func TestAffectedTopicsTraversesOldAdjacency(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(1, 2, 0.5)
+	b.MustAddEdge(2, 3, 0.5)
+	b.MustAddEdge(3, 4, 0.5)
+	old := b.Build()
+
+	// Updated graph: edges 2→3 AND 3→4 are gone.
+	nb := graph.NewBuilder(5)
+	nb.MustAddEdge(0, 1, 0.5)
+	nb.MustAddEdge(1, 2, 0.5)
+	updated := nb.Build()
+
+	sb := topics.NewSpaceBuilder()
+	far, _ := sb.AddTopic("x", "far")
+	_ = sb.AddNode(far, 4)
+	space := sb.Build()
+
+	// The batch names only the 2→3 deletion, so the seeds are {2, 3}
+	// and node 4 is reachable within one hop solely through the old
+	// graph's 3→4 edge.
+	batch := Batch{Updates: []EdgeUpdate{{From: 2, To: 3, Weight: 0}}}
+	got := AffectedTopics(old, updated, space, batch, 1)
+	if !slices.Contains(got, far) {
+		t.Fatalf("old-only adjacency not traversed: affected %v, want [%d]", got, far)
+	}
+	// Updated-only expansion (nil old) cannot see it — this is exactly
+	// the blind spot the union closes.
+	if got := AffectedTopics(nil, updated, space, batch, 1); slices.Contains(got, far) {
+		t.Fatalf("updated-only expansion unexpectedly reached node 4: %v", got)
+	}
+}
+
+// Differential property: when `updated` really is Apply(old, batch),
+// every changed edge contributes both endpoints as seeds, which makes
+// the union expansion and an updated-graph-only expansion provably
+// agree (any old path from a seed through deleted edges shortcuts, at
+// its last deleted hop, to another seed with a shorter surviving
+// suffix). This test pins that equivalence — if the seed set or the
+// expansion ever narrows, the union walk becomes load-bearing and this
+// documents the contract both must satisfy.
+func TestAffectedTopicsUnionMatchesUpdatedOnlyOnRealBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 8 + rng.Intn(10)
+		b := graph.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for d := 0; d < 1+rng.Intn(3); d++ {
+				v := rng.Intn(n)
+				if v != u {
+					_ = b.AddEdge(graph.NodeID(u), graph.NodeID(v), 0.1+0.8*rng.Float64())
+				}
+			}
+		}
+		old := b.Build()
+
+		var ups []EdgeUpdate
+		for u := 0; u < n; u++ {
+			nbrs, _ := old.OutNeighbors(graph.NodeID(u))
+			for _, v := range nbrs {
+				if rng.Intn(3) == 0 { // delete a third of the edges
+					ups = append(ups, EdgeUpdate{From: graph.NodeID(u), To: v, Weight: 0})
+				}
+			}
+		}
+		for len(ups) < 2 { // plus an insert or two
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				ups = append(ups, EdgeUpdate{From: graph.NodeID(u), To: graph.NodeID(v), Weight: 0.5})
+			}
+		}
+		batch := Batch{Updates: ups}
+		updated, err := Apply(old, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sb := topics.NewSpaceBuilder()
+		for ti := 0; ti < 4; ti++ {
+			id, _ := sb.AddTopic("x", "t")
+			seen := map[int]bool{}
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				v := rng.Intn(n)
+				if !seen[v] {
+					seen[v] = true
+					_ = sb.AddNode(id, graph.NodeID(v))
+				}
+			}
+		}
+		space := sb.Build()
+
+		radius := rng.Intn(4)
+		union := AffectedTopics(old, updated, space, batch, radius)
+		updOnly := AffectedTopics(nil, updated, space, batch, radius)
+		if !slices.Equal(union, updOnly) {
+			t.Fatalf("trial %d radius %d: union %v != updated-only %v (batch %+v)",
+				trial, radius, union, updOnly, batch)
+		}
 	}
 }
 
@@ -168,30 +367,32 @@ func TestRefreshCarriesUnaffectedSummaries(t *testing.T) {
 
 	// A single far-corner edge change should leave most topics intact.
 	batch := Batch{Updates: []EdgeUpdate{{From: 599, To: 0, Weight: 0.3}}}
-	fresh, carried, err := Refresh(context.Background(), eng, nil, batch, 2)
+	fresh, st, err := Refresh(context.Background(), eng, nil, batch, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	total := space.NumTopics()
-	if carried[core.MethodLRW] == 0 {
+	if st.Carried[core.MethodLRW] == 0 {
 		t.Fatal("no summaries carried over")
 	}
-	if carried[core.MethodLRW] >= total {
-		affected := AffectedTopics(fresh.Graph(), space, batch, 2)
-		if len(affected) > 0 {
-			t.Errorf("carried %d of %d despite %d affected topics", carried[core.MethodLRW], total, len(affected))
-		}
+	// With the whole corpus materialized, carried + affected must
+	// account for every topic exactly.
+	if got := st.Carried[core.MethodLRW] + len(st.Affected); got != total {
+		t.Errorf("carried %d + affected %d = %d, want %d", st.Carried[core.MethodLRW], len(st.Affected), got, total)
 	}
-	if got := fresh.CachedSummaries(core.MethodLRW); got != carried[core.MethodLRW] {
-		t.Errorf("cache holds %d, carried %d", got, carried[core.MethodLRW])
+	if got := fresh.CachedSummaries(core.MethodLRW); got != st.Carried[core.MethodLRW] {
+		t.Errorf("cache holds %d, carried %d", got, st.Carried[core.MethodLRW])
 	}
 	// The refreshed engine must search fine.
 	if _, err := fresh.Search(context.Background(), core.MethodLRW, "tag000", 5, 3); err != nil {
 		t.Fatal(err)
 	}
+	// The stats' affected set matches a fresh expansion over both graphs.
+	if got := AffectedTopics(eng.Graph(), fresh.Graph(), space, batch, 2); !slices.Equal(got, st.Affected) {
+		t.Errorf("stats affected %v, recomputed %v", st.Affected, got)
+	}
 	// Affected topics recompute on demand.
-	affected := AffectedTopics(fresh.Graph(), space, batch, 2)
-	for _, tt := range affected {
+	for _, tt := range st.Affected {
 		if _, err := fresh.Summarize(context.Background(), core.MethodLRW, tt); err != nil {
 			t.Fatalf("recompute of affected topic %d: %v", tt, err)
 		}
@@ -246,13 +447,16 @@ func TestRefreshInvalidatesChangedTopics(t *testing.T) {
 	_ = sb.AddNode(0, extra)
 	updated := sb.Build()
 
-	fresh, carried, err := Refresh(context.Background(), eng, updated, Batch{}, 1)
+	fresh, st, err := Refresh(context.Background(), eng, updated, Batch{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := space.NumTopics() - 1 // all but the changed topic carried
-	if carried[core.MethodLRW] != want {
-		t.Errorf("carried %d, want %d (changed topic invalidated)", carried[core.MethodLRW], want)
+	if st.Carried[core.MethodLRW] != want {
+		t.Errorf("carried %d, want %d (changed topic invalidated)", st.Carried[core.MethodLRW], want)
+	}
+	if !slices.Equal(st.Affected, []topics.TopicID{0}) {
+		t.Errorf("affected %v, want [0] (the topic that gained an adopter)", st.Affected)
 	}
 	// The changed topic recomputes against the NEW node set.
 	s, err := fresh.Summarize(context.Background(), core.MethodLRW, 0)
@@ -300,7 +504,7 @@ func TestApplyPreservesUntouchedEdges(t *testing.T) {
 func TestAffectedTopicsEmptyBatch(t *testing.T) {
 	g := baseGraph(t)
 	space := phoneSpace(t)
-	if got := AffectedTopics(g, space, Batch{}, 3); len(got) != 0 {
+	if got := AffectedTopics(g, g, space, Batch{}, 3); len(got) != 0 {
 		t.Errorf("empty batch affected %v", got)
 	}
 }

@@ -179,6 +179,15 @@ var DurationBuckets = []float64{
 // the search expansion depth (MaxExpandDepth defaults to 3).
 var DepthBuckets = []float64{0, 1, 2, 3, 4, 6, 8}
 
+// LagBuckets suits staleness and propagation-lag distributions
+// (seconds): how far behind the freshest event a rebuilt index is.
+// DurationBuckets tops out at the 10 s request deadline; lag is
+// dominated by batching age plus rebuild time and degrades toward
+// minutes when the pipeline falls behind, so the layout extends there.
+var LagBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 15, 30, 60, 120, 300,
+}
+
 // metric families ------------------------------------------------------
 
 type familyKind int

@@ -81,7 +81,7 @@ func (m *serverMetrics) observe(route string, status int, seconds float64) {
 // client paths cannot explode the metric cardinality.
 func routeLabel(path string) string {
 	switch path {
-	case "/search", "/topics", "/stats", "/healthz", "/readyz":
+	case "/search", "/topics", "/stats", "/healthz", "/readyz", "/updates", "/subscribe":
 		return path
 	default:
 		return "other"

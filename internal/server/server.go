@@ -9,6 +9,20 @@
 //	GET /healthz                        — liveness: process is up
 //	GET /readyz                         — readiness: indexes are built
 //
+// With a streaming pipeline attached (Config.Stream) two more routes
+// mount:
+//
+//	POST /updates                       — submit edge events / node growth
+//	POST /subscribe?q=&user=&k=&...     — standing query, pushes over SSE
+//
+// Streaming swaps the serving engine: handlers resolve the current
+// engine per request, and a request that loses the swap race (its
+// engine retired under it, core.ErrNotReady) transparently retries on
+// the replacement. /subscribe bypasses the request deadline and the
+// in-flight limiter — it is a long-lived event stream with its own
+// bound (Config.MaxSubscribers) — and pushes flow through the
+// statusRecorder's Flush/Unwrap path.
+//
 // The handler stack is production-hardened: every request gets an ID and
 // an access-log line; panics in a handler are isolated into a single 500;
 // a per-request deadline (Config.RequestTimeout) is threaded through the
@@ -44,6 +58,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/stream"
+	"repro/internal/subscribe"
 )
 
 // statusClientClosedRequest is the de-facto (nginx) status code for a
@@ -127,6 +143,20 @@ type Config struct {
 	// client-closed counters). Nil means a private registry: the metrics
 	// are still collected, just not exposed anywhere.
 	Registry *obs.Registry
+	// Stream, when set, attaches a streaming update pipeline: POST
+	// /updates mounts, and every handler resolves the pipeline's
+	// *current* engine instead of the one passed to New (which must be
+	// the pipeline's initial engine).
+	Stream *stream.Pipeline
+	// Subscriptions, when set (requires Stream), mounts POST /subscribe:
+	// standing queries with SSE push delivery after applied batches.
+	Subscriptions *subscribe.Registry
+	// MaxSubscribers bounds concurrently connected /subscribe streams
+	// (default 256); excess subscribers get 429.
+	MaxSubscribers int
+	// SubscribeHeartbeat is the SSE keep-alive comment interval
+	// (default 15s), which doubles as the dead-client detection bound.
+	SubscribeHeartbeat time.Duration
 }
 
 func (c *Config) fill() {
@@ -136,41 +166,68 @@ func (c *Config) fill() {
 	if c.Logger == nil {
 		c.Logger = log.Default()
 	}
+	if c.MaxSubscribers <= 0 {
+		c.MaxSubscribers = 256
+	}
+	if c.SubscribeHeartbeat <= 0 {
+		c.SubscribeHeartbeat = 15 * time.Second
+	}
 }
 
 // Server wraps an engine with HTTP handlers. Create with New, mount with
 // Handler, flip MarkReady once the engine's indexes are built.
 type Server struct {
-	eng      *core.Engine
-	cfg      Config
-	met      *serverMetrics
-	ready    atomic.Bool
-	reqSeq   atomic.Uint64
-	inflight chan struct{}
+	// src resolves the engine serving the current request: the static
+	// engine from New, or the streaming pipeline's current pointer.
+	src         func() *core.Engine
+	cfg         Config
+	met         *serverMetrics
+	ready       atomic.Bool
+	reqSeq      atomic.Uint64
+	inflight    chan struct{}
+	subscribers chan struct{}
 }
 
 // New returns a Server over the engine. The engine's indexes do not have
 // to be built yet: the server starts not-ready (API answers 503, /readyz
 // reports failure) unless they already are. Call MarkReady after
-// BuildIndexes (and any pre-materialization) completes.
+// BuildIndexes (and any pre-materialization) completes. When
+// Config.Stream is set, eng must be that pipeline's initial engine;
+// handlers then follow the pipeline across swaps.
 func New(eng *core.Engine, cfg Config) (*Server, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("server: nil engine")
+	}
+	if cfg.Subscriptions != nil && cfg.Stream == nil {
+		return nil, fmt.Errorf("server: Subscriptions requires Stream (pushes are driven by applied batches)")
 	}
 	cfg.fill()
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	s := &Server{eng: eng, cfg: cfg, met: newServerMetrics(reg)}
+	s := &Server{cfg: cfg, met: newServerMetrics(reg)}
+	if cfg.Stream != nil {
+		s.src = cfg.Stream.Engine
+	} else {
+		s.src = func() *core.Engine { return eng }
+	}
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	if cfg.Subscriptions != nil {
+		s.subscribers = make(chan struct{}, cfg.MaxSubscribers)
 	}
 	if eng.Ready() {
 		s.ready.Store(true)
 	}
 	return s, nil
 }
+
+// engine resolves the engine for the current request. Under streaming,
+// consecutive calls may return different engines; handlers capture one
+// and retry on the fresh one when theirs retires mid-request.
+func (s *Server) engine() *core.Engine { return s.src() }
 
 // MarkReady flips /readyz to success and opens the API for traffic. Call
 // it once the engine's indexes (and optional summary materialization)
@@ -204,6 +261,9 @@ func (s *Server) Handler() http.Handler {
 	api.HandleFunc("GET /search", s.handleSearch)
 	api.HandleFunc("GET /topics", s.handleTopics)
 	api.HandleFunc("GET /stats", s.handleStats)
+	if s.cfg.Stream != nil {
+		api.HandleFunc("POST /updates", s.handleUpdates)
+	}
 	var apiH http.Handler = api
 	apiH = s.withTimeout(apiH)
 	apiH = s.withLimit(apiH)
@@ -212,6 +272,15 @@ func (s *Server) Handler() http.Handler {
 	root.Handle("/search", apiH)
 	root.Handle("/topics", apiH)
 	root.Handle("/stats", apiH)
+	if s.cfg.Stream != nil {
+		root.Handle("/updates", apiH)
+	}
+	if s.cfg.Subscriptions != nil {
+		// Outside the limiter and the request deadline: a subscription
+		// is a long-lived stream with its own concurrency bound, and a
+		// deadline would kill it mid-push.
+		root.HandleFunc("POST /subscribe", s.handleSubscribe)
+	}
 	root.HandleFunc("GET /healthz", s.handleHealthz)
 	root.HandleFunc("GET /readyz", s.handleReadyz)
 
@@ -391,59 +460,94 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	if !s.requireReady(w, r) {
-		return
-	}
-	q := r.URL.Query().Get("q")
-	if q == "" {
+// searchParams is the validated parameter set shared by /search and
+// /subscribe (a standing query is just a search registered for pushes).
+type searchParams struct {
+	q      string
+	user   graph.NodeID
+	k      int
+	method core.Method
+	lambda float64
+}
+
+// parseSearchParams validates the common query parameters, writing the
+// error response itself on failure. User existence is NOT checked here:
+// it needs an engine, and the caller owns engine resolution.
+func (s *Server) parseSearchParams(w http.ResponseWriter, r *http.Request) (searchParams, bool) {
+	var p searchParams
+	p.q = r.URL.Query().Get("q")
+	if p.q == "" {
 		s.writeErr(w, r, http.StatusBadRequest, "missing q parameter")
-		return
+		return p, false
 	}
 	userStr := r.URL.Query().Get("user")
 	user, err := strconv.ParseInt(userStr, 10, 32)
 	if err != nil {
 		s.writeErr(w, r, http.StatusBadRequest, "bad user %q", userStr)
-		return
+		return p, false
 	}
-	if !s.eng.Graph().Valid(graph.NodeID(user)) {
-		s.writeErr(w, r, http.StatusNotFound, "user %d not in the network", user)
-		return
-	}
-	k := 10
+	p.user = graph.NodeID(user)
+	p.k = 10
 	if ks := r.URL.Query().Get("k"); ks != "" {
-		k, err = strconv.Atoi(ks)
-		if err != nil || k < 1 {
+		p.k, err = strconv.Atoi(ks)
+		if err != nil || p.k < 1 {
 			s.writeErr(w, r, http.StatusBadRequest, "bad k %q", ks)
-			return
+			return p, false
 		}
 	}
-	if k > s.cfg.MaxK {
-		k = s.cfg.MaxK
+	if p.k > s.cfg.MaxK {
+		p.k = s.cfg.MaxK
 	}
-	method := core.MethodLRW
+	p.method = core.MethodLRW
 	switch r.URL.Query().Get("method") {
 	case "", "lrw":
 	case "rcl":
-		method = core.MethodRCL
+		p.method = core.MethodRCL
 	default:
 		s.writeErr(w, r, http.StatusBadRequest, "unknown method %q (want lrw or rcl)", r.URL.Query().Get("method"))
+		return p, false
+	}
+	if ls := r.URL.Query().Get("lambda"); ls != "" {
+		p.lambda, err = strconv.ParseFloat(ls, 64)
+		if err != nil || p.lambda < 0 || p.lambda > 1 {
+			s.writeErr(w, r, http.StatusBadRequest, "bad lambda %q (want 0..1)", ls)
+			return p, false
+		}
+	}
+	return p, true
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if !s.requireReady(w, r) {
 		return
 	}
-	lambda := 0.0
-	if ls := r.URL.Query().Get("lambda"); ls != "" {
-		lambda, err = strconv.ParseFloat(ls, 64)
-		if err != nil || lambda < 0 || lambda > 1 {
-			s.writeErr(w, r, http.StatusBadRequest, "bad lambda %q (want 0..1)", ls)
-			return
-		}
+	p, ok := s.parseSearchParams(w, r)
+	if !ok {
+		return
+	}
+	eng := s.engine()
+	if !eng.Graph().Valid(p.user) {
+		s.writeErr(w, r, http.StatusNotFound, "user %d not in the network", p.user)
+		return
 	}
 
 	// The fidelity planner owns the degradation ladder: full search,
 	// then materialized-only, then the stale last-known-good answer,
 	// then an explicit 503. The server's job is only to annotate what
 	// actually served the response.
-	res, outcome, err := s.eng.SearchPlanned(r.Context(), method, q, graph.NodeID(user), k, lambda)
+	res, outcome, err := eng.SearchPlanned(r.Context(), p.method, p.q, p.user, p.k, p.lambda)
+	// ErrNotReady from an engine that is no longer current means the
+	// request lost a swap race: its engine retired between the load and
+	// the query. The fresh engine answers; each retry requires another
+	// swap to have happened, so the loop terminates.
+	for err != nil && errors.Is(err, core.ErrNotReady) {
+		cur := s.engine()
+		if cur == eng {
+			break
+		}
+		eng = cur
+		res, outcome, err = eng.SearchPlanned(r.Context(), p.method, p.q, p.user, p.k, p.lambda)
+	}
 	if err != nil {
 		s.failSearch(w, r, err)
 		return
@@ -456,23 +560,30 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.met.degraded.Inc()
 	}
 	resp := SearchResponse{
-		Query:    q,
-		User:     int32(user),
-		Method:   method.String(),
-		K:        k,
-		Results:  make([]SearchResult, 0, len(res)),
+		Query:    p.q,
+		User:     int32(p.user),
+		Method:   p.method.String(),
+		K:        p.k,
+		Results:  searchRows(res),
 		Tier:     tier,
 		Degraded: degraded,
 	}
+	s.writeJSON(w, r, http.StatusOK, resp)
+}
+
+// searchRows projects engine results onto the JSON row shape shared by
+// /search responses and /subscribe pushes.
+func searchRows(res []core.TopicResult) []SearchResult {
+	rows := make([]SearchResult, 0, len(res))
 	for i, tr := range res {
-		resp.Results = append(resp.Results, SearchResult{
+		rows = append(rows, SearchResult{
 			Rank:  i + 1,
 			Topic: tr.Topic.Label,
 			Tag:   tr.Topic.Tag,
 			Score: tr.Score,
 		})
 	}
-	s.writeJSON(w, r, http.StatusOK, resp)
+	return rows
 }
 
 // failSearch maps a failed planned search to a response: 400 for
@@ -514,10 +625,11 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, http.StatusBadRequest, "missing q parameter")
 		return
 	}
-	related := s.eng.Space().Related(q)
+	space := s.engine().Space()
+	related := space.Related(q)
 	resp := TopicsResponse{Query: q, Topics: make([]string, 0, len(related))}
 	for _, t := range related {
-		resp.Topics = append(resp.Topics, s.eng.Space().Topic(t).Label)
+		resp.Topics = append(resp.Topics, space.Topic(t).Label)
 	}
 	s.writeJSON(w, r, http.StatusOK, resp)
 }
@@ -526,16 +638,35 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !s.requireReady(w, r) {
 		return
 	}
-	g := s.eng.Graph()
-	s.writeJSON(w, r, http.StatusOK, StatsResponse{
-		Nodes:            g.NumNodes(),
-		Edges:            g.NumEdges(),
-		Topics:           s.eng.Space().NumTopics(),
-		PropIndexEntries: s.eng.Prop().Size(),
-		PropIndexTheta:   s.eng.Prop().Theta(),
-		WalkL:            s.eng.Walks().L,
-		WalkR:            s.eng.Walks().R,
-		CachedLRW:        s.eng.CachedSummaries(core.MethodLRW),
-		CachedRCL:        s.eng.CachedSummaries(core.MethodRCL),
-	})
+	// Stats reads index internals outside the query entry points, so it
+	// holds the engine's gate: a concurrent retire cannot unmap (or
+	// cancel) under the read. Losing the swap race retries on the
+	// replacement engine, like /search.
+	for {
+		eng := s.engine()
+		_, release, err := eng.Hold(r.Context())
+		if err != nil {
+			if s.engine() != eng {
+				continue
+			}
+			w.Header().Set("Retry-After", "5")
+			s.writeErr(w, r, http.StatusServiceUnavailable, "engine unavailable: %v", err)
+			return
+		}
+		g := eng.Graph()
+		resp := StatsResponse{
+			Nodes:            g.NumNodes(),
+			Edges:            g.NumEdges(),
+			Topics:           eng.Space().NumTopics(),
+			PropIndexEntries: eng.Prop().Size(),
+			PropIndexTheta:   eng.Prop().Theta(),
+			WalkL:            eng.Walks().L,
+			WalkR:            eng.Walks().R,
+			CachedLRW:        eng.CachedSummaries(core.MethodLRW),
+			CachedRCL:        eng.CachedSummaries(core.MethodRCL),
+		}
+		release()
+		s.writeJSON(w, r, http.StatusOK, resp)
+		return
+	}
 }

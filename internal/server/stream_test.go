@@ -1,0 +1,296 @@
+package server
+
+// End-to-end streaming surface tests: POST /updates feeding the
+// pipeline, POST /subscribe serving SSE pushes, and the swap protocol
+// underneath both. The two-edge graph makes the push semantics exact: a
+// re-weighting flips which topic the standing query ranks first, so the
+// subscriber must see exactly one change push with the flipped order.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/stream"
+	"repro/internal/subscribe"
+	"repro/internal/topics"
+)
+
+// streamHarness serves a 3-node graph where node 1 influences user 0
+// strongly (0.9) and node 2 weakly (0.1); topic "alpha" lives on node 1,
+// topic "beta" on node 2, both answering query "t". A standing query for
+// user 0 therefore ranks alpha first until the weights flip.
+func streamHarness(t *testing.T, cfg Config) (*httptest.Server, *stream.Pipeline) {
+	t.Helper()
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(1, 0, 0.9)
+	b.MustAddEdge(2, 0, 0.1)
+	g := b.Build()
+	sb := topics.NewSpaceBuilder()
+	alpha, err := sb.AddTopic("t", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := sb.AddTopic("t", "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.AddNode(alpha, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.AddNode(beta, 2); err != nil {
+		t.Fatal(err)
+	}
+	space := sb.Build()
+	eng, err := core.New(g, space, core.Options{WalkL: 2, WalkR: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BuildIndexes(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	subs := subscribe.NewRegistry(nil)
+	p, err := stream.New(eng, stream.Config{
+		BatchSize: 2,
+		MaxAge:    20 * time.Millisecond,
+		OnApply: func(ctx context.Context, r stream.ApplyResult) {
+			subs.Dispatch(ctx, r.Engine, r.Stats.Affected, r.Seq)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Stream = p
+	cfg.Subscriptions = subs
+	if cfg.Logger == nil {
+		cfg.Logger = testLogger(t)
+	}
+	srv, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.MarkReady()
+	p.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		p.Stop()
+		p.Engine().Close()
+	})
+	return ts, p
+}
+
+// readSSE reads one SSE event (through the next blank line), returning
+// the event name and the data payload.
+func readSSE(t *testing.T, br *bufio.Reader) (event, data string) {
+	t.Helper()
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read SSE stream: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "" && (event != "" || data != ""):
+			return event, data
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		}
+		// Comment lines (heartbeats) and blank keep-alives fall through.
+	}
+}
+
+func TestSubscribePushesOnRankingFlip(t *testing.T) {
+	ts, _ := streamHarness(t, Config{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/subscribe?q=t&user=0&k=2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /subscribe = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+
+	event, data := readSSE(t, br)
+	if event != "topk" {
+		t.Fatalf("initial event = %q, want topk", event)
+	}
+	var initial SubscribePush
+	if err := json.Unmarshal([]byte(data), &initial); err != nil {
+		t.Fatalf("decode initial push %q: %v", data, err)
+	}
+	if initial.Seq != 0 {
+		t.Errorf("initial push seq = %d, want 0", initial.Seq)
+	}
+	if len(initial.Results) != 2 || initial.Results[0].Topic != "alpha" {
+		t.Fatalf("initial ranking = %+v, want alpha first of 2", initial.Results)
+	}
+
+	// Flip the weights: the strong edge collapses, the weak one surges.
+	// Two events hit BatchSize, so the background loop applies at once.
+	body := `{"updates":[{"from":1,"to":0,"weight":0.05},{"from":2,"to":0,"weight":0.95}]}`
+	up, err := http.Post(ts.URL+"/updates", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	up.Body.Close()
+	if up.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /updates = %d, want 202", up.StatusCode)
+	}
+
+	event, data = readSSE(t, br)
+	if event != "topk" {
+		t.Fatalf("change event = %q, want topk", event)
+	}
+	var changed SubscribePush
+	if err := json.Unmarshal([]byte(data), &changed); err != nil {
+		t.Fatalf("decode change push %q: %v", data, err)
+	}
+	if changed.Seq == 0 {
+		t.Error("change push carries seq 0, want the triggering batch seq")
+	}
+	if len(changed.Results) != 2 || changed.Results[0].Topic != "beta" {
+		t.Fatalf("post-flip ranking = %+v, want beta first of 2", changed.Results)
+	}
+}
+
+func TestUpdatesValidation(t *testing.T) {
+	ts, _ := streamHarness(t, Config{})
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/updates", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"garbage", `{`},
+		{"unknown field", `{"updates":[],"nope":1}`},
+		{"negative new_nodes", `{"new_nodes":-1}`},
+		{"empty", `{"updates":[]}`},
+		{"out-of-range node", `{"updates":[{"from":0,"to":99,"weight":0.5}]}`},
+		{"self loop", `{"updates":[{"from":1,"to":1,"weight":0.5}]}`},
+		{"bad weight", `{"updates":[{"from":0,"to":1,"weight":1.5}]}`},
+	}
+	for _, c := range cases {
+		if code := post(c.body); code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", c.name, code)
+		}
+	}
+	// Growing nodes makes previously out-of-range IDs valid in the same
+	// request.
+	resp, err := http.Post(ts.URL+"/updates", "application/json",
+		strings.NewReader(`{"new_nodes":1,"updates":[{"from":3,"to":0,"weight":0.5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("grow+update = %d, want 202", resp.StatusCode)
+	}
+	var ack UpdateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted != 1 || ack.NewNodes != 1 {
+		t.Errorf("ack = %+v, want 1 accepted, 1 new node", ack)
+	}
+}
+
+// A server without a pipeline keeps its exact pre-streaming surface:
+// the streaming routes do not exist.
+func TestStreamingRoutesAbsentWithoutPipeline(t *testing.T) {
+	srv, err := testServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/updates", "/subscribe"} {
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader("{}"))
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("POST %s on static server = %d, want 404", path, rec.Code)
+		}
+	}
+}
+
+func TestSubscribeCapSheds(t *testing.T) {
+	ts, _ := streamHarness(t, Config{MaxSubscribers: 1})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/subscribe?q=t&user=0&k=2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first subscriber = %d, want 200", resp.StatusCode)
+	}
+	// Consume the initial push so the stream is established.
+	readSSE(t, bufio.NewReader(resp.Body))
+
+	second, err := http.Post(ts.URL+"/subscribe?q=t&user=0&k=2", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Body.Close()
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second subscriber = %d, want 429", second.StatusCode)
+	}
+	if second.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+func TestSubscribeValidationErrors(t *testing.T) {
+	ts, _ := streamHarness(t, Config{})
+	cases := []struct {
+		name string
+		path string
+		want int
+	}{
+		{"unknown user", "/subscribe?q=t&user=99&k=2", http.StatusBadRequest},
+		{"unrelated query", "/subscribe?q=nosuchtag&user=0&k=2", http.StatusBadRequest},
+		{"bad k", "/subscribe?q=t&user=0&k=0", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+c.path, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status = %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+}

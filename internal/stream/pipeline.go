@@ -1,0 +1,322 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dynamic"
+)
+
+// Pipeline owns the current engine and the pending event batch. One
+// background goroutine (Start) applies batches; Submit/GrowNodes are
+// safe for concurrent use. Flushes are serialized: there is never more
+// than one rebuild in flight, so a burst of events coalesces into the
+// next batch instead of queueing rebuilds.
+type Pipeline struct {
+	cfg Config
+	cur atomic.Pointer[core.Engine]
+
+	mu       sync.Mutex // guards pending, newNodes, oldest
+	pending  []Event
+	newNodes int
+	oldest   time.Time // earliest At among pending events
+
+	kick chan struct{} // buffered(1): wakes the run loop on batch-size
+
+	life context.Context
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+
+	applyMu sync.Mutex // serializes Flush
+	seq     atomic.Uint64
+	met     *pipeMetrics
+}
+
+// New wires a pipeline over eng. It enables eng's drain gate, so it
+// must be called before eng serves traffic. Start begins background
+// flushing; without Start, batches apply only via explicit Flush calls.
+func New(eng *core.Engine, cfg Config) (*Pipeline, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("stream: nil engine")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.MaxAge <= 0 {
+		cfg.MaxAge = time.Second
+	}
+	if cfg.Radius <= 0 {
+		cfg.Radius = eng.Options().WalkL
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.Default()
+	}
+	p := &Pipeline{
+		cfg:  cfg,
+		kick: make(chan struct{}, 1),
+	}
+	if cfg.Metrics != nil {
+		p.met = newPipeMetrics(cfg.Metrics)
+	}
+	p.life, p.stop = context.WithCancel(context.Background())
+	eng.EnableDrainGate()
+	p.cur.Store(eng)
+	return p, nil
+}
+
+// Engine returns the engine currently serving. Callers that hit
+// core.ErrNotReady on a result of this method should re-load: they
+// raced a swap and the fresh engine answers.
+func (p *Pipeline) Engine() *core.Engine { return p.cur.Load() }
+
+// Swaps reports how many batches have been applied (and engines
+// published) so far.
+func (p *Pipeline) Swaps() uint64 { return p.seq.Load() }
+
+// PendingEvents reports the current pending batch size.
+func (p *Pipeline) PendingEvents() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}
+
+// Submit appends events to the pending batch, stamping zero observation
+// times with the current clock. It validates each event against the
+// grown node range up front — a rejected event fails the whole call and
+// enqueues nothing. Reaching BatchSize wakes the background loop.
+func (p *Pipeline) Submit(events ...Event) error {
+	if err := p.life.Err(); err != nil {
+		return fmt.Errorf("stream: pipeline stopped: %w", err)
+	}
+	now := p.cfg.Clock()
+	nodes := p.Engine().Graph().NumNodes()
+
+	p.mu.Lock()
+	grown := nodes + p.newNodes
+	for _, ev := range events {
+		if err := validateEvent(ev, grown); err != nil {
+			p.mu.Unlock()
+			return err
+		}
+	}
+	for _, ev := range events {
+		if ev.At.IsZero() {
+			ev.At = now
+		}
+		if p.oldest.IsZero() || ev.At.Before(p.oldest) {
+			p.oldest = ev.At
+		}
+		p.pending = append(p.pending, ev)
+	}
+	n := len(p.pending)
+	p.mu.Unlock()
+
+	if p.met != nil {
+		p.met.submitted.Add(uint64(len(events)))
+		p.met.pending.Set(int64(n))
+	}
+	// Wake on a full batch (immediate flush) and on the first events
+	// after an idle stretch — the loop sleeps unarmed when nothing is
+	// pending and must wake to arm the MaxAge timer.
+	if n >= p.cfg.BatchSize || n == len(events) {
+		p.wake()
+	}
+	return nil
+}
+
+// GrowNodes schedules n fresh node IDs, appended after the current
+// maximum, for the next batch. Events referencing the new IDs may be
+// submitted immediately.
+func (p *Pipeline) GrowNodes(n int) error {
+	if err := p.life.Err(); err != nil {
+		return fmt.Errorf("stream: pipeline stopped: %w", err)
+	}
+	if n <= 0 {
+		return fmt.Errorf("stream: GrowNodes(%d): need a positive count", n)
+	}
+	p.mu.Lock()
+	p.newNodes += n
+	if p.oldest.IsZero() {
+		p.oldest = p.cfg.Clock()
+	}
+	p.mu.Unlock()
+	p.wake()
+	return nil
+}
+
+// wake nudges the run loop without blocking; a pending nudge coalesces.
+func (p *Pipeline) wake() {
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Start launches the background flush loop. Call at most once; Stop
+// terminates it.
+func (p *Pipeline) Start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.run()
+	}()
+}
+
+// Stop terminates the background loop and waits for it. Events still
+// pending are dropped (visible in pit_stream_pending_events); callers
+// that need them applied call Flush before Stop. Stop does not close
+// the current engine — the owner retires or closes it after the serving
+// layer drains.
+func (p *Pipeline) Stop() {
+	p.stop()
+	p.wg.Wait()
+}
+
+// run flushes on batch-size wakeups and age deadlines until the
+// lifecycle ends.
+func (p *Pipeline) run() {
+	timer := time.NewTimer(p.cfg.MaxAge)
+	defer timer.Stop()
+	for {
+		p.mu.Lock()
+		size := len(p.pending)
+		grow := p.newNodes
+		oldest := p.oldest
+		p.mu.Unlock()
+
+		if size >= p.cfg.BatchSize {
+			p.flushLogged()
+			continue
+		}
+		var wait time.Duration = -1
+		if size > 0 || grow > 0 {
+			wait = p.cfg.MaxAge - p.cfg.Clock().Sub(oldest)
+			if wait <= 0 {
+				p.flushLogged()
+				continue
+			}
+		}
+		if wait < 0 {
+			// Nothing pending: sleep until kicked.
+			select {
+			case <-p.life.Done():
+				return
+			case <-p.kick:
+			}
+			continue
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-p.life.Done():
+			return
+		case <-p.kick:
+		case <-timer.C:
+		}
+	}
+}
+
+// flushLogged is the run loop's Flush: errors are counted and logged,
+// not returned — the loop keeps serving subsequent batches.
+func (p *Pipeline) flushLogged() {
+	if err := p.Flush(p.life); err != nil && !errors.Is(err, context.Canceled) {
+		p.cfg.Logger.Printf("stream: batch apply failed: %v", err)
+	}
+}
+
+// Flush applies the pending batch now: decay weights, Refresh, publish
+// the new engine, retire the old one. A flush with nothing pending is a
+// no-op. ctx bounds the index rebuild; on error the pending events are
+// dropped (they were consumed by the failed attempt) and the old engine
+// keeps serving. Concurrent flushes serialize.
+func (p *Pipeline) Flush(ctx context.Context) error {
+	p.applyMu.Lock()
+	defer p.applyMu.Unlock()
+
+	p.mu.Lock()
+	events := p.pending
+	grow := p.newNodes
+	oldest := p.oldest
+	p.pending = nil
+	p.newNodes = 0
+	p.oldest = time.Time{}
+	p.mu.Unlock()
+	if p.met != nil {
+		p.met.pending.Set(0)
+	}
+	if len(events) == 0 && grow == 0 {
+		return nil
+	}
+
+	now := p.cfg.Clock()
+	batch := dynamic.Batch{NewNodes: grow, Updates: make([]dynamic.EdgeUpdate, 0, len(events))}
+	for _, ev := range events {
+		w := ev.Weight
+		if w > 0 {
+			w = DecayedWeight(w, now.Sub(ev.At), p.cfg.DecayHalfLife)
+		}
+		batch.Updates = append(batch.Updates, dynamic.EdgeUpdate{From: ev.From, To: ev.To, Weight: w})
+	}
+
+	old := p.cur.Load()
+	fresh, stats, err := dynamic.Refresh(ctx, old, nil, batch, p.cfg.Radius)
+	if err != nil {
+		if p.met != nil {
+			p.met.failures.Inc()
+		}
+		return fmt.Errorf("stream: refresh (batch of %d): %w", len(events), err)
+	}
+	if p.cfg.PrepareEngine != nil {
+		p.cfg.PrepareEngine(fresh)
+	}
+	cachedAtSwap := map[core.Method]int{}
+	for _, m := range []core.Method{core.MethodLRW, core.MethodRCL} {
+		cachedAtSwap[m] = fresh.CachedSummaries(m)
+	}
+	// Publish. The Store is the happens-before edge that makes the
+	// fresh engine's gated flag (and everything Refresh built) visible
+	// to readers loading the pointer.
+	fresh.EnableDrainGate()
+	p.cur.Store(fresh)
+	seq := p.seq.Add(1)
+	lag := p.cfg.Clock().Sub(oldest)
+
+	if p.met != nil {
+		p.met.applied.Add(uint64(len(events)))
+		p.met.batches.Inc()
+		p.met.affected.Add(uint64(len(stats.Affected)))
+		for _, m := range []core.Method{core.MethodLRW, core.MethodRCL} {
+			p.met.carried[m].Add(uint64(stats.Carried[m]))
+		}
+		p.met.swaps.Inc()
+		p.met.lag.Observe(lag.Seconds())
+	}
+	if p.cfg.OnApply != nil {
+		p.cfg.OnApply(ctx, ApplyResult{
+			Seq:          seq,
+			Batch:        batch,
+			Stats:        stats,
+			CachedAtSwap: cachedAtSwap,
+			Engine:       fresh,
+			Lag:          lag,
+		})
+	}
+	// Retire last: in-flight queries admitted on the old engine drain
+	// at full fidelity while the fresh engine already serves new ones.
+	old.Retire()
+	return nil
+}

@@ -1,0 +1,41 @@
+package subscribe
+
+import "repro/internal/obs"
+
+// regMetrics holds the registry's obs handles; nil disables
+// instrumentation (every use site is nil-checked).
+type regMetrics struct {
+	// active gauges live subscriptions.
+	active *obs.Gauge
+	// evals counts standing-query re-evaluations; skipped counts
+	// subscriptions a dispatch bypassed because their related topics
+	// were disjoint from the batch's affected set. skipped/(evals+
+	// skipped) is the locality filter's payoff.
+	evals   *obs.Counter
+	skipped *obs.Counter
+	// evalErrors counts re-evaluations that failed (subscription keeps
+	// its previous answer, retried next batch).
+	evalErrors *obs.Counter
+	// pushes counts queued pushes (ranking changed); displaced counts
+	// pushes that replaced an undelivered one — the slow-consumer
+	// coalescing at work.
+	pushes    *obs.Counter
+	displaced *obs.Counter
+}
+
+func newRegMetrics(reg *obs.Registry) *regMetrics {
+	return &regMetrics{
+		active: reg.Gauge("pit_subscribe_active",
+			"Live standing-query subscriptions."),
+		evals: reg.Counter("pit_subscribe_evals_total",
+			"Standing-query re-evaluations triggered by applied batches."),
+		skipped: reg.Counter("pit_subscribe_skipped_total",
+			"Subscriptions skipped by a dispatch: related topics disjoint from the affected set."),
+		evalErrors: reg.Counter("pit_subscribe_eval_errors_total",
+			"Standing-query re-evaluations that failed."),
+		pushes: reg.Counter("pit_subscribe_pushes_total",
+			"Pushes queued because a subscription's top-k ranking changed."),
+		displaced: reg.Counter("pit_subscribe_displaced_pushes_total",
+			"Undelivered pushes replaced by a newer one (slow consumer coalescing)."),
+	}
+}
