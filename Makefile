@@ -25,11 +25,13 @@ help:
 	@echo "make lint-audit  - list every active //pitlint:ignore with its justification"
 	@echo "make lint-self   - run pitlint over its own analyzers and driver"
 	@echo "make bench       - online + offline load benchmark (cmd/pitperf); merges a"
-	@echo "                   '$(BENCH_LABEL)' run into BENCH_PR5.json (BENCH_LABEL=...)"
-	@echo "                   and a cold-start run into BENCH_PR8.json"
+	@echo "                   '$(BENCH_LABEL)' run into BENCH_PR5.json (BENCH_LABEL=...),"
+	@echo "                   a cold-start run into BENCH_PR8.json, and a single-vs-sharded"
+	@echo "                   run into BENCH_PR10.json"
 	@echo "make bench-smoke - one-shot benchmark smoke: figure benchmarks plus the"
 	@echo "                   search/core/rcl/lrw micro-benchmarks, a pitperf -smoke run,"
-	@echo "                   and a save/mmap-load/query cold-start round trip"
+	@echo "                   a save/mmap-load/query cold-start round trip, and a 2-shard"
+	@echo "                   scatter-gather round trip (pitperf -sharded + pitserve -shards 2)"
 	@echo "make fuzz        - storage artifact-parser fuzzers for 10s per target"
 	@echo "make chaos       - fault-injection suite under -race: internal/chaos plus the"
 	@echo "                   planner/breaker chaos tests in core and server and the"
@@ -91,7 +93,7 @@ race:
 # degradation, revalidation, swap and close.
 chaos:
 	$(GO) test -race ./internal/chaos/
-	$(GO) test -race -run 'Chaos|Breaker|Planned|Stale|Reval|Soak|Churn' ./internal/plan/ ./internal/core/ ./internal/server/ ./internal/stream/
+	$(GO) test -race -run 'Chaos|Breaker|Planned|Stale|Reval|Soak|Churn' ./internal/plan/ ./internal/core/ ./internal/server/ ./internal/stream/ ./internal/shard/
 
 # Online-path and offline-pipeline load benchmark (reproducible: fixed
 # seed, fixed dataset shape). Records the run under $(BENCH_LABEL) in
@@ -100,6 +102,7 @@ chaos:
 bench:
 	$(GO) run ./cmd/pitperf -label $(BENCH_LABEL) -out BENCH_PR5.json
 	$(GO) run ./cmd/pitperf -cold -label $(BENCH_LABEL) -out BENCH_PR8.json
+	$(GO) run ./cmd/pitperf -sharded -label $(BENCH_LABEL) -out BENCH_PR10.json
 
 # Benchmark smoke: run the data_2k figure benchmarks and the online-path
 # micro-benchmarks exactly once (-benchtime 1x), plus the pitperf smoke
@@ -115,7 +118,9 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/search/ ./internal/core/ ./internal/rcl/ ./internal/lrw/
 	$(GO) run ./cmd/pitperf -smoke -out /tmp/pitperf-smoke.json
 	$(GO) run ./cmd/pitperf -cold -smoke -out /tmp/pitperf-cold-smoke.json
+	$(GO) run ./cmd/pitperf -sharded -smoke -out /tmp/pitperf-sharded-smoke.json
 	$(GO) run ./cmd/pitserve -smoke
+	$(GO) run ./cmd/pitserve -smoke -shards 2
 
 # Fuzz the artifact parsers: hostile bytes through both the gob and v2
 # load paths must produce wrapped `storage:` errors, never a panic or an

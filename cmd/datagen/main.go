@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/graph"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/topics"
 )
@@ -53,6 +54,7 @@ func main() {
 		walkL     = flag.Int("L", 6, "random-walk length L (with -index-dir)")
 		walkR     = flag.Int("R", 16, "random walks per node R (with -index-dir)")
 		warm      = flag.String("warm", "", "comma-separated summary methods to materialize into the artifacts: lrw, rcl (with -index-dir)")
+		shards    = flag.Int("shards", 0, "partition the artifact directory into N per-shard corpora (shard-<i>/ plus a manifest) for pitserve -shards N (with -index-dir)")
 	)
 	flag.Parse()
 
@@ -65,6 +67,7 @@ func main() {
 	}, *graphOut, *topicsOut, *stats, indexConfig{
 		dir: *indexDir, format: *indexFmt, theta: *theta,
 		walkL: *walkL, walkR: *walkR, seed: *seed, warm: *warm,
+		shards: *shards,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
@@ -80,6 +83,7 @@ type indexConfig struct {
 	walkR  int
 	seed   int64
 	warm   string
+	shards int
 }
 
 // warmMethods parses the -warm list into engine methods.
@@ -189,6 +193,18 @@ func buildArtifacts(g *graph.Graph, sp *topics.Space, icfg indexConfig, format s
 			sp.NumTopics(), m, time.Since(start).Round(time.Millisecond))
 	}
 	start = time.Now()
+	if icfg.shards > 0 {
+		part, err := shard.NewPartitioner(sp, icfg.shards)
+		if err != nil {
+			return err
+		}
+		if err := shard.WriteArtifacts(eng, part, icfg.dir, format); err != nil {
+			return fmt.Errorf("save sharded artifacts to %s: %w", icfg.dir, err)
+		}
+		fmt.Printf("saved %s artifacts for %d shards to %s in %v\n",
+			format, icfg.shards, icfg.dir, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
 	if err := eng.SaveArtifacts(icfg.dir, format); err != nil {
 		return fmt.Errorf("save artifacts to %s: %w", icfg.dir, err)
 	}

@@ -41,6 +41,17 @@
 // POST /subscribe registers standing queries pushed over SSE when an
 // applied batch changes their top-k. -decay-halflife fades queued
 // event weights by age before application.
+//
+// -shards N > 0 serves through the partitioned engine (DESIGN.md §16):
+// the summary corpus is split across N shard engines by stable topic
+// hash and every query scatter-gathers across the owning shards with
+// bound-based shard pruning — byte-identical answers, independent
+// failure domains. -shard-index-dir points at a sharded artifact root
+// written by `datagen -shards N`: when populated, the N shards
+// mmap-hydrate in parallel at cold start; otherwise indexes are built
+// once, shared, and (when the flag is set) saved back per shard.
+// Streaming composes with sharding: one pipeline per shard applies
+// every batch, and each shard swaps its engine independently.
 package main
 
 import (
@@ -62,12 +73,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/stream"
 	"repro/internal/subscribe"
+	"repro/internal/topics"
 )
 
 // options carries every flag so the whole app is buildable from tests.
@@ -99,6 +113,8 @@ type options struct {
 	streamBatch        int
 	streamMaxAge       time.Duration
 	decayHalfLife      time.Duration
+	shards             int
+	shardIndexDir      string
 }
 
 // planConfig resolves the planner flags into the engine's plan.Config.
@@ -162,15 +178,23 @@ func (o options) warmMethods() ([]core.Method, error) {
 // the HTTP surface exists, but the indexes build in prepare.
 type app struct {
 	opts options
-	eng  *core.Engine // initial engine; under streaming, engine() follows swaps
+	eng  *core.Engine // initial engine (single-engine mode); under streaming, engine() follows swaps
 	srv  *server.Server
 	reg  *obs.Registry
 	pipe *stream.Pipeline
 	subs *subscribe.Registry
+
+	// Sharded mode (-shards > 0): N engines behind a scatter-gather
+	// router; eng and pipe stay nil.
+	engines []*core.Engine
+	part    *shard.Partitioner
+	router  *shard.Router
+	set     *shard.StreamSet
 }
 
 // engine resolves the engine currently serving: the streaming
 // pipeline's pointer when streaming is on, the initial engine otherwise.
+// Sharded mode has no single engine; callers branch on a.router first.
 func (a *app) engine() *core.Engine {
 	if a.pipe != nil {
 		return a.pipe.Engine()
@@ -178,12 +202,30 @@ func (a *app) engine() *core.Engine {
 	return a.eng
 }
 
-// closeEngine stops the streaming pipeline (if any) and closes the
+// swaps reports how many update batches have been applied, whichever
+// streaming surface is wired.
+func (a *app) swaps() uint64 {
+	if a.set != nil {
+		return a.set.Swaps()
+	}
+	return a.pipe.Swaps()
+}
+
+// closeEngine stops the streaming pipeline(s) (if any) and closes every
 // engine currently serving; engines superseded earlier were already
 // retired at their swap. Safe to call more than once.
 func (a *app) closeEngine() {
+	if a.set != nil {
+		a.set.Stop()
+	}
 	if a.pipe != nil {
 		a.pipe.Stop()
+	}
+	if a.router != nil {
+		for i := 0; i < a.router.Shards(); i++ {
+			a.router.Engine(i).Close()
+		}
+		return
 	}
 	a.engine().Close()
 }
@@ -219,6 +261,8 @@ func main() {
 	flag.IntVar(&o.streamBatch, "stream-batch", 0, "streaming updates: apply a batch once this many events are pending (0 disables streaming; enables POST /updates and /subscribe)")
 	flag.DurationVar(&o.streamMaxAge, "stream-max-age", time.Second, "streaming updates: apply a smaller batch once its oldest event is this old")
 	flag.DurationVar(&o.decayHalfLife, "decay-halflife", 0, "halve a queued event's edge weight per this much age at application time (0 disables decay)")
+	flag.IntVar(&o.shards, "shards", 0, "serve through N partitioned shard engines behind the scatter-gather router (0 = single engine)")
+	flag.StringVar(&o.shardIndexDir, "shard-index-dir", "", "sharded artifact root from `datagen -shards N`: hydrate all shards in parallel when populated, save per-shard artifacts into it otherwise (with -shards)")
 	flag.Parse()
 
 	if o.smoke {
@@ -273,6 +317,9 @@ func buildApp(o options) (*app, error) {
 		MaxInflight:    o.maxInflight,
 		Registry:       reg,
 	}
+	if o.shards > 0 {
+		return buildSharded(a, o, g, sp, reg, srvCfg)
+	}
 	if o.streamBatch > 0 {
 		a.subs = subscribe.NewRegistry(reg)
 		a.pipe, err = stream.New(eng, stream.Config{
@@ -291,6 +338,70 @@ func buildApp(o options) (*app, error) {
 		srvCfg.Subscriptions = a.subs
 	}
 	srv, err := server.New(eng, srvCfg)
+	if err != nil {
+		return nil, err
+	}
+	a.srv = srv
+	return a, nil
+}
+
+// buildSharded wires the partitioned serving path (-shards N): the
+// already-constructed engine becomes shard 0, N-1 siblings join it,
+// and the scatter-gather router fronts them all as the server's
+// backend. With streaming on, each shard gets its own pipeline and the
+// router follows every shard's swaps independently.
+func buildSharded(a *app, o options, g *graph.Graph, sp *topics.Space, reg *obs.Registry, srvCfg server.Config) (*app, error) {
+	if o.indexDir != "" {
+		return nil, fmt.Errorf("-index-dir stores single-engine artifacts; use -shard-index-dir with -shards")
+	}
+	pcfg, err := o.planConfig()
+	if err != nil {
+		return nil, err
+	}
+	a.engines = make([]*core.Engine, o.shards)
+	a.engines[0] = a.eng
+	a.eng = nil
+	for i := 1; i < o.shards; i++ {
+		a.engines[i], err = core.New(g, sp, core.Options{WalkL: o.walkL, WalkR: o.walkR, Theta: o.theta, Seed: o.seed, Metrics: reg, Plan: pcfg})
+		if err != nil {
+			return nil, err
+		}
+	}
+	a.part, err = shard.NewPartitioner(sp, o.shards)
+	if err != nil {
+		return nil, err
+	}
+	sources := make([]shard.EngineSource, len(a.engines))
+	for i, eng := range a.engines {
+		eng := eng
+		sources[i] = func() *core.Engine { return eng }
+	}
+	if o.streamBatch > 0 {
+		a.subs = subscribe.NewRegistry(reg)
+		a.set, err = shard.NewStreamSet(a.engines, stream.Config{
+			BatchSize:     o.streamBatch,
+			MaxAge:        o.streamMaxAge,
+			DecayHalfLife: o.decayHalfLife,
+			Metrics:       reg,
+			OnApply: func(ctx context.Context, r stream.ApplyResult) {
+				// Standing queries evaluate against the router, so a push
+				// merges across every shard, not just the one that fired.
+				a.subs.Dispatch(ctx, a.router, r.Stats.Affected, r.Seq)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		sources = a.set.Sources()
+		srvCfg.Stream = a.set
+		srvCfg.Subscriptions = a.subs
+	}
+	a.router, err = shard.NewRouter(g, sp, a.part, sources, shard.Config{Metrics: reg})
+	if err != nil {
+		return nil, err
+	}
+	srvCfg.Source = func() server.Backend { return a.router }
+	srv, err := server.New(a.router, srvCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -322,6 +433,9 @@ func (a *app) opsHandler() http.Handler {
 // saved back to -index-dir so the next start is a cold start. ctx
 // cancellation (e.g. SIGTERM during a long materialization) aborts it.
 func (a *app) prepare(ctx context.Context) error {
+	if a.router != nil {
+		return a.prepareSharded(ctx)
+	}
 	start := time.Now()
 	loaded := false
 	if a.opts.indexDir != "" && core.ArtifactsExist(a.opts.indexDir) {
@@ -379,6 +493,73 @@ func (a *app) prepare(ctx context.Context) error {
 		// batch refreshes from a fully built engine.
 		a.pipe.Start()
 		log.Printf("streaming pipeline started (batch %d, max age %v)", a.opts.streamBatch, a.opts.streamMaxAge)
+	}
+	return nil
+}
+
+// prepareSharded readies the partitioned backend: parallel per-shard
+// hydration from -shard-index-dir when its artifacts exist, otherwise
+// one index build shared across all shards; then the owned slice of
+// the corpus is warmed per shard and (on a fresh build with the flag
+// set) saved back as per-shard artifacts. Each shard logs its own
+// readiness — a shard-count or dataset mismatch fails loudly here, not
+// at query time.
+func (a *app) prepareSharded(ctx context.Context) error {
+	start := time.Now()
+	g, sp := a.router.Graph(), a.router.Space()
+	dir := a.opts.shardIndexDir
+	loaded := false
+	if dir != "" && shard.ArtifactsExist(dir) {
+		if _, err := shard.HydrateInto(ctx, a.engines, g, sp, dir); err != nil {
+			return fmt.Errorf("hydrate %d shards from %s: %w", len(a.engines), dir, err)
+		}
+		loaded = true
+		log.Printf("%d shards hydrated in parallel from %s in %v",
+			len(a.engines), dir, time.Since(start).Round(time.Millisecond))
+	} else {
+		if err := a.engines[0].BuildIndexes(ctx); err != nil {
+			return err
+		}
+		for i := 1; i < len(a.engines); i++ {
+			if err := a.engines[i].ShareIndexes(a.engines[0]); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+		log.Printf("indexes built once and shared across %d shards in %v (%d users, %d links, %d topics)",
+			len(a.engines), time.Since(start).Round(time.Millisecond), g.NumNodes(), g.NumEdges(), sp.NumTopics())
+	}
+	methods, err := a.opts.warmMethods()
+	if err != nil {
+		return err
+	}
+	for _, m := range methods {
+		start = time.Now()
+		if err := a.router.WarmOwned(ctx, m, a.opts.warmWorkers); err != nil {
+			return fmt.Errorf("warm %s summaries: %w", m, err)
+		}
+		log.Printf("warmed %d %s topic summaries across %d shards in %v",
+			sp.NumTopics(), m, len(a.engines), time.Since(start).Round(time.Millisecond))
+	}
+	if dir != "" && !loaded {
+		format, err := a.opts.saveFormat()
+		if err != nil {
+			return err
+		}
+		saveStart := time.Now()
+		if err := shard.WriteShardArtifacts(a.engines, a.part, dir, format); err != nil {
+			return fmt.Errorf("save shard artifacts to %s: %w", dir, err)
+		}
+		log.Printf("per-shard artifacts saved to %s (%s) in %v", dir, format, time.Since(saveStart).Round(time.Millisecond))
+	}
+	for i, eng := range a.engines {
+		log.Printf("shard %d ready: %d owned topics, %d lrw / %d rcl summaries cached",
+			i, len(a.part.Owned(i)), eng.CachedSummaries(core.MethodLRW), eng.CachedSummaries(core.MethodRCL))
+	}
+	a.srv.MarkReady()
+	if a.set != nil {
+		a.set.Start()
+		log.Printf("streaming pipelines started on %d shards (batch %d, max age %v)",
+			len(a.engines), a.opts.streamBatch, a.opts.streamMaxAge)
 	}
 	return nil
 }
@@ -523,6 +704,18 @@ var smokeMetrics = []string{
 	"pit_subscribe_pushes_total",
 }
 
+// shardSmokeMetrics joins the verified set when the smoke runs sharded
+// (-smoke -shards N): the scatter-gather router's instrument families.
+var shardSmokeMetrics = []string{
+	"pit_shard_scatter_fanout",
+	"pit_shard_pruned_total",
+	"pit_shard_merge_seconds",
+	"pit_shard_rounds",
+	"pit_shard_latency_seconds",
+	"pit_shard_degraded_total",
+	"pit_shard_ready",
+}
+
 // runSmoke is the one-shot end-to-end check behind -smoke: build a small
 // engine, serve API and ops listeners on ephemeral ports, issue real
 // searches over HTTP, then scrape /metrics and verify every instrumented
@@ -594,8 +787,12 @@ func runSmoke(o options) error {
 	if err != nil {
 		return err
 	}
+	names := smokeMetrics
+	if o.shards > 0 {
+		names = append(append([]string(nil), smokeMetrics...), shardSmokeMetrics...)
+	}
 	var missing []string
-	for _, name := range smokeMetrics {
+	for _, name := range names {
 		if !strings.Contains(string(body), name) {
 			missing = append(missing, name)
 		}
@@ -603,7 +800,7 @@ func runSmoke(o options) error {
 	if len(missing) > 0 {
 		return fmt.Errorf("exposition missing metric families %v", missing)
 	}
-	log.Printf("smoke ok: %d metric families verified on %s", len(smokeMetrics), opsLn.Addr())
+	log.Printf("smoke ok: %d metric families verified on %s", len(names), opsLn.Addr())
 	return nil
 }
 
@@ -645,7 +842,7 @@ func smokeStream(a *app, api string) error {
 		return fmt.Errorf("POST /updates = %d, want 202", upResp.StatusCode)
 	}
 	deadline := time.Now().Add(10 * time.Second)
-	for a.pipe.Swaps() == 0 {
+	for a.swaps() == 0 {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("no engine swap %v after accepted update batch", 10*time.Second)
 		}

@@ -39,6 +39,7 @@ var scopeDirs = []string{
 	"internal/chaos",
 	"internal/stream",
 	"internal/subscribe",
+	"internal/shard",
 }
 
 // Bounded is the package fact goroutinelife exports: the declared

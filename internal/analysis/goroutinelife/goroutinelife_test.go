@@ -8,5 +8,5 @@ import (
 )
 
 func TestGoroutinelife(t *testing.T) {
-	analysistest.Run(t, "testdata", goroutinelife.Analyzer, "a", "repro/internal/search")
+	analysistest.Run(t, "testdata", goroutinelife.Analyzer, "a", "repro/internal/search", "repro/internal/shard")
 }

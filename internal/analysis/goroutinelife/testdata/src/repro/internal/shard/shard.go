@@ -1,0 +1,62 @@
+// Module-path fixture for the scatter-gather router package, in scope
+// since the PR-10 extension: the router's per-shard scatter goroutines
+// and parallel hydration loaders must be gatherable (WaitGroup) or
+// lifecycle-cancelable, exactly like the rest of the serving stack.
+package shard
+
+import (
+	"context"
+	"sync"
+)
+
+type router struct {
+	wg sync.WaitGroup
+}
+
+// Scatter fan-out: every per-shard goroutine completes the gather
+// WaitGroup the loop Adds, so the gather barrier accounts for all of
+// them.
+func (r *router) goodScatter(shards int) {
+	for i := 0; i < shards; i++ {
+		r.wg.Add(1)
+		go func(i int) {
+			defer r.wg.Done()
+			_ = i
+		}(i)
+	}
+	r.wg.Wait()
+}
+
+// Parallel hydration: loaders complete a local group and observe the
+// hydration context, so cancellation stops the cold start.
+func goodHydrate(ctx context.Context, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// A shard probe spawned with neither is the leak the scope extension
+// exists to catch: the gather returns while the probe still runs.
+func badProbe(ch chan int) {
+	go func() { // want `detached from the engine lifecycle`
+		ch <- 1
+	}()
+}
+
+// A scatter loop whose goroutines never complete the group the caller
+// waits on: Done without Add in the spawner.
+func badScatterNoAdd(wg *sync.WaitGroup, shards int) {
+	for i := 0; i < shards; i++ {
+		go func() { // want `never calls Add`
+			defer wg.Done()
+		}()
+	}
+}

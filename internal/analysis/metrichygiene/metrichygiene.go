@@ -40,6 +40,7 @@ var scopeDirs = []string{
 	"internal/search",
 	"internal/server",
 	"internal/chaos",
+	"internal/shard",
 	"cmd",
 }
 

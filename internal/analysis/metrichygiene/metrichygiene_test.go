@@ -8,5 +8,5 @@ import (
 )
 
 func TestMetrichygiene(t *testing.T) {
-	analysistest.Run(t, "testdata", metrichygiene.Analyzer, "a")
+	analysistest.Run(t, "testdata", metrichygiene.Analyzer, "a", "repro/internal/shard")
 }

@@ -1,0 +1,56 @@
+// Module-path fixture for the scatter-gather router package, in scope
+// since the PR-10 extension: the router's per-shard metrics label by
+// shard index, which is config-driven and therefore only safe through
+// the const-returning shardLabel idiom.
+package shard
+
+import (
+	"strconv"
+
+	"obs"
+)
+
+// shardLabel caps the shard-index label at a closed const set: the
+// sanctioned idiom (every return is a constant).
+func shardLabel(i int) string {
+	switch i {
+	case 0:
+		return "0"
+	case 1:
+		return "1"
+	case 2:
+		return "2"
+	case 3:
+		return "3"
+	}
+	return "overflow"
+}
+
+type routerMetrics struct {
+	fanout *obs.CounterVec
+}
+
+// Registration stays in the constructor: one RWMutex hit at wiring
+// time, pre-resolved handles on the scatter path.
+func newRouterMetrics(reg *obs.Registry) *routerMetrics {
+	return &routerMetrics{
+		fanout: reg.CounterVec("pit_shard_scatter_fanout", "per-shard scatter count", "shard"),
+	}
+}
+
+func goodShardLabel(m *routerMetrics, i int) {
+	m.fanout.With(shardLabel(i)).Inc()
+}
+
+// Raw strconv of the shard index is unbounded as far as the analyzer
+// can prove — and genuinely unbounded when the shard count comes from
+// a flag.
+func badShardLabel(m *routerMetrics, i int) {
+	m.fanout.With(strconv.Itoa(i)).Inc() // want `label value is not provably bounded`
+}
+
+// Registering per scatter re-locks the registry on the hot path.
+func badHotRegister(reg *obs.Registry) {
+	c := reg.Counter("lazy_shard_total", "l") // want `metric Counter registered inside badHotRegister`
+	c.Inc()
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/rcl"
 	"repro/internal/search"
 	"repro/internal/storage"
+	"repro/internal/topics"
 )
 
 // Artifact file names inside an artifact directory.
@@ -67,6 +68,17 @@ func ArtifactsExist(dir string) bool {
 // mid-save never corrupts an existing artifact directory. The engine
 // must be ready.
 func (e *Engine) SaveArtifacts(dir string, format storage.Format) error {
+	return e.SaveArtifactsFiltered(dir, format, nil)
+}
+
+// SaveArtifactsFiltered is SaveArtifacts with a summary filter: only
+// cached summaries whose topic satisfies keep are persisted (nil keeps
+// everything). The index artifacts are always written in full — a
+// shard snapshot is self-contained, hydrating anywhere the dataset's
+// graph is available. datagen -shards uses this to write one artifact
+// directory per topic-shard holding exactly the summaries that shard's
+// partition owns.
+func (e *Engine) SaveArtifactsFiltered(dir string, format storage.Format, keep func(topics.TopicID) bool) error {
 	if err := e.requireIndexes(); err != nil {
 		return err
 	}
@@ -77,22 +89,31 @@ func (e *Engine) SaveArtifacts(dir string, format storage.Format) error {
 		return fmt.Errorf("core: artifact dir: %w", err)
 	}
 	if format == storage.FormatV2 {
-		if err := storage.SaveWalkIndexV2(filepath.Join(dir, WalkArtifact), e.walks); err != nil {
+		if err := storage.SaveWalkIndexV2(filepath.Join(dir, WalkArtifact), e.idx.walks); err != nil {
 			return err
 		}
-		if err := storage.SavePropIndexV2(filepath.Join(dir, PropArtifact), e.prop); err != nil {
+		if err := storage.SavePropIndexV2(filepath.Join(dir, PropArtifact), e.idx.prop); err != nil {
 			return err
 		}
 	} else {
-		if err := storage.SaveWalkIndex(filepath.Join(dir, WalkArtifact), e.walks); err != nil {
+		if err := storage.SaveWalkIndex(filepath.Join(dir, WalkArtifact), e.idx.walks); err != nil {
 			return err
 		}
-		if err := storage.SavePropIndex(filepath.Join(dir, PropArtifact), e.prop); err != nil {
+		if err := storage.SavePropIndex(filepath.Join(dir, PropArtifact), e.idx.prop); err != nil {
 			return err
 		}
 	}
 	for _, m := range []Method{MethodLRW, MethodRCL} {
-		sums := e.cache.snapshotMethod(m)
+		sums := e.corpus.cache.snapshotMethod(m)
+		if keep != nil {
+			kept := sums[:0]
+			for _, s := range sums {
+				if keep(s.Topic) {
+					kept = append(kept, s)
+				}
+			}
+			sums = kept
+		}
 		if len(sums) == 0 {
 			continue
 		}
@@ -179,8 +200,8 @@ func (e *Engine) LoadArtifacts(dir string) (retErr error) {
 			return fmt.Errorf("core: %s summaries artifact: %w", m, err)
 		}
 	}
-	e.walks, e.prop = walks, prop
-	e.searcher, e.lrwSum, e.rclSum = searcher, lrwSum, rclSum
+	e.idx = indexSet{walks: walks, prop: prop, searcher: searcher}
+	e.lrwSum, e.rclSum = lrwSum, rclSum
 	e.handles = handles
 	for _, h := range handles {
 		if h.Mapped() > 0 {

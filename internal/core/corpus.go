@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/singleflight"
+	"repro/internal/summary"
+)
+
+// corpus is the engine's materialized-summary unit: the sharded
+// per-method cache plus the singleflight group that deduplicates
+// cache-miss builds. It is one of the engine's three separable parts
+// (indexSet, corpus, serving state) — in a multi-shard deployment each
+// shard engine owns the corpus slice for the topics its partition
+// assigns it, while the indexes underneath are shared or hydrated
+// per shard (internal/shard).
+//
+// The corpus itself is policy-free: breakers, metrics and the actual
+// summarizer call live in the build closure the engine passes to
+// materialize, so the generation dance below stays reusable across
+// serving configurations.
+type corpus struct {
+	cache  sumCache
+	flight singleflight.Group[cacheKey, summary.Summary]
+}
+
+// init readies the corpus. life bounds detached shared builds exactly
+// as it did when the flight group lived on the engine: waiter
+// cancellation never aborts a shared build, engine shutdown does.
+func (c *corpus) init(life context.Context) {
+	c.cache.init()
+	c.flight.Base = life
+}
+
+// cached returns the materialized summary for key, if present.
+func (c *corpus) cached(key cacheKey) (summary.Summary, bool) {
+	return c.cache.get(key)
+}
+
+// materialize runs the cache-miss path: the singleflight leader
+// re-checks the cache under the flight (a racing fill or preload may
+// have landed), captures the key's write generation, runs build, and
+// installs the result unless an invalidation raced the build — the
+// waiters still get the result, but the cache won't serve a
+// pre-invalidation summary afterwards. The bool reports whether this
+// caller shared another caller's build.
+func (c *corpus) materialize(ctx context.Context, key cacheKey, build func(context.Context) (summary.Summary, error)) (summary.Summary, error, bool) {
+	return c.flight.Do(ctx, key, func(ctx context.Context) (summary.Summary, error) {
+		s, ok, gen := c.cache.getWithGen(key)
+		if ok {
+			return s, nil
+		}
+		s, err := build(ctx)
+		if err != nil {
+			return summary.Summary{}, err
+		}
+		c.cache.putIfGen(key, s, gen)
+		return s, nil
+	})
+}

@@ -40,7 +40,6 @@ import (
 	"repro/internal/randwalk"
 	"repro/internal/rcl"
 	"repro/internal/search"
-	"repro/internal/singleflight"
 	"repro/internal/storage"
 	"repro/internal/summary"
 	"repro/internal/topics"
@@ -152,13 +151,14 @@ type Engine struct {
 	space *topics.Space
 	opts  Options
 
-	// Set by BuildIndexes and published by the ready flag: immutable —
-	// and therefore read without locks — once ready is true.
-	walks    *randwalk.Index
-	prop     *propidx.Index
-	searcher *search.Searcher
-	lrwSum   *lrw.Summarizer
-	rclSum   *rcl.Summarizer
+	// Set by BuildIndexes/LoadArtifacts/ShareIndexes and published by
+	// the ready flag: immutable — and therefore read without locks —
+	// once ready is true. idx is the shareable read-only unit
+	// (indexset.go); the summarizers stay per-engine because RCL owns
+	// mutable BFS scratch.
+	idx    indexSet
+	lrwSum *lrw.Summarizer
+	rclSum *rcl.Summarizer
 
 	ready   atomic.Bool // true once BuildIndexes published the fields above
 	buildMu sync.Mutex  // serializes BuildIndexes
@@ -173,8 +173,11 @@ type Engine struct {
 	life     context.Context
 	stopLife context.CancelFunc
 
-	cache  sumCache // sharded; internally locked
-	flight singleflight.Group[cacheKey, summary.Summary]
+	// corpus is the materialized-summary unit: sharded cache plus the
+	// build-deduplicating singleflight group (corpus.go). In a
+	// partitioned deployment each shard engine's corpus holds only the
+	// topics its partition owns.
+	corpus corpus
 
 	// met holds the obs handles when Options.Metrics was set; nil
 	// disables instrumentation (use sites are nil-checked, and the
@@ -222,8 +225,7 @@ func New(g *graph.Graph, space *topics.Space, opts Options) (*Engine, error) {
 		revaling: map[resultKey]struct{}{},
 	}
 	e.life, e.stopLife = context.WithCancel(context.Background())
-	e.flight.Base = e.life
-	e.cache.init()
+	e.corpus.init(e.life)
 	if opts.Metrics != nil {
 		e.met = newEngineMetrics(opts.Metrics)
 		// The searcher is constructed in BuildIndexes from e.opts.Search;
@@ -332,17 +334,17 @@ func (e *Engine) Options() Options { return e.opts }
 
 // CachedSummary returns the cached summary of t under m, if materialized.
 func (e *Engine) CachedSummary(m Method, t topics.TopicID) (summary.Summary, bool) {
-	return e.cache.get(cacheKey{m, t})
+	return e.corpus.cached(cacheKey{m, t})
 }
 
 // Space returns the engine's topic space.
 func (e *Engine) Space() *topics.Space { return e.space }
 
 // Walks returns the walk index (nil before BuildIndexes).
-func (e *Engine) Walks() *randwalk.Index { return e.walks }
+func (e *Engine) Walks() *randwalk.Index { return e.idx.walks }
 
 // Prop returns the propagation index (nil before BuildIndexes).
-func (e *Engine) Prop() *propidx.Index { return e.prop }
+func (e *Engine) Prop() *propidx.Index { return e.idx.prop }
 
 // Ready reports whether BuildIndexes has completed, i.e. whether the
 // online entry points will answer instead of returning ErrNotReady.
@@ -375,28 +377,13 @@ func (e *Engine) BuildIndexes(ctx context.Context) error {
 		return nil
 	}
 	buildStart := time.Now()
-	walks, err := randwalk.Build(ctx, e.g, randwalk.Options{L: e.opts.WalkL, R: e.opts.WalkR, Seed: e.opts.Seed})
+	idx, err := buildIndexSet(ctx, e.g, e.opts)
 	if err != nil {
-		return fmt.Errorf("core: walk index: %w", err)
+		return err
 	}
-	prop, err := propidx.Build(ctx, e.g, propidx.Options{Theta: e.opts.Theta})
-	if err != nil {
-		return fmt.Errorf("core: propagation index: %w", err)
+	if err := e.installIndexes(idx); err != nil {
+		return err
 	}
-	searcher, err := search.New(prop, e.opts.Search)
-	if err != nil {
-		return fmt.Errorf("core: searcher: %w", err)
-	}
-	lrwSum, err := lrw.New(e.g, e.space, walks, e.opts.LRW)
-	if err != nil {
-		return fmt.Errorf("core: lrw summarizer: %w", err)
-	}
-	rclSum, err := rcl.New(e.g, e.space, walks, e.opts.RCL)
-	if err != nil {
-		return fmt.Errorf("core: rcl summarizer: %w", err)
-	}
-	e.walks, e.prop = walks, prop
-	e.searcher, e.lrwSum, e.rclSum = searcher, lrwSum, rclSum
 	if e.met != nil {
 		e.met.indexDur.Observe(time.Since(buildStart).Seconds())
 	}
@@ -496,7 +483,7 @@ func (e *Engine) Summarize(ctx context.Context, m Method, t topics.TopicID) (sum
 		return summary.Summary{}, fmt.Errorf("%w: unknown topic %d", ErrInvalidArgument, t)
 	}
 	key := cacheKey{m, t}
-	if s, ok := e.cache.get(key); ok {
+	if s, ok := e.corpus.cached(key); ok {
 		if e.met != nil {
 			e.met.cacheHits[m].Inc()
 		}
@@ -508,20 +495,12 @@ func (e *Engine) Summarize(ctx context.Context, m Method, t topics.TopicID) (sum
 	if err := ctx.Err(); err != nil {
 		return summary.Summary{}, err
 	}
-	s, err, shared := e.flight.Do(ctx, key, func(ctx context.Context) (summary.Summary, error) {
-		// Re-check under the flight: a racing fill (or preload) may have
-		// landed between our miss and winning the flight slot. The read
-		// also captures the key's write generation, so an InvalidateTopic
-		// that lands while the build runs makes the store below a no-op —
-		// the waiters still get this result, but the cache won't serve a
-		// pre-invalidation summary afterwards.
-		s, ok, gen := e.cache.getWithGen(key)
-		if ok {
-			return s, nil
-		}
-		// Consult the breaker only here — after the cache recheck, leader
-		// only — so a half-open probe slot is consumed exclusively by a
-		// call that will actually run a build and report its outcome.
+	// The corpus runs the singleflight + write-generation dance; this
+	// closure is the leader-only build. The breaker is consulted only
+	// here — after the corpus's in-flight cache recheck — so a half-open
+	// probe slot is consumed exclusively by a call that will actually
+	// run a build and report its outcome.
+	s, err, shared := e.corpus.materialize(ctx, key, func(ctx context.Context) (summary.Summary, error) {
 		br := e.breakers[m]
 		if !br.Allow() {
 			if e.met != nil {
@@ -537,7 +516,6 @@ func (e *Engine) Summarize(ctx context.Context, m Method, t topics.TopicID) (sum
 		if e.met != nil {
 			e.met.observeBuild(start)
 		}
-		e.cache.putIfGen(key, s, gen)
 		return s, nil
 	})
 	if e.met != nil {
@@ -694,13 +672,13 @@ func (e *Engine) materializeMany(ctx context.Context, m Method, ts []topics.Topi
 // affected topics instead of rebuilding the whole topic-to-representative
 // index.
 func (e *Engine) InvalidateTopic(t topics.TopicID) {
-	e.cache.deleteTopic(t, MethodLRW, MethodRCL)
+	e.corpus.cache.deleteTopic(t, MethodLRW, MethodRCL)
 }
 
 // CachedSummaries returns how many topic summaries are currently
 // materialized for the method.
 func (e *Engine) CachedSummaries(m Method) int {
-	return e.cache.countMethod(m)
+	return e.corpus.cache.countMethod(m)
 }
 
 // PreloadSummaries seeds the cache with externally materialized summaries
@@ -718,7 +696,7 @@ func (e *Engine) PreloadSummaries(m Method, sums []summary.Summary) error {
 			return fmt.Errorf("core: topic %d: %w", s.Topic, err)
 		}
 	}
-	e.cache.putAll(m, sums)
+	e.corpus.cache.putAll(m, sums)
 	return nil
 }
 
@@ -750,7 +728,7 @@ func (e *Engine) SearchTopics(ctx context.Context, m Method, related []topics.To
 		}
 		sums = append(sums, s)
 	}
-	return e.searcher.TopK(ctx, user, sums, k)
+	return e.idx.searcher.TopK(ctx, user, sums, k)
 }
 
 // SearchTrace is SearchTopics with full diagnostics: it additionally
@@ -774,7 +752,7 @@ func (e *Engine) SearchTrace(ctx context.Context, m Method, related []topics.Top
 		}
 		sums = append(sums, s)
 	}
-	return e.searcher.TopKTrace(ctx, user, sums, k)
+	return e.idx.searcher.TopKTrace(ctx, user, sums, k)
 }
 
 // SearchDiverse is Search followed by representative-overlap
@@ -879,7 +857,7 @@ func (e *Engine) SearchMany(ctx context.Context, m Method, query string, users [
 					firstErr.set(err)
 					return
 				}
-				res, err := e.searcher.TopK(ctx, users[i], sums, k)
+				res, err := e.idx.searcher.TopK(ctx, users[i], sums, k)
 				if err != nil {
 					firstErr.set(err)
 					return
@@ -945,7 +923,7 @@ func (e *Engine) SearchMaterialized(ctx context.Context, m Method, query string,
 	sums := make([]summary.Summary, 0, len(related))
 	complete := true
 	for _, t := range related {
-		if s, ok := e.cache.get(cacheKey{m, t}); ok {
+		if s, ok := e.corpus.cached(cacheKey{m, t}); ok {
 			sums = append(sums, s)
 		} else {
 			complete = false
@@ -957,7 +935,7 @@ func (e *Engine) SearchMaterialized(ctx context.Context, m Method, query string,
 	if len(sums) == 0 {
 		return nil, complete, nil
 	}
-	res, err := e.searcher.TopK(ctx, user, sums, k)
+	res, err := e.idx.searcher.TopK(ctx, user, sums, k)
 	if err != nil {
 		return nil, complete, err
 	}
@@ -1000,7 +978,7 @@ func (e *Engine) SearchMaterializedDiverse(ctx context.Context, m Method, query 
 	sums := make([]summary.Summary, 0, len(related))
 	complete := true
 	for _, t := range related {
-		if s, ok := e.cache.get(cacheKey{m, t}); ok {
+		if s, ok := e.corpus.cached(cacheKey{m, t}); ok {
 			sums = append(sums, s)
 		} else {
 			complete = false
@@ -1023,7 +1001,7 @@ func (e *Engine) SearchMaterializedDiverse(ctx context.Context, m Method, query 
 	if fetch < k {
 		fetch = k
 	}
-	res, err := e.searcher.TopK(ctx, user, sums, fetch)
+	res, err := e.idx.searcher.TopK(ctx, user, sums, fetch)
 	if err != nil {
 		return nil, complete, err
 	}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/lrw"
+	"repro/internal/propidx"
+	"repro/internal/randwalk"
+	"repro/internal/rcl"
+	"repro/internal/search"
+)
+
+// indexSet bundles the immutable offline indexes and the searcher over
+// them — the read-only unit of the engine, separable from the summary
+// corpus and the serving state. Once published (via the ready flag's
+// release store) an indexSet never changes, so it can be shared across
+// engines: a multi-shard deployment builds the walks once and hands
+// every shard engine the same set (ShareIndexes), while each shard
+// keeps its own summarizers, corpus and lifecycle.
+type indexSet struct {
+	walks    *randwalk.Index
+	prop     *propidx.Index
+	searcher *search.Searcher
+}
+
+// buildIndexSet constructs the offline indexes: the L-length
+// random-walk index of Algorithm 6 and the personalized propagation
+// index of Section 5.1, plus the searcher over the latter.
+func buildIndexSet(ctx context.Context, g *graph.Graph, opts Options) (indexSet, error) {
+	walks, err := randwalk.Build(ctx, g, randwalk.Options{L: opts.WalkL, R: opts.WalkR, Seed: opts.Seed})
+	if err != nil {
+		return indexSet{}, fmt.Errorf("core: walk index: %w", err)
+	}
+	prop, err := propidx.Build(ctx, g, propidx.Options{Theta: opts.Theta})
+	if err != nil {
+		return indexSet{}, fmt.Errorf("core: propagation index: %w", err)
+	}
+	searcher, err := search.New(prop, opts.Search)
+	if err != nil {
+		return indexSet{}, fmt.Errorf("core: searcher: %w", err)
+	}
+	return indexSet{walks: walks, prop: prop, searcher: searcher}, nil
+}
+
+// installIndexes wires an indexSet into the engine and constructs the
+// per-engine summarizer pair over its walk index. The summarizers are
+// deliberately not part of the set: the RCL summarizer owns mutable
+// BFS scratch serialized by rclMu, so engines sharing one indexSet
+// still summarize in parallel — the point of partitioning the corpus.
+// The caller publishes with ready.Store(true) after this returns.
+func (e *Engine) installIndexes(idx indexSet) error {
+	lrwSum, err := lrw.New(e.g, e.space, idx.walks, e.opts.LRW)
+	if err != nil {
+		return fmt.Errorf("core: lrw summarizer: %w", err)
+	}
+	rclSum, err := rcl.New(e.g, e.space, idx.walks, e.opts.RCL)
+	if err != nil {
+		return fmt.Errorf("core: rcl summarizer: %w", err)
+	}
+	e.idx = idx
+	e.lrwSum, e.rclSum = lrwSum, rclSum
+	return nil
+}
+
+// ShareIndexes makes the engine ready by adopting the already-built
+// indexSet of src instead of rebuilding walks and propagation rows —
+// how a multi-shard deployment stands up N engines over one dataset
+// with one index build. The shared indexes are immutable so the
+// aliasing is safe; summarizers, corpus, breakers and lifecycle stay
+// per-engine. src must be ready and must own its indexes on the heap:
+// an engine restored from mapped artifacts refuses to share, because
+// the mapping's lifetime is bound to src's Close and a sharing engine
+// would fault after src unmaps.
+func (e *Engine) ShareIndexes(src *Engine) error {
+	if src == nil {
+		return fmt.Errorf("core: ShareIndexes: nil source engine")
+	}
+	if err := src.requireIndexes(); err != nil {
+		return fmt.Errorf("core: ShareIndexes: source %w", ErrNotReady)
+	}
+	if src.mapped {
+		return fmt.Errorf("core: ShareIndexes: source engine is backed by file mappings; shards must hydrate from their own artifact directories")
+	}
+	if src.g != e.g {
+		return fmt.Errorf("core: ShareIndexes: engines must share the same graph")
+	}
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	if e.ready.Load() {
+		return nil
+	}
+	if err := e.installIndexes(src.idx); err != nil {
+		return err
+	}
+	e.ready.Store(true)
+	return nil
+}
+
+// IndexStats reports the sizes the serving layer surfaces in /stats.
+// It does not touch mapped memory beyond the index headers; callers
+// still Hold the engine around it so a concurrent Close cannot unmap
+// mid-read.
+type IndexStats struct {
+	PropEntries int     // total Γ entries across all rows
+	Theta       float64 // propagation threshold θ
+	WalkL       int     // Algorithm 6 walk length L
+	WalkR       int     // walks per node R
+}
+
+// IndexStats returns the engine's index sizing; zero before readiness.
+func (e *Engine) IndexStats() IndexStats {
+	if !e.ready.Load() {
+		return IndexStats{}
+	}
+	return IndexStats{
+		PropEntries: e.idx.prop.Size(),
+		Theta:       e.idx.prop.Theta(),
+		WalkL:       e.idx.walks.L,
+		WalkR:       e.idx.walks.R,
+	}
+}

@@ -148,7 +148,7 @@ func (e *Engine) planStart(ctx context.Context, m Method, related []topics.Topic
 	}
 	uncached := 0
 	for _, t := range related {
-		if _, ok := e.cache.get(cacheKey{m, t}); !ok {
+		if _, ok := e.corpus.cached(cacheKey{m, t}); !ok {
 			uncached++
 		}
 	}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/search"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// SearchSession is one engine's live, externally-driven top-k run —
+// the scatter half of the multi-shard router's lockstep scatter-gather
+// (internal/shard). It wraps a search.Session and holds the engine's
+// query gate for its whole lifetime, so a concurrent Retire/Close
+// drains behind it instead of unmapping under the search. Sessions are
+// single-query, single-goroutine objects; the driver serializes rounds
+// and must Close.
+type SearchSession struct {
+	sess    *search.Session
+	sums    []summary.Summary
+	release func()
+}
+
+// Search returns the underlying lockstep session.
+func (cs *SearchSession) Search() *search.Session { return cs.sess }
+
+// Summaries returns the materialized summaries the session runs over,
+// indexed like the topic list it was opened with — the diversification
+// post-pass reuses them without re-touching the cache.
+func (cs *SearchSession) Summaries() []summary.Summary { return cs.sums }
+
+// Close closes the search session and releases the query gate.
+// Idempotent.
+func (cs *SearchSession) Close() {
+	if cs.sess != nil {
+		cs.sess.Close()
+		cs.sess = nil
+	}
+	if cs.release != nil {
+		cs.release()
+		cs.release = nil
+	}
+}
+
+// NewSearchSession opens a lockstep session for user over the given
+// topics, materializing their summaries first (cache misses build,
+// deduplicated through the corpus singleflight — the full-fidelity
+// path). ts must be non-empty.
+func (e *Engine) NewSearchSession(ctx context.Context, m Method, ts []topics.TopicID, user graph.NodeID) (*SearchSession, error) {
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			release()
+		}
+	}()
+	if !m.valid() {
+		return nil, fmt.Errorf("%w: unknown method %v", ErrInvalidArgument, m)
+	}
+	if err := e.validateUser(user); err != nil {
+		return nil, err
+	}
+	sums := make([]summary.Summary, 0, len(ts))
+	for _, t := range ts {
+		s, err := e.Summarize(ctx, m, t)
+		if err != nil {
+			return nil, err
+		}
+		sums = append(sums, s)
+	}
+	sess, err := e.idx.searcher.NewSession(ctx, user, sums)
+	if err != nil {
+		return nil, err
+	}
+	ok = true
+	return &SearchSession{sess: sess, sums: sums, release: release}, nil
+}
+
+// NewSearchSessionCached is the materialized-tier variant: it opens the
+// session over already-cached summaries only, never building. Topics
+// without a cached summary are skipped; the bool reports completeness
+// exactly as SearchMaterialized does. A session over zero cached
+// summaries returns (nil, complete, nil) — the caller's degraded
+// answer is empty, not an error.
+func (e *Engine) NewSearchSessionCached(ctx context.Context, m Method, ts []topics.TopicID, user graph.NodeID) (*SearchSession, bool, error) {
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			release()
+		}
+	}()
+	if !m.valid() {
+		return nil, false, fmt.Errorf("%w: unknown method %v", ErrInvalidArgument, m)
+	}
+	if err := e.validateUser(user); err != nil {
+		return nil, false, err
+	}
+	sums := make([]summary.Summary, 0, len(ts))
+	complete := true
+	for _, t := range ts {
+		if s, hit := e.corpus.cached(cacheKey{m, t}); hit {
+			sums = append(sums, s)
+		} else {
+			complete = false
+			if e.met != nil {
+				e.met.materializedSkipped[m].Inc()
+			}
+		}
+	}
+	if len(sums) == 0 {
+		return nil, complete, nil
+	}
+	sess, err := e.idx.searcher.NewSession(ctx, user, sums)
+	if err != nil {
+		return nil, complete, err
+	}
+	ok = true
+	return &SearchSession{sess: sess, sums: sums, release: release}, complete, nil
+}
+
+// NewSearchSessionFrom opens a lockstep session directly over
+// pre-materialized summaries — the batch path: the router materializes
+// each shard's q-related summaries once and opens one session per
+// (user, shard) without touching the cache again.
+func (e *Engine) NewSearchSessionFrom(ctx context.Context, user graph.NodeID, sums []summary.Summary) (*SearchSession, error) {
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.validateUser(user); err != nil {
+		release()
+		return nil, err
+	}
+	sess, err := e.idx.searcher.NewSession(ctx, user, sums)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	return &SearchSession{sess: sess, sums: sums, release: release}, nil
+}
+
+// MaterializeTopics returns the summaries of the given topics under m,
+// building cache misses across up to `workers` goroutines (≤ 0:
+// GOMAXPROCS) — materializeMany behind the query gate, exported for
+// the shard router's per-shard materialization stage.
+func (e *Engine) MaterializeTopics(ctx context.Context, m Method, ts []topics.TopicID, workers int) ([]summary.Summary, error) {
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if !m.valid() {
+		return nil, fmt.Errorf("%w: unknown method %v", ErrInvalidArgument, m)
+	}
+	return e.materializeMany(ctx, m, ts, workers)
+}

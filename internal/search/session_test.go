@@ -1,0 +1,205 @@
+package search
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// randomWorld builds a random weighted graph and summary set for
+// driver-equivalence tests.
+func randomWorld(t *testing.T, seed int64, nodes, numTopics int) (*Searcher, []summary.Summary) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed)) //pitlint:ignore norandglobal seeded local source
+	b := graph.NewBuilder(nodes)
+	for u := 0; u < nodes; u++ {
+		deg := 1 + rng.Intn(4)
+		for d := 0; d < deg; d++ {
+			v := rng.Intn(nodes)
+			if v == u {
+				continue
+			}
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v), 0.05+0.4*rng.Float64())
+		}
+	}
+	ix := buildIndex(t, b.Build(), 0.01)
+	sums := make([]summary.Summary, numTopics)
+	for i := range sums {
+		reps := make([]summary.WeightedNode, 1+rng.Intn(5))
+		for j := range reps {
+			reps[j] = summary.WeightedNode{Node: graph.NodeID(rng.Intn(nodes)), Weight: 0.1 + rng.Float64()}
+		}
+		sums[i] = summary.New(topics.TopicID(i), reps)
+	}
+	return newSearcher(t, ix, Options{MaxExpandDepth: 3, MaxFrontier: 32}), sums
+}
+
+// driveLockstep replicates run()'s loop over one or more sessions the
+// way the shard router does — gather, global k-th, prune, undecided
+// test, expand — and returns the merged ranking.
+func driveLockstep(t *testing.T, ctx context.Context, sessions []*Session, k int) []Result {
+	t.Helper()
+	total := 0
+	for _, ss := range sessions {
+		total += ss.NumTopics()
+	}
+	if k <= 0 || k > total {
+		k = total
+	}
+	maxDepth := sessions[0].MaxDepth()
+	exhaustive := sessions[0].PruningDisabled()
+	var entries []TopicEntry
+	var scores []float64
+	depth := 0
+	for {
+		entries = entries[:0]
+		for _, ss := range sessions {
+			entries = ss.Entries(entries)
+		}
+		scores = scores[:0]
+		for i := range entries {
+			scores = append(scores, entries[i].Score)
+		}
+		kth := KthOfScores(scores, k)
+		for _, ss := range sessions {
+			ss.Prune(kth)
+		}
+		entries = entries[:0]
+		for _, ss := range sessions {
+			entries = ss.Entries(entries)
+		}
+		var undecided int
+		if exhaustive {
+			undecided = UndecidedExhaustive(entries)
+		} else {
+			undecided = UndecidedEntries(entries, k)
+		}
+		frontier := 0
+		for _, ss := range sessions {
+			if n := ss.FrontierLen(); n > frontier {
+				frontier = n
+			}
+		}
+		if undecided == 0 || frontier == 0 || depth >= maxDepth {
+			break
+		}
+		for _, ss := range sessions {
+			if err := ss.Expand(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		depth++
+	}
+	return RankEntries(entries, k)
+}
+
+// TestSessionLockstepEqualsTopK drives sessions over arbitrary
+// partitions of the summary set and requires bit-identical results to
+// the one-shot TopK — the property the shard router's exactness rests
+// on.
+func TestSessionLockstepEqualsTopK(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(1); seed <= 5; seed++ {
+		s, sums := randomWorld(t, seed, 60, 12)
+		rng := rand.New(rand.NewSource(seed * 31)) //pitlint:ignore norandglobal seeded local source
+		for trial := 0; trial < 20; trial++ {
+			user := graph.NodeID(rng.Intn(60))
+			k := 1 + rng.Intn(len(sums))
+			want, err := s.TopK(ctx, user, sums, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Partition the summaries into 1..4 random groups.
+			parts := make([][]summary.Summary, 1+rng.Intn(4))
+			for _, sum := range sums {
+				i := rng.Intn(len(parts))
+				parts[i] = append(parts[i], sum)
+			}
+			var sessions []*Session
+			for _, part := range parts {
+				if len(part) == 0 {
+					continue
+				}
+				ss, err := s.NewSession(ctx, user, part)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sessions = append(sessions, ss)
+			}
+			got := driveLockstep(t, ctx, sessions, k)
+			for _, ss := range sessions {
+				ss.Close()
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed=%d trial=%d: %d results, want %d", seed, trial, len(got), len(want))
+			}
+			for i := range want {
+				if want[i].Topic != got[i].Topic || math.Float64bits(want[i].Score) != math.Float64bits(got[i].Score) {
+					t.Fatalf("seed=%d trial=%d result %d: got %+v want %+v", seed, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSessionSingleEqualsResults: a one-session lockstep must agree
+// with the session's own Results ranking.
+func TestSessionSingleEqualsResults(t *testing.T) {
+	ctx := context.Background()
+	s, sums := randomWorld(t, 9, 40, 6)
+	ss, err := s.NewSession(ctx, 3, sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	got := driveLockstep(t, ctx, []*Session{ss}, 3)
+	want := ss.Results(3)
+	if len(got) != len(want) {
+		t.Fatalf("%d vs %d results", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("result %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKthOfScores(t *testing.T) {
+	if got := KthOfScores([]float64{0.3, 0.9, 0.1}, 2); got != 0.3 {
+		t.Fatalf("kth=2 over {0.3,0.9,0.1}: got %v", got)
+	}
+	if got := KthOfScores([]float64{0.5}, 3); got != 0 {
+		t.Fatalf("k beyond len must be 0, got %v", got)
+	}
+}
+
+func TestUndecidedEntries(t *testing.T) {
+	entries := []TopicEntry{
+		{Topic: 0, Score: 0.9},
+		{Topic: 1, Score: 0.5, Pruned: true},
+		{Topic: 2, Score: 0.5}, // ties with 1; topic ID breaks the tie
+		{Topic: 3, Score: 0.1},
+	}
+	// k=1: positions 1..3 hold topics 2, 1, 3 (rank order); unpruned 2, 3.
+	if got := UndecidedEntries(entries, 1); got != 2 {
+		t.Fatalf("undecided = %d, want 2", got)
+	}
+	if got := UndecidedEntries(entries, 4); got != 0 {
+		t.Fatalf("k=len: undecided = %d, want 0", got)
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	s, sums := randomWorld(t, 2, 10, 2)
+	if _, err := s.NewSession(context.Background(), -1, sums); err == nil {
+		t.Error("negative user accepted")
+	}
+	if _, err := s.NewSession(context.Background(), 0, nil); err == nil {
+		t.Error("empty summary set accepted")
+	}
+}

@@ -60,6 +60,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/stream"
 	"repro/internal/subscribe"
+	"repro/internal/topics"
 )
 
 // statusClientClosedRequest is the de-facto (nginx) status code for a
@@ -113,6 +114,35 @@ type StatsResponse struct {
 	WalkR            int     `json:"walk_r"`
 	CachedLRW        int     `json:"cached_summaries_lrw"`
 	CachedRCL        int     `json:"cached_summaries_rcl"`
+	// Shards reports the serving partition width; omitted (0) for a
+	// single-engine deployment.
+	Shards int `json:"shards,omitempty"`
+}
+
+// Backend is the query surface the server fronts: a single
+// *core.Engine or the multi-shard *shard.Router — the handlers cannot
+// tell the difference, which is the point (scatter-gather stays below
+// the serving layer).
+type Backend interface {
+	Ready() bool
+	Graph() *graph.Graph
+	Space() *topics.Space
+	Hold(ctx context.Context) (context.Context, func(), error)
+	Search(ctx context.Context, m core.Method, query string, user graph.NodeID, k int) ([]core.TopicResult, error)
+	SearchDiverse(ctx context.Context, m core.Method, query string, user graph.NodeID, k int, lambda float64) ([]core.TopicResult, error)
+	SearchPlanned(ctx context.Context, m core.Method, query string, user graph.NodeID, k int, lambda float64) ([]core.TopicResult, core.PlanOutcome, error)
+	CachedSummaries(m core.Method) int
+	IndexStats() core.IndexStats
+}
+
+// StreamBackend is the update surface behind POST /updates: a single
+// stream.Pipeline or a shard.StreamSet fanning events to one pipeline
+// per shard.
+type StreamBackend interface {
+	Submit(events ...stream.Event) error
+	GrowNodes(n int) error
+	PendingEvents() int
+	Swaps() uint64
 }
 
 type errorResponse struct {
@@ -143,11 +173,17 @@ type Config struct {
 	// client-closed counters). Nil means a private registry: the metrics
 	// are still collected, just not exposed anywhere.
 	Registry *obs.Registry
-	// Stream, when set, attaches a streaming update pipeline: POST
-	// /updates mounts, and every handler resolves the pipeline's
-	// *current* engine instead of the one passed to New (which must be
-	// the pipeline's initial engine).
-	Stream *stream.Pipeline
+	// Stream, when set, attaches a streaming update surface: POST
+	// /updates mounts. When it is a *stream.Pipeline and Source is nil,
+	// handlers resolve the pipeline's *current* engine instead of the
+	// backend passed to New (which must then be the pipeline's initial
+	// engine).
+	Stream StreamBackend
+	// Source, when set, resolves the backend serving the current
+	// request — the hook a sharded deployment uses (the router is the
+	// stable backend; its shards swap underneath it). Overrides the
+	// *stream.Pipeline default above.
+	Source func() Backend
 	// Subscriptions, when set (requires Stream), mounts POST /subscribe:
 	// standing queries with SSE push delivery after applied batches.
 	Subscriptions *subscribe.Registry
@@ -177,9 +213,10 @@ func (c *Config) fill() {
 // Server wraps an engine with HTTP handlers. Create with New, mount with
 // Handler, flip MarkReady once the engine's indexes are built.
 type Server struct {
-	// src resolves the engine serving the current request: the static
-	// engine from New, or the streaming pipeline's current pointer.
-	src         func() *core.Engine
+	// src resolves the backend serving the current request: the static
+	// backend from New, Config.Source, or the streaming pipeline's
+	// current engine.
+	src         func() Backend
 	cfg         Config
 	met         *serverMetrics
 	ready       atomic.Bool
@@ -194,7 +231,7 @@ type Server struct {
 // BuildIndexes (and any pre-materialization) completes. When
 // Config.Stream is set, eng must be that pipeline's initial engine;
 // handlers then follow the pipeline across swaps.
-func New(eng *core.Engine, cfg Config) (*Server, error) {
+func New(eng Backend, cfg Config) (*Server, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("server: nil engine")
 	}
@@ -207,10 +244,15 @@ func New(eng *core.Engine, cfg Config) (*Server, error) {
 		reg = obs.NewRegistry()
 	}
 	s := &Server{cfg: cfg, met: newServerMetrics(reg)}
-	if cfg.Stream != nil {
-		s.src = cfg.Stream.Engine
-	} else {
-		s.src = func() *core.Engine { return eng }
+	switch {
+	case cfg.Source != nil:
+		s.src = cfg.Source
+	default:
+		if p, ok := cfg.Stream.(*stream.Pipeline); ok {
+			s.src = func() Backend { return p.Engine() }
+		} else {
+			s.src = func() Backend { return eng }
+		}
 	}
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
@@ -224,10 +266,10 @@ func New(eng *core.Engine, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// engine resolves the engine for the current request. Under streaming,
+// engine resolves the backend for the current request. Under streaming,
 // consecutive calls may return different engines; handlers capture one
 // and retry on the fresh one when theirs retires mid-request.
-func (s *Server) engine() *core.Engine { return s.src() }
+func (s *Server) engine() Backend { return s.src() }
 
 // MarkReady flips /readyz to success and opens the API for traffic. Call
 // it once the engine's indexes (and optional summary materialization)
@@ -654,16 +696,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		g := eng.Graph()
+		idx := eng.IndexStats()
 		resp := StatsResponse{
 			Nodes:            g.NumNodes(),
 			Edges:            g.NumEdges(),
 			Topics:           eng.Space().NumTopics(),
-			PropIndexEntries: eng.Prop().Size(),
-			PropIndexTheta:   eng.Prop().Theta(),
-			WalkL:            eng.Walks().L,
-			WalkR:            eng.Walks().R,
+			PropIndexEntries: idx.PropEntries,
+			PropIndexTheta:   idx.Theta,
+			WalkL:            idx.WalkL,
+			WalkR:            idx.WalkR,
 			CachedLRW:        eng.CachedSummaries(core.MethodLRW),
 			CachedRCL:        eng.CachedSummaries(core.MethodRCL),
+		}
+		if sh, ok := eng.(interface{ Shards() int }); ok {
+			resp.Shards = sh.Shards()
 		}
 		release()
 		s.writeJSON(w, r, http.StatusOK, resp)

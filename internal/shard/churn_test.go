@@ -1,0 +1,194 @@
+package shard_test
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/shard"
+	"repro/internal/stream"
+	"repro/internal/summary"
+	"repro/internal/topics"
+
+	"math/rand"
+)
+
+// TestRouterChurnSwapAndFaults drives the router at full load while
+// shard 0's engine is swapped underneath it by a stream refresh and
+// shard 2's summarizer is fault-injected, round after round. Required
+// invariants: not one untargeted query fails (swap races retry, the
+// faulted shard degrades alone), at least one targeted query observably
+// degrades without erroring, and no goroutines leak once the churn
+// stops. Runs under -race via `make chaos`.
+func TestRouterChurnSwapAndFaults(t *testing.T) {
+	g, space := world()
+	opts := worldOptions()
+	opts.Plan = plan.Config{Policy: plan.PolicyAuto}
+	ctx := context.Background()
+
+	const n = 3
+	engines, err := shard.BuildEngines(ctx, g, space, opts, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := shard.NewPartitioner(space, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fault target: shard 2's slice of tag004. Queries for other tags
+	// are "untargeted" — they may touch shard 2, but only through its
+	// healthy cached summaries.
+	const faultShard = 2
+	targeted := map[topics.TopicID]bool{}
+	for _, id := range part.Owned(faultShard) {
+		if space.Topic(id).Tag == dataset.TagName(4) {
+			targeted[id] = true
+		}
+	}
+	if len(targeted) == 0 {
+		t.Fatalf("no tag004 topics on shard %d; pick another tag", faultShard)
+	}
+
+	set, err := shard.NewStreamSet(engines, stream.Config{BatchSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := shard.NewRouter(g, space, part, set.Sources(), shard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WarmOwned(ctx, core.MethodLRW, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay-backed chaos wrapper: untargeted rebuilds stay correct,
+	// targeted rebuilds always fail.
+	real := make(map[topics.TopicID]summary.Summary, space.NumTopics())
+	for id := range targeted {
+		s, err := engines[faultShard].Summarize(ctx, core.MethodLRW, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		real[id] = s
+	}
+	inner := chaos.SummarizeFunc(func(_ context.Context, id topics.TopicID) (summary.Summary, error) {
+		return real[id], nil
+	})
+	cs := chaos.Wrap(inner, chaos.Config{
+		Seed:     17,
+		FailRate: 1.0,
+		Target:   func(id topics.TopicID) bool { return targeted[id] },
+	})
+	engines[faultShard].SetSummarizer(core.MethodLRW, cs)
+
+	base := runtime.NumGoroutine()
+
+	var (
+		stop            = make(chan struct{})
+		wg              sync.WaitGroup
+		untargetedFails atomic.Int64
+		untargetedOK    atomic.Int64
+		degradedSeen    atomic.Int64
+		firstFail       atomic.Value
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w))) //pitlint:ignore norandglobal seeded local source
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				user := graph.NodeID(rng.Intn(g.NumNodes()))
+				query := dataset.TagName(rng.Intn(4)) // tags 0–3: untargeted
+				if _, _, err := r.SearchPlanned(ctx, core.MethodLRW, query, user, 3, 0); err != nil {
+					untargetedFails.Add(1)
+					firstFail.CompareAndSwap(nil, err)
+					return
+				}
+				untargetedOK.Add(1)
+			}
+		}(w)
+	}
+
+	// Churn loop: swap shard 0 via a stream refresh every round while
+	// poking the fault path on shard 2 with a targeted query.
+	rng := rand.New(rand.NewSource(7)) //pitlint:ignore norandglobal seeded local source
+	for round := 0; round < 6; round++ {
+		from := graph.NodeID(rng.Intn(g.NumNodes()))
+		to := graph.NodeID(rng.Intn(g.NumNodes()))
+		if to == from {
+			to = (to + 1) % graph.NodeID(g.NumNodes())
+		}
+		if err := set.Pipeline(0).Submit(stream.Event{From: from, To: to, Weight: 0.2 + 0.6*rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+		if err := set.Pipeline(0).Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+		// Invalidate one targeted summary on the faulted shard so the
+		// next tag004 query must rebuild it — and hit the fault.
+		for id := range targeted {
+			r.Engine(faultShard).InvalidateTopic(id)
+			break
+		}
+		user := graph.NodeID(rng.Intn(g.NumNodes()))
+		res, outcome, err := r.SearchPlanned(ctx, core.MethodLRW, dataset.TagName(4), user, 3, 0)
+		if err != nil {
+			t.Fatalf("round %d: targeted query errored instead of degrading: %v", round, err)
+		}
+		if outcome.Tier == plan.TierMaterialized {
+			degradedSeen.Add(1)
+		}
+		_ = res
+	}
+	close(stop)
+	wg.Wait()
+
+	if fails := untargetedFails.Load(); fails != 0 {
+		t.Fatalf("%d untargeted queries failed (first: %v)", fails, firstFail.Load())
+	}
+	if ok := untargetedOK.Load(); ok == 0 {
+		t.Fatal("load generator issued no queries — the test proved nothing")
+	}
+	if degradedSeen.Load() == 0 {
+		t.Fatal("no targeted query degraded: the fault never engaged")
+	}
+	if st := cs.Stats(); st.Failures == 0 {
+		t.Fatalf("chaos wrapper injected nothing: %+v", st)
+	}
+	if swaps := set.Pipeline(0).Swaps(); swaps == 0 {
+		t.Fatal("shard 0 never swapped engines")
+	}
+
+	set.Stop()
+	for i := 0; i < n; i++ {
+		r.Engine(i).Close()
+	}
+	// Old shard-0 engines were retired by the pipeline; give drains and
+	// detached revalidations a moment, then require the goroutine count
+	// back at (or under) the pre-churn baseline plus scheduler noise.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine growth: %d now vs %d before churn", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// maxLabeledShards bounds the cardinality of the per-shard label:
+// shards beyond it collapse into one overflow bucket, keeping the
+// label set constant regardless of operator flags.
+const maxLabeledShards = 16
+
+// shardLabel maps a shard index onto a constant, bounded label set —
+// the metrichygiene idiom for dynamic-but-bounded label values.
+func shardLabel(i int) string {
+	switch i {
+	case 0:
+		return "0"
+	case 1:
+		return "1"
+	case 2:
+		return "2"
+	case 3:
+		return "3"
+	case 4:
+		return "4"
+	case 5:
+		return "5"
+	case 6:
+		return "6"
+	case 7:
+		return "7"
+	case 8:
+		return "8"
+	case 9:
+		return "9"
+	case 10:
+		return "10"
+	case 11:
+		return "11"
+	case 12:
+		return "12"
+	case 13:
+		return "13"
+	case 14:
+		return "14"
+	case 15:
+		return "15"
+	default:
+		return "overflow"
+	}
+}
+
+// routerMetrics holds the pit_shard_* instruments. Per-shard vec cells
+// are resolved once at construction into plain slices, so the hot path
+// indexes an array instead of formatting label values.
+type routerMetrics struct {
+	fanout   *obs.Histogram   // shards actually scattered to per query
+	pruned   *obs.Counter     // shards dropped mid-scatter by the influence bound
+	merge    *obs.Histogram   // cross-shard merge time per query
+	rounds   *obs.Histogram   // lockstep expansion levels per query
+	latency  []*obs.Histogram // per-shard scatter time (open + expands)
+	degraded []*obs.Counter   // per-shard planned-ladder degradations
+	ready    []*obs.Gauge     // per-shard readiness
+}
+
+// fanoutBuckets covers 1..16 shards engaged.
+var fanoutBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16}
+
+func newRouterMetrics(reg *obs.Registry, shards int) *routerMetrics {
+	m := &routerMetrics{
+		fanout: reg.Histogram("pit_shard_scatter_fanout",
+			"Shards scattered to per routed query (owning shards of the q-related topics).", fanoutBuckets),
+		pruned: reg.Counter("pit_shard_pruned_total",
+			"Shards dropped mid-scatter because the influence upper bound proved none of their topics can reach the top-k."),
+		merge: reg.Histogram("pit_shard_merge_seconds",
+			"Cross-shard gather/merge time per routed query (k-th score exchange and final ranking).", obs.DurationBuckets),
+		rounds: reg.Histogram("pit_shard_rounds",
+			"Lockstep expansion levels driven per routed query.", obs.DepthBuckets),
+	}
+	lat := reg.HistogramVec("pit_shard_latency_seconds",
+		"Per-shard scatter time per routed query: session open plus every expansion level.", obs.DurationBuckets, "shard")
+	deg := reg.CounterVec("pit_shard_degraded_total",
+		"Planned queries on which this shard degraded to cached-only summaries while the rest answered at full fidelity.", "shard")
+	rdy := reg.GaugeVec("pit_shard_ready",
+		"Per-shard readiness (1 = hydrated and serving).", "shard")
+	n := shards
+	if n > maxLabeledShards {
+		n = maxLabeledShards + 1 // one overflow cell shared past the cap
+	}
+	for i := 0; i < n; i++ {
+		m.latency = append(m.latency, lat.With(shardLabel(i)))
+		m.degraded = append(m.degraded, deg.With(shardLabel(i)))
+		m.ready = append(m.ready, rdy.With(shardLabel(i)))
+	}
+	return m
+}
+
+// cell clamps a shard index into the pre-resolved label range.
+func (m *routerMetrics) cell(i int) int {
+	if i >= len(m.latency) {
+		return len(m.latency) - 1
+	}
+	return i
+}
+
+func (m *routerMetrics) observeShard(i int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.latency[m.cell(i)].Observe(d.Seconds())
+}
+
+func (m *routerMetrics) noteDegraded(i int) {
+	if m == nil {
+		return
+	}
+	m.degraded[m.cell(i)].Inc()
+}
+
+func (m *routerMetrics) setReady(i int, ready bool) {
+	if m == nil {
+		return
+	}
+	v := int64(0)
+	if ready {
+		v = 1
+	}
+	m.ready[m.cell(i)].Set(v)
+}

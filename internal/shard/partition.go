@@ -1,0 +1,107 @@
+// Package shard partitions the PIT-Search serving state by topic and
+// serves queries through a stateless scatter-gather router.
+//
+// The split follows the paper's structure: summarization is per-topic
+// (Algorithms 5/9), so the expensive serving state — the materialized
+// summary corpus and the summarizers that build it — decomposes
+// cleanly along topic boundaries. Each shard is a full core.Engine
+// whose corpus holds only the topics a stable hash assigns it; the
+// immutable indexes underneath are either shared in-process
+// (core.Engine.ShareIndexes) or hydrated per shard from snapshot
+// artifact directories (Hydrate, written by `datagen -shards`).
+//
+// The Router merges per-shard top-k exactly: it drives one lockstep
+// search session per owning shard level-by-level (search.Session),
+// broadcasting the global k-th score so every shard applies Algorithm
+// 10's pruning bound against the same threshold the single engine
+// would, and drops a shard from remaining levels the moment the bound
+// proves none of its topics can rise — pruned mid-scatter, never
+// approximated. The differential test pins byte-identity with the
+// single-engine ranking at N ∈ {1, 2, 7}.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/topics"
+)
+
+// PartitionFNV1a names the (only) partition function: FNV-1a over the
+// topic ID's little-endian bytes, reduced mod the shard count. The
+// name is recorded in shard manifests and validated at load, so an
+// artifact set written under a different (future) function fails
+// loudly instead of routing topics to the wrong shard.
+const PartitionFNV1a = "fnv1a/topic-id/v1"
+
+// Assign returns the owning shard of topic t among n shards — the
+// stable hash both the writer (datagen) and the reader (router) use.
+func Assign(t topics.TopicID, n int) int {
+	h := uint32(2166136261)
+	x := uint32(t)
+	for i := 0; i < 4; i++ {
+		h ^= x & 0xff
+		h *= 16777619
+		x >>= 8
+	}
+	return int(h % uint32(n))
+}
+
+// Partitioner is a fixed topic→shard assignment over a topic space.
+type Partitioner struct {
+	space *topics.Space
+	n     int
+	owned [][]topics.TopicID // per shard, ascending topic IDs
+}
+
+// NewPartitioner builds the assignment of every topic in space across
+// n shards. Shards left topic-empty by the hash are legal — the router
+// simply never scatters to them.
+func NewPartitioner(space *topics.Space, n int) (*Partitioner, error) {
+	if space == nil {
+		return nil, fmt.Errorf("shard: nil topic space")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: need a positive shard count, got %d", n)
+	}
+	p := &Partitioner{space: space, n: n, owned: make([][]topics.TopicID, n)}
+	for t := 0; t < space.NumTopics(); t++ {
+		id := topics.TopicID(t)
+		s := Assign(id, n)
+		p.owned[s] = append(p.owned[s], id)
+	}
+	return p, nil
+}
+
+// Shards returns the shard count.
+func (p *Partitioner) Shards() int { return p.n }
+
+// Owns reports the owning shard of t.
+func (p *Partitioner) Owns(t topics.TopicID) int { return Assign(t, p.n) }
+
+// Owned returns shard i's topics, ascending. The slice is shared; do
+// not mutate.
+func (p *Partitioner) Owned(i int) []topics.TopicID { return p.owned[i] }
+
+// Split partitions ts by owning shard, preserving the input order
+// within each part — the scatter step of a query's q-related set.
+func (p *Partitioner) Split(ts []topics.TopicID) [][]topics.TopicID {
+	parts := make([][]topics.TopicID, p.n)
+	for _, t := range ts {
+		s := Assign(t, p.n)
+		parts[s] = append(parts[s], t)
+	}
+	return parts
+}
+
+// NodeCoverage returns the number of distinct graph nodes shard i's
+// topics cover — the shard's node projection, recorded in the manifest
+// as a cheap integrity signal for hydration.
+func (p *Partitioner) NodeCoverage(i int) int {
+	seen := map[int32]struct{}{}
+	for _, t := range p.owned[i] {
+		for _, v := range p.space.Nodes(t) {
+			seen[int32(v)] = struct{}{}
+		}
+	}
+	return len(seen)
+}

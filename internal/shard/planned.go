@@ -1,0 +1,311 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/search"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// plannedKey mirrors the engine's stale-cache key: one exact planned
+// request. The router keeps its own last-known-good cache because a
+// merged answer spans shards — no single engine ever held it.
+type plannedKey struct {
+	m      core.Method
+	query  string
+	user   graph.NodeID
+	k      int
+	lambda float64
+}
+
+func validMethod(m core.Method) bool { return m == core.MethodLRW || m == core.MethodRCL }
+
+// SearchPlanned walks the fidelity ladder per shard: every owning
+// shard first tries the full tier (materialize + search); a shard
+// whose build path fails — breaker open, summarizer fault, build
+// timeout — degrades alone to its cached summaries while the healthy
+// shards keep answering at full fidelity. The merged lockstep then
+// runs over the mixed sessions, so one tripped shard costs fidelity on
+// its slice of the topic space, never the whole query.
+//
+// Tier semantics: TierFull iff every shard served full (then the
+// answer equals the single engine's and refreshes last-known-good);
+// TierMaterialized when any shard degraded, Complete only if the
+// degraded shards had every owned q-related topic cached; TierStale
+// serves the router's last-known-good merged answer when no shard can
+// produce one now. Hard errors (ErrInvalidArgument, ErrNotReady after
+// an engine-swap retry, client disconnect) surface immediately, and
+// under plan.PolicyFull every full-tier failure surfaces.
+func (r *Router) SearchPlanned(ctx context.Context, m core.Method, query string, user graph.NodeID, k int, lambda float64) ([]core.TopicResult, core.PlanOutcome, error) {
+	none := core.PlanOutcome{Tier: plan.TierUnavailable}
+	if !validMethod(m) {
+		return nil, none, fmt.Errorf("%w: unknown method %v", core.ErrInvalidArgument, m)
+	}
+	if !r.g.Valid(user) {
+		return nil, none, fmt.Errorf("%w: user %d outside the graph", core.ErrInvalidArgument, user)
+	}
+	related := r.space.Related(query)
+	if len(related) == 0 {
+		return nil, core.PlanOutcome{Tier: plan.TierFull, Reason: "empty", Complete: true}, nil
+	}
+	key := plannedKey{m: m, query: query, user: user, k: k, lambda: lambda}
+	parts := r.part.Split(related)
+
+	if r.planCfg.Policy != plan.PolicyMaterialized {
+		res, outcome, err := r.plannedScatter(ctx, m, parts, user, related, k, lambda)
+		if err == nil {
+			if outcome.Complete {
+				r.storeGood(key, res)
+			}
+			return res, outcome, nil
+		}
+		if errors.Is(err, core.ErrInvalidArgument) || errors.Is(err, core.ErrNotReady) {
+			return nil, none, err
+		}
+		if r.planCfg.Policy == plan.PolicyFull {
+			return nil, none, err
+		}
+		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+			return nil, none, err
+		}
+	}
+
+	// Materialized tier, whole-query: every shard cached-only on a
+	// fresh bounded budget detached from the request's cancellation —
+	// reached by policy, or when the mixed scatter itself failed (e.g.
+	// the request deadline expired mid-expansion).
+	mctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), r.planCfg.MaterializedTimeout)
+	res, complete, err := r.searchCached(mctx, m, parts, user, k, lambda)
+	cancel()
+	if err == nil && (complete || len(res) > 0) {
+		if complete {
+			r.storeGood(key, res)
+		}
+		return res, core.PlanOutcome{Tier: plan.TierMaterialized, Reason: "degraded", Complete: complete}, nil
+	}
+
+	if r.stale != nil {
+		if cached, age, ok := r.stale.Get(key); ok {
+			out := make([]core.TopicResult, len(cached))
+			copy(out, cached)
+			return out, core.PlanOutcome{Tier: plan.TierStale, Reason: "degraded", Complete: true, StaleAge: age}, nil
+		}
+	}
+	return nil, core.PlanOutcome{Tier: plan.TierUnavailable, Reason: "degraded"},
+		fmt.Errorf("%w: query %q has no materialized or stale answer", core.ErrUnavailable, query)
+}
+
+// plannedScatter opens full sessions where it can and cached sessions
+// where a shard's full tier fails, then runs the merged lockstep.
+func (r *Router) plannedScatter(ctx context.Context, m core.Method, parts [][]topics.TopicID, user graph.NodeID, related []topics.TopicID, k int, lambda float64) ([]core.TopicResult, core.PlanOutcome, error) {
+	type shardState struct {
+		sess     *core.SearchSession
+		err      error
+		degraded bool
+		complete bool // degraded shards only: every owned topic was cached
+	}
+	states := make([]shardState, len(parts))
+	scatter := func(i int, ts []topics.TopicID) {
+		st := &states[i]
+		st.err = r.withShard(i, func(eng *core.Engine) error {
+			cs, err := eng.NewSearchSession(ctx, m, ts, user)
+			if err == nil {
+				st.sess = cs
+				return nil
+			}
+			if errors.Is(err, core.ErrInvalidArgument) || errors.Is(err, core.ErrNotReady) {
+				return err
+			}
+			if r.planCfg.Policy == plan.PolicyFull {
+				return err
+			}
+			if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+				return err
+			}
+			// This shard's full tier is down; serve its slice from cache.
+			// The open runs on a small detached budget so an
+			// already-blown request deadline still gets the degraded
+			// answer the tier exists for.
+			octx, cancel := context.WithTimeout(context.WithoutCancel(ctx), r.planCfg.MaterializedTimeout)
+			defer cancel()
+			cs, complete, cerr := eng.NewSearchSessionCached(octx, m, ts, user)
+			if cerr != nil {
+				return cerr
+			}
+			st.sess, st.degraded, st.complete = cs, true, complete
+			r.met.noteDegraded(i)
+			return nil
+		})
+	}
+	var elapsed []time.Duration
+	if r.met != nil {
+		fanout := 0
+		for _, ts := range parts {
+			if len(ts) > 0 {
+				fanout++
+			}
+		}
+		r.met.fanout.Observe(float64(fanout))
+		elapsed = make([]time.Duration, len(parts))
+	}
+	parallelShards(parts, func(i int, ts []topics.TopicID) {
+		t0 := time.Now()
+		scatter(i, ts)
+		if elapsed != nil {
+			elapsed[i] += time.Since(t0)
+		}
+	})
+	sessions := make([]*core.SearchSession, len(parts))
+	anyDegraded, complete := false, true
+	for i := range states {
+		sessions[i] = states[i].sess
+		if states[i].degraded {
+			anyDegraded = true
+			if !states[i].complete {
+				complete = false
+			}
+		}
+	}
+	for i := range states {
+		if states[i].err != nil {
+			closeSessions(sessions)
+			return nil, core.PlanOutcome{Tier: plan.TierUnavailable}, states[i].err
+		}
+	}
+	defer closeSessions(sessions)
+	res, err := r.rankSessions(ctx, sessions, m, k, lambda, true, elapsed)
+	if r.met != nil {
+		for i, d := range elapsed {
+			if d > 0 {
+				r.met.observeShard(i, d)
+			}
+		}
+	}
+	if err != nil {
+		return nil, core.PlanOutcome{Tier: plan.TierUnavailable}, err
+	}
+	if anyDegraded {
+		return res, core.PlanOutcome{Tier: plan.TierMaterialized, Reason: "degraded", Complete: complete}, nil
+	}
+	return res, core.PlanOutcome{Tier: plan.TierFull, Reason: "ok", Complete: true}, nil
+}
+
+// searchCached is the whole-query materialized tier: cached-only
+// sessions on every owning shard, merged by the same lockstep.
+func (r *Router) searchCached(ctx context.Context, m core.Method, parts [][]topics.TopicID, user graph.NodeID, k int, lambda float64) ([]core.TopicResult, bool, error) {
+	sessions := make([]*core.SearchSession, len(parts))
+	errs := make([]error, len(parts))
+	completes := make([]bool, len(parts))
+	parallelShards(parts, func(i int, ts []topics.TopicID) {
+		errs[i] = r.withShard(i, func(eng *core.Engine) error {
+			cs, complete, err := eng.NewSearchSessionCached(ctx, m, ts, user)
+			if err != nil {
+				return err
+			}
+			sessions[i], completes[i] = cs, complete
+			return nil
+		})
+	})
+	complete := true
+	for i, ts := range parts {
+		if len(ts) == 0 {
+			continue
+		}
+		if errs[i] != nil {
+			closeSessions(sessions)
+			return nil, false, errs[i]
+		}
+		if !completes[i] {
+			complete = false
+		}
+	}
+	defer closeSessions(sessions)
+	res, err := r.rankSessions(ctx, sessions, m, k, lambda, true, nil)
+	if err != nil {
+		return nil, complete, err
+	}
+	return res, complete, nil
+}
+
+// rankSessions runs the merged lockstep over whatever sessions opened
+// (full or cached, possibly fewer topics than q-related) and applies
+// the diversification post-pass when lambda > 0, with the single
+// engine's over-fetch policy computed over the topics actually in
+// session — exactly how SearchMaterializedDiverse treats a partial
+// cached pool.
+func (r *Router) rankSessions(ctx context.Context, sessions []*core.SearchSession, m core.Method, k int, lambda float64, par bool, elapsed []time.Duration) ([]core.TopicResult, error) {
+	total := 0
+	for _, cs := range sessions {
+		if cs != nil {
+			total += cs.Search().NumTopics()
+		}
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	if k <= 0 || k > total {
+		k = total
+	}
+	fetch := k
+	if lambda > 0 {
+		fetch = k * 3
+		if fetch >= total {
+			fetch = total - 1
+		}
+		if fetch < k {
+			fetch = k
+		}
+	}
+	var sums []summary.Summary
+	if lambda > 0 {
+		sums = make([]summary.Summary, 0, total)
+		for _, cs := range sessions {
+			if cs != nil {
+				sums = append(sums, cs.Summaries()...)
+			}
+		}
+	}
+	res, err := r.lockstep(ctx, sessions, fetch, par, elapsed)
+	if err != nil {
+		return nil, err
+	}
+	if lambda > 0 {
+		res = search.Diversify(res, sums, lambda, k)
+	}
+	return r.toTopicResults(res), nil
+}
+
+// storeGood records a full-fidelity (or provably equivalent) merged
+// answer as this exact request's last-known-good entry.
+func (r *Router) storeGood(key plannedKey, res []core.TopicResult) {
+	if r.stale == nil {
+		return
+	}
+	cp := make([]core.TopicResult, len(res))
+	copy(cp, res)
+	r.stale.Put(key, cp)
+}
+
+// parallelShards runs fn once per non-empty part, concurrently.
+func parallelShards(parts [][]topics.TopicID, fn func(i int, ts []topics.TopicID)) {
+	var wg sync.WaitGroup
+	for i, ts := range parts {
+		if len(ts) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, ts []topics.TopicID) {
+			defer wg.Done()
+			fn(i, ts)
+		}(i, ts)
+	}
+	wg.Wait()
+}

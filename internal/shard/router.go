@@ -1,0 +1,659 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/search"
+	"repro/internal/summary"
+	"repro/internal/topics"
+)
+
+// Config tunes a Router.
+type Config struct {
+	// Metrics, when non-nil, registers the pit_shard_* families.
+	Metrics *obs.Registry
+	// Workers bounds per-shard materialization concurrency on the batch
+	// paths (≤ 0: GOMAXPROCS).
+	Workers int
+}
+
+// Router is the stateless scatter-gather front of a shard set. All
+// state it holds is routing state (the partition, engine sources,
+// metrics, the planner's stale cache); the serving state lives in the
+// shard engines, which swap independently underneath it.
+//
+// Exactness: Search/SearchTopics/SearchMany drive one lockstep
+// search.Session per owning shard, level-by-level, exchanging the
+// global k-th score each round — the per-shard frontier evolution is
+// topic-independent and the pruning predicate runs on the same float64
+// inputs the single engine's would, so the merged ranking is
+// byte-identical to a single engine over the whole topic set (pinned
+// by TestRouterMatchesSingleEngine). A shard all of whose topics the
+// bound prunes is closed and dropped mid-scatter.
+type Router struct {
+	g       *graph.Graph
+	space   *topics.Space
+	part    *Partitioner
+	shards  []EngineSource
+	met     *routerMetrics
+	workers int
+
+	planCfg plan.Config
+	stale   *plan.Cache[plannedKey, []core.TopicResult]
+}
+
+// NewRouter wires a router over one engine source per shard. Every
+// source must resolve to a non-nil engine built over the same graph
+// and topic space as the router's. The plan config (policy, stale
+// cache, materialized budget) is taken from shard 0's engine options,
+// which a homogeneous deployment shares across shards.
+func NewRouter(g *graph.Graph, space *topics.Space, part *Partitioner, sources []EngineSource, cfg Config) (*Router, error) {
+	if g == nil || space == nil || part == nil {
+		return nil, fmt.Errorf("shard: nil graph, space or partitioner")
+	}
+	if len(sources) != part.Shards() {
+		return nil, fmt.Errorf("shard: %d engine sources for %d shards", len(sources), part.Shards())
+	}
+	for i, src := range sources {
+		if src == nil || src() == nil {
+			return nil, fmt.Errorf("shard: shard %d has no engine source", i)
+		}
+	}
+	r := &Router{
+		g:       g,
+		space:   space,
+		part:    part,
+		shards:  sources,
+		workers: cfg.Workers,
+	}
+	r.planCfg = sources[0]().Options().Plan
+	r.planCfg.Fill()
+	if r.planCfg.StaleEnabled() {
+		r.stale = plan.NewCache[plannedKey, []core.TopicResult](r.planCfg.StaleCapacity, r.planCfg.StaleTTL, nil)
+	}
+	if cfg.Metrics != nil {
+		r.met = newRouterMetrics(cfg.Metrics, part.Shards())
+	}
+	return r, nil
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return r.part.Shards() }
+
+// Partitioner returns the router's topic partition.
+func (r *Router) Partitioner() *Partitioner { return r.part }
+
+// Engine returns shard i's current engine.
+func (r *Router) Engine(i int) *core.Engine { return r.shards[i]() }
+
+// Graph returns the dataset's social graph.
+func (r *Router) Graph() *graph.Graph { return r.g }
+
+// Space returns the dataset's topic space.
+func (r *Router) Space() *topics.Space { return r.space }
+
+// Ready reports whether every shard's current engine is ready, and
+// refreshes the per-shard readiness gauges.
+func (r *Router) Ready() bool {
+	all := true
+	for i, src := range r.shards {
+		ok := src().Ready()
+		r.met.setReady(i, ok)
+		if !ok {
+			all = false
+		}
+	}
+	return all
+}
+
+// CachedSummaries sums the materialized summaries for m across shards
+// — corpus ownership is disjoint, so the sum is the corpus size.
+func (r *Router) CachedSummaries(m core.Method) int {
+	n := 0
+	for _, src := range r.shards {
+		n += src().CachedSummaries(m)
+	}
+	return n
+}
+
+// IndexStats reports shard 0's index sizing. Every shard carries a
+// full copy of the immutable indexes (the partition splits the
+// corpus, not the graph), so one shard's numbers describe them all.
+func (r *Router) IndexStats() core.IndexStats { return r.shards[0]().IndexStats() }
+
+// Hold registers a read against every shard's query gate, so a
+// concurrent retire/close on any shard drains behind the caller.
+func (r *Router) Hold(ctx context.Context) (context.Context, func(), error) {
+	releases := make([]func(), 0, len(r.shards))
+	releaseAll := func() {
+		for _, f := range releases {
+			f()
+		}
+	}
+	for i := range r.shards {
+		err := r.withShard(i, func(eng *core.Engine) error {
+			_, rel, err := eng.Hold(ctx)
+			if err == nil {
+				releases = append(releases, rel)
+			}
+			return err
+		})
+		if err != nil {
+			releaseAll()
+			return ctx, nil, err
+		}
+	}
+	return ctx, releaseAll, nil
+}
+
+// Close closes every shard's current engine.
+func (r *Router) Close() {
+	for _, src := range r.shards {
+		src().Close()
+	}
+}
+
+// withShard runs fn against shard i's current engine, re-resolving and
+// retrying when the engine was retired under the call — the streaming
+// swap race the single-engine server handles the same way. A fresh
+// resolve that returns the same engine means genuinely not ready, and
+// the error surfaces.
+func (r *Router) withShard(i int, fn func(eng *core.Engine) error) error {
+	eng := r.shards[i]()
+	for {
+		err := fn(eng)
+		if err == nil || !errors.Is(err, core.ErrNotReady) {
+			return err
+		}
+		cur := r.shards[i]()
+		if cur == eng {
+			return err
+		}
+		eng = cur
+	}
+}
+
+// firstError records the first failure a scatter observes.
+type firstError struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (f *firstError) set(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstError) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// Summarize routes a summarization to the topic's owning shard.
+func (r *Router) Summarize(ctx context.Context, m core.Method, t topics.TopicID) (summary.Summary, error) {
+	if !r.space.Valid(t) {
+		return summary.Summary{}, fmt.Errorf("%w: unknown topic %d", core.ErrInvalidArgument, t)
+	}
+	var s summary.Summary
+	err := r.withShard(r.part.Owns(t), func(eng *core.Engine) error {
+		var err error
+		s, err = eng.Summarize(ctx, m, t)
+		return err
+	})
+	return s, err
+}
+
+// WarmOwned materializes every shard's owned topics in parallel across
+// shards (and `workers` wide within each shard) — the sharded corpus
+// warm-up. Because each shard has its own RCL summarizer (and its own
+// rclMu), N shards warm N× as many RCL topics concurrently as one
+// engine can.
+func (r *Router) WarmOwned(ctx context.Context, m core.Method, workers int) error {
+	var (
+		wg   sync.WaitGroup
+		errs firstError
+	)
+	for i := 0; i < r.part.Shards(); i++ {
+		owned := r.part.Owned(i)
+		if len(owned) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, owned []topics.TopicID) {
+			defer wg.Done()
+			errs.set(r.withShard(i, func(eng *core.Engine) error {
+				_, err := eng.MaterializeTopics(ctx, m, owned, workers)
+				return err
+			}))
+		}(i, owned)
+	}
+	wg.Wait()
+	return errs.get()
+}
+
+// openSessions scatters a session open to every owning shard in
+// parallel: shard i materializes (full path) its slice of the
+// q-related topics and opens a lockstep session for the user. On any
+// failure every opened session is closed and the lowest-shard error
+// surfaces (deterministically, like the single engine's first-error
+// contract).
+func (r *Router) openSessions(ctx context.Context, m core.Method, parts [][]topics.TopicID, user graph.NodeID, elapsed []time.Duration) ([]*core.SearchSession, error) {
+	sessions := make([]*core.SearchSession, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, ts := range parts {
+		if len(ts) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, ts []topics.TopicID) {
+			defer wg.Done()
+			t0 := time.Now()
+			errs[i] = r.withShard(i, func(eng *core.Engine) error {
+				cs, err := eng.NewSearchSession(ctx, m, ts, user)
+				if err != nil {
+					return err
+				}
+				sessions[i] = cs
+				return nil
+			})
+			if elapsed != nil {
+				elapsed[i] += time.Since(t0)
+			}
+		}(i, ts)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			closeSessions(sessions)
+			return nil, err
+		}
+	}
+	return sessions, nil
+}
+
+func closeSessions(sessions []*core.SearchSession) {
+	for _, cs := range sessions {
+		if cs != nil {
+			cs.Close()
+		}
+	}
+}
+
+// liveSess pairs a still-expanding session with its shard index.
+type liveSess struct {
+	idx int
+	cs  *core.SearchSession
+}
+
+// lockstep drives the open sessions level-by-level, replicating the
+// single engine's Algorithm 10 schedule exactly:
+//
+//	round: gather scores → global k-th → per-shard prune (identical
+//	predicate, shard-local frontier bound) → global undecided test →
+//	drop bound-pruned shards → expand survivors one level.
+//
+// Per-shard frontiers are identical (frontier evolution is
+// topic-independent), so per-shard maxEP equals the single engine's
+// and every per-topic decision matches bit for bit. par selects
+// cross-shard parallel expansion (the latency path); the batch path
+// steps shards sequentially inside its per-user worker to avoid
+// goroutine churn. elapsed, when non-nil, accumulates per-shard
+// expand time.
+func (r *Router) lockstep(ctx context.Context, sessions []*core.SearchSession, k int, par bool, elapsed []time.Duration) ([]search.Result, error) {
+	var live []liveSess
+	total := 0
+	for i, cs := range sessions {
+		if cs == nil {
+			continue
+		}
+		live = append(live, liveSess{idx: i, cs: cs})
+		total += cs.Search().NumTopics()
+	}
+	if len(live) == 0 {
+		return nil, nil
+	}
+	if k <= 0 || k > total {
+		k = total
+	}
+	firstSess := live[0].cs.Search()
+	maxDepth := firstSess.MaxDepth()
+	exhaustive := firstSess.PruningDisabled()
+	entries := make([]search.TopicEntry, 0, total)
+	scores := make([]float64, 0, total)
+	var frozen []search.TopicEntry
+	depth := 0
+	var mergeTime time.Duration
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		mt0 := time.Now()
+		entries = append(entries[:0], frozen...)
+		for _, l := range live {
+			entries = l.cs.Search().Entries(entries)
+		}
+		scores = scores[:0]
+		for i := range entries {
+			scores = append(scores, entries[i].Score)
+		}
+		kth := search.KthOfScores(scores, k)
+		for _, l := range live {
+			l.cs.Search().Prune(kth)
+		}
+		entries = append(entries[:0], frozen...)
+		for _, l := range live {
+			entries = l.cs.Search().Entries(entries)
+		}
+		var undecided int
+		if exhaustive {
+			undecided = search.UndecidedExhaustive(entries)
+		} else {
+			undecided = search.UndecidedEntries(entries, k)
+		}
+		frontier := 0
+		for _, l := range live {
+			if n := l.cs.Search().FrontierLen(); n > frontier {
+				frontier = n
+			}
+		}
+		mergeTime += time.Since(mt0)
+		if undecided == 0 || frontier == 0 || depth >= maxDepth {
+			break
+		}
+		if !exhaustive {
+			// Bound-prune whole shards: a session with every topic pruned
+			// can never change its scores again (consume skips pruned
+			// states), so freeze its standings and cancel it mid-scatter.
+			kept := live[:0]
+			for _, l := range live {
+				if l.cs.Search().Alive() {
+					kept = append(kept, l)
+					continue
+				}
+				frozen = l.cs.Search().Entries(frozen)
+				l.cs.Close()
+				if r.met != nil {
+					r.met.pruned.Inc()
+				}
+			}
+			live = kept
+			if len(live) == 0 {
+				break
+			}
+		}
+		if par && len(live) > 1 {
+			var (
+				wg   sync.WaitGroup
+				errs firstError
+			)
+			for _, l := range live {
+				wg.Add(1)
+				go func(l liveSess) {
+					defer wg.Done()
+					t0 := time.Now()
+					errs.set(l.cs.Search().Expand(ctx))
+					if elapsed != nil {
+						elapsed[l.idx] += time.Since(t0)
+					}
+				}(l)
+			}
+			wg.Wait()
+			if err := errs.get(); err != nil {
+				return nil, err
+			}
+		} else {
+			for _, l := range live {
+				t0 := time.Now()
+				if err := l.cs.Search().Expand(ctx); err != nil {
+					return nil, err
+				}
+				if elapsed != nil {
+					elapsed[l.idx] += time.Since(t0)
+				}
+			}
+		}
+		depth++
+	}
+	mt0 := time.Now()
+	res := search.RankEntries(entries, k)
+	mergeTime += time.Since(mt0)
+	if r.met != nil {
+		r.met.merge.Observe(mergeTime.Seconds())
+		r.met.rounds.Observe(float64(depth))
+	}
+	return res, nil
+}
+
+// SearchTopics scatter-gathers the top-k PIT-Search over an explicit
+// q-related topic set: each owning shard materializes and searches its
+// slice, the router merges under the influence upper bound.
+func (r *Router) SearchTopics(ctx context.Context, m core.Method, related []topics.TopicID, user graph.NodeID, k int) ([]search.Result, error) {
+	if len(related) == 0 {
+		return nil, nil
+	}
+	if k <= 0 || k > len(related) {
+		k = len(related)
+	}
+	parts := r.part.Split(related)
+	var elapsed []time.Duration
+	fanout := 0
+	for _, ts := range parts {
+		if len(ts) > 0 {
+			fanout++
+		}
+	}
+	if r.met != nil {
+		r.met.fanout.Observe(float64(fanout))
+		elapsed = make([]time.Duration, len(parts))
+	}
+	sessions, err := r.openSessions(ctx, m, parts, user, elapsed)
+	if err != nil {
+		return nil, err
+	}
+	defer closeSessions(sessions)
+	res, err := r.lockstep(ctx, sessions, k, true, elapsed)
+	if r.met != nil {
+		for i, d := range elapsed {
+			if d > 0 {
+				r.met.observeShard(i, d)
+			}
+		}
+	}
+	return res, err
+}
+
+// Search answers a keyword query through the scatter-gather path.
+func (r *Router) Search(ctx context.Context, m core.Method, query string, user graph.NodeID, k int) ([]core.TopicResult, error) {
+	related := r.space.Related(query)
+	if len(related) == 0 {
+		return nil, nil
+	}
+	res, err := r.SearchTopics(ctx, m, related, user, k)
+	if err != nil {
+		return nil, err
+	}
+	return r.toTopicResults(res), nil
+}
+
+func (r *Router) toTopicResults(res []search.Result) []core.TopicResult {
+	out := make([]core.TopicResult, len(res))
+	for i, t := range res {
+		out[i] = core.TopicResult{Topic: r.space.Topic(t.Topic), Score: t.Score}
+	}
+	return out
+}
+
+// SearchDiverse is Search followed by the representative-overlap
+// re-rank, with the single engine's exact over-fetch policy. The
+// result summaries are cache hits on their owning shards — the scatter
+// just materialized them.
+func (r *Router) SearchDiverse(ctx context.Context, m core.Method, query string, user graph.NodeID, k int, lambda float64) ([]core.TopicResult, error) {
+	related := r.space.Related(query)
+	if len(related) == 0 {
+		return nil, nil
+	}
+	if k <= 0 {
+		k = len(related)
+	}
+	fetch := k * 3
+	if fetch >= len(related) {
+		fetch = len(related) - 1
+	}
+	if fetch < k {
+		fetch = k
+	}
+	res, err := r.SearchTopics(ctx, m, related, user, fetch)
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]summary.Summary, 0, len(res))
+	for _, t := range res {
+		s, err := r.Summarize(ctx, m, t.Topic)
+		if err != nil {
+			return nil, err
+		}
+		sums = append(sums, s)
+	}
+	diversified := search.Diversify(res, sums, lambda, k)
+	return r.toTopicResults(diversified), nil
+}
+
+// SearchMany answers one query for a batch of users: each owning shard
+// materializes its topic slice once (in parallel across shards — the
+// per-shard summarizers make even RCL materialization scale), then a
+// worker pool fans the users out, each worker driving its user's
+// lockstep sequentially over per-shard sessions opened straight from
+// the materialized summaries. Results are indexed like users; error
+// semantics match the single engine's (first failure, never partial).
+func (r *Router) SearchMany(ctx context.Context, m core.Method, query string, users []graph.NodeID, k, workers int) ([][]core.TopicResult, error) {
+	related := r.space.Related(query)
+	out := make([][]core.TopicResult, len(users))
+	if len(related) == 0 || len(users) == 0 {
+		return out, nil
+	}
+	parts := r.part.Split(related)
+	engines := make([]*core.Engine, len(parts))
+	sums := make([][]summary.Summary, len(parts))
+	{
+		var (
+			wg   sync.WaitGroup
+			errs firstError
+		)
+		for i, ts := range parts {
+			if len(ts) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, ts []topics.TopicID) {
+				defer wg.Done()
+				errs.set(r.withShard(i, func(eng *core.Engine) error {
+					s, err := eng.MaterializeTopics(ctx, m, ts, r.workers)
+					if err != nil {
+						return err
+					}
+					engines[i], sums[i] = eng, s
+					return nil
+				}))
+			}(i, ts)
+		}
+		wg.Wait()
+		if err := errs.get(); err != nil {
+			return nil, err
+		}
+	}
+	if k <= 0 || k > len(related) {
+		k = len(related)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(users) {
+		workers = len(users)
+	}
+	var (
+		wg       sync.WaitGroup
+		next     int64
+		nextMu   sync.Mutex
+		firstErr firstError
+	)
+	claim := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		i := int(next)
+		next++
+		return i
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sessions := make([]*core.SearchSession, len(parts))
+			for {
+				if err := ctx.Err(); err != nil {
+					firstErr.set(err)
+					return
+				}
+				u := claim()
+				if u >= len(users) {
+					return
+				}
+				res, err := r.searchOneFrom(ctx, engines, sums, users[u], k, sessions)
+				if err != nil {
+					firstErr.set(err)
+					return
+				}
+				out[u] = r.toTopicResults(res)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.get(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// searchOneFrom opens one user's per-shard sessions over the batch's
+// pre-materialized summaries and drives the lockstep sequentially.
+// sessions is caller scratch, reused across the worker's users. An
+// engine retired mid-batch is re-resolved once — the summaries are
+// plain values, valid under any ready engine over the dataset.
+func (r *Router) searchOneFrom(ctx context.Context, engines []*core.Engine, sums [][]summary.Summary, user graph.NodeID, k int, sessions []*core.SearchSession) ([]search.Result, error) {
+	clear(sessions)
+	for i := range sums {
+		if len(sums[i]) == 0 {
+			continue
+		}
+		cs, err := engines[i].NewSearchSessionFrom(ctx, user, sums[i])
+		if errors.Is(err, core.ErrNotReady) {
+			if cur := r.shards[i](); cur != engines[i] {
+				engines[i] = cur
+				cs, err = cur.NewSearchSessionFrom(ctx, user, sums[i])
+			}
+		}
+		if err != nil {
+			closeSessions(sessions)
+			return nil, err
+		}
+		sessions[i] = cs
+	}
+	defer closeSessions(sessions)
+	return r.lockstep(ctx, sessions, k, false, nil)
+}

@@ -1,0 +1,191 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/storage"
+	"repro/internal/topics"
+)
+
+// EngineSource resolves a shard's current engine. Static deployments
+// return a fixed engine; streaming deployments return the shard
+// pipeline's current one, so the router follows swaps without
+// coordination.
+type EngineSource func() *core.Engine
+
+// BuildEngines stands up n shard engines over one in-memory dataset:
+// shard 0 builds the offline indexes, the rest adopt them via
+// ShareIndexes — one walk/propagation build total, N independent
+// summarizer+corpus units. Every engine gets identical options (same
+// seed: summaries are deterministic per topic ID, so any shard's build
+// of a topic is byte-identical to the single engine's).
+func BuildEngines(ctx context.Context, g *graph.Graph, space *topics.Space, opts core.Options, n int) ([]*core.Engine, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: need a positive shard count, got %d", n)
+	}
+	engines := make([]*core.Engine, n)
+	for i := range engines {
+		eng, err := core.New(g, space, opts)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		engines[i] = eng
+	}
+	if err := engines[0].BuildIndexes(ctx); err != nil {
+		return nil, fmt.Errorf("shard 0: %w", err)
+	}
+	for i := 1; i < n; i++ {
+		if err := engines[i].ShareIndexes(engines[0]); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return engines, nil
+}
+
+// Hydrate cold-starts N shard engines from a sharded artifact root
+// written by `datagen -shards`: the manifest is validated against the
+// live dataset (partition function, shard count, topic and node
+// counts — any mismatch fails loudly), then every shard mmap-loads its
+// own directory in parallel, so time-to-ready is one shard's open, not
+// N sequential ones. After loading, each shard's preloaded summaries
+// are checked against the partition: a summary for a topic the shard
+// does not own means the artifacts and the partitioner disagree, and
+// the whole hydration fails rather than serve misrouted topics.
+func Hydrate(ctx context.Context, g *graph.Graph, space *topics.Space, opts core.Options, root string, wantShards int) ([]*core.Engine, *Partitioner, error) {
+	man, err := ReadManifest(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := man.Validate(space, g, wantShards); err != nil {
+		return nil, nil, err
+	}
+	engines := make([]*core.Engine, man.Shards)
+	for i := range engines {
+		eng, err := core.New(g, space, opts)
+		if err != nil {
+			for _, e := range engines[:i] {
+				e.Close()
+			}
+			return nil, nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		engines[i] = eng
+	}
+	part, err := HydrateInto(ctx, engines, g, space, root)
+	if err != nil {
+		for _, eng := range engines {
+			eng.Close()
+		}
+		return nil, nil, err
+	}
+	return engines, part, nil
+}
+
+// ArtifactsExist reports whether root holds a sharded artifact set (its
+// manifest is present) — the cold-start-vs-build decision point.
+func ArtifactsExist(root string) bool {
+	_, err := os.Stat(filepath.Join(root, ManifestFile))
+	return err == nil
+}
+
+// HydrateInto is Hydrate over caller-constructed engines (one per
+// shard, in shard order), for deployments that wire engines into
+// pipelines/metrics before loading. The manifest must match
+// len(engines) exactly.
+func HydrateInto(ctx context.Context, engines []*core.Engine, g *graph.Graph, space *topics.Space, root string) (*Partitioner, error) {
+	man, err := ReadManifest(root)
+	if err != nil {
+		return nil, err
+	}
+	if err := man.Validate(space, g, len(engines)); err != nil {
+		return nil, err
+	}
+	part, err := NewPartitioner(space, man.Shards)
+	if err != nil {
+		return nil, err
+	}
+	errs := make([]error, len(engines))
+	var wg sync.WaitGroup
+	for i := range engines {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			if err := engines[i].LoadArtifacts(ShardDir(root, i)); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Ownership audit: every preloaded summary must belong to its shard
+	// under the manifest's partition function.
+	for i, eng := range engines {
+		for t := 0; t < space.NumTopics(); t++ {
+			id := topics.TopicID(t)
+			if part.Owns(id) == i {
+				continue
+			}
+			for _, m := range []core.Method{core.MethodLRW, core.MethodRCL} {
+				if _, cached := eng.CachedSummary(m, id); cached {
+					return nil, fmt.Errorf(
+						"shard: %s holds a %v summary for topic %d, owned by shard %d under %s — artifacts don't match the partition",
+						ShardDir(root, i), m, id, part.Owns(id), man.Partition)
+				}
+			}
+		}
+	}
+	return part, nil
+}
+
+// WriteArtifacts snapshots a warmed engine into a sharded artifact
+// root: shard-<i>/ holds the full index artifacts (self-contained — a
+// shard hydrates anywhere the dataset is available) plus exactly the
+// cached summaries the partition assigns shard i, and the manifest
+// records the partition function and dataset shape for load-time
+// validation. format names a storage format constant ("v2" for
+// mmap-able snapshot shipping).
+func WriteArtifacts(eng *core.Engine, part *Partitioner, root string, format storage.Format) error {
+	if eng == nil || part == nil {
+		return fmt.Errorf("shard: nil engine or partitioner")
+	}
+	for i := 0; i < part.Shards(); i++ {
+		i := i
+		keep := func(t topics.TopicID) bool { return Assign(t, part.Shards()) == i }
+		if err := eng.SaveArtifactsFiltered(ShardDir(root, i), format, keep); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return WriteManifest(root, NewManifest(part, eng.Graph()))
+}
+
+// WriteShardArtifacts is WriteArtifacts for an already-partitioned
+// serving set: engine i (warmed with its owned topics, e.g. via
+// Router.WarmOwned) snapshots shard-<i>/ itself, so a sharded pitserve
+// persists what it built without any engine ever holding the whole
+// corpus.
+func WriteShardArtifacts(engines []*core.Engine, part *Partitioner, root string, format storage.Format) error {
+	if len(engines) != part.Shards() {
+		return fmt.Errorf("shard: %d engines for %d shards", len(engines), part.Shards())
+	}
+	for i, eng := range engines {
+		i := i
+		keep := func(t topics.TopicID) bool { return Assign(t, part.Shards()) == i }
+		if err := eng.SaveArtifactsFiltered(ShardDir(root, i), format, keep); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return WriteManifest(root, NewManifest(part, engines[0].Graph()))
+}

@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// StreamSet runs one stream.Pipeline per shard and fans updates out to
+// all of them. The graph is replicated across shards (only the summary
+// corpus is partitioned), so every shard applies every batch; the
+// summary-refresh work a batch triggers still lands only on owning
+// shards, because each shard's corpus holds only the topics the
+// partition assigns it — invalidating a topic a shard never cached is
+// free. Shards swap engines independently: the router's EngineSources
+// follow each pipeline's current engine, and a query that races one
+// shard's swap retries just that shard.
+//
+// The caller's OnApply hook is attached to shard 0's pipeline only, so
+// a logical batch fires it once, not N times. Pipelines flush
+// independently, meaning other shards may apply the same batch
+// slightly before or after the hook runs — standing-query evaluation
+// against the router is eventually consistent across shards within a
+// batch interval.
+type StreamSet struct {
+	pipes []*stream.Pipeline
+}
+
+// NewStreamSet wires one pipeline per shard engine with a shared
+// config. Must be called before the engines serve traffic (it enables
+// their drain gates, like stream.New).
+func NewStreamSet(engines []*core.Engine, cfg stream.Config) (*StreamSet, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("shard: stream set needs at least one engine")
+	}
+	s := &StreamSet{pipes: make([]*stream.Pipeline, len(engines))}
+	for i, eng := range engines {
+		c := cfg
+		if i > 0 {
+			c.OnApply = nil
+			c.Metrics = nil // shared registry: one shard's pipeline metrics stand for the batch
+		}
+		p, err := stream.New(eng, c)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.pipes[i] = p
+	}
+	return s, nil
+}
+
+// Pipeline returns shard i's pipeline.
+func (s *StreamSet) Pipeline(i int) *stream.Pipeline { return s.pipes[i] }
+
+// Sources returns one EngineSource per shard, each following its
+// pipeline's current engine across swaps.
+func (s *StreamSet) Sources() []EngineSource {
+	out := make([]EngineSource, len(s.pipes))
+	for i, p := range s.pipes {
+		p := p
+		out[i] = p.Engine
+	}
+	return out
+}
+
+// Submit fans the events to every shard's pipeline. All shards see the
+// same stream; validation is identical on each, so the first rejection
+// reports the same problem any shard would.
+func (s *StreamSet) Submit(events ...stream.Event) error {
+	for i, p := range s.pipes {
+		if err := p.Submit(events...); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// GrowNodes schedules n fresh node IDs on every shard.
+func (s *StreamSet) GrowNodes(n int) error {
+	for i, p := range s.pipes {
+		if err := p.GrowNodes(n); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// PendingEvents reports shard 0's queued event count. All shards
+// receive the same stream, so one shard's backlog stands for the set
+// (modulo flush skew within a batch interval).
+func (s *StreamSet) PendingEvents() int { return s.pipes[0].PendingEvents() }
+
+// Swaps reports shard 0's applied-batch count, the observable a client
+// polls to see its update land.
+func (s *StreamSet) Swaps() uint64 { return s.pipes[0].Swaps() }
+
+// Start launches every pipeline's background flush loop.
+func (s *StreamSet) Start() {
+	for _, p := range s.pipes {
+		p.Start()
+	}
+}
+
+// Stop terminates all background loops and waits for them.
+func (s *StreamSet) Stop() {
+	for _, p := range s.pipes {
+		p.Stop()
+	}
+}
+
+// Flush applies the pending batch on every shard now, sequentially —
+// after it returns, all shards serve the same snapshot.
+func (s *StreamSet) Flush(ctx context.Context) error {
+	for i, p := range s.pipes {
+		if err := p.Flush(ctx); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

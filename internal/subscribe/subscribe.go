@@ -31,6 +31,16 @@ import (
 	"repro/internal/topics"
 )
 
+// Engine is the query surface a standing query evaluates against — a
+// single *core.Engine or the multi-shard router; subscriptions are
+// indifferent to how the answer is assembled.
+type Engine interface {
+	Graph() *graph.Graph
+	Space() *topics.Space
+	Search(ctx context.Context, m core.Method, query string, user graph.NodeID, k int) ([]core.TopicResult, error)
+	SearchDiverse(ctx context.Context, m core.Method, query string, user graph.NodeID, k int, lambda float64) ([]core.TopicResult, error)
+}
+
 // Query is a standing search: the same parameters as one-shot /search.
 // Lambda > 0 diversifies the ranking exactly as /search does.
 type Query struct {
@@ -134,7 +144,7 @@ func (r *Registry) Len() int {
 // Subscribe validates q against eng, evaluates it once, and registers
 // the standing query; the initial answer is already queued on the
 // returned subscription's channel (Seq 0).
-func (r *Registry) Subscribe(ctx context.Context, eng *core.Engine, q Query) (*Subscription, error) {
+func (r *Registry) Subscribe(ctx context.Context, eng Engine, q Query) (*Subscription, error) {
 	if q.K <= 0 {
 		return nil, fmt.Errorf("subscribe: k = %d: need k > 0", q.K)
 	}
@@ -180,7 +190,7 @@ func (r *Registry) Unsubscribe(id uint64) {
 // a push where the top-k ranking changed. seq tags the pushes with the
 // triggering batch. Evaluation failures skip the subscription — it
 // keeps its previous answer and is retried on the next batch.
-func (r *Registry) Dispatch(ctx context.Context, eng *core.Engine, affected []topics.TopicID, seq uint64) {
+func (r *Registry) Dispatch(ctx context.Context, eng Engine, affected []topics.TopicID, seq uint64) {
 	if eng == nil || len(affected) == 0 {
 		return
 	}
@@ -226,7 +236,7 @@ func (r *Registry) Dispatch(ctx context.Context, eng *core.Engine, affected []to
 
 // evaluate runs the standing query like /search would: diversified when
 // Lambda > 0.
-func evaluate(ctx context.Context, eng *core.Engine, q Query) ([]core.TopicResult, error) {
+func evaluate(ctx context.Context, eng Engine, q Query) ([]core.TopicResult, error) {
 	if q.Lambda > 0 {
 		return eng.SearchDiverse(ctx, q.Method, q.Q, q.User, q.K, q.Lambda)
 	}
